@@ -1,0 +1,58 @@
+// EXP-F1 — Figure 1: mapping of MNIST-MLP onto Shenjing.
+//
+// Reproduces the figure's 10-core layout (layer 1 on a 4x2 rectangle,
+// layer 2 on a 2x1 column), draws the occupied grid, and prints the
+// partial-sum fold steps of one timestep — the (3,*)->(2,*) ... ->(0,*)
+// accumulation the figure annotates.
+#include <map>
+
+#include "bench_util.h"
+#include "harness/pipeline.h"
+#include "mapper/mapper.h"
+
+using namespace sj;
+
+int main() {
+  bench::heading("Figure 1 — mapping of MNIST-MLP onto Shenjing",
+                 "expected: 8 cores for FC1 (4 rows x 2 cols), 2 for FC2, 10 total");
+
+  auto cfg = harness::AppConfig::paper_default(harness::App::MnistMlp);
+  cfg.hw_frames = 1;
+  const auto r = harness::run_app(cfg);
+  const map::MappedNetwork& m = r.mapped;
+
+  std::printf("cores: %lld (paper: 10)   chips: %d   grid: %dx%d used region\n\n",
+              static_cast<long long>(r.cores), r.chips, m.grid_rows, m.grid_cols);
+
+  // ASCII floorplan of the used region.
+  std::map<std::pair<i32, i32>, char> cell;
+  for (const auto& c : m.cores) {
+    if (c.filler) continue;
+    cell[{c.pos.row, c.pos.col}] = c.unit == 0 ? (c.spiking ? 'R' : '1') : '2';
+  }
+  std::printf("floorplan (1 = FC1 core, R = FC1 spiking root, 2 = FC2 core):\n");
+  for (i32 row = 0; row < 4; ++row) {
+    std::printf("  row %d: ", row);
+    for (i32 col = 0; col < 4; ++col) {
+      const auto it = cell.find({row, col});
+      std::printf("[%c]", it == cell.end() ? '.' : it->second);
+    }
+    std::printf("\n");
+  }
+
+  // The per-timestep PS NoC schedule (Fig. 1's numbered steps).
+  std::printf("\npartial-sum NoC schedule for one timestep (FC1 columns fold to row 0):\n");
+  std::vector<std::vector<std::string>> t;
+  t.push_back({"cycle", "core (row,col)", "role", "op", "planes"});
+  for (const auto& op : m.schedule) {
+    const auto& c = m.cores[op.core];
+    if (c.unit != 0) continue;
+    if (core::block_of(op.op.code) != core::Block::PsRouter) continue;
+    t.push_back({std::to_string(op.cycle), to_string(c.pos), c.role,
+                 to_string(op.op), std::to_string(op.mask.popcount())});
+  }
+  bench::print_table(t);
+  std::printf("cycles per timestep: %u (ACC occupies the first %d)\n",
+              m.cycles_per_timestep, m.arch.acc_cycles);
+  return (r.cores == 10 && r.hw_matches_abstract) ? 0 : 1;
+}

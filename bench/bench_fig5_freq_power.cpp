@@ -1,0 +1,48 @@
+// EXP-F5 — Figure 5: tradeoff of throughput with clock frequency and
+// single-tile power (MNIST-MLP).
+//
+// Sweeps the figure's six throughput targets and prints required frequency
+// and average per-tile power against the paper's series. The paper's series
+// is linear in fps (P ~ 74.1 uW + 0.889 uW/kHz * f); ours is linear by
+// construction of the same model — the comparison shows intercept/slope.
+#include "bench_util.h"
+#include "harness/pipeline.h"
+#include "power/power.h"
+
+using namespace sj;
+
+int main() {
+  bench::heading("Figure 5 — throughput vs frequency and tile power (MNIST-MLP)",
+                 "paper series: (fps, kHz, uW) = (24,73,139) ... (60,181,235)");
+
+  auto cfg = harness::AppConfig::paper_default(harness::App::MnistMlp);
+  cfg.hw_frames = 1;
+  const auto r = harness::run_app(cfg);
+
+  const std::vector<double> fps = {24, 30, 35, 40, 48, 60};
+  const double paper_khz[] = {73, 91, 106, 120, 145, 181};
+  const double paper_uw[] = {139, 155, 169, 181, 203, 235};
+  const auto pts = power::throughput_tradeoff(r.mapped, fps);
+
+  std::vector<std::vector<std::string>> t;
+  t.push_back({"fps", "paper freq (kHz)", "ours freq (kHz)", "paper tile power (uW)",
+               "ours tile power (uW)"});
+  for (usize i = 0; i < pts.size(); ++i) {
+    t.push_back({bench::num(fps[i], 0), bench::num(paper_khz[i], 0),
+                 bench::num(pts[i].freq_hz / 1e3, 1), bench::num(paper_uw[i], 0),
+                 bench::num(pts[i].tile_power_w * 1e6, 1)});
+  }
+  bench::print_table(t);
+
+  // Shape metrics: both series must be affine in fps with positive intercept.
+  const double slope_ours = (pts[5].tile_power_w - pts[0].tile_power_w) * 1e6 /
+                            (pts[5].freq_hz - pts[0].freq_hz) * 1e3;  // uW per kHz
+  const double slope_paper = (235.0 - 139.0) / (181.0 - 73.0);
+  std::printf("\npower/frequency slope: paper %.3f uW/kHz, ours %.3f uW/kHz\n",
+              slope_paper, slope_ours);
+  std::printf("frequency-per-fps: paper ~%.0f Hz/fps (3000 cycles/frame), ours %.0f "
+              "Hz/fps (%u cycles/timestep x T=20)\n",
+              120e3 / 40, pts[0].freq_hz / pts[0].fps, r.cycles_per_timestep);
+  std::printf("leakage intercept (model input, fit from the paper's series): 74.1 uW/tile\n");
+  return 0;
+}

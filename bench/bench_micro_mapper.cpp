@@ -1,0 +1,60 @@
+// EXP-M1 — mapper throughput (google-benchmark).
+//
+// The paper's Table IV reports toolchain mapping times of 660 ms (MLP) to
+// 12022 ms (ResNet) on an i7-8550U. This microbenchmark times our
+// map_network() on the same four networks (random weights — mapping cost
+// does not depend on weight values), giving the scaling across apps.
+#include <benchmark/benchmark.h>
+
+#include "harness/zoo.h"
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "snn/convert.h"
+
+using namespace sj;
+
+namespace {
+
+snn::SnnNetwork build_net(int which) {
+  Rng rng(static_cast<u64>(which) + 77);
+  nn::Model m = which == 0   ? harness::make_mnist_mlp()
+                : which == 1 ? harness::make_mnist_cnn()
+                : which == 2 ? harness::make_cifar_cnn()
+                             : harness::make_cifar_resnet();
+  m.init_weights(rng);
+  nn::Dataset calib;
+  calib.sample_shape = m.input_shape();
+  calib.num_classes = 10;
+  for (int i = 0; i < 8; ++i) {
+    Tensor x(m.input_shape());
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    calib.images.push_back(std::move(x));
+    calib.labels.push_back(0);
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = which < 2 ? 20 : 80;
+  return snn::convert(m, calib, cc);
+}
+
+void BM_MapNetwork(benchmark::State& state) {
+  const snn::SnnNetwork net = build_net(static_cast<int>(state.range(0)));
+  i64 cores = 0;
+  for (auto _ : state) {
+    const map::MappedNetwork mapped = map::map_network(net);
+    cores = 0;
+    for (const auto& c : mapped.cores) {
+      if (!c.filler) ++cores;
+    }
+    benchmark::DoNotOptimize(mapped.cycles_per_timestep);
+  }
+  state.counters["cores"] = static_cast<double>(cores);
+}
+
+}  // namespace
+
+BENCHMARK(BM_MapNetwork)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+BENCHMARK_MAIN();

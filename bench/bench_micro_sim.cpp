@@ -1,0 +1,58 @@
+// EXP-M2 — cycle simulator throughput (google-benchmark).
+//
+// Measures simulated frames per second and host-cycles-per-simulated-cycle
+// for the MNIST networks — the practical budget that determines how many
+// frames the table benches can verify.
+#include <benchmark/benchmark.h>
+
+#include "harness/zoo.h"
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "sim/simulator.h"
+#include "snn/convert.h"
+
+using namespace sj;
+
+namespace {
+
+struct Fixture {
+  snn::SnnNetwork net;
+  map::MappedNetwork mapped;
+  nn::Dataset data;
+};
+
+Fixture make_fixture(bool cnn) {
+  Rng rng(55);
+  nn::Model m = cnn ? harness::make_mnist_cnn() : harness::make_mnist_mlp();
+  m.init_weights(rng);
+  nn::Dataset d = nn::make_synth_digits(8, {.seed = 12});
+  snn::ConvertConfig cc;
+  cc.timesteps = 20;
+  Fixture f{snn::convert(m, d, cc), {}, {}};
+  f.mapped = map::map_network(f.net);
+  f.data = std::move(d);
+  return f;
+}
+
+void BM_SimulateFrame(benchmark::State& state) {
+  static const Fixture mlp = make_fixture(false);
+  static const Fixture cnn = make_fixture(true);
+  const Fixture& f = state.range(0) == 0 ? mlp : cnn;
+  sim::Simulator sim(f.mapped, f.net);
+  sim::SimStats st;
+  usize i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_frame(f.data.images[i % f.data.size()], &st));
+    ++i;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(st.cycles), benchmark::Counter::kIsRate);
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(st.frames), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SimulateFrame)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// EXP-T1 — Table I: mapping of atomic operations to hardware control signals.
+//
+// Prints every atomic operation with its control word and decoded fields,
+// mirroring Table I's columns, and round-trip-checks the codec. The two
+// RECV forms are reconstructed ejection ops (see core/isa.h).
+#include <bitset>
+
+#include "bench_util.h"
+#include "core/isa.h"
+
+using namespace sj;
+using namespace sj::core;
+
+namespace {
+
+std::string word_bits(u16 w, int bits) {
+  std::string s = std::bitset<16>(w).to_string();
+  return s.substr(static_cast<usize>(16 - bits));
+}
+
+void row(std::vector<std::vector<std::string>>& rows, const AtomicOp& op, int bits) {
+  const u16 w = encode(op);
+  const AtomicOp back = decode(w);
+  rows.push_back({opcode_name(op.code), to_string(op), word_bits(w, bits),
+                  back == op ? "ok" : "MISMATCH"});
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Table I — atomic operations and control signals",
+                 "type[2] first; PS=00 spike=01 core=10 (paper column order)");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"op", "assembly", "control word", "roundtrip"});
+
+  // Partial-sum router (Table I rows 1-3).
+  row(rows, AtomicOp::ps_sum(Dir::West, false), 11);
+  row(rows, AtomicOp::ps_sum(Dir::North, true), 11);
+  row(rows, AtomicOp::ps_send(Dir::East, false), 11);
+  row(rows, AtomicOp::ps_send(Dir::South, true), 11);
+  row(rows, AtomicOp::ps_eject(true), 11);
+  row(rows, AtomicOp::ps_bypass(Dir::North, Dir::South), 11);
+  // Spike router (rows 4-6 + reconstructed RECV forms).
+  row(rows, AtomicOp::spk_spike(false), 12);
+  row(rows, AtomicOp::spk_spike(true), 12);
+  row(rows, AtomicOp::spk_send(Dir::East), 12);
+  row(rows, AtomicOp::spk_bypass(Dir::West, Dir::East), 12);
+  row(rows, AtomicOp::spk_recv(Dir::North, false), 12);
+  row(rows, AtomicOp::spk_recv(Dir::North, true), 12);
+  row(rows, AtomicOp::spk_recv_forward(Dir::North, Dir::East, false), 12);
+  // Neuron core (rows 7-8).
+  row(rows, AtomicOp::ld_wt(), 16);
+  row(rows, AtomicOp::acc(), 16);
+
+  bench::print_table(rows);
+
+  // Exhaustive roundtrip over the operand space.
+  int checked = 0, bad = 0;
+  const Dir dirs[] = {Dir::North, Dir::South, Dir::East, Dir::West};
+  for (const Dir s : dirs) {
+    for (const Dir d : dirs) {
+      for (const bool b : {false, true}) {
+        const AtomicOp ops[] = {
+            AtomicOp::ps_sum(s, b),           AtomicOp::ps_send(d, b),
+            AtomicOp::ps_bypass(s, d),        AtomicOp::spk_bypass(s, d),
+            AtomicOp::spk_recv(s, b),         AtomicOp::spk_recv_forward(s, d, b),
+        };
+        for (const AtomicOp& op : ops) {
+          ++checked;
+          if (!(decode(encode(op)) == op)) ++bad;
+        }
+      }
+    }
+  }
+  std::printf("\nexhaustive roundtrip: %d codings checked, %d mismatches\n", checked, bad);
+  return bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// EXP-T5 — Table V: comparison with existing SNN architectures (MNIST MLP).
+//
+// Literature rows are quoted from the paper's Table V; the two Shenjing rows
+// are the paper's own and this repository's measured pipeline.
+#include "bench_util.h"
+#include "harness/pipeline.h"
+#include "power/comparison.h"
+
+using namespace sj;
+
+namespace {
+
+std::string opt(double v, int digits = 2) {
+  return v < 0 ? bench::na() : bench::num(v, digits);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Table V — comparison with existing SNN architectures (MNIST MLP)",
+                 "literature rows quoted from the paper; last row measured here");
+
+  const auto r = harness::run_app(harness::AppConfig::paper_default(harness::App::MnistMlp));
+
+  std::vector<std::vector<std::string>> t;
+  t.push_back({"architecture", "tech (nm)", "accu.", "FPS", "voltage", "power (mW)",
+               "uJ/frame"});
+  auto add = [&](const power::ComparisonRow& c) {
+    t.push_back({c.architecture, std::to_string(c.tech_nm),
+                 c.accuracy < 0 ? bench::na() : bench::pct(c.accuracy), opt(c.fps, 0),
+                 c.voltage, opt(c.power_mw), opt(c.uj_per_frame)});
+  };
+  for (const auto& c : power::table5_literature()) add(c);
+  add(power::table5_paper_shenjing());
+  power::ComparisonRow ours;
+  ours.architecture = "This repo (synthetic MNIST)";
+  ours.tech_nm = 28;
+  ours.accuracy = r.shenjing_accuracy;
+  ours.fps = r.fps;
+  ours.voltage = "1.05V/0.85V";
+  ours.power_mw = r.power.total_w * 1e3;
+  ours.uj_per_frame = r.power.energy_per_frame_j * 1e6;
+  ours.measured_here = true;
+  add(ours);
+  bench::print_table(t);
+
+  std::printf("\nmeasured row detail: %lld cores, %s, %llu cycles/frame, "
+              "hardware bit-exact: %s\n",
+              static_cast<long long>(r.cores), fmt_si(r.freq_hz, "Hz").c_str(),
+              static_cast<unsigned long long>(r.power.cycles_per_frame),
+              r.hw_matches_abstract ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Shared helpers for the per-table/per-figure bench harnesses.
+//
+// Every bench prints a "paper vs measured" table: the numbers the paper
+// reports next to the numbers this repository regenerates. Benches are
+// plain executables (run them with no arguments); SHENJING_FAST=1 shrinks
+// the workloads.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace sj::bench {
+
+inline void heading(const std::string& title, const std::string& what) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n%s\n", title.c_str(), what.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void print_table(const std::vector<std::vector<std::string>>& rows) {
+  std::fputs(render_table(rows).c_str(), stdout);
+}
+
+inline std::string pct(double v) { return strprintf("%.2f%%", v * 100.0); }
+inline std::string num(double v, int digits = 3) { return fmt_fixed(v, digits); }
+inline std::string na() { return "n.a."; }
+
+}  // namespace sj::bench

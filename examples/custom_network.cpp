@@ -1,0 +1,67 @@
+// Using the toolchain's file interfaces (paper Fig. 3): a network is
+// described as a layers .json plus a binary weight file, loaded back, and
+// pushed through convert -> map. This is the route an external training
+// framework would take to target Shenjing.
+#include <cstdio>
+#include <filesystem>
+
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "nn/serialize.h"
+#include "nn/train.h"
+#include "snn/convert.h"
+
+using namespace sj;
+
+int main() {
+  const auto dir = std::filesystem::temp_directory_path() / "shenjing_custom";
+  std::filesystem::create_directories(dir);
+  const std::string json_path = (dir / "layers.json").string();
+  const std::string weights_path = (dir / "weights.bin").string();
+
+  // Author a model and export both files.
+  {
+    Rng rng(21);
+    nn::Model m({14, 14, 1}, "custom-cnn");
+    m.conv2d(3, 1, 8);
+    m.relu();
+    m.avgpool(2);
+    m.flatten();
+    m.dense(7 * 7 * 8, 10);
+    m.init_weights(rng);
+    json::write_file(json_path, nn::model_to_json(m));
+    nn::save_weights(m, weights_path);
+    std::printf("wrote %s and %s\n", json_path.c_str(), weights_path.c_str());
+  }
+
+  // The toolchain side: rebuild from the files, convert, map.
+  nn::Model model = nn::model_from_json(json::parse_file(json_path));
+  nn::load_weights(model, weights_path);
+  std::printf("\nloaded model:\n%s\n", model.summary().c_str());
+
+  nn::Dataset calib;
+  calib.sample_shape = model.input_shape();
+  calib.num_classes = 10;
+  Rng rng(22);
+  for (int i = 0; i < 16; ++i) {
+    Tensor x(model.input_shape());
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    calib.images.push_back(std::move(x));
+    calib.labels.push_back(0);
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = 16;
+  const snn::SnnNetwork net = snn::convert(model, calib, cc);
+  const map::MappedNetwork mapped = map::map_network(net);
+
+  i64 cores = 0;
+  for (const auto& c : mapped.cores) {
+    if (!c.filler) ++cores;
+  }
+  std::printf("mapped: %lld cores, %u cycles/timestep, schedule of %zu atomic ops\n",
+              static_cast<long long>(cores), mapped.cycles_per_timestep,
+              mapped.schedule.size());
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the whole Shenjing flow in ~60 lines.
+//
+//   1. define + train a small ANN (bias-free ReLU net),
+//   2. convert it to a quantized spiking network,
+//   3. map it onto Shenjing cores and NoCs,
+//   4. run frames on the cycle-accurate simulator,
+//   5. estimate power the way the paper does.
+//
+// Build: cmake --build build --target quickstart
+// Run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/pipeline.h"
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "nn/train.h"
+#include "power/power.h"
+#include "sim/simulator.h"
+#include "snn/convert.h"
+
+using namespace sj;
+
+int main() {
+  // 1. A small digit classifier (784 -> 128 -> 10).
+  Rng rng(1);
+  nn::Model model({28, 28, 1}, "quickstart-mlp");
+  model.flatten();
+  model.dense(784, 128);
+  model.relu();
+  model.dense(128, 10);
+  model.init_weights(rng);
+
+  const nn::Dataset train_set = nn::make_synth_digits(1500, {.seed = 2});
+  const nn::Dataset test_set = nn::make_synth_digits(300, {.seed = 3});
+  nn::TrainConfig tc;
+  tc.epochs = 3;
+  nn::train(model, train_set, tc);
+  std::printf("ANN accuracy:      %.3f\n", nn::evaluate_accuracy(model, test_set));
+
+  // 2. Convert to a rate-coded integer SNN (5-bit weights, T=20).
+  snn::ConvertConfig cc;
+  cc.timesteps = 20;
+  const snn::SnnNetwork snn_net = snn::convert(model, train_set, cc);
+  std::printf("Abstract SNN acc.: %.3f\n",
+              snn::dataset_accuracy(snn_net, test_set));
+
+  // 3. Map onto Shenjing (cores + PS/spike NoC schedules).
+  const map::MappedNetwork mapped = map::map_network(snn_net);
+  i64 cores = 0;
+  for (const auto& c : mapped.cores) {
+    if (!c.filler) ++cores;
+  }
+  std::printf("mapped onto %lld cores, %u cycles/timestep, %d chip(s)\n",
+              static_cast<long long>(cores), mapped.cycles_per_timestep,
+              mapped.chips_used);
+
+  // 4. Cycle-accurate simulation of a few frames.
+  sim::Simulator sim(mapped, snn_net);
+  const snn::AbstractEvaluator abstract_eval(snn_net);
+  sim::SimStats stats;
+  int agree = 0;
+  const int frames = 10;
+  for (int i = 0; i < frames; ++i) {
+    const sim::FrameResult hw = sim.run_frame(test_set.images[static_cast<usize>(i)], &stats);
+    const snn::EvalResult ab = abstract_eval.run(test_set.images[static_cast<usize>(i)]);
+    agree += (hw.spike_counts == ab.spike_counts);
+  }
+  std::printf("hardware == abstract on %d/%d frames (adder saturations: %lld)\n",
+              agree, frames, static_cast<long long>(stats.saturations));
+
+  // 5. Power at a 40 fps video target.
+  const power::PowerReport p = power::estimate(mapped, 40.0);
+  std::printf("at 40 fps: clock %.1f kHz, power %.3f mW (%.1f uW/core), %.3f uJ/frame\n",
+              p.freq_hz / 1e3, p.total_w * 1e3, p.power_per_core_w * 1e6,
+              p.energy_per_frame_j * 1e6);
+  return agree == frames ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Compact dynamic bit vector used for spike trains and axon inputs.
+//
+// A Shenjing core consumes up to 256 one-bit axon inputs per timestep and
+// produces up to 256 one-bit spikes. BitVec stores them packed (64 bits per
+// word) and provides the operations the simulator and SNN evaluator need:
+// bit access, popcount, and iteration over set bits (spiking axons), which is
+// what makes sparse spike accumulation cheap.
+#pragma once
+
+#include <bit>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sj {
+
+/// Fixed-length packed bit vector.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Creates a vector of `n` zero bits.
+  explicit BitVec(usize n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  usize size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Reads bit `i`. Requires i < size().
+  bool get(usize i) const {
+    SJ_REQUIRE(i < size_, "BitVec::get out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Writes bit `i`. Requires i < size().
+  void set(usize i, bool v) {
+    SJ_REQUIRE(i < size_, "BitVec::set out of range");
+    const u64 mask = u64{1} << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Sets every bit to zero, keeping the size.
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of set bits (spike count).
+  usize popcount() const {
+    usize n = 0;
+    for (u64 w : words_) n += static_cast<usize>(std::popcount(w));
+    return n;
+  }
+
+  /// Calls `fn(index)` for every set bit, in increasing index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (usize wi = 0; wi < words_.size(); ++wi) {
+      u64 w = words_[wi];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        fn(wi * 64 + static_cast<usize>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Direct access to the packed words (for hashing / equality).
+  const std::vector<u64>& words() const { return words_; }
+
+  friend bool operator==(const BitVec& a, const BitVec& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  usize size_ = 0;
+  std::vector<u64> words_;
+};
+
+}  // namespace sj

@@ -1,0 +1,51 @@
+// Fixed-point helpers used by the hardware model.
+//
+// Shenjing's datapaths are narrow integers: 5-bit signed synaptic weights,
+// 13-bit local partial sums, 16-bit PS-NoC links/adders (paper §II). The
+// simulator computes in wide integers and uses these helpers to (a) clamp
+// values into a given bit width and (b) detect when hardware *would* have
+// overflowed, which EXP-A2 (bit-width ablation) counts.
+#pragma once
+
+#include <limits>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sj {
+
+/// Largest value representable by a signed two's-complement `bits`-wide field.
+constexpr i64 signed_max(int bits) { return (i64{1} << (bits - 1)) - 1; }
+
+/// Smallest value representable by a signed two's-complement `bits`-wide field.
+constexpr i64 signed_min(int bits) { return -(i64{1} << (bits - 1)); }
+
+/// True when `v` fits in a signed `bits`-wide field.
+constexpr bool fits_signed(i64 v, int bits) {
+  return v >= signed_min(bits) && v <= signed_max(bits);
+}
+
+/// Saturate `v` into a signed `bits`-wide field.
+constexpr i64 saturate_signed(i64 v, int bits) {
+  const i64 lo = signed_min(bits);
+  const i64 hi = signed_max(bits);
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Saturating adder of width `bits`, as implemented inside a PS router.
+/// `overflowed` (optional) is set when saturation occurred.
+constexpr i64 saturating_add(i64 a, i64 b, int bits, bool* overflowed = nullptr) {
+  const i64 sum = a + b;
+  const bool ovf = !fits_signed(sum, bits);
+  if (overflowed != nullptr) *overflowed = ovf;
+  return saturate_signed(sum, bits);
+}
+
+/// Number of bits needed to represent `v` as a signed field (including sign).
+constexpr int signed_bit_width(i64 v) {
+  int bits = 1;
+  while (!fits_signed(v, bits)) ++bits;
+  return bits;
+}
+
+}  // namespace sj

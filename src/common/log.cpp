@@ -1,0 +1,58 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace sj {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::once_flag g_env_once;
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  init_log_level_from_env();
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void init_log_level_from_env() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("SHENJING_LOG");
+    if (env == nullptr) return;
+    if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::Debug);
+    else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::Info);
+    else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::Warn);
+    else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::Error);
+    else if (std::strcmp(env, "off") == 0) set_log_level(LogLevel::Off);
+  });
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[shenjing " << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace detail
+}  // namespace sj

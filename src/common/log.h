@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr.
+//
+// The library is quiet by default (Warn); benches and examples raise the
+// level explicitly or via the SHENJING_LOG environment variable
+// (one of: debug, info, warn, error, off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sj {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Reads SHENJING_LOG from the environment (called once, lazily).
+void init_log_level_from_env();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace sj
+
+#define SJ_LOG(level, expr)                                      \
+  do {                                                           \
+    if (static_cast<int>(level) >= static_cast<int>(::sj::log_level())) { \
+      std::ostringstream sj_log_os;                              \
+      sj_log_os << expr;                                         \
+      ::sj::detail::log_emit(level, sj_log_os.str());            \
+    }                                                            \
+  } while (false)
+
+#define SJ_DEBUG(expr) SJ_LOG(::sj::LogLevel::Debug, expr)
+#define SJ_INFO(expr) SJ_LOG(::sj::LogLevel::Info, expr)
+#define SJ_WARN(expr) SJ_LOG(::sj::LogLevel::Warn, expr)
+#define SJ_ERROR(expr) SJ_LOG(::sj::LogLevel::Error, expr)

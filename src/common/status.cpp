@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace sj {
+
+std::string Error::format(const std::string& what, const char* file, int line) {
+  std::string s = what;
+  s += " [";
+  s += file;
+  s += ':';
+  s += std::to_string(line);
+  s += ']';
+  return s;
+}
+
+void throw_invalid_argument(const std::string& msg, const char* file, int line) {
+  throw InvalidArgument(msg, file, line);
+}
+
+void throw_internal_error(const std::string& msg, const char* file, int line) {
+  throw InternalError(msg, file, line);
+}
+
+void throw_io_error(const std::string& msg, const char* file, int line) {
+  throw IoError(msg, file, line);
+}
+
+void throw_mapping_error(const std::string& msg, const char* file, int line) {
+  throw MappingError(msg, file, line);
+}
+
+}  // namespace sj

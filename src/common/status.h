@@ -1,0 +1,73 @@
+// Error handling primitives for the Shenjing library.
+//
+// The library reports contract violations and runtime failures with
+// exceptions derived from sj::Error (itself a std::runtime_error), carrying
+// the throw site. SJ_REQUIRE / SJ_ASSERT stay active in every build type:
+// a mapping or simulation that silently corrupts state is worthless for a
+// hardware-modelling library, and the checks are cheap relative to the
+// simulated work.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sj {
+
+/// Base class of all exceptions thrown by the Shenjing library.
+class Error : public std::runtime_error {
+ public:
+  Error(const std::string& what, const char* file, int line)
+      : std::runtime_error(format(what, file, line)) {}
+
+ private:
+  static std::string format(const std::string& what, const char* file, int line);
+};
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an internal invariant fails (a library bug, not a user error).
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown on file/serialization problems.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a model cannot be mapped onto the configured hardware.
+class MappingError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] void throw_invalid_argument(const std::string& msg, const char* file, int line);
+[[noreturn]] void throw_internal_error(const std::string& msg, const char* file, int line);
+[[noreturn]] void throw_io_error(const std::string& msg, const char* file, int line);
+[[noreturn]] void throw_mapping_error(const std::string& msg, const char* file, int line);
+
+}  // namespace sj
+
+/// Precondition check: throws sj::InvalidArgument when `cond` is false.
+#define SJ_REQUIRE(cond, msg)                                           \
+  do {                                                                  \
+    if (!(cond)) ::sj::throw_invalid_argument((msg), __FILE__, __LINE__); \
+  } while (false)
+
+/// Internal invariant check: throws sj::InternalError when `cond` is false.
+#define SJ_ASSERT(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) ::sj::throw_internal_error((msg), __FILE__, __LINE__); \
+  } while (false)
+
+/// Unconditional failure helpers.
+#define SJ_THROW_INVALID(msg) ::sj::throw_invalid_argument((msg), __FILE__, __LINE__)
+#define SJ_THROW_INTERNAL(msg) ::sj::throw_internal_error((msg), __FILE__, __LINE__)
+#define SJ_THROW_IO(msg) ::sj::throw_io_error((msg), __FILE__, __LINE__)
+#define SJ_THROW_MAPPING(msg) ::sj::throw_mapping_error((msg), __FILE__, __LINE__)

@@ -1,0 +1,94 @@
+#include "common/string_util.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sj {
+
+const char* dir_name(Dir d) {
+  switch (d) {
+    case Dir::North: return "N";
+    case Dir::South: return "S";
+    case Dir::East: return "E";
+    case Dir::West: return "W";
+  }
+  return "?";
+}
+
+std::string to_string(Coord c) {
+  return "(" + std::to_string(c.row) + "," + std::to_string(c.col) + ")";
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  SJ_ASSERT(needed >= 0, "vsnprintf failed");
+  std::string out(static_cast<usize>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string fmt_fixed(double v, int digits) {
+  return strprintf("%.*f", digits, v);
+}
+
+std::string fmt_si(double value, const std::string& unit, int digits) {
+  struct Scale {
+    double factor;
+    const char* prefix;
+  };
+  static constexpr Scale kScales[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+  };
+  if (value == 0.0) return "0 " + unit;
+  const double mag = std::fabs(value);
+  for (const auto& s : kScales) {
+    if (mag >= s.factor) {
+      return strprintf("%.*g %s%s", digits, value / s.factor, s.prefix, unit.c_str());
+    }
+  }
+  return strprintf("%.*g p%s", digits, value / 1e-12, unit.c_str());
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  usize cols = 0;
+  for (const auto& r : rows) cols = std::max(cols, r.size());
+  std::vector<usize> width(cols, 0);
+  for (const auto& r : rows) {
+    for (usize c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (usize c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      os << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    os << '+';
+    for (usize c = 0; c < cols; ++c) os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+  emit_rule();
+  emit_row(rows[0]);
+  emit_rule();
+  for (usize i = 1; i < rows.size(); ++i) emit_row(rows[i]);
+  emit_rule();
+  return os.str();
+}
+
+}  // namespace sj

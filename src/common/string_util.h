@@ -1,0 +1,24 @@
+// Small string/formatting helpers shared by reports, benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sj {
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats `v` with `digits` significant decimal places (fixed notation).
+std::string fmt_fixed(double v, int digits);
+
+/// Formats a quantity with an SI-style unit chosen from the scale map,
+/// e.g. 1.26e-3 W -> "1.26 mW"; 120e3 Hz -> "120 kHz".
+std::string fmt_si(double value, const std::string& unit, int digits = 3);
+
+/// Renders rows as an aligned ASCII table. `rows[0]` is the header.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace sj

@@ -1,0 +1,111 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/status.h"
+
+namespace sj {
+
+ThreadPool::ThreadPool(usize num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 4 : hw;
+  }
+  workers_.reserve(num_threads);
+  for (usize i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(usize n, const std::function<void(usize)>& fn) {
+  if (n == 0) return;
+  const usize workers = num_threads();
+  if (n <= 1 || workers <= 1) {
+    for (usize i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Chunked dynamic scheduling: enough chunks for balance, few enough that
+  // queue overhead stays negligible. All coordination state lives in a
+  // shared block: queued task copies can outlive this call (a worker may
+  // pop one after the last chunk completed), so they must not reference the
+  // caller's stack.
+  struct Shared {
+    usize n, chunks;
+    std::function<void(usize)> fn;
+    std::atomic<usize> next_chunk{0};
+    std::atomic<usize> done_chunks{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::condition_variable done_cv;
+    std::mutex done_mutex;
+  };
+  auto sh = std::make_shared<Shared>();
+  sh->n = n;
+  sh->chunks = std::min(n, workers * 4);
+  sh->fn = fn;
+
+  auto run_chunk = [sh]() {
+    for (;;) {
+      const usize c = sh->next_chunk.fetch_add(1);
+      if (c >= sh->chunks) break;
+      const usize begin = c * sh->n / sh->chunks;
+      const usize end = (c + 1) * sh->n / sh->chunks;
+      try {
+        for (usize i = begin; i < end; ++i) sh->fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(sh->error_mutex);
+        if (!sh->first_error) sh->first_error = std::current_exception();
+      }
+      const usize done = sh->done_chunks.fetch_add(1) + 1;
+      if (done == sh->chunks) {
+        const std::lock_guard<std::mutex> lock(sh->done_mutex);
+        sh->done_cv.notify_all();
+      }
+    }
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SJ_ASSERT(!stop_, "parallel_for on stopped pool");
+    for (usize c = 0; c + 1 < sh->chunks; ++c) tasks_.emplace(run_chunk);
+  }
+  cv_.notify_all();
+  run_chunk();  // caller participates
+
+  {
+    std::unique_lock<std::mutex> lock(sh->done_mutex);
+    sh->done_cv.wait(lock, [&] { return sh->done_chunks.load() == sh->chunks; });
+  }
+  if (sh->first_error) std::rethrow_exception(sh->first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace sj

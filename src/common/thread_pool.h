@@ -1,0 +1,50 @@
+// Shared-queue thread pool with a parallel_for convenience wrapper.
+//
+// Used for data-parallel work whose items are independent: minibatch
+// gradient evaluation in the ANN trainer and per-image SNN evaluation.
+// Exceptions thrown by tasks are captured and rethrown on the caller.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sj {
+
+/// Fixed-size pool of worker threads consuming a shared task queue.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 = std::thread::hardware_concurrency()).
+  explicit ThreadPool(usize num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  usize num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, n), distributing chunks over the pool and
+  /// blocking until all items complete. The first task exception (if any) is
+  /// rethrown here. Falls back to inline execution for tiny n.
+  void parallel_for(usize n, const std::function<void(usize)>& fn);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sj

@@ -1,0 +1,73 @@
+// Fundamental value types shared across the Shenjing library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace sj {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using usize = std::size_t;
+
+/// Mesh port / routing direction. The grid uses matrix coordinates:
+/// row 0 is the top of the chip, so North decreases the row index and
+/// South increases it; East increases the column index.
+enum class Dir : u8 { North = 0, South = 1, East = 2, West = 3 };
+
+/// Number of mesh ports on a router (excluding the local port).
+inline constexpr int kNumDirs = 4;
+
+/// The opposite mesh direction (the port a packet arrives on after a hop).
+constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+    case Dir::East: return Dir::West;
+    case Dir::West: return Dir::East;
+  }
+  return Dir::North;  // unreachable
+}
+
+/// Single-letter mnemonic used by Table I of the paper ($SRC/$DST operands).
+const char* dir_name(Dir d);
+
+/// Position of a tile (neuron core + its two routers) in the global grid.
+/// Multi-chip systems use one contiguous grid; chip boundaries fall at
+/// multiples of ChipSpec::rows/cols.
+struct Coord {
+  i32 row = 0;
+  i32 col = 0;
+
+  friend constexpr bool operator==(const Coord&, const Coord&) = default;
+  friend constexpr auto operator<=>(const Coord&, const Coord&) = default;
+};
+
+/// Manhattan distance — the hop count of a minimal XY route.
+constexpr i32 manhattan(Coord a, Coord b) {
+  const i32 dr = a.row > b.row ? a.row - b.row : b.row - a.row;
+  const i32 dc = a.col > b.col ? a.col - b.col : b.col - a.col;
+  return dr + dc;
+}
+
+std::string to_string(Coord c);
+
+}  // namespace sj
+
+template <>
+struct std::hash<sj::Coord> {
+  std::size_t operator()(const sj::Coord& c) const noexcept {
+    return std::hash<sj::i64>()((static_cast<sj::i64>(c.row) << 32) ^
+                                static_cast<sj::u32>(c.col));
+  }
+};

@@ -1,0 +1,47 @@
+// Architecture parameters of a Shenjing system (paper §II and §IV).
+#pragma once
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sj::core {
+
+/// Tunable description of the Shenjing hardware. Defaults are the paper's
+/// synthesized 28 nm design; tests and ablations vary individual fields.
+struct ArchParams {
+  // --- neuron core -----------------------------------------------------
+  i32 core_axons = 256;    // synapses (inputs) per core
+  i32 core_neurons = 256;  // neurons (outputs) per core
+  i32 sram_banks = 4;      // 2 axon halves x 2 neuron halves (Fig. 2a)
+  i32 acc_cycles = 131;    // cycles per ACC/LD_WT (Table II footnote)
+
+  // --- datapath widths ---------------------------------------------------
+  i32 weight_bits = 5;      // signed synaptic weight width
+  i32 local_ps_bits = 13;   // neuron-core partial sum width (Fig. 2b)
+  i32 noc_bits = 16;        // PS NoC link / router-adder width
+  i32 potential_bits = 24;  // membrane potential register (our choice)
+
+  // --- chip geometry -----------------------------------------------------
+  i32 chip_rows = 28;  // tiles per chip edge; 784 tiles/chip (§III, §IV)
+  i32 chip_cols = 28;
+
+  // --- timing ------------------------------------------------------------
+  double max_freq_hz = 243e6;  // synthesis critical path (§IV)
+
+  i32 chip_capacity() const { return chip_rows * chip_cols; }
+
+  /// The paper's configuration.
+  static ArchParams paper() { return ArchParams{}; }
+
+  void validate() const {
+    SJ_REQUIRE(core_axons >= 1 && core_axons <= 256, "arch: core_axons in [1,256]");
+    SJ_REQUIRE(core_neurons >= 1 && core_neurons <= 256, "arch: core_neurons in [1,256]");
+    SJ_REQUIRE(weight_bits >= 2 && weight_bits <= 15, "arch: weight_bits in [2,15]");
+    SJ_REQUIRE(noc_bits > local_ps_bits, "arch: NoC must be wider than local PS");
+    SJ_REQUIRE(potential_bits >= noc_bits, "arch: potential narrower than NoC");
+    SJ_REQUIRE(chip_rows >= 1 && chip_cols >= 1, "arch: bad chip geometry");
+    SJ_REQUIRE(acc_cycles >= 1, "arch: bad acc_cycles");
+  }
+};
+
+}  // namespace sj::core

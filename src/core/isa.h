@@ -1,0 +1,94 @@
+// Atomic-operation ISA (paper Table I).
+//
+// Shenjing's compiled schedules are streams of *atomic operations* that the
+// configuration memory turns into control bits for the three tile blocks:
+// the partial-sum router, the spike router, and the neuron core. This module
+// defines the operations and their bit-level control-word encodings.
+//
+// Control-word layouts (MSB..LSB), following Table I's column order:
+//   PS router    (10 bits): type[2]=00 sum_buf add_en consec_add bypass
+//                           in_sel[2] out_sel[3]
+//   Spike router (12 bits): hold eject | type[2]=01 spike_en sum_or_local
+//                           inject_en bypass in_sel[2] out_sel[2]
+//   Neuron core  (16 bits): type[2]=10 r_weight w_weight[4] acc[4] pad[5]
+//
+// Reconstructed details (documented in DESIGN.md §4): Table I gives no
+// explicit ejection op for spikes arriving at a destination, yet §II states
+// multicast spikes are "ejected at each destination in turn". We add
+// SPK_RECV (eject to the local core's axon register) and SPK_RECV_FWD
+// (eject and keep forwarding, for multicast), encoded in the two bits above
+// the paper's 10-bit spike word. The `hold` bit delays consumption of the
+// delivered spike by one extra timestep; the mapper uses it to align
+// residual-shortcut paths (§III.3).
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace sj::core {
+
+/// Tile block a control word targets (Table I type field).
+enum class Block : u8 { PsRouter = 0, SpikeRouter = 1, NeuronCore = 2 };
+
+/// Atomic operations. The first eight are Table I's; the two Recv forms are
+/// the reconstructed ejection ops.
+enum class OpCode : u8 {
+  PsSum,          // SUM $SRC, $CONSEC : sum_buf = (consec ? sum_buf : local) + in[$SRC]
+  PsSend,         // SEND $FROM, $DST  : emit local PS or sum_buf to port / eject
+  PsBypass,       // BYPASS $SRC, $DST : forward in[$SRC] to port $DST
+  SpkSpike,       // SPIKE $SUM_OR_LOCAL : IF update; fire into local spike reg
+  SpkSend,        // SEND $DST : inject local spike to port $DST
+  SpkBypass,      // BYPASS $SRC, $DST : forward spike
+  SpkRecv,        // (reconstructed) eject in[$SRC] into local axon register
+  SpkRecvForward, // (reconstructed) eject and forward to $DST (multicast)
+  LdWt,           // load weights into all four SRAM banks (initialization)
+  Acc,            // accumulate weighted sums across all four subcores
+};
+
+const char* opcode_name(OpCode code);
+Block block_of(OpCode code);
+
+/// Energy-table row an op charges to (Table II groups SEND variants etc.).
+enum class EnergyOp : u8 {
+  PsSum, PsSend, PsBypass, SpkSpike, SpkSend, SpkBypass, NeuronAcc, NeuronLdWt,
+};
+EnergyOp energy_op_of(OpCode code);
+
+/// One atomic operation with operands.
+struct AtomicOp {
+  OpCode code = OpCode::Acc;
+  Dir src = Dir::North;       // $SRC port, where applicable
+  Dir dst = Dir::North;       // $DST port, where applicable
+  bool consec = false;        // PsSum: OP1 = previous sum instead of local PS
+  bool from_sum_buf = false;  // PsSend: send sum_buf instead of local PS
+  bool eject = false;         // PsSend: out_sel = eject to spiking logic
+  bool sum_or_local = false;  // SpkSpike: potential += ejected sum (1) / local PS (0)
+  bool hold = false;          // SpkRecv*: delay axon visibility one extra timestep
+
+  friend bool operator==(const AtomicOp&, const AtomicOp&) = default;
+
+  // Convenience constructors mirroring Table I assembly.
+  static AtomicOp ps_sum(Dir srcp, bool consecutive);
+  static AtomicOp ps_send(Dir dstp, bool fromSumBuf);
+  static AtomicOp ps_eject(bool fromSumBuf);
+  static AtomicOp ps_bypass(Dir srcp, Dir dstp);
+  static AtomicOp spk_spike(bool sumOrLocal);
+  static AtomicOp spk_send(Dir dstp);
+  static AtomicOp spk_bypass(Dir srcp, Dir dstp);
+  static AtomicOp spk_recv(Dir srcp, bool holdOne);
+  static AtomicOp spk_recv_forward(Dir srcp, Dir dstp, bool holdOne);
+  static AtomicOp ld_wt();
+  static AtomicOp acc();
+};
+
+/// Encodes to the control word (layouts above). Throws on malformed ops.
+u16 encode(const AtomicOp& op);
+
+/// Inverse of encode(). Throws InvalidArgument on unknown words.
+AtomicOp decode(u16 word);
+
+/// Table-I style assembly, e.g. "SUM W, 1" or "BYPASS N, E".
+std::string to_string(const AtomicOp& op);
+
+}  // namespace sj::core

@@ -1,0 +1,89 @@
+// 256-wide plane mask.
+//
+// A Shenjing tile contains 256 partial-sum router planes and 256 spike
+// router planes — one per neuron index ("each PS NoC is dedicated
+// exclusively to the same neuron in each core", §II). The compiled schedule
+// issues each atomic operation to a *set* of planes of one tile; PlaneMask is
+// that set, sized to the architecture's 256 neurons per core.
+#pragma once
+
+#include <array>
+#include <bit>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sj::core {
+
+/// Fixed 256-bit set of plane indices.
+struct PlaneMask {
+  static constexpr int kPlanes = 256;
+  std::array<u64, 4> w{0, 0, 0, 0};
+
+  static PlaneMask none() { return {}; }
+  static PlaneMask all() {
+    PlaneMask m;
+    m.w = {~u64{0}, ~u64{0}, ~u64{0}, ~u64{0}};
+    return m;
+  }
+  /// Mask of planes [0, n).
+  static PlaneMask first_n(int n) {
+    SJ_REQUIRE(n >= 0 && n <= kPlanes, "PlaneMask: n out of range");
+    PlaneMask m;
+    for (int i = 0; i < n; ++i) m.set(static_cast<u16>(i));
+    return m;
+  }
+  static PlaneMask single(u16 plane) {
+    PlaneMask m;
+    m.set(plane);
+    return m;
+  }
+
+  void set(u16 plane) {
+    SJ_REQUIRE(plane < kPlanes, "PlaneMask: plane out of range");
+    w[plane >> 6] |= u64{1} << (plane & 63);
+  }
+  bool get(u16 plane) const {
+    SJ_REQUIRE(plane < kPlanes, "PlaneMask: plane out of range");
+    return (w[plane >> 6] >> (plane & 63)) & 1u;
+  }
+  bool empty() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  int popcount() const {
+    return std::popcount(w[0]) + std::popcount(w[1]) + std::popcount(w[2]) +
+           std::popcount(w[3]);
+  }
+  bool intersects(const PlaneMask& o) const {
+    return ((w[0] & o.w[0]) | (w[1] & o.w[1]) | (w[2] & o.w[2]) | (w[3] & o.w[3])) != 0;
+  }
+  PlaneMask operator|(const PlaneMask& o) const {
+    PlaneMask m;
+    for (int i = 0; i < 4; ++i) m.w[static_cast<usize>(i)] = w[static_cast<usize>(i)] | o.w[static_cast<usize>(i)];
+    return m;
+  }
+  PlaneMask operator&(const PlaneMask& o) const {
+    PlaneMask m;
+    for (int i = 0; i < 4; ++i) m.w[static_cast<usize>(i)] = w[static_cast<usize>(i)] & o.w[static_cast<usize>(i)];
+    return m;
+  }
+  PlaneMask& operator|=(const PlaneMask& o) {
+    for (int i = 0; i < 4; ++i) w[static_cast<usize>(i)] |= o.w[static_cast<usize>(i)];
+    return *this;
+  }
+
+  /// Calls fn(plane) for each set plane in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (int wi = 0; wi < 4; ++wi) {
+      u64 word = w[static_cast<usize>(wi)];
+      while (word != 0) {
+        const int b = std::countr_zero(word);
+        fn(static_cast<u16>(wi * 64 + b));
+        word &= word - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const PlaneMask&, const PlaneMask&) = default;
+};
+
+}  // namespace sj::core

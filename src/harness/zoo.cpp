@@ -1,0 +1,74 @@
+#include "harness/zoo.h"
+
+namespace sj::harness {
+
+nn::Model make_mnist_mlp() {
+  nn::Model m({28, 28, 1}, "mnist-mlp");
+  m.flatten();
+  m.dense(784, 512);
+  m.relu();
+  m.dense(512, 10);
+  return m;
+}
+
+nn::Model make_mnist_cnn() {
+  nn::Model m({28, 28, 1}, "mnist-cnn");
+  m.conv2d(3, 1, 16);
+  m.relu();
+  m.avgpool(2);
+  m.conv2d(3, 16, 32);
+  m.relu();
+  m.avgpool(2);
+  m.flatten();
+  m.dense(1568, 128);
+  m.relu();
+  m.dense(128, 10);
+  return m;
+}
+
+nn::Model make_cifar_cnn() {
+  nn::Model m({24, 24, 3}, "cifar-cnn");
+  m.conv2d(5, 3, 16);
+  m.relu();
+  m.avgpool(2);
+  m.conv2d(5, 16, 32);
+  m.relu();
+  m.avgpool(2);
+  m.conv2d(3, 32, 64);
+  m.relu();
+  m.avgpool(2);
+  m.flatten();
+  m.dense(576, 256);
+  m.relu();
+  m.dense(256, 128);
+  m.relu();
+  m.dense(128, 10);
+  return m;
+}
+
+nn::Model make_cifar_resnet() {
+  nn::Model m({24, 24, 3}, "cifar-resnet");
+  m.conv2d(5, 3, 16);
+  m.relu();
+  m.avgpool(2);
+  m.conv2d(5, 16, 32);
+  const nn::NodeId shortcut = m.relu();  // Res/Conv1 activation
+  m.conv2d(5, 32, 32);
+  m.relu();
+  const nn::NodeId rconv3 = m.conv2d(5, 32, 32);
+  const nn::NodeId join = m.add_join(rconv3, shortcut);
+  m.relu(join);
+  m.avgpool(2);
+  m.conv2d(3, 32, 64);
+  m.relu();
+  m.avgpool(2);
+  m.flatten();
+  m.dense(576, 256);
+  m.relu();
+  m.dense(256, 128);
+  m.relu();
+  m.dense(128, 10);
+  return m;
+}
+
+}  // namespace sj::harness

@@ -1,0 +1,466 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sj::json {
+
+namespace {
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::Null: return "null";
+    case Type::Bool: return "bool";
+    case Type::Number: return "number";
+    case Type::String: return "string";
+    case Type::Array: return "array";
+    case Type::Object: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(Type want, Type got) {
+  SJ_THROW_INVALID(std::string("json: expected ") + type_name(want) + ", got " +
+                   type_name(got));
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) type_error(Type::Bool, type_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::Number) type_error(Type::Number, type_);
+  return num_;
+}
+
+i64 Value::as_int() const {
+  const double n = as_number();
+  const double r = std::nearbyint(n);
+  SJ_REQUIRE(std::fabs(n - r) < 1e-9, "json: number is not integral");
+  return static_cast<i64>(r);
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) type_error(Type::String, type_);
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  if (type_ != Type::Array) type_error(Type::Array, type_);
+  return arr_;
+}
+
+const Object& Value::as_object() const {
+  if (type_ != Type::Object) type_error(Type::Object, type_);
+  return obj_;
+}
+
+Array& Value::as_array() {
+  if (type_ != Type::Array) type_error(Type::Array, type_);
+  return arr_;
+}
+
+Object& Value::as_object() {
+  if (type_ != Type::Object) type_error(Type::Object, type_);
+  return obj_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return v;
+  }
+  SJ_THROW_INVALID("json: missing key '" + key + "'");
+}
+
+bool Value::contains(const std::string& key) const {
+  if (type_ != Type::Object) return false;
+  for (const auto& [k, v] : obj_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+double Value::number_or(const std::string& key, double fallback) const {
+  return contains(key) ? at(key).as_number() : fallback;
+}
+
+i64 Value::int_or(const std::string& key, i64 fallback) const {
+  return contains(key) ? at(key).as_int() : fallback;
+}
+
+std::string Value::string_or(const std::string& key, const std::string& fallback) const {
+  return contains(key) ? at(key).as_string() : fallback;
+}
+
+void Value::set(const std::string& key, Value v) {
+  if (type_ == Type::Null) {
+    type_ = Type::Object;
+    obj_.clear();
+  }
+  if (type_ != Type::Object) type_error(Type::Object, type_);
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+void Value::push_back(Value v) {
+  if (type_ == Type::Null) {
+    type_ = Type::Array;
+    arr_.clear();
+  }
+  if (type_ != Type::Array) type_error(Type::Array, type_);
+  arr_.push_back(std::move(v));
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Type::Null: return true;
+    case Type::Bool: return a.bool_ == b.bool_;
+    case Type::Number: return a.num_ == b.num_;
+    case Type::String: return a.str_ == b.str_;
+    case Type::Array: return a.arr_ == b.arr_;
+    case Type::Object: return a.obj_ == b.obj_;
+  }
+  return false;
+}
+
+namespace {
+
+void escape_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void format_number(double n, std::string& out) {
+  if (n == std::nearbyint(n) && std::fabs(n) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(static_cast<usize>(indent * (depth + 1)), ' ') : "";
+  const std::string pad_close = pretty ? std::string(static_cast<usize>(indent * depth), ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* space = pretty ? " " : "";
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: format_number(num_, out); break;
+    case Type::String: escape_string(str_, out); break;
+    case Type::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (usize i = 0; i < arr_.size(); ++i) {
+        out += pad;
+        arr_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < arr_.size()) out += ',';
+        out += nl;
+      }
+      out += pad_close;
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (usize i = 0; i < obj_.size(); ++i) {
+        out += pad;
+        escape_string(obj_[i].first, out);
+        out += ':';
+        out += space;
+        obj_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < obj_.size()) out += ',';
+        out += nl;
+      }
+      out += pad_close;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over an in-memory buffer.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    usize line = 1, col = 1;
+    for (usize i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    SJ_THROW_INVALID("json parse error at line " + std::to_string(line) + ", col " +
+                     std::to_string(col) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char get() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (get() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    usize n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = get();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = get();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return Value(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = get();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char esc = get();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = get();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape");
+            }
+            // Encode the BMP code point as UTF-8 (surrogate pairs unsupported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("invalid escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const usize start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("invalid number");
+    try {
+      return Value(std::stod(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("number out of range");
+    }
+  }
+
+  const std::string& text_;
+  usize pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) SJ_THROW_IO("cannot open json file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void write_file(const std::string& path, const Value& v, int indent) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) SJ_THROW_IO("cannot write json file: " + path);
+  out << v.dump(indent) << '\n';
+  if (!out) SJ_THROW_IO("write failed: " + path);
+}
+
+}  // namespace sj::json

@@ -1,0 +1,103 @@
+// Minimal self-contained JSON reader/writer.
+//
+// The Shenjing toolchain (paper Fig. 3) consumes a layers-description .json
+// and a binary weight file; benches also emit machine-readable reports. This
+// module implements the small JSON subset needed for that: null, bool,
+// number (double), string (with \uXXXX escapes for BMP code points), array,
+// object. Objects preserve insertion order so emitted files are stable.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sj::json {
+
+class Value;
+
+enum class Type { Null, Bool, Number, String, Array, Object };
+
+using Array = std::vector<Value>;
+/// Insertion-ordered key/value list (duplicate keys rejected by set()).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/// A JSON document node. Value is a regular type: copyable, movable,
+/// equality-comparable.
+class Value {
+ public:
+  Value() : type_(Type::Null) {}
+  Value(std::nullptr_t) : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(double n) : type_(Type::Number), num_(n) {}
+  Value(int n) : type_(Type::Number), num_(n) {}
+  Value(i64 n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Value(usize n) : type_(Type::Number), num_(static_cast<double>(n)) {}
+  Value(const char* s) : type_(Type::String), str_(s) {}
+  Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw InvalidArgument on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  i64 as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object field lookup; throws if not an object or key missing.
+  const Value& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  bool contains(const std::string& key) const;
+  /// Object field lookup with a default for a missing key.
+  double number_or(const std::string& key, double fallback) const;
+  i64 int_or(const std::string& key, i64 fallback) const;
+  std::string string_or(const std::string& key, const std::string& fallback) const;
+
+  /// Sets (or replaces) an object field; converts Null value to Object.
+  void set(const std::string& key, Value v);
+  /// Appends to an array; converts Null value to Array.
+  void push_back(Value v);
+
+  /// Serializes. `indent` < 0 means compact one-line output.
+  std::string dump(int indent = -1) const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses a JSON document. Throws sj::InvalidArgument with position info on
+/// malformed input. Trailing non-whitespace is an error.
+Value parse(const std::string& text);
+
+/// Reads and parses a JSON file. Throws sj::IoError when unreadable.
+Value parse_file(const std::string& path);
+
+/// Writes `v.dump(indent)` to a file. Throws sj::IoError on failure.
+void write_file(const std::string& path, const Value& v, int indent = 2);
+
+}  // namespace sj::json

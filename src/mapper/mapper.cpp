@@ -1,0 +1,742 @@
+#include "mapper/mapper.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "mapper/schedule.h"
+
+namespace sj::map {
+
+namespace {
+
+using snn::Incoming;
+using snn::LinearOp;
+using snn::OpKind;
+using snn::SnnNetwork;
+using snn::SnnUnit;
+
+constexpr i32 kM = 16;  // modular plane pattern period (sqrt of 256 planes)
+
+/// Global modular neuron-plane pattern for spatial units (see mapper.h).
+u16 pi16(i32 y, i32 x) {
+  return static_cast<u16>((y % kM) * kM + (x % kM));
+}
+
+/// A logical core under construction.
+struct LCore {
+  std::string role;
+  std::vector<std::vector<std::pair<u16, i16>>> rows;  // axon plane -> taps
+  PlaneMask axon_mask, neuron_mask, spike_mask;
+  // Per axon plane: (source unit index or -1 for network input, source
+  // neuron flat index). unit == -2 means the plane is unused.
+  std::array<std::pair<i32, i64>, 256> axon_src;
+  bool spiking = false;
+  i32 axon_src_unit = -3;  // uniform source for hold computation (-3 = none)
+
+  LCore() : rows(256) { axon_src.fill({-2, -1}); }
+
+  void add_axon(u16 plane, i32 src_unit, i64 src_neuron) {
+    SJ_ASSERT(!axon_mask.get(plane), "axon plane collision at plane " +
+                                         std::to_string(plane) + " (" + role + ")");
+    axon_mask.set(plane);
+    axon_src[plane] = {src_unit, src_neuron};
+    if (axon_src_unit == -3) axon_src_unit = src_unit;
+    SJ_ASSERT(axon_src_unit == src_unit, "mixed axon sources in one core: " + role);
+  }
+
+  void add_tap(u16 axon_plane, u16 neuron_plane, i16 w) {
+    rows[axon_plane].emplace_back(neuron_plane, w);
+    neuron_mask.set(neuron_plane);
+  }
+};
+
+struct LTransfer {
+  i32 src = 0, dst = 0;  // local core indices
+  PlaneMask mask;
+  i32 level = 0;
+};
+
+struct UnitLayout {
+  i32 rows = 0, cols = 0;
+  std::vector<LCore> cores;               // row-major (rows x cols), all used
+  std::vector<LTransfer> transfers;
+  std::vector<i32> roots;                 // local indices of spiking cores
+  std::vector<std::pair<i32, u16>> slots; // neuron -> (local core, plane)
+};
+
+/// Appends Algorithm-1 recursive-halving transfers for a column of cores
+/// (`chain[i]` accumulates into chain[i-f] for f = 1, 2, 4, ...; chain[0]
+/// ends up with the total). `base_level` orders them after earlier phases.
+void fold_chain(UnitLayout& lay, const std::vector<i32>& chain, const PlaneMask& mask,
+                i32 base_level) {
+  const i32 n = static_cast<i32>(chain.size());
+  i32 level = base_level;
+  for (i32 f = 1; f < n; f *= 2, ++level) {
+    for (i32 i = f; i < n; i += 2 * f) {
+      lay.transfers.push_back(
+          LTransfer{chain[static_cast<usize>(i)], chain[static_cast<usize>(i - f)], mask, level});
+    }
+  }
+}
+
+/// Source-slot lookup shared by the builders: where does neuron `flat` of
+/// unit `src` (or input pixel `flat` when src < 0) live, plane-wise?
+class SlotTable {
+ public:
+  explicit SlotTable(const SnnNetwork& net) : net_(&net) {}
+
+  void add_unit(const UnitLayout& lay) { unit_slots_.push_back(&lay.slots); }
+
+  /// Plane carrying `flat` of source `src`; for the network input the plane
+  /// convention is chosen by the consumer and registered via expect_input.
+  u16 plane_of(i32 src, i64 flat) const {
+    SJ_REQUIRE(src >= 0, "plane_of: input planes are consumer-defined");
+    const auto& slots = *unit_slots_[static_cast<usize>(src)];
+    SJ_REQUIRE(flat >= 0 && flat < static_cast<i64>(slots.size()), "plane_of: bad neuron");
+    return slots[static_cast<usize>(flat)].second;
+  }
+
+  i32 core_of(i32 src, i64 flat) const {
+    const auto& slots = *unit_slots_[static_cast<usize>(src)];
+    return slots[static_cast<usize>(flat)].first;
+  }
+
+  /// Source neurons grouped by producing core, in core order (for FC input
+  /// packing). Each entry is (flat neuron, plane).
+  std::vector<std::vector<std::pair<i64, u16>>> groups_of(i32 src) const {
+    const auto& slots = *unit_slots_[static_cast<usize>(src)];
+    std::vector<std::vector<std::pair<i64, u16>>> by_core;
+    std::vector<i32> core_order;
+    std::vector<i32> core_pos(1024, -1);
+    for (i64 g = 0; g < static_cast<i64>(slots.size()); ++g) {
+      const i32 c = slots[static_cast<usize>(g)].first;
+      if (c >= static_cast<i32>(core_pos.size())) core_pos.resize(static_cast<usize>(c) + 1, -1);
+      if (core_pos[static_cast<usize>(c)] < 0) {
+        core_pos[static_cast<usize>(c)] = static_cast<i32>(by_core.size());
+        by_core.emplace_back();
+      }
+      by_core[static_cast<usize>(core_pos[static_cast<usize>(c)])].emplace_back(
+          g, slots[static_cast<usize>(g)].second);
+    }
+    return by_core;
+  }
+
+ private:
+  const SnnNetwork* net_;
+  std::vector<const std::vector<std::pair<i32, u16>>*> unit_slots_;
+};
+
+// ------------------------------------------------------------- FC units ----
+
+UnitLayout build_dense(const SnnNetwork& net, i32 ui, const SlotTable& slots,
+                       const ArchParams& arch) {
+  const SnnUnit& unit = net.units[static_cast<usize>(ui)];
+  SJ_REQUIRE(unit.in.size() == 1, "dense unit with multiple edges unsupported");
+  const LinearOp& op = unit.in[0].op;
+  const i32 src = unit.in[0].source;
+  const i64 m = op.in_size, n = op.out_size;
+  const i32 cap = arch.core_neurons;
+
+  // Partition inputs into rows of <= core_axons planes without collisions.
+  // Inputs from mapped sources arrive pre-grouped by producing core; the
+  // network input is split into balanced slices (Fig. 1: 784 -> 4 x 196).
+  std::vector<std::vector<std::pair<i64, u16>>> groups;
+  if (src < 0) {
+    const i64 nrow = (m + arch.core_axons - 1) / arch.core_axons;
+    const i64 slice = (m + nrow - 1) / nrow;
+    for (i64 r = 0; r < nrow; ++r) {
+      std::vector<std::pair<i64, u16>> g;
+      for (i64 i = r * slice; i < std::min(m, (r + 1) * slice); ++i) {
+        g.emplace_back(i, static_cast<u16>(i - r * slice));
+      }
+      groups.push_back(std::move(g));
+    }
+  } else {
+    groups = slots.groups_of(src);
+  }
+
+  // Greedy packing of groups into axon rows (capacity + plane-collision).
+  std::vector<std::vector<std::pair<i64, u16>>> row_inputs;
+  {
+    PlaneMask used;
+    i32 count = 0;
+    row_inputs.emplace_back();
+    for (const auto& g : groups) {
+      bool collide = count + static_cast<i32>(g.size()) > arch.core_axons;
+      for (const auto& [flat, plane] : g) {
+        (void)flat;
+        if (used.get(plane)) collide = true;
+      }
+      if (collide && !row_inputs.back().empty()) {
+        row_inputs.emplace_back();
+        used = PlaneMask::none();
+        count = 0;
+      }
+      for (const auto& [flat, plane] : g) {
+        SJ_REQUIRE(!used.get(plane), "dense: source plane collision");
+        used.set(plane);
+        row_inputs.back().emplace_back(flat, plane);
+      }
+      count += static_cast<i32>(g.size());
+    }
+  }
+
+  const i32 nrow = static_cast<i32>(row_inputs.size());
+  const i32 ncol = static_cast<i32>((n + cap - 1) / cap);
+  const i64 col_sz = (n + ncol - 1) / ncol;
+
+  UnitLayout lay;
+  lay.rows = nrow;
+  lay.cols = ncol;
+  lay.cores.resize(static_cast<usize>(nrow) * static_cast<usize>(ncol));
+  lay.slots.resize(static_cast<usize>(n));
+
+  auto core_at = [&](i32 r, i32 c) -> LCore& {
+    return lay.cores[static_cast<usize>(r) * static_cast<usize>(ncol) + static_cast<usize>(c)];
+  };
+  auto idx_at = [&](i32 r, i32 c) { return r * ncol + c; };
+
+  for (i32 r = 0; r < nrow; ++r) {
+    for (i32 c = 0; c < ncol; ++c) {
+      LCore& core = core_at(r, c);
+      core.role = unit.name + " fc r" + std::to_string(r) + " c" + std::to_string(c);
+      const i64 out_lo = c * col_sz;
+      const i64 out_hi = std::min(n, (c + 1) * col_sz);
+      for (const auto& [flat, plane] : row_inputs[static_cast<usize>(r)]) {
+        core.add_axon(plane, src, flat);
+        for (i64 j = out_lo; j < out_hi; ++j) {
+          const i16 w = op.dense_at(flat, j);
+          if (w != 0) core.add_tap(plane, static_cast<u16>(j - out_lo), w);
+        }
+        // A fully zero row still allocates the axon (spike arrives anyway).
+      }
+      // Neuron planes exist even when all taps are zero: the plane carries
+      // the (zero) partial sum through the fold.
+      for (i64 j = out_lo; j < out_hi; ++j) core.neuron_mask.set(static_cast<u16>(j - out_lo));
+    }
+  }
+  for (i32 c = 0; c < ncol; ++c) {
+    const i64 out_lo = c * col_sz;
+    const i64 out_hi = std::min(n, (c + 1) * col_sz);
+    PlaneMask col_mask = PlaneMask::first_n(static_cast<int>(out_hi - out_lo));
+    std::vector<i32> chain;
+    for (i32 r = 0; r < nrow; ++r) chain.push_back(idx_at(r, c));
+    fold_chain(lay, chain, col_mask, /*base_level=*/0);
+    LCore& root = core_at(0, c);
+    root.spiking = true;
+    root.spike_mask = col_mask;
+    lay.roots.push_back(idx_at(0, c));
+    for (i64 j = out_lo; j < out_hi; ++j) {
+      lay.slots[static_cast<usize>(j)] = {idx_at(0, c), static_cast<u16>(j - out_lo)};
+    }
+  }
+  return lay;
+}
+
+// ----------------------------------------------------------- conv units ----
+
+struct TileGrid {
+  i32 nh = 1, nw = 1;
+  i32 sy = 0, sx = 0;  // nominal tile size (last row/col may be smaller)
+  i32 h = 0, w = 0;
+
+  i32 ntiles() const { return nh * nw; }
+  i32 y0(i32 ty) const { return ty * sy; }
+  i32 y1(i32 ty) const { return std::min(h, (ty + 1) * sy); }
+  i32 x0(i32 tx) const { return tx * sx; }
+  i32 x1(i32 tx) const { return std::min(w, (tx + 1) * sx); }
+  i32 tile_of_y(i32 y) const { return y / sy; }
+  i32 tile_of_x(i32 x) const { return x / sx; }
+};
+
+/// Chooses the conv tiling: tile side <= kM - 2*pad so that each core's
+/// output window (tile + halo) fits the 256-neuron modular pattern.
+TileGrid conv_tiling(i32 h, i32 w, i32 pad) {
+  const i32 side = kM - 2 * pad;
+  SJ_REQUIRE(side >= 1, "conv kernel too large for core");
+  TileGrid t;
+  t.h = h;
+  t.w = w;
+  t.nh = (h + side - 1) / side;
+  t.nw = (w + side - 1) / side;
+  t.sy = (h + t.nh - 1) / t.nh;
+  t.sx = (w + t.nw - 1) / t.nw;
+  return t;
+}
+
+UnitLayout build_conv(const SnnNetwork& net, i32 ui, const SlotTable& slots,
+                      const ArchParams& arch, const std::vector<i32>& depth) {
+  const SnnUnit& unit = net.units[static_cast<usize>(ui)];
+  const LinearOp* conv = nullptr;
+  i32 conv_src = -1;
+  std::vector<std::pair<const LinearOp*, i32>> diags;  // (op, source unit)
+  for (const auto& e : unit.in) {
+    if (e.op.kind == OpKind::Conv) {
+      SJ_REQUIRE(conv == nullptr, "conv unit with two conv edges unsupported");
+      conv = &e.op;
+      conv_src = e.source;
+    } else if (e.op.kind == OpKind::Diag) {
+      SJ_REQUIRE(e.source >= 0, "diag edge from network input unsupported");
+      diags.emplace_back(&e.op, e.source);
+    } else {
+      SJ_THROW_MAPPING("conv unit with unsupported edge kind");
+    }
+  }
+  SJ_REQUIRE(conv != nullptr, "build_conv: missing conv edge");
+  SJ_REQUIRE(diags.size() <= 1, "conv unit with multiple shortcut edges unsupported");
+  const i32 k = conv->kernel, pad = (k - 1) / 2;
+  const i32 h = conv->in_h, w = conv->in_w, cin = conv->in_c, cout = conv->out_c;
+  const TileGrid tg = conv_tiling(h, w, pad);
+  const i32 ntiles = tg.ntiles();
+
+  UnitLayout lay;
+  lay.rows = cin + (diags.empty() ? 0 : 1);
+  lay.cols = cout * ntiles;
+  lay.cores.resize(static_cast<usize>(lay.rows) * static_cast<usize>(lay.cols));
+  lay.slots.resize(static_cast<usize>(unit.size));
+
+  auto col_of = [&](i32 co, i32 tidx) { return co * ntiles + tidx; };
+  auto idx_at = [&](i32 r, i32 col) { return r * lay.cols + col; };
+  auto core_at = [&](i32 r, i32 col) -> LCore& {
+    return lay.cores[static_cast<usize>(idx_at(r, col))];
+  };
+
+  // Owned-plane mask per tile (the planes folded across channels).
+  std::vector<PlaneMask> tile_mask(static_cast<usize>(ntiles));
+  for (i32 ty = 0; ty < tg.nh; ++ty) {
+    for (i32 tx = 0; tx < tg.nw; ++tx) {
+      PlaneMask& m = tile_mask[static_cast<usize>(ty * tg.nw + tx)];
+      for (i32 y = tg.y0(ty); y < tg.y1(ty); ++y) {
+        for (i32 x = tg.x0(tx); x < tg.x1(tx); ++x) m.set(pi16(y, x));
+      }
+    }
+  }
+
+  for (i32 co = 0; co < cout; ++co) {
+    for (i32 ty = 0; ty < tg.nh; ++ty) {
+      for (i32 tx = 0; tx < tg.nw; ++tx) {
+        const i32 tidx = ty * tg.nw + tx;
+        const i32 col = col_of(co, tidx);
+        // Output window of this tile (tile + halo, clipped to the image).
+        const i32 wy0 = std::max(0, tg.y0(ty) - pad), wy1 = std::min(h, tg.y1(ty) + pad);
+        const i32 wx0 = std::max(0, tg.x0(tx) - pad), wx1 = std::min(w, tg.x1(tx) + pad);
+        for (i32 ci = 0; ci < cin; ++ci) {
+          LCore& core = core_at(ci, col);
+          core.role = unit.name + " conv t(" + std::to_string(ty) + "," +
+                      std::to_string(tx) + ") ci" + std::to_string(ci) + " co" +
+                      std::to_string(co);
+          for (i32 iy = tg.y0(ty); iy < tg.y1(ty); ++iy) {
+            for (i32 ix = tg.x0(tx); ix < tg.x1(tx); ++ix) {
+              const i64 flat = (static_cast<i64>(iy) * w + ix) * cin + ci;
+              const u16 ap = conv_src < 0 ? pi16(iy, ix) : slots.plane_of(conv_src, flat);
+              core.add_axon(ap, conv_src, flat);
+              for (i32 ky = 0; ky < k; ++ky) {
+                const i32 oy = iy - ky + pad;
+                if (oy < wy0 || oy >= wy1) continue;
+                for (i32 kx = 0; kx < k; ++kx) {
+                  const i32 ox = ix - kx + pad;
+                  if (ox < wx0 || ox >= wx1) continue;
+                  const i16 wv =
+                      conv->weights[static_cast<usize>(((static_cast<i64>(ky) * k + kx) * cin + ci) * cout + co)];
+                  if (wv != 0) core.add_tap(ap, pi16(oy, ox), wv);
+                }
+              }
+            }
+          }
+          // The whole window carries partial sums even where taps were zero.
+          for (i32 oy = wy0; oy < wy1; ++oy) {
+            for (i32 ox = wx0; ox < wx1; ++ox) core.neuron_mask.set(pi16(oy, ox));
+          }
+        }
+        // Boundary exchange (level 0): this tile's cores send the partial
+        // sums they computed for *other* tiles' pixels to those owners.
+        for (i32 nty = std::max(0, ty - 1); nty <= std::min(tg.nh - 1, ty + 1); ++nty) {
+          for (i32 ntx = std::max(0, tx - 1); ntx <= std::min(tg.nw - 1, tx + 1); ++ntx) {
+            if (nty == ty && ntx == tx) continue;
+            PlaneMask m;
+            const i32 oy0 = std::max(wy0, tg.y0(nty)), oy1 = std::min(wy1, tg.y1(nty));
+            const i32 ox0 = std::max(wx0, tg.x0(ntx)), ox1 = std::min(wx1, tg.x1(ntx));
+            for (i32 oy = oy0; oy < oy1; ++oy) {
+              for (i32 ox = ox0; ox < ox1; ++ox) m.set(pi16(oy, ox));
+            }
+            if (m.empty()) continue;
+            const i32 ncol_idx = col_of(co, nty * tg.nw + ntx);
+            for (i32 ci = 0; ci < cin; ++ci) {
+              lay.transfers.push_back(LTransfer{idx_at(ci, col), idx_at(ci, ncol_idx), m, 0});
+            }
+          }
+        }
+        // Channel fold (levels 1..): accumulate ci > 0 into ci == 0.
+        if (cin > 1) {
+          std::vector<i32> chain;
+          for (i32 ci = 0; ci < cin; ++ci) chain.push_back(idx_at(ci, col));
+          fold_chain(lay, chain, tile_mask[static_cast<usize>(tidx)], /*base_level=*/1);
+        }
+        // Shortcut normalization cores join the fold at the last level.
+        for (usize d = 0; d < diags.size(); ++d) {
+          const LinearOp& dop = *diags[d].first;
+          const i32 dsrc = diags[d].second;
+          LCore& norm = core_at(cin, col);
+          norm.role = unit.name + " norm t(" + std::to_string(ty) + "," +
+                      std::to_string(tx) + ") co" + std::to_string(co);
+          for (i32 iy = tg.y0(ty); iy < tg.y1(ty); ++iy) {
+            for (i32 ix = tg.x0(tx); ix < tg.x1(tx); ++ix) {
+              const i64 flat = (static_cast<i64>(iy) * w + ix) * cout + co;
+              const u16 ap = slots.plane_of(dsrc, flat);
+              norm.add_axon(ap, dsrc, flat);
+              const i16 wv = dop.weights[static_cast<usize>(flat)];
+              if (wv != 0) norm.add_tap(ap, pi16(iy, ix), wv);
+              norm.neuron_mask.set(pi16(iy, ix));
+            }
+          }
+          lay.transfers.push_back(LTransfer{idx_at(cin, col), idx_at(0, col),
+                                            tile_mask[static_cast<usize>(tidx)],
+                                            /*level=*/32});
+        }
+        // Root: channel 0 core of this (tile, co).
+        LCore& root = core_at(0, col);
+        root.spiking = true;
+        root.spike_mask = tile_mask[static_cast<usize>(tidx)];
+        lay.roots.push_back(idx_at(0, col));
+        for (i32 oy = tg.y0(ty); oy < tg.y1(ty); ++oy) {
+          for (i32 ox = tg.x0(tx); ox < tg.x1(tx); ++ox) {
+            const i64 flat = (static_cast<i64>(oy) * w + ox) * cout + co;
+            lay.slots[static_cast<usize>(flat)] = {idx_at(0, col), pi16(oy, ox)};
+          }
+        }
+      }
+    }
+  }
+  (void)arch;
+  (void)depth;
+  return lay;
+}
+
+// ----------------------------------------------------------- pool units ----
+
+UnitLayout build_pool(const SnnNetwork& net, i32 ui, const SlotTable& slots,
+                      const ArchParams& arch) {
+  const SnnUnit& unit = net.units[static_cast<usize>(ui)];
+  SJ_REQUIRE(unit.in.size() == 1, "pool unit with multiple edges unsupported");
+  const LinearOp& op = unit.in[0].op;
+  const i32 src = unit.in[0].source;
+  SJ_REQUIRE(src >= 0, "pool from network input unsupported");
+  const i32 h = op.in_h, w = op.in_w, ch = op.in_c, win = op.win;
+  const i32 ho = h / win, wo = w / win;
+
+  // Split each channel's h x w input into regions of <= core_axons pixels,
+  // aligned to the pooling window, and no wider than the modular plane
+  // period kM per side (the source's mod-16 planes must stay distinct
+  // within one region).
+  i32 nh = (h + kM - 1) / kM, nw = (w + kM - 1) / kM;
+  while ((((h + nh - 1) / nh) * ((w + nw - 1) / nw)) > arch.core_axons) {
+    if (nh <= nw) ++nh;
+    else ++nw;
+  }
+  i32 sy = (h + nh - 1) / nh;
+  if (sy % win != 0) sy += win - sy % win;
+  SJ_REQUIRE(sy <= kM, "pool: region height exceeds plane period (window too coarse)");
+  nh = (h + sy - 1) / sy;
+  i32 sx = (w + nw - 1) / nw;
+  if (sx % win != 0) sx += win - sx % win;
+  SJ_REQUIRE(sx <= kM, "pool: region width exceeds plane period (window too coarse)");
+  nw = (w + sx - 1) / sx;
+  const i32 ntiles = nh * nw;
+
+  UnitLayout lay;
+  lay.rows = ntiles;
+  lay.cols = ch;
+  lay.cores.resize(static_cast<usize>(ntiles) * static_cast<usize>(ch));
+  lay.slots.resize(static_cast<usize>(unit.size));
+
+  // Offset packing: core ordinal k gets plane base (k mod G) * sz_cap.
+  const i32 sz_cap = (sy / win) * (sx / win);
+  const i32 groups = std::max(1, arch.core_neurons / sz_cap);
+
+  for (i32 c = 0; c < ch; ++c) {
+    for (i32 ty = 0; ty < nh; ++ty) {
+      for (i32 tx = 0; tx < nw; ++tx) {
+        const i32 tidx = ty * nw + tx;
+        const i32 li = tidx * ch + c;  // row=tidx, col=c
+        LCore& core = lay.cores[static_cast<usize>(li)];
+        core.role = unit.name + " pool t(" + std::to_string(ty) + "," +
+                    std::to_string(tx) + ") c" + std::to_string(c);
+        const i32 ordinal = c * ntiles + tidx;
+        const u16 base = static_cast<u16>((ordinal % groups) * sz_cap);
+        const i32 y0 = ty * sy, y1 = std::min(h, y0 + sy);
+        const i32 x0 = tx * sx, x1 = std::min(w, x0 + sx);
+        const i32 rw = (x1 - x0) / win;  // pooled width of this region
+        for (i32 iy = y0; iy < y1; ++iy) {
+          for (i32 ix = x0; ix < x1; ++ix) {
+            const i64 flat = (static_cast<i64>(iy) * w + ix) * ch + c;
+            const u16 ap = slots.plane_of(src, flat);
+            core.add_axon(ap, src, flat);
+            const i32 local = ((iy - y0) / win) * rw + (ix - x0) / win;
+            core.add_tap(ap, static_cast<u16>(base + local), op.weights[0]);
+          }
+        }
+        core.spiking = true;
+        core.spike_mask = core.neuron_mask;
+        lay.roots.push_back(li);
+        for (i32 oy = y0 / win; oy < y1 / win; ++oy) {
+          for (i32 ox = x0 / win; ox < x1 / win; ++ox) {
+            const i64 flat = (static_cast<i64>(oy) * wo + ox) * ch + c;
+            const i32 local = (oy - y0 / win) * rw + (ox - x0 / win);
+            lay.slots[static_cast<usize>(flat)] = {li, static_cast<u16>(base + local)};
+          }
+        }
+      }
+    }
+  }
+  (void)ho;
+  return lay;
+}
+
+}  // namespace
+
+std::vector<UnitCoreCount> core_census(const MappedNetwork& m, const SnnNetwork& net) {
+  std::vector<UnitCoreCount> census(net.units.size());
+  for (usize u = 0; u < net.units.size(); ++u) census[u].unit_name = net.units[u].name;
+  for (const auto& c : m.cores) {
+    if (c.filler || c.unit < 0) continue;
+    ++census[static_cast<usize>(c.unit)].cores;
+  }
+  return census;
+}
+
+MappedNetwork map_network(const SnnNetwork& net, const MapperConfig& cfg) {
+  const auto t_start = std::chrono::steady_clock::now();
+  cfg.arch.validate();
+  SJ_REQUIRE(!net.units.empty(), "map_network: empty network");
+  SJ_REQUIRE(net.weight_bits <= cfg.arch.weight_bits,
+             "map_network: network weights wider than hardware synapses");
+
+  // Unit pipeline depths (Diag edges span two stages: source -> norm -> add).
+  std::vector<i32> depth(net.units.size(), 0);
+  for (usize u = 0; u < net.units.size(); ++u) {
+    i32 d = 1;
+    for (const auto& e : net.units[u].in) {
+      const i32 sd = e.source < 0 ? 0 : depth[static_cast<usize>(e.source)];
+      d = std::max(d, sd + (e.op.kind == OpKind::Diag ? 2 : 1));
+    }
+    depth[u] = d;
+  }
+
+  // --- logical mapping ----------------------------------------------------
+  SlotTable slots(net);
+  std::vector<UnitLayout> layouts;
+  layouts.reserve(net.units.size());
+  for (usize u = 0; u < net.units.size(); ++u) {
+    const SnnUnit& unit = net.units[u];
+    SJ_REQUIRE(!unit.in.empty(), "unit without inputs: " + unit.name);
+    const OpKind kind = unit.in[0].op.kind;
+    UnitLayout lay;
+    switch (kind) {
+      case OpKind::Dense:
+        lay = build_dense(net, static_cast<i32>(u), slots, cfg.arch);
+        break;
+      case OpKind::Conv:
+        lay = build_conv(net, static_cast<i32>(u), slots, cfg.arch, depth);
+        break;
+      case OpKind::Pool:
+        lay = build_pool(net, static_cast<i32>(u), slots, cfg.arch);
+        break;
+      case OpKind::Diag:
+        SJ_THROW_MAPPING("standalone diag unit unsupported: " + unit.name);
+    }
+    layouts.push_back(std::move(lay));
+    slots.add_unit(layouts.back());
+  }
+
+  // --- physical mapping: shelf placement ----------------------------------
+  MappedNetwork out;
+  out.arch = cfg.arch;
+  out.name = net.name;
+  out.timesteps = net.timesteps;
+  out.unit_depth = depth;
+  out.output_depth = depth.back();
+
+  i32 width = cfg.grid_width;
+  if (width == 0) {
+    i32 max_cols = 1;
+    for (const auto& l : layouts) max_cols = std::max(max_cols, l.cols);
+    width = ((max_cols + cfg.arch.chip_cols - 1) / cfg.arch.chip_cols) * cfg.arch.chip_cols;
+  }
+  for (const auto& l : layouts) {
+    SJ_REQUIRE(l.cols <= width, "unit wider than grid");
+  }
+
+  struct Placement {
+    i32 row0 = 0, col0 = 0;
+  };
+  std::vector<Placement> place(layouts.size());
+  {
+    i32 x = 0, y = 0, band = 0;
+    for (usize u = 0; u < layouts.size(); ++u) {
+      if (x + layouts[u].cols > width) {
+        x = 0;
+        y += band;
+        band = 0;
+      }
+      place[u] = {y, x};
+      x += layouts[u].cols;
+      band = std::max(band, layouts[u].rows);
+    }
+    out.grid_rows = y + band;
+    out.grid_cols = width;
+  }
+
+  // Materialize cores: real tiles first (unit order), then fillers for every
+  // remaining grid position so XY routes never cross unmapped tiles.
+  std::vector<std::vector<i32>> grid(static_cast<usize>(out.grid_rows),
+                                     std::vector<i32>(static_cast<usize>(out.grid_cols), -1));
+  std::vector<std::vector<u32>> unit_core_index(layouts.size());
+  for (usize u = 0; u < layouts.size(); ++u) {
+    unit_core_index[u].resize(layouts[u].cores.size());
+    for (i32 r = 0; r < layouts[u].rows; ++r) {
+      for (i32 c = 0; c < layouts[u].cols; ++c) {
+        const usize li = static_cast<usize>(r) * static_cast<usize>(layouts[u].cols) +
+                         static_cast<usize>(c);
+        LCore& lc = layouts[u].cores[li];
+        MappedCore mc;
+        mc.pos = Coord{place[u].row0 + r, place[u].col0 + c};
+        mc.unit = static_cast<i32>(u);
+        mc.role = lc.role.empty() ? net.units[u].name + " (unused slot)" : lc.role;
+        // CSR weights.
+        u32 off = 0;
+        for (int a = 0; a < 256; ++a) {
+          mc.weights.row_offset[static_cast<usize>(a)] = off;
+          off += static_cast<u32>(lc.rows[static_cast<usize>(a)].size());
+        }
+        mc.weights.row_offset[256] = off;
+        mc.weights.taps.reserve(off);
+        for (int a = 0; a < 256; ++a) {
+          for (const auto& t : lc.rows[static_cast<usize>(a)]) mc.weights.taps.push_back(t);
+        }
+        mc.axon_mask = lc.axon_mask;
+        mc.neuron_mask = lc.neuron_mask;
+        mc.spiking = lc.spiking;
+        mc.spike_mask = lc.spike_mask;
+        mc.threshold = net.units[u].threshold;
+        if (lc.axon_src_unit >= -1) {
+          const i32 sd = lc.axon_src_unit < 0 ? 0 : depth[static_cast<usize>(lc.axon_src_unit)];
+          mc.spike_hold = depth[u] - sd - 1;
+          SJ_ASSERT(mc.spike_hold >= 0, "negative spike hold at " + mc.role);
+        }
+        mc.is_output = (u + 1 == layouts.size()) && lc.spiking;
+        unit_core_index[u][li] = static_cast<u32>(out.cores.size());
+        grid[static_cast<usize>(mc.pos.row)][static_cast<usize>(mc.pos.col)] =
+            static_cast<i32>(out.cores.size());
+        out.cores.push_back(std::move(mc));
+      }
+    }
+  }
+  for (i32 r = 0; r < out.grid_rows; ++r) {
+    for (i32 c = 0; c < out.grid_cols; ++c) {
+      if (grid[static_cast<usize>(r)][static_cast<usize>(c)] >= 0) continue;
+      MappedCore mc;
+      mc.pos = Coord{r, c};
+      mc.filler = true;
+      mc.role = "filler";
+      grid[static_cast<usize>(r)][static_cast<usize>(c)] = static_cast<i32>(out.cores.size());
+      out.cores.push_back(std::move(mc));
+    }
+  }
+
+  // Slot tables and input taps.
+  out.unit_slots.resize(layouts.size());
+  for (usize u = 0; u < layouts.size(); ++u) {
+    out.unit_slots[u].reserve(layouts[u].slots.size());
+    for (const auto& [lcore, plane] : layouts[u].slots) {
+      out.unit_slots[u].push_back(Slot{unit_core_index[u][static_cast<usize>(lcore)], plane});
+    }
+  }
+  out.input_taps.assign(static_cast<usize>(net.input_size()), {});
+  for (usize u = 0; u < layouts.size(); ++u) {
+    for (usize li = 0; li < layouts[u].cores.size(); ++li) {
+      const LCore& lc = layouts[u].cores[li];
+      for (int p = 0; p < 256; ++p) {
+        if (lc.axon_src[static_cast<usize>(p)].first == -1) {
+          out.input_taps[static_cast<usize>(lc.axon_src[static_cast<usize>(p)].second)]
+              .push_back(Slot{unit_core_index[u][li], static_cast<u16>(p)});
+        }
+      }
+    }
+  }
+
+  // --- physical mapping: scheduling ---------------------------------------
+  Scheduler sched(out, cfg.arch);
+  sched.emit_acc_all();
+  for (usize u = 0; u < layouts.size(); ++u) {
+    std::vector<LTransfer> transfers = layouts[u].transfers;
+    std::stable_sort(transfers.begin(), transfers.end(),
+                     [](const LTransfer& a, const LTransfer& b) { return a.level < b.level; });
+    for (const auto& t : transfers) {
+      sched.ps_transfer(unit_core_index[u][static_cast<usize>(t.src)],
+                        unit_core_index[u][static_cast<usize>(t.dst)], t.mask);
+    }
+    for (const i32 root : layouts[u].roots) {
+      sched.finish_root(unit_core_index[u][static_cast<usize>(root)]);
+    }
+  }
+  // Spike routes: for every consumer axon, group (source root -> dest, mask).
+  {
+    // root core -> (dest core -> plane mask)
+    std::unordered_map<u32, std::unordered_map<u32, PlaneMask>> routes;
+    for (usize u = 0; u < layouts.size(); ++u) {
+      for (usize li = 0; li < layouts[u].cores.size(); ++li) {
+        const LCore& lc = layouts[u].cores[li];
+        const u32 ci = unit_core_index[u][li];
+        for (int p = 0; p < 256; ++p) {
+          const auto [su, sg] = lc.axon_src[static_cast<usize>(p)];
+          if (su < 0) continue;  // unused or network input
+          const Slot root = out.unit_slots[static_cast<usize>(su)][static_cast<usize>(sg)];
+          SJ_ASSERT(root.plane == static_cast<u16>(p),
+                    "spike plane mismatch: " + lc.role + " axon " + std::to_string(p));
+          routes[root.core][ci].set(static_cast<u16>(p));
+        }
+      }
+    }
+    // Deterministic order: sort roots by core index.
+    std::vector<u32> root_order;
+    root_order.reserve(routes.size());
+    for (const auto& [root, dests] : routes) {
+      (void)dests;
+      root_order.push_back(root);
+    }
+    std::sort(root_order.begin(), root_order.end());
+    for (const u32 root : root_order) {
+      std::vector<std::pair<u32, PlaneMask>> dv(routes[root].begin(), routes[root].end());
+      std::sort(dv.begin(), dv.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      sched.spike_multicast(root, dv);
+    }
+  }
+  std::stable_sort(out.schedule.begin(), out.schedule.end(),
+                   [](const TimedOp& a, const TimedOp& b) { return a.cycle < b.cycle; });
+  out.cycles_per_timestep = sched.horizon();
+
+  // Chips touched by real cores.
+  {
+    std::set<std::pair<i32, i32>> chips;
+    for (const auto& c : out.cores) {
+      if (!c.filler) chips.insert(out.chip_of(c.pos));
+    }
+    out.chips_used = static_cast<i32>(chips.size());
+  }
+
+  out.mapping_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
+  validate(out, net);
+  SJ_INFO("mapped " << net.name << ": "
+                    << std::count_if(out.cores.begin(), out.cores.end(),
+                                     [](const MappedCore& c) { return !c.filler; })
+                    << " cores, " << out.cycles_per_timestep << " cycles/timestep, "
+                    << out.chips_used << " chips");
+  return out;
+}
+
+}  // namespace sj::map

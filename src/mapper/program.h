@@ -1,0 +1,109 @@
+// Compiled Shenjing program: the output of the mapping toolchain (Fig. 3)
+// and the input of the cycle-level simulator.
+//
+// A MappedNetwork holds (a) every physical core with its synapse matrix and
+// spiking configuration, (b) one *timestep schedule* — the cycle-by-cycle
+// stream of atomic operations that the configuration memories would replay
+// every timestep — and (c) the bookkeeping tables linking SNN neurons to
+// (core, plane) slots for input injection, output readout and equivalence
+// checking.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/arch.h"
+#include "core/isa.h"
+#include "core/plane_mask.h"
+#include "snn/network.h"
+
+namespace sj::map {
+
+using core::ArchParams;
+using core::AtomicOp;
+using core::PlaneMask;
+
+/// Per-core synapse matrix in CSR form, rows indexed by axon plane.
+/// Each tap is (neuron plane, signed weight).
+struct CoreWeights {
+  std::array<u32, 257> row_offset{};
+  std::vector<std::pair<u16, i16>> taps;
+
+  /// Taps of axon plane `a` as a begin/end pair into `taps`.
+  std::pair<u32, u32> row(u16 a) const { return {row_offset[a], row_offset[a + 1]}; }
+};
+
+/// One physical tile: a neuron core plus its PS and spike routers.
+struct MappedCore {
+  Coord pos;
+  i32 unit = -1;        // owning SnnUnit index (-1 for fillers)
+  bool filler = false;  // unused grid tile kept for route pass-through only
+  std::string role;     // human-readable, e.g. "fc r2 c0" or "conv t(0,1) ci3 co7"
+  CoreWeights weights;
+  PlaneMask axon_mask;    // axon planes with synapses
+  PlaneMask neuron_mask;  // neuron planes allocated (own + exported partials)
+  // Spiking configuration (accumulation roots only).
+  bool spiking = false;
+  i32 threshold = 0;
+  PlaneMask spike_mask;       // planes that run SPIKE
+  bool is_output = false;     // output-unit root: simulator records its spikes
+  i32 spike_hold = 0;         // extra timesteps incoming spikes are held (shortcut align)
+};
+
+/// One scheduled atomic operation.
+struct TimedOp {
+  u32 cycle = 0;
+  u32 core = 0;  // index into MappedNetwork::cores
+  PlaneMask mask;
+  AtomicOp op;
+};
+
+/// A neuron's physical slot.
+struct Slot {
+  u32 core = 0;
+  u16 plane = 0;
+};
+
+/// The complete compiled system.
+struct MappedNetwork {
+  ArchParams arch;
+  std::string name;
+  i32 timesteps = 0;
+
+  std::vector<MappedCore> cores;
+  std::vector<TimedOp> schedule;  // sorted by cycle; replayed every timestep
+  u32 cycles_per_timestep = 0;
+
+  // Pipeline bookkeeping: a unit at depth d processes input frame timestep t
+  // during hardware iteration d + t.
+  std::vector<i32> unit_depth;
+  i32 output_depth = 0;
+
+  // flat input index -> slots whose axons receive that input spike
+  std::vector<std::vector<Slot>> input_taps;
+  // unit -> neuron index -> root slot (where the neuron integrates & fires)
+  std::vector<std::vector<Slot>> unit_slots;
+
+  // Placement stats.
+  i32 grid_rows = 0, grid_cols = 0;
+  i32 chips_used = 0;
+  double mapping_seconds = 0.0;
+
+  usize num_cores() const { return cores.size(); }
+  const std::vector<Slot>& output_slots() const {
+    SJ_REQUIRE(!unit_slots.empty(), "unmapped network");
+    return unit_slots.back();
+  }
+
+  /// Chip cell of a coordinate (for inter-chip I/O accounting).
+  std::pair<i32, i32> chip_of(Coord c) const {
+    return {c.row / arch.chip_rows, c.col / arch.chip_cols};
+  }
+};
+
+/// Structural validation: every invariant the mapping must satisfy
+/// (see mapper/validate.cpp for the list). Throws InternalError on violation.
+void validate(const MappedNetwork& mapped, const snn::SnnNetwork& net);
+
+}  // namespace sj::map

@@ -1,0 +1,70 @@
+// Structural validation of a compiled mapping.
+//
+// Checks the invariants that make a schedule executable on buffer-less,
+// flow-control-less NoCs:
+//  (1) every SNN neuron has exactly one root slot, covered by that core's
+//      spike mask and carrying the unit's threshold;
+//  (2) per-core capacities hold (axons/neurons within the architecture);
+//  (3) weight taps stay within the hardware's synapse width;
+//  (4) the schedule never issues two same-cycle operations to one plane of
+//      one router (the compile-time equivalent of link-level flow control);
+//  (5) every input pixel reaches at least one axon, every unit slot points
+//      at a spiking core.
+// Arithmetic equivalence with the abstract SNN is established separately by
+// the simulator tests (tests/test_sim.cpp) — the strongest check of all.
+#include <unordered_map>
+
+#include "common/fixed.h"
+#include "mapper/program.h"
+
+namespace sj::map {
+
+void validate(const MappedNetwork& m, const snn::SnnNetwork& net) {
+  SJ_ASSERT(m.unit_slots.size() == net.units.size(), "validate: unit table size");
+  // (1) + (5b): slots.
+  for (usize u = 0; u < net.units.size(); ++u) {
+    SJ_ASSERT(static_cast<i64>(m.unit_slots[u].size()) == net.units[u].size,
+              "validate: slot count mismatch for " + net.units[u].name);
+    for (const Slot& s : m.unit_slots[u]) {
+      SJ_ASSERT(s.core < m.cores.size(), "validate: slot core out of range");
+      const MappedCore& c = m.cores[s.core];
+      SJ_ASSERT(c.spiking, "validate: slot on non-spiking core " + c.role);
+      SJ_ASSERT(c.spike_mask.get(s.plane), "validate: slot plane not in spike mask");
+      SJ_ASSERT(c.threshold == net.units[u].threshold, "validate: threshold mismatch");
+    }
+  }
+  // (2) + (3): capacities and widths.
+  for (const MappedCore& c : m.cores) {
+    if (c.filler) continue;
+    SJ_ASSERT(c.axon_mask.popcount() <= m.arch.core_axons,
+              "validate: too many axons in " + c.role);
+    SJ_ASSERT(c.neuron_mask.popcount() <= m.arch.core_neurons,
+              "validate: too many neurons in " + c.role);
+    for (const auto& [plane, w] : c.weights.taps) {
+      SJ_ASSERT(c.neuron_mask.get(plane), "validate: tap to unallocated neuron in " + c.role);
+      SJ_ASSERT(fits_signed(w, m.arch.weight_bits),
+                "validate: weight exceeds synapse width in " + c.role);
+    }
+  }
+  // (4): per-(router, plane, cycle) exclusivity, split by router type.
+  {
+    std::unordered_map<u64, PlaneMask> busy;
+    for (const TimedOp& op : m.schedule) {
+      const int net_kind = static_cast<int>(core::block_of(op.op.code));
+      const u64 key = (static_cast<u64>(op.core) << 26) |
+                      (static_cast<u64>(net_kind) << 24) | op.cycle;
+      PlaneMask& b = busy[key];
+      SJ_ASSERT(!b.intersects(op.mask),
+                "validate: same-cycle plane conflict at core " + std::to_string(op.core) +
+                    " cycle " + std::to_string(op.cycle));
+      b |= op.mask;
+    }
+  }
+  // (5a): inputs reach axons.
+  for (usize i = 0; i < m.input_taps.size(); ++i) {
+    SJ_ASSERT(!m.input_taps[i].empty(),
+              "validate: input " + std::to_string(i) + " reaches no core");
+  }
+}
+
+}  // namespace sj::map

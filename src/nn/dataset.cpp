@@ -1,0 +1,201 @@
+#include "nn/dataset.h"
+
+#include <array>
+#include <cmath>
+
+namespace sj::nn {
+
+namespace {
+
+// 5x7 digit font, row-major, '1' = ink.
+constexpr std::array<const char*, 10> kDigitFont = {
+    "01110100011001110101110011000101110",  // 0
+    "00100011000010000100001000010001110",  // 1
+    "01110100010000100010001000100011111",  // 2
+    "11111000100010000010000011000101110",  // 3
+    "00010001100101010010111110001000010",  // 4
+    "11111100001111000001000011000101110",  // 5
+    "00110010001000011110100011000101110",  // 6
+    "11111000010001000100010000100001000",  // 7
+    "01110100011000101110100011000101110",  // 8
+    "01110100011000101111000010001001100",  // 9
+};
+
+float font_sample(int digit, float u, float v) {
+  // Samples the 5x7 bitmap at normalized coordinates (u, v) in [0,1).
+  if (u < 0.0f || u >= 1.0f || v < 0.0f || v >= 1.0f) return 0.0f;
+  const int col = static_cast<int>(u * 5.0f);
+  const int row = static_cast<int>(v * 7.0f);
+  return kDigitFont[static_cast<usize>(digit)][row * 5 + col] == '1' ? 1.0f : 0.0f;
+}
+
+void add_noise_and_clamp(Tensor& img, Rng& rng, float noise) {
+  for (float& v : img.vec()) {
+    v += static_cast<float>(rng.normal(0.0, noise));
+    v = std::min(1.0f, std::max(0.0f, v));
+  }
+}
+
+}  // namespace
+
+Dataset make_synth_digits(usize n, const SynthConfig& cfg) {
+  Dataset d;
+  d.name = "synth-digits";
+  d.sample_shape = {28, 28, 1};
+  d.num_classes = 10;
+  d.images.reserve(n);
+  d.labels.reserve(n);
+  Rng rng(cfg.seed ^ 0xd161751ULL);
+  for (usize i = 0; i < n; ++i) {
+    const int digit = static_cast<int>(rng.uniform_index(10));
+    Tensor img({28, 28, 1});
+    // Random affine placement of the glyph.
+    const float scale = static_cast<float>(rng.uniform(16.0, 22.0));   // glyph height px
+    const float aspect = static_cast<float>(rng.uniform(0.6, 0.85));   // width/height
+    const float theta = static_cast<float>(rng.uniform(-0.18, 0.18));  // radians
+    const float cx = 14.0f + static_cast<float>(rng.uniform(-2.5, 2.5));
+    const float cy = 14.0f + static_cast<float>(rng.uniform(-2.5, 2.5));
+    const float ct = std::cos(theta), st = std::sin(theta);
+    const float w = scale * aspect, h = scale;
+    const float ink = static_cast<float>(rng.uniform(0.75, 1.0));
+    for (i32 y = 0; y < 28; ++y) {
+      for (i32 x = 0; x < 28; ++x) {
+        // 2x2 supersampling for soft edges.
+        float acc = 0.0f;
+        for (int sy = 0; sy < 2; ++sy) {
+          for (int sx = 0; sx < 2; ++sx) {
+            const float px = static_cast<float>(x) + 0.25f + 0.5f * static_cast<float>(sx) - cx;
+            const float py = static_cast<float>(y) + 0.25f + 0.5f * static_cast<float>(sy) - cy;
+            // Inverse-rotate into glyph space.
+            const float gx = ct * px + st * py;
+            const float gy = -st * px + ct * py;
+            acc += font_sample(digit, gx / w + 0.5f, gy / h + 0.5f);
+          }
+        }
+        img.at3(y, x, 0) = ink * acc / 4.0f;
+      }
+    }
+    add_noise_and_clamp(img, rng, cfg.noise);
+    d.images.push_back(std::move(img));
+    d.labels.push_back(digit);
+  }
+  return d;
+}
+
+namespace {
+
+// Signed distance-ish membership tests for the 10 SynthColored shape classes.
+// (u, v) are centered coordinates in [-1, 1], r = radius.
+bool shape_member(int cls, float u, float v) {
+  const float r = std::sqrt(u * u + v * v);
+  switch (cls) {
+    case 0: return r < 0.75f;                                        // disk
+    case 1: return r < 0.8f && r > 0.45f;                            // ring
+    case 2: return std::fabs(u) < 0.62f && std::fabs(v) < 0.62f;     // square
+    case 3: return v > -0.65f && v < 0.7f && std::fabs(u) < (0.7f - v) * 0.55f;  // triangle
+    case 4: return std::fabs(u) < 0.22f || std::fabs(v) < 0.22f;     // cross
+    case 5: return std::fmod(std::fabs(v) * 4.0f, 2.0f) < 1.0f;      // horizontal bars
+    case 6: return std::fmod(std::fabs(u) * 4.0f, 2.0f) < 1.0f;      // vertical bars
+    case 7: return (std::fmod(std::fabs(u) * 3.0f, 2.0f) < 1.0f) ==
+                   (std::fmod(std::fabs(v) * 3.0f, 2.0f) < 1.0f);    // checker
+    case 8: return std::fabs(u) + std::fabs(v) < 0.8f;               // diamond
+    case 9: return r > 0.55f && std::fabs(u) > 0.35f && std::fabs(v) > 0.35f;  // corner dots
+  }
+  return false;
+}
+
+// Class-base colors (RGB in [0,1]); intra-class hue jitter applied on top.
+constexpr float kBaseColor[10][3] = {
+    {0.9f, 0.2f, 0.2f}, {0.2f, 0.8f, 0.3f}, {0.25f, 0.35f, 0.95f}, {0.95f, 0.85f, 0.2f},
+    {0.85f, 0.3f, 0.85f}, {0.2f, 0.85f, 0.85f}, {0.95f, 0.55f, 0.15f}, {0.55f, 0.3f, 0.9f},
+    {0.6f, 0.85f, 0.3f}, {0.9f, 0.5f, 0.6f},
+};
+
+}  // namespace
+
+Dataset make_synth_colored(usize n, const SynthConfig& cfg) {
+  Dataset d;
+  d.name = "synth-colored";
+  d.sample_shape = {24, 24, 3};
+  d.num_classes = 10;
+  d.images.reserve(n);
+  d.labels.reserve(n);
+  Rng rng(cfg.seed ^ 0xc01035edULL);
+  for (usize i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.uniform_index(10));
+    Tensor img({24, 24, 3});
+    // Noisy background gradient.
+    float bg[3], bg2[3];
+    for (int c = 0; c < 3; ++c) {
+      bg[c] = static_cast<float>(rng.uniform(0.05, 0.6));
+      bg2[c] = static_cast<float>(rng.uniform(0.05, 0.6));
+    }
+    const float gdir = static_cast<float>(rng.uniform(0.0, 1.0));
+    for (i32 y = 0; y < 24; ++y) {
+      for (i32 x = 0; x < 24; ++x) {
+        const float t = gdir * static_cast<float>(y) / 23.0f +
+                        (1.0f - gdir) * static_cast<float>(x) / 23.0f;
+        for (i32 c = 0; c < 3; ++c) img.at3(y, x, c) = bg[c] * (1.0f - t) + bg2[c] * t;
+      }
+    }
+    // Distractor blobs (clutter shared across classes).
+    const int n_blobs = static_cast<int>(std::lround(cfg.distractors * 4.0f));
+    for (int b = 0; b < n_blobs; ++b) {
+      const float bx = static_cast<float>(rng.uniform(2.0, 22.0));
+      const float by = static_cast<float>(rng.uniform(2.0, 22.0));
+      const float br = static_cast<float>(rng.uniform(1.5, 3.5));
+      float bc[3];
+      for (int c = 0; c < 3; ++c) bc[c] = static_cast<float>(rng.uniform(0.1, 0.9));
+      for (i32 y = 0; y < 24; ++y) {
+        for (i32 x = 0; x < 24; ++x) {
+          const float dx = static_cast<float>(x) - bx, dy = static_cast<float>(y) - by;
+          if (dx * dx + dy * dy < br * br) {
+            for (i32 c = 0; c < 3; ++c) {
+              img.at3(y, x, c) = 0.35f * img.at3(y, x, c) + 0.65f * bc[c];
+            }
+          }
+        }
+      }
+    }
+    // Foreground shape with jittered geometry and color.
+    const float cx = 12.0f + static_cast<float>(rng.uniform(-3.0, 3.0));
+    const float cy = 12.0f + static_cast<float>(rng.uniform(-3.0, 3.0));
+    const float size = static_cast<float>(rng.uniform(5.0, 9.5));
+    const float theta = static_cast<float>(rng.uniform(-0.35, 0.35));
+    const float ct = std::cos(theta), st = std::sin(theta);
+    float color[3];
+    for (int c = 0; c < 3; ++c) {
+      color[c] = std::min(1.0f, std::max(0.0f, kBaseColor[cls][c] +
+                          static_cast<float>(rng.uniform(-0.18, 0.18))));
+    }
+    for (i32 y = 0; y < 24; ++y) {
+      for (i32 x = 0; x < 24; ++x) {
+        const float px = static_cast<float>(x) - cx, py = static_cast<float>(y) - cy;
+        const float u = (ct * px + st * py) / size;
+        const float v = (-st * px + ct * py) / size;
+        if (u > -1.0f && u < 1.0f && v > -1.0f && v < 1.0f && shape_member(cls, u, v)) {
+          for (i32 c = 0; c < 3; ++c) {
+            img.at3(y, x, c) = 0.35f * img.at3(y, x, c) + 0.65f * color[c];
+          }
+        }
+      }
+    }
+    add_noise_and_clamp(img, rng, cfg.noise);
+    d.images.push_back(std::move(img));
+    d.labels.push_back(cls);
+  }
+  return d;
+}
+
+Dataset take_prefix(const Dataset& d, usize n) {
+  SJ_REQUIRE(n <= d.size(), "take_prefix: not enough samples");
+  Dataset out;
+  out.name = d.name + "-prefix";
+  out.sample_shape = d.sample_shape;
+  out.num_classes = d.num_classes;
+  out.images.assign(d.images.begin(), d.images.begin() + static_cast<std::ptrdiff_t>(n));
+  out.labels.assign(d.labels.begin(), d.labels.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+}  // namespace sj::nn

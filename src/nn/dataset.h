@@ -1,0 +1,53 @@
+// Synthetic datasets standing in for MNIST and CIFAR-10.
+//
+// The paper evaluates on MNIST (28x28x1) and center-cropped CIFAR-10
+// (24x24x3). Neither dataset ships with this offline repository, so we
+// synthesize drop-in replacements with identical shapes and class counts
+// (see DESIGN.md §6):
+//
+//  * SynthDigits — digit glyphs (a 5x7 font) rendered with random affine
+//    jitter, stroke thickness and pixel noise onto a 28x28 canvas. Easy,
+//    like MNIST: a trained MLP should exceed ~95 %.
+//  * SynthColored — 10 classes of colored textured shapes on noisy
+//    backgrounds with distractor blobs, 24x24 RGB. Deliberately harder,
+//    like CIFAR-10: a small CNN lands near ~80 %.
+//
+// Generation is fully deterministic given the seed.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace sj::nn {
+
+/// A labeled image classification dataset (values in [0, 1]).
+struct Dataset {
+  std::string name;
+  Shape sample_shape;
+  std::vector<Tensor> images;
+  std::vector<i32> labels;  // in [0, num_classes)
+  i32 num_classes = 10;
+
+  usize size() const { return images.size(); }
+};
+
+/// Knobs for the synthetic generators (defaults reproduce the benches).
+struct SynthConfig {
+  u64 seed = 1;
+  float noise = 0.12f;        // stddev of additive Gaussian pixel noise
+  float distractors = 1.0f;   // strength of clutter (SynthColored only)
+};
+
+/// MNIST stand-in: 28x28x1, 10 digit classes.
+Dataset make_synth_digits(usize n, const SynthConfig& cfg = {});
+
+/// CIFAR-10 stand-in: 24x24x3, 10 shape/color classes.
+Dataset make_synth_colored(usize n, const SynthConfig& cfg = {});
+
+/// Deterministically splits off the first `n` samples as a new dataset
+/// (used for normalization calibration sets).
+Dataset take_prefix(const Dataset& d, usize n);
+
+}  // namespace sj::nn

@@ -1,0 +1,280 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace sj::nn {
+
+const char* layer_kind_name(LayerKind k) {
+  switch (k) {
+    case LayerKind::Dense: return "Dense";
+    case LayerKind::Conv2D: return "Conv2D";
+    case LayerKind::AvgPool: return "AvgPool";
+    case LayerKind::ReLU: return "ReLU";
+    case LayerKind::Flatten: return "Flatten";
+    case LayerKind::Add: return "Add";
+  }
+  return "?";
+}
+
+namespace {
+
+const Tensor& only_input(const std::vector<const Tensor*>& in) {
+  SJ_REQUIRE(in.size() == 1 && in[0] != nullptr, "layer expects exactly one input");
+  return *in[0];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Dense ----
+
+DenseLayer::DenseLayer(i32 in, i32 out) : w_({in, out}) {
+  SJ_REQUIRE(in > 0 && out > 0, "DenseLayer: dimensions must be positive");
+}
+
+std::string DenseLayer::describe() const {
+  return strprintf("Dense(%d, %d)", in_features(), out_features());
+}
+
+void DenseLayer::init(Rng& rng) {
+  const float std = std::sqrt(2.0f / static_cast<float>(in_features()));
+  w_.fill_normal(rng, 0.0f, std);
+}
+
+Shape DenseLayer::output_shape(const std::vector<Shape>& in) const {
+  SJ_REQUIRE(in.size() == 1, "Dense expects one input");
+  SJ_REQUIRE(static_cast<i32>(shape_numel(in[0])) == in_features(),
+             "Dense: input size mismatch: " + shape_to_string(in[0]));
+  return {out_features()};
+}
+
+Tensor DenseLayer::forward(const std::vector<const Tensor*>& in) const {
+  const Tensor& x = only_input(in);
+  SJ_REQUIRE(static_cast<i32>(x.numel()) == in_features(), "Dense: bad input size");
+  Tensor y({out_features()});
+  const float* xp = x.data();
+  const float* wp = w_.data();
+  float* yp = y.data();
+  const usize nin = static_cast<usize>(in_features());
+  const usize nout = static_cast<usize>(out_features());
+  for (usize i = 0; i < nin; ++i) {
+    const float xv = xp[i];
+    if (xv == 0.0f) continue;
+    const float* wrow = wp + i * nout;
+    for (usize j = 0; j < nout; ++j) yp[j] += xv * wrow[j];
+  }
+  return y;
+}
+
+std::vector<Tensor> DenseLayer::backward(const std::vector<const Tensor*>& in,
+                                         const Tensor& grad_out, Tensor* grad_w) const {
+  const Tensor& x = only_input(in);
+  const usize nin = static_cast<usize>(in_features());
+  const usize nout = static_cast<usize>(out_features());
+  SJ_REQUIRE(grad_out.numel() == nout, "Dense backward: grad size mismatch");
+  Tensor gx(x.shape());
+  const float* go = grad_out.data();
+  const float* wp = w_.data();
+  float* gxp = gx.data();
+  for (usize i = 0; i < nin; ++i) {
+    const float* wrow = wp + i * nout;
+    float acc = 0.0f;
+    for (usize j = 0; j < nout; ++j) acc += wrow[j] * go[j];
+    gxp[i] = acc;
+  }
+  if (grad_w != nullptr) {
+    SJ_REQUIRE(grad_w->shape() == w_.shape(), "Dense backward: grad_w shape mismatch");
+    const float* xp = x.data();
+    float* gw = grad_w->data();
+    for (usize i = 0; i < nin; ++i) {
+      const float xv = xp[i];
+      if (xv == 0.0f) continue;
+      float* gwrow = gw + i * nout;
+      for (usize j = 0; j < nout; ++j) gwrow[j] += xv * go[j];
+    }
+  }
+  std::vector<Tensor> out;
+  out.push_back(std::move(gx));
+  return out;
+}
+
+// --------------------------------------------------------------- Conv2D ----
+
+Conv2DLayer::Conv2DLayer(i32 kernel, i32 cin, i32 cout)
+    : kernel_(kernel), cin_(cin), cout_(cout), w_({kernel * kernel * cin, cout}) {
+  SJ_REQUIRE(kernel >= 1 && kernel % 2 == 1, "Conv2D: kernel must be odd (same padding)");
+  SJ_REQUIRE(cin > 0 && cout > 0, "Conv2D: channels must be positive");
+}
+
+std::string Conv2DLayer::describe() const {
+  return strprintf("Conv2D(%d,%d,%d,%d)", kernel_, kernel_, cin_, cout_);
+}
+
+void Conv2DLayer::init(Rng& rng) {
+  const float fan_in = static_cast<float>(kernel_ * kernel_ * cin_);
+  w_.fill_normal(rng, 0.0f, std::sqrt(2.0f / fan_in));
+}
+
+Shape Conv2DLayer::output_shape(const std::vector<Shape>& in) const {
+  SJ_REQUIRE(in.size() == 1, "Conv2D expects one input");
+  const Shape& s = in[0];
+  SJ_REQUIRE(s.size() == 3, "Conv2D: input must be [h,w,c], got " + shape_to_string(s));
+  SJ_REQUIRE(s[2] == cin_, "Conv2D: channel mismatch");
+  return {s[0], s[1], cout_};
+}
+
+Tensor Conv2DLayer::forward(const std::vector<const Tensor*>& in) const {
+  const Tensor& x = only_input(in);
+  SJ_REQUIRE(x.ndim() == 3 && x.dim(2) == cin_, "Conv2D: bad input");
+  Tensor cols;
+  im2col(x, kernel_, /*stride=*/1, pad(), cols);
+  Tensor y;
+  matmul(cols, w_, y);  // [h*w, cout]
+  return y.reshaped({x.dim(0), x.dim(1), cout_});
+}
+
+std::vector<Tensor> Conv2DLayer::backward(const std::vector<const Tensor*>& in,
+                                          const Tensor& grad_out, Tensor* grad_w) const {
+  const Tensor& x = only_input(in);
+  const i32 h = x.dim(0), w = x.dim(1);
+  SJ_REQUIRE(grad_out.numel() == static_cast<usize>(h) * static_cast<usize>(w) *
+                                     static_cast<usize>(cout_),
+             "Conv2D backward: grad size mismatch");
+  const Tensor go = grad_out.reshaped({h * w, cout_});
+  Tensor cols;
+  im2col(x, kernel_, 1, pad(), cols);
+  if (grad_w != nullptr) {
+    SJ_REQUIRE(grad_w->shape() == w_.shape(), "Conv2D backward: grad_w shape mismatch");
+    // dW[kkc, cout] += cols^T[kkc, hw] * go[hw, cout]
+    Tensor gw_local;
+    matmul_tn(cols, go, gw_local);
+    float* gw = grad_w->data();
+    const float* gl = gw_local.data();
+    for (usize i = 0; i < gw_local.numel(); ++i) gw[i] += gl[i];
+  }
+  // dcols[hw, kkc] = go[hw, cout] * W^T[cout, kkc]
+  Tensor dcols({h * w, kernel_ * kernel_ * cin_});
+  matmul_nt_acc(go, w_, dcols);
+  Tensor gx({h, w, cin_});
+  col2im(dcols, kernel_, 1, pad(), gx);
+  std::vector<Tensor> out;
+  out.push_back(std::move(gx));
+  return out;
+}
+
+// -------------------------------------------------------------- AvgPool ----
+
+AvgPoolLayer::AvgPoolLayer(i32 win) : win_(win) {
+  SJ_REQUIRE(win >= 1, "AvgPool: window must be positive");
+}
+
+std::string AvgPoolLayer::describe() const { return strprintf("AvgPool(%d,%d)", win_, win_); }
+
+Shape AvgPoolLayer::output_shape(const std::vector<Shape>& in) const {
+  SJ_REQUIRE(in.size() == 1, "AvgPool expects one input");
+  const Shape& s = in[0];
+  SJ_REQUIRE(s.size() == 3, "AvgPool: input must be [h,w,c]");
+  SJ_REQUIRE(s[0] % win_ == 0 && s[1] % win_ == 0, "AvgPool: size not divisible");
+  return {s[0] / win_, s[1] / win_, s[2]};
+}
+
+Tensor AvgPoolLayer::forward(const std::vector<const Tensor*>& in) const {
+  Tensor y;
+  avgpool(only_input(in), win_, y);
+  return y;
+}
+
+std::vector<Tensor> AvgPoolLayer::backward(const std::vector<const Tensor*>& in,
+                                           const Tensor& grad_out, Tensor* grad_w) const {
+  (void)grad_w;
+  const Tensor& x = only_input(in);
+  const Tensor go = grad_out.reshaped({x.dim(0) / win_, x.dim(1) / win_, x.dim(2)});
+  Tensor gx;
+  avgpool_backward(go, win_, gx);
+  std::vector<Tensor> out;
+  out.push_back(std::move(gx));
+  return out;
+}
+
+// ----------------------------------------------------------------- ReLU ----
+
+Shape ReLULayer::output_shape(const std::vector<Shape>& in) const {
+  SJ_REQUIRE(in.size() == 1, "ReLU expects one input");
+  return in[0];
+}
+
+Tensor ReLULayer::forward(const std::vector<const Tensor*>& in) const {
+  Tensor y = only_input(in);
+  for (float& v : y.vec()) v = v > 0.0f ? v : 0.0f;
+  return y;
+}
+
+std::vector<Tensor> ReLULayer::backward(const std::vector<const Tensor*>& in,
+                                        const Tensor& grad_out, Tensor* grad_w) const {
+  (void)grad_w;
+  const Tensor& x = only_input(in);
+  SJ_REQUIRE(grad_out.numel() == x.numel(), "ReLU backward: size mismatch");
+  Tensor gx(x.shape());
+  const float* xp = x.data();
+  const float* go = grad_out.data();
+  float* gp = gx.data();
+  for (usize i = 0; i < x.numel(); ++i) gp[i] = xp[i] > 0.0f ? go[i] : 0.0f;
+  std::vector<Tensor> out;
+  out.push_back(std::move(gx));
+  return out;
+}
+
+// -------------------------------------------------------------- Flatten ----
+
+Shape FlattenLayer::output_shape(const std::vector<Shape>& in) const {
+  SJ_REQUIRE(in.size() == 1, "Flatten expects one input");
+  return {static_cast<i32>(shape_numel(in[0]))};
+}
+
+Tensor FlattenLayer::forward(const std::vector<const Tensor*>& in) const {
+  const Tensor& x = only_input(in);
+  return x.reshaped({static_cast<i32>(x.numel())});
+}
+
+std::vector<Tensor> FlattenLayer::backward(const std::vector<const Tensor*>& in,
+                                           const Tensor& grad_out, Tensor* grad_w) const {
+  (void)grad_w;
+  const Tensor& x = only_input(in);
+  std::vector<Tensor> out;
+  out.push_back(grad_out.reshaped(x.shape()));
+  return out;
+}
+
+// ------------------------------------------------------------------ Add ----
+
+Shape AddLayer::output_shape(const std::vector<Shape>& in) const {
+  SJ_REQUIRE(in.size() == 2, "Add expects two inputs");
+  SJ_REQUIRE(in[0] == in[1], "Add: input shapes differ: " + shape_to_string(in[0]) +
+                                 " vs " + shape_to_string(in[1]));
+  return in[0];
+}
+
+Tensor AddLayer::forward(const std::vector<const Tensor*>& in) const {
+  SJ_REQUIRE(in.size() == 2, "Add expects two inputs");
+  const Tensor& a = *in[0];
+  const Tensor& b = *in[1];
+  SJ_REQUIRE(a.shape() == b.shape(), "Add: shape mismatch");
+  Tensor y = a;
+  const float* bp = b.data();
+  float* yp = y.data();
+  for (usize i = 0; i < y.numel(); ++i) yp[i] += bp[i];
+  return y;
+}
+
+std::vector<Tensor> AddLayer::backward(const std::vector<const Tensor*>& in,
+                                       const Tensor& grad_out, Tensor* grad_w) const {
+  (void)grad_w;
+  SJ_REQUIRE(in.size() == 2, "Add expects two inputs");
+  std::vector<Tensor> out;
+  out.push_back(grad_out);
+  out.push_back(grad_out);
+  return out;
+}
+
+}  // namespace sj::nn

@@ -1,0 +1,170 @@
+// Layer abstractions for the small ANN library.
+//
+// Design notes:
+//  * Layers are immutable during forward/backward; all per-sample state lives
+//    in caller-owned activation vectors, so one model instance can be shared
+//    by many threads (the trainer and the SNN evaluator rely on this).
+//  * Layers carry no biases: the paper follows the Cao/Diehl ANN->SNN
+//    conversion recipe, which requires bias-free ReLU networks with average
+//    pooling, so we train in that regime directly.
+//  * Forward/backward operate on single samples (the networks of Table III
+//    are small); data parallelism happens across samples in the trainer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace sj::nn {
+
+/// Discriminates concrete layer types (also used by the SNN converter and
+/// the Shenjing mapper to interpret the graph).
+enum class LayerKind : u8 {
+  Dense,     // y[out] = x[in] . W[in,out]
+  Conv2D,    // 'same' convolution, stride 1, HWC layout
+  AvgPool,   // non-overlapping window average
+  ReLU,      // elementwise max(0, x)
+  Flatten,   // reshape [h,w,c] -> [h*w*c]
+  Add,       // elementwise sum of two equal-shape inputs (residual join)
+};
+
+const char* layer_kind_name(LayerKind k);
+
+/// Base class of all layers. Concrete layers are cheap value-like objects
+/// holding (at most) one weight tensor.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+
+  /// Human-readable summary, e.g. "Conv2D(5,5,16,32)".
+  virtual std::string describe() const = 0;
+
+  /// Number of inputs this layer consumes (1, or 2 for Add).
+  virtual int arity() const { return 1; }
+
+  /// Shape of the output given input shapes; validates geometry.
+  virtual Shape output_shape(const std::vector<Shape>& in) const = 0;
+
+  /// Computes the output for one sample.
+  virtual Tensor forward(const std::vector<const Tensor*>& in) const = 0;
+
+  /// Computes input gradients for one sample. `grad_w`, when non-null and the
+  /// layer has weights, receives the accumulated (+=) weight gradient.
+  virtual std::vector<Tensor> backward(const std::vector<const Tensor*>& in,
+                                       const Tensor& grad_out,
+                                       Tensor* grad_w) const = 0;
+
+  /// Mutable weight tensor, or nullptr for parameter-free layers.
+  virtual Tensor* weights() { return nullptr; }
+  const Tensor* weights() const { return const_cast<Layer*>(this)->weights(); }
+};
+
+/// Fully connected layer: weight shape [in, out].
+class DenseLayer final : public Layer {
+ public:
+  DenseLayer(i32 in, i32 out);
+
+  LayerKind kind() const override { return LayerKind::Dense; }
+  std::string describe() const override;
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> backward(const std::vector<const Tensor*>& in,
+                               const Tensor& grad_out, Tensor* grad_w) const override;
+  using Layer::weights;
+  Tensor* weights() override { return &w_; }
+
+  i32 in_features() const { return w_.dim(0); }
+  i32 out_features() const { return w_.dim(1); }
+
+  /// He-style initialization for ReLU networks.
+  void init(Rng& rng);
+
+ private:
+  Tensor w_;  // [in, out]
+};
+
+/// 'Same' 2-D convolution (stride 1), weight shape [k*k*cin, cout].
+class Conv2DLayer final : public Layer {
+ public:
+  Conv2DLayer(i32 kernel, i32 cin, i32 cout);
+
+  LayerKind kind() const override { return LayerKind::Conv2D; }
+  std::string describe() const override;
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> backward(const std::vector<const Tensor*>& in,
+                               const Tensor& grad_out, Tensor* grad_w) const override;
+  using Layer::weights;
+  Tensor* weights() override { return &w_; }
+
+  i32 kernel() const { return kernel_; }
+  i32 in_channels() const { return cin_; }
+  i32 out_channels() const { return cout_; }
+  i32 pad() const { return (kernel_ - 1) / 2; }
+
+  void init(Rng& rng);
+
+ private:
+  i32 kernel_, cin_, cout_;
+  Tensor w_;  // [k*k*cin, cout]
+};
+
+/// Average pooling over non-overlapping `win` x `win` windows.
+class AvgPoolLayer final : public Layer {
+ public:
+  explicit AvgPoolLayer(i32 win);
+
+  LayerKind kind() const override { return LayerKind::AvgPool; }
+  std::string describe() const override;
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> backward(const std::vector<const Tensor*>& in,
+                               const Tensor& grad_out, Tensor* grad_w) const override;
+
+  i32 window() const { return win_; }
+
+ private:
+  i32 win_;
+};
+
+/// Elementwise rectifier.
+class ReLULayer final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::ReLU; }
+  std::string describe() const override { return "ReLU"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> backward(const std::vector<const Tensor*>& in,
+                               const Tensor& grad_out, Tensor* grad_w) const override;
+};
+
+/// Reshape [h,w,c] (or any shape) to a flat vector.
+class FlattenLayer final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::Flatten; }
+  std::string describe() const override { return "Flatten"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> backward(const std::vector<const Tensor*>& in,
+                               const Tensor& grad_out, Tensor* grad_w) const override;
+};
+
+/// Residual join: elementwise sum of two equal-shape activations.
+class AddLayer final : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::Add; }
+  std::string describe() const override { return "Add"; }
+  int arity() const override { return 2; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> backward(const std::vector<const Tensor*>& in,
+                               const Tensor& grad_out, Tensor* grad_w) const override;
+};
+
+}  // namespace sj::nn

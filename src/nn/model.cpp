@@ -1,0 +1,227 @@
+#include "nn/model.h"
+
+#include <sstream>
+
+namespace sj::nn {
+
+void GradStore::add(const GradStore& other) {
+  SJ_REQUIRE(grads.size() == other.grads.size(), "GradStore::add size mismatch");
+  for (usize i = 0; i < grads.size(); ++i) {
+    if (grads[i].empty()) continue;
+    SJ_REQUIRE(grads[i].shape() == other.grads[i].shape(), "GradStore::add shape mismatch");
+    float* a = grads[i].data();
+    const float* b = other.grads[i].data();
+    for (usize j = 0; j < grads[i].numel(); ++j) a[j] += b[j];
+  }
+}
+
+void GradStore::scale(float s) {
+  for (auto& g : grads) {
+    for (float& v : g.vec()) v *= s;
+  }
+}
+
+void GradStore::zero() {
+  for (auto& g : grads) g.fill(0.0f);
+}
+
+Model::Model(Shape input_shape, std::string name)
+    : name_(std::move(name)), input_shape_(std::move(input_shape)) {
+  SJ_REQUIRE(!input_shape_.empty(), "Model: input shape must be non-empty");
+}
+
+namespace {
+
+std::unique_ptr<Layer> clone_layer(const Layer& l) {
+  switch (l.kind()) {
+    case LayerKind::Dense: {
+      const auto& d = static_cast<const DenseLayer&>(l);
+      auto copy = std::make_unique<DenseLayer>(d.in_features(), d.out_features());
+      *copy->weights() = *l.weights();
+      return copy;
+    }
+    case LayerKind::Conv2D: {
+      const auto& c = static_cast<const Conv2DLayer&>(l);
+      auto copy = std::make_unique<Conv2DLayer>(c.kernel(), c.in_channels(), c.out_channels());
+      *copy->weights() = *l.weights();
+      return copy;
+    }
+    case LayerKind::AvgPool:
+      return std::make_unique<AvgPoolLayer>(static_cast<const AvgPoolLayer&>(l).window());
+    case LayerKind::ReLU: return std::make_unique<ReLULayer>();
+    case LayerKind::Flatten: return std::make_unique<FlattenLayer>();
+    case LayerKind::Add: return std::make_unique<AddLayer>();
+  }
+  SJ_THROW_INTERNAL("clone_layer: unknown kind");
+}
+
+}  // namespace
+
+Model Model::clone() const {
+  Model m(input_shape_, name_);
+  for (const auto& n : nodes_) {
+    m.add(clone_layer(*n.layer), n.inputs);
+  }
+  return m;
+}
+
+NodeId Model::add(std::unique_ptr<Layer> layer, std::vector<NodeId> inputs) {
+  SJ_REQUIRE(layer != nullptr, "Model::add: null layer");
+  if (inputs.empty()) inputs = {static_cast<NodeId>(nodes_.size())};
+  SJ_REQUIRE(static_cast<int>(inputs.size()) == layer->arity(),
+             "Model::add: wrong number of inputs for " + layer->describe());
+  std::vector<Shape> in_shapes;
+  for (const NodeId id : inputs) {
+    SJ_REQUIRE(id >= 0 && id <= static_cast<NodeId>(nodes_.size()),
+               "Model::add: input node out of range");
+    in_shapes.push_back(id == 0 ? input_shape_ : nodes_[static_cast<usize>(id - 1)].out_shape);
+  }
+  Node n;
+  n.out_shape = layer->output_shape(in_shapes);
+  n.layer = std::move(layer);
+  n.inputs = std::move(inputs);
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size());
+}
+
+NodeId Model::dense(i32 in, i32 out, NodeId from) {
+  return add(std::make_unique<DenseLayer>(in, out),
+             from < 0 ? std::vector<NodeId>{} : std::vector<NodeId>{from});
+}
+
+NodeId Model::conv2d(i32 kernel, i32 cin, i32 cout, NodeId from) {
+  return add(std::make_unique<Conv2DLayer>(kernel, cin, cout),
+             from < 0 ? std::vector<NodeId>{} : std::vector<NodeId>{from});
+}
+
+NodeId Model::avgpool(i32 win, NodeId from) {
+  return add(std::make_unique<AvgPoolLayer>(win),
+             from < 0 ? std::vector<NodeId>{} : std::vector<NodeId>{from});
+}
+
+NodeId Model::relu(NodeId from) {
+  return add(std::make_unique<ReLULayer>(),
+             from < 0 ? std::vector<NodeId>{} : std::vector<NodeId>{from});
+}
+
+NodeId Model::flatten(NodeId from) {
+  return add(std::make_unique<FlattenLayer>(),
+             from < 0 ? std::vector<NodeId>{} : std::vector<NodeId>{from});
+}
+
+NodeId Model::add_join(NodeId a, NodeId b) {
+  return add(std::make_unique<AddLayer>(), {a, b});
+}
+
+const Node& Model::node(NodeId id) const {
+  SJ_REQUIRE(id >= 1 && id <= static_cast<NodeId>(nodes_.size()), "node id out of range");
+  return nodes_[static_cast<usize>(id - 1)];
+}
+
+Layer& Model::layer(NodeId id) {
+  SJ_REQUIRE(id >= 1 && id <= static_cast<NodeId>(nodes_.size()), "node id out of range");
+  return *nodes_[static_cast<usize>(id - 1)].layer;
+}
+
+const Layer& Model::layer(NodeId id) const { return const_cast<Model*>(this)->layer(id); }
+
+const Shape& Model::output_shape() const {
+  SJ_REQUIRE(!nodes_.empty(), "Model has no layers");
+  return nodes_.back().out_shape;
+}
+
+usize Model::num_params() const {
+  usize n = 0;
+  for (const auto& node : nodes_) {
+    if (const Tensor* w = node.layer->weights()) n += w->numel();
+  }
+  return n;
+}
+
+void Model::init_weights(Rng& rng) {
+  for (auto& node : nodes_) {
+    switch (node.layer->kind()) {
+      case LayerKind::Dense: static_cast<DenseLayer&>(*node.layer).init(rng); break;
+      case LayerKind::Conv2D: static_cast<Conv2DLayer&>(*node.layer).init(rng); break;
+      default: break;
+    }
+  }
+}
+
+Activations Model::forward(const Tensor& input) const {
+  SJ_REQUIRE(input.shape() == input_shape_,
+             "Model::forward: input shape " + shape_to_string(input.shape()) +
+                 " != expected " + shape_to_string(input_shape_));
+  Activations acts;
+  acts.values.resize(nodes_.size() + 1);
+  acts.values[0] = input;
+  for (usize i = 0; i < nodes_.size(); ++i) {
+    std::vector<const Tensor*> ins;
+    ins.reserve(nodes_[i].inputs.size());
+    for (const NodeId id : nodes_[i].inputs) ins.push_back(&acts.values[static_cast<usize>(id)]);
+    acts.values[i + 1] = nodes_[i].layer->forward(ins);
+  }
+  return acts;
+}
+
+Tensor Model::predict(const Tensor& input) const { return forward(input).output(); }
+
+GradStore Model::make_grad_store() const {
+  GradStore gs;
+  gs.grads.resize(nodes_.size());
+  for (usize i = 0; i < nodes_.size(); ++i) {
+    if (const Tensor* w = nodes_[i].layer->weights()) gs.grads[i] = Tensor(w->shape());
+  }
+  return gs;
+}
+
+void Model::backward(const Activations& acts, const Tensor& grad_output,
+                     GradStore& grads) const {
+  SJ_REQUIRE(acts.values.size() == nodes_.size() + 1, "backward: stale activations");
+  SJ_REQUIRE(grads.grads.size() == nodes_.size(), "backward: grad store size mismatch");
+  // Node-output gradient accumulators (multiple consumers sum here).
+  std::vector<Tensor> node_grads(nodes_.size() + 1);
+  node_grads[nodes_.size()] = grad_output;
+  for (usize i = nodes_.size(); i-- > 0;) {
+    const Node& n = nodes_[i];
+    Tensor& gout = node_grads[i + 1];
+    if (gout.empty()) continue;  // dead branch
+    std::vector<const Tensor*> ins;
+    ins.reserve(n.inputs.size());
+    for (const NodeId id : n.inputs) ins.push_back(&acts.values[static_cast<usize>(id)]);
+    Tensor* gw = grads.grads[i].empty() ? nullptr : &grads.grads[i];
+    std::vector<Tensor> gins = n.layer->backward(ins, gout, gw);
+    SJ_ASSERT(gins.size() == n.inputs.size(), "backward arity mismatch");
+    for (usize k = 0; k < gins.size(); ++k) {
+      const usize dst = static_cast<usize>(n.inputs[k]);
+      if (dst == 0) continue;  // gradient w.r.t. the input sample is unused
+      Tensor& acc = node_grads[dst];
+      if (acc.empty()) {
+        acc = std::move(gins[k]);
+      } else {
+        SJ_ASSERT(acc.shape() == gins[k].shape(), "grad shape mismatch");
+        float* a = acc.data();
+        const float* b = gins[k].data();
+        for (usize j = 0; j < acc.numel(); ++j) a[j] += b[j];
+      }
+    }
+    gout = Tensor();  // release memory early
+  }
+}
+
+std::string Model::summary() const {
+  std::ostringstream os;
+  os << name_ << ": input " << shape_to_string(input_shape_) << '\n';
+  for (usize i = 0; i < nodes_.size(); ++i) {
+    os << "  [" << (i + 1) << "] " << nodes_[i].layer->describe() << " <- (";
+    for (usize k = 0; k < nodes_[i].inputs.size(); ++k) {
+      if (k > 0) os << ", ";
+      os << nodes_[i].inputs[k];
+    }
+    os << ") -> " << shape_to_string(nodes_[i].out_shape) << '\n';
+  }
+  os << "  params: " << num_params() << '\n';
+  return os.str();
+}
+
+}  // namespace sj::nn

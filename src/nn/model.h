@@ -1,0 +1,111 @@
+// Model: a tiny static single-assignment graph of layers.
+//
+// Node 0 is the network input; every other node applies a layer to one or
+// two previous node outputs. Sequential networks are a chain; ResNet blocks
+// add a second edge into an Add node. The graph is immutable once built
+// (weights remain mutable), and forward/backward allocate all per-sample
+// state on the caller's stack so a const Model is safe to share across
+// threads.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sj::nn {
+
+/// Index of a node's output within a Model.
+using NodeId = i32;
+
+/// One applied layer inside a Model graph.
+struct Node {
+  std::unique_ptr<Layer> layer;
+  std::vector<NodeId> inputs;  // indices of producer nodes (0 = model input)
+  Shape out_shape;             // inferred at add() time
+};
+
+/// Per-sample forward activations: `values[i]` is node i's output
+/// (values[0] is the input sample itself).
+struct Activations {
+  std::vector<Tensor> values;
+  const Tensor& output() const { return values.back(); }
+};
+
+/// Per-model weight-gradient buffers, one (possibly empty) tensor per node.
+struct GradStore {
+  std::vector<Tensor> grads;
+
+  void add(const GradStore& other);
+  void scale(float s);
+  void zero();
+};
+
+/// A feed-forward network as an SSA graph of layers.
+class Model {
+ public:
+  /// Creates a model taking inputs of the given shape (node 0).
+  explicit Model(Shape input_shape, std::string name = "model");
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  /// Deep copy (weights included).
+  Model clone() const;
+
+  const std::string& name() const { return name_; }
+  const Shape& input_shape() const { return input_shape_; }
+
+  /// Appends a layer reading from `input` (default: the previous node).
+  /// Returns the new node's id.
+  NodeId add(std::unique_ptr<Layer> layer, std::vector<NodeId> inputs = {});
+
+  /// Convenience builders returning the new node id.
+  NodeId dense(i32 in, i32 out, NodeId from = -1);
+  NodeId conv2d(i32 kernel, i32 cin, i32 cout, NodeId from = -1);
+  NodeId avgpool(i32 win, NodeId from = -1);
+  NodeId relu(NodeId from = -1);
+  NodeId flatten(NodeId from = -1);
+  NodeId add_join(NodeId a, NodeId b);
+
+  usize num_nodes() const { return nodes_.size() + 1; }  // incl. input node
+  /// Number of layer nodes (excludes the input pseudo-node).
+  usize num_layers() const { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  Layer& layer(NodeId id);
+  const Layer& layer(NodeId id) const;
+  NodeId output_node() const { return static_cast<NodeId>(nodes_.size()); }
+  const Shape& output_shape() const;
+
+  /// Total learnable parameter count.
+  usize num_params() const;
+
+  /// Initializes every weighted layer from `rng` (He init).
+  void init_weights(Rng& rng);
+
+  /// Runs the network on one sample, returning all activations.
+  Activations forward(const Tensor& input) const;
+
+  /// Convenience: forward and return only the output tensor.
+  Tensor predict(const Tensor& input) const;
+
+  /// Backpropagates `grad_output` through previously computed activations,
+  /// accumulating weight gradients into `grads` (must be sized; see
+  /// make_grad_store()).
+  void backward(const Activations& acts, const Tensor& grad_output,
+                GradStore& grads) const;
+
+  /// Allocates a zeroed gradient buffer matching this model's weights.
+  GradStore make_grad_store() const;
+
+  /// One-line-per-layer structural summary.
+  std::string summary() const;
+
+ private:
+  std::string name_;
+  Shape input_shape_;
+  std::vector<Node> nodes_;  // node id i+1 = nodes_[i]
+};
+
+}  // namespace sj::nn

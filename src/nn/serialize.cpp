@@ -1,0 +1,145 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace sj::nn {
+
+json::Value model_to_json(const Model& model) {
+  json::Value doc;
+  doc.set("name", model.name());
+  json::Value input;
+  for (const i32 d : model.input_shape()) input.push_back(d);
+  doc.set("input", std::move(input));
+  json::Value layers;
+  for (NodeId id = 1; id <= static_cast<NodeId>(model.num_layers()); ++id) {
+    const Node& n = model.node(id);
+    json::Value jl;
+    jl.set("kind", layer_kind_name(n.layer->kind()));
+    switch (n.layer->kind()) {
+      case LayerKind::Dense: {
+        const auto& d = static_cast<const DenseLayer&>(*n.layer);
+        jl.set("in", d.in_features());
+        jl.set("out", d.out_features());
+        break;
+      }
+      case LayerKind::Conv2D: {
+        const auto& c = static_cast<const Conv2DLayer&>(*n.layer);
+        jl.set("kernel", c.kernel());
+        jl.set("cin", c.in_channels());
+        jl.set("cout", c.out_channels());
+        break;
+      }
+      case LayerKind::AvgPool:
+        jl.set("window", static_cast<const AvgPoolLayer&>(*n.layer).window());
+        break;
+      default: break;
+    }
+    json::Value inputs;
+    for (const NodeId in : n.inputs) inputs.push_back(in);
+    jl.set("inputs", std::move(inputs));
+    layers.push_back(std::move(jl));
+  }
+  doc.set("layers", std::move(layers));
+  return doc;
+}
+
+Model model_from_json(const json::Value& doc) {
+  Shape input;
+  for (const auto& v : doc.at("input").as_array()) {
+    input.push_back(static_cast<i32>(v.as_int()));
+  }
+  Model m(input, doc.string_or("name", "model"));
+  for (const auto& jl : doc.at("layers").as_array()) {
+    const std::string kind = jl.at("kind").as_string();
+    std::vector<NodeId> inputs;
+    for (const auto& v : jl.at("inputs").as_array()) {
+      inputs.push_back(static_cast<NodeId>(v.as_int()));
+    }
+    std::unique_ptr<Layer> layer;
+    if (kind == "Dense") {
+      layer = std::make_unique<DenseLayer>(static_cast<i32>(jl.at("in").as_int()),
+                                           static_cast<i32>(jl.at("out").as_int()));
+    } else if (kind == "Conv2D") {
+      layer = std::make_unique<Conv2DLayer>(static_cast<i32>(jl.at("kernel").as_int()),
+                                            static_cast<i32>(jl.at("cin").as_int()),
+                                            static_cast<i32>(jl.at("cout").as_int()));
+    } else if (kind == "AvgPool") {
+      layer = std::make_unique<AvgPoolLayer>(static_cast<i32>(jl.at("window").as_int()));
+    } else if (kind == "ReLU") {
+      layer = std::make_unique<ReLULayer>();
+    } else if (kind == "Flatten") {
+      layer = std::make_unique<FlattenLayer>();
+    } else if (kind == "Add") {
+      layer = std::make_unique<AddLayer>();
+    } else {
+      SJ_THROW_INVALID("model_from_json: unknown layer kind '" + kind + "'");
+    }
+    m.add(std::move(layer), inputs);
+  }
+  return m;
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'J', 'W', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) SJ_THROW_IO("weight file truncated");
+}
+
+}  // namespace
+
+void save_weights(const Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) SJ_THROW_IO("cannot open for write: " + path);
+  out.write(kMagic, 4);
+  u32 count = 0;
+  for (NodeId id = 1; id <= static_cast<NodeId>(model.num_layers()); ++id) {
+    if (model.layer(id).weights() != nullptr) ++count;
+  }
+  write_pod(out, count);
+  for (NodeId id = 1; id <= static_cast<NodeId>(model.num_layers()); ++id) {
+    const Tensor* w = model.layer(id).weights();
+    if (w == nullptr) continue;
+    write_pod(out, static_cast<u32>(id));
+    write_pod(out, static_cast<u32>(w->ndim()));
+    for (const i32 d : w->shape()) write_pod(out, d);
+    out.write(reinterpret_cast<const char*>(w->data()),
+              static_cast<std::streamsize>(w->numel() * sizeof(float)));
+  }
+  if (!out) SJ_THROW_IO("write failed: " + path);
+}
+
+void load_weights(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) SJ_THROW_IO("cannot open for read: " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) SJ_THROW_IO("bad weight file magic: " + path);
+  u32 count = 0;
+  read_pod(in, count);
+  for (u32 i = 0; i < count; ++i) {
+    u32 id = 0, ndim = 0;
+    read_pod(in, id);
+    read_pod(in, ndim);
+    Shape shape(ndim);
+    for (u32 d = 0; d < ndim; ++d) read_pod(in, shape[d]);
+    SJ_REQUIRE(id >= 1 && id <= model.num_layers(), "weight file: node id out of range");
+    Tensor* w = model.layer(static_cast<NodeId>(id)).weights();
+    SJ_REQUIRE(w != nullptr, "weight file: node has no weights");
+    SJ_REQUIRE(w->shape() == shape, "weight file: shape mismatch at node " + std::to_string(id));
+    in.read(reinterpret_cast<char*>(w->data()),
+            static_cast<std::streamsize>(w->numel() * sizeof(float)));
+    if (!in) SJ_THROW_IO("weight file truncated: " + path);
+  }
+}
+
+}  // namespace sj::nn

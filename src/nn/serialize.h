@@ -1,0 +1,28 @@
+// Model serialization.
+//
+// Mirrors the paper's toolchain inputs (Fig. 3): a JSON layers-description
+// plus a flat binary weight file. Architecture and weights round-trip
+// independently, so a layers.json can describe a network whose weights are
+// trained later.
+#pragma once
+
+#include <string>
+
+#include "json/json.h"
+#include "nn/model.h"
+
+namespace sj::nn {
+
+/// Serializes the architecture (not the weights) to a JSON document.
+json::Value model_to_json(const Model& model);
+
+/// Rebuilds a model (uninitialized weights) from model_to_json output.
+Model model_from_json(const json::Value& doc);
+
+/// Writes all weight tensors to a binary file ("SJW1" format).
+void save_weights(const Model& model, const std::string& path);
+
+/// Loads weights written by save_weights. Shapes must match exactly.
+void load_weights(Model& model, const std::string& path);
+
+}  // namespace sj::nn

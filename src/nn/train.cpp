@@ -1,0 +1,162 @@
+#include "nn/train.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace sj::nn {
+
+double softmax_cross_entropy(const Tensor& logits, i32 label, Tensor& grad) {
+  const usize n = logits.numel();
+  SJ_REQUIRE(label >= 0 && static_cast<usize>(label) < n, "label out of range");
+  if (grad.shape() != logits.shape()) grad = Tensor(logits.shape());
+  // Stable softmax.
+  const float* lp = logits.data();
+  float m = lp[0];
+  for (usize i = 1; i < n; ++i) m = std::max(m, lp[i]);
+  double sum = 0.0;
+  for (usize i = 0; i < n; ++i) sum += std::exp(static_cast<double>(lp[i] - m));
+  const double log_sum = std::log(sum);
+  const double loss = -(static_cast<double>(lp[static_cast<usize>(label)] - m) - log_sum);
+  float* gp = grad.data();
+  for (usize i = 0; i < n; ++i) {
+    const double p = std::exp(static_cast<double>(lp[i] - m)) / sum;
+    gp[i] = static_cast<float>(p) - (static_cast<i32>(i) == label ? 1.0f : 0.0f);
+  }
+  return loss;
+}
+
+namespace {
+
+/// Adam first/second moment buffers mirroring a GradStore.
+struct AdamState {
+  std::vector<Tensor> m, v;
+  i64 step = 0;
+};
+
+AdamState make_adam_state(const GradStore& gs) {
+  AdamState st;
+  st.m.resize(gs.grads.size());
+  st.v.resize(gs.grads.size());
+  for (usize i = 0; i < gs.grads.size(); ++i) {
+    if (!gs.grads[i].empty()) {
+      st.m[i] = Tensor(gs.grads[i].shape());
+      st.v[i] = Tensor(gs.grads[i].shape());
+    }
+  }
+  return st;
+}
+
+void adam_update(Model& model, const GradStore& grads, AdamState& st,
+                 const TrainConfig& cfg) {
+  ++st.step;
+  const float b1t = 1.0f - std::pow(cfg.beta1, static_cast<float>(st.step));
+  const float b2t = 1.0f - std::pow(cfg.beta2, static_cast<float>(st.step));
+  for (usize i = 0; i < grads.grads.size(); ++i) {
+    if (grads.grads[i].empty()) continue;
+    Tensor* w = model.layer(static_cast<NodeId>(i + 1)).weights();
+    SJ_ASSERT(w != nullptr, "adam: missing weights");
+    float* wp = w->data();
+    const float* gp = grads.grads[i].data();
+    float* mp = st.m[i].data();
+    float* vp = st.v[i].data();
+    for (usize j = 0; j < w->numel(); ++j) {
+      const float g = gp[j];
+      mp[j] = cfg.beta1 * mp[j] + (1.0f - cfg.beta1) * g;
+      vp[j] = cfg.beta2 * vp[j] + (1.0f - cfg.beta2) * g * g;
+      const float mhat = mp[j] / b1t;
+      const float vhat = vp[j] / b2t;
+      float upd = cfg.lr * mhat / (std::sqrt(vhat) + cfg.eps);
+      if (cfg.weight_decay > 0.0f) upd += cfg.lr * cfg.weight_decay * wp[j];
+      wp[j] -= upd;
+    }
+  }
+}
+
+}  // namespace
+
+TrainStats train(Model& model, const Dataset& data, const TrainConfig& cfg) {
+  SJ_REQUIRE(data.size() > 0, "train: empty dataset");
+  SJ_REQUIRE(data.sample_shape == model.input_shape(), "train: dataset/model shape mismatch");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ThreadPool& pool = ThreadPool::global();
+  const usize n_threads = std::max<usize>(1, pool.num_threads());
+
+  GradStore batch_grads = model.make_grad_store();
+  AdamState adam = make_adam_state(batch_grads);
+
+  std::vector<usize> order(data.size());
+  std::iota(order.begin(), order.end(), usize{0});
+  Rng shuffle_rng(cfg.shuffle_seed);
+
+  TrainStats stats;
+  for (usize epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Fisher-Yates shuffle.
+    for (usize i = data.size(); i > 1; --i) {
+      const usize j = shuffle_rng.uniform_index(i);
+      std::swap(order[i - 1], order[j]);
+    }
+    std::atomic<i64> correct{0};
+    double epoch_loss = 0.0;
+    for (usize start = 0; start < data.size(); start += cfg.batch_size) {
+      const usize end = std::min(data.size(), start + cfg.batch_size);
+      const usize bsz = end - start;
+      // Shard the batch over threads; each shard owns a private GradStore.
+      const usize shards = std::min(bsz, n_threads);
+      std::vector<GradStore> shard_grads;
+      shard_grads.reserve(shards);
+      for (usize s = 0; s < shards; ++s) shard_grads.push_back(model.make_grad_store());
+      std::vector<double> shard_loss(shards, 0.0);
+      const Model& cmodel = model;
+      pool.parallel_for(shards, [&](usize s) {
+        const usize lo = start + s * bsz / shards;
+        const usize hi = start + (s + 1) * bsz / shards;
+        Tensor grad_out;
+        for (usize idx = lo; idx < hi; ++idx) {
+          const usize sample = order[idx];
+          const Activations acts = cmodel.forward(data.images[sample]);
+          shard_loss[s] += softmax_cross_entropy(acts.output(), data.labels[sample], grad_out);
+          if (static_cast<i32>(argmax(acts.output().data(), acts.output().numel())) ==
+              data.labels[sample]) {
+            correct.fetch_add(1, std::memory_order_relaxed);
+          }
+          cmodel.backward(acts, grad_out, shard_grads[s]);
+        }
+      });
+      batch_grads.zero();
+      for (usize s = 0; s < shards; ++s) batch_grads.add(shard_grads[s]);
+      batch_grads.scale(1.0f / static_cast<float>(bsz));
+      for (usize s = 0; s < shards; ++s) epoch_loss += shard_loss[s];
+      adam_update(model, batch_grads, adam, cfg);
+    }
+    stats.epoch_loss.push_back(epoch_loss / static_cast<double>(data.size()));
+    stats.epoch_accuracy.push_back(static_cast<double>(correct.load()) /
+                                   static_cast<double>(data.size()));
+    if (cfg.verbose) {
+      SJ_INFO("epoch " << (epoch + 1) << "/" << cfg.epochs << " loss="
+                       << stats.epoch_loss.back() << " acc=" << stats.epoch_accuracy.back());
+    }
+  }
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return stats;
+}
+
+double evaluate_accuracy(const Model& model, const Dataset& data) {
+  SJ_REQUIRE(data.size() > 0, "evaluate_accuracy: empty dataset");
+  ThreadPool& pool = ThreadPool::global();
+  std::atomic<i64> correct{0};
+  pool.parallel_for(data.size(), [&](usize i) {
+    const Tensor out = model.predict(data.images[i]);
+    if (static_cast<i32>(argmax(out.data(), out.numel())) == data.labels[i]) {
+      correct.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  return static_cast<double>(correct.load()) / static_cast<double>(data.size());
+}
+
+}  // namespace sj::nn

@@ -1,0 +1,41 @@
+// Multi-threaded minibatch trainer (Adam) and evaluation helpers.
+#pragma once
+
+#include "common/thread_pool.h"
+#include "nn/dataset.h"
+#include "nn/model.h"
+
+namespace sj::nn {
+
+/// Trainer hyperparameters. Defaults train the Table III networks to
+/// reasonable accuracy on the synthetic datasets in seconds.
+struct TrainConfig {
+  usize epochs = 4;
+  usize batch_size = 64;
+  float lr = 1.5e-3f;        // Adam step size
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style)
+  u64 shuffle_seed = 7;
+  bool verbose = false;       // INFO-log per-epoch loss/accuracy
+};
+
+/// Per-epoch training telemetry.
+struct TrainStats {
+  std::vector<double> epoch_loss;      // mean cross-entropy
+  std::vector<double> epoch_accuracy;  // on the training set (running)
+  double seconds = 0.0;
+};
+
+/// Softmax cross-entropy loss and gradient for one sample.
+/// Returns the loss; writes d(loss)/d(logits) into `grad` (resized).
+double softmax_cross_entropy(const Tensor& logits, i32 label, Tensor& grad);
+
+/// Trains `model` in place. Sample-parallel across the global thread pool.
+TrainStats train(Model& model, const Dataset& data, const TrainConfig& cfg);
+
+/// Fraction of samples whose argmax prediction matches the label.
+double evaluate_accuracy(const Model& model, const Dataset& data);
+
+}  // namespace sj::nn

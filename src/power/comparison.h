@@ -1,0 +1,43 @@
+// Literature comparison rows for Table V (MNIST-MLP across SNN hardware).
+//
+// These numbers are quoted directly from the paper's Table V (which in turn
+// cites SNNwt [MICRO'15], SpiNNaker [IJCNN'08], Tianji [IEDM'15] and
+// TrueNorth [NIPS'15]); only the "This work" row is measured by this
+// repository's pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sj::power {
+
+struct ComparisonRow {
+  std::string architecture;
+  i32 tech_nm = 0;
+  double accuracy = 0.0;    // fraction; < 0 = not reported
+  double fps = 0.0;         // < 0 = not reported
+  std::string voltage;
+  double power_mw = 0.0;    // < 0 = not reported
+  double uj_per_frame = 0.0;  // < 0 = not reported
+  bool measured_here = false;
+};
+
+/// The literature rows of Table V (paper values, fixed).
+inline std::vector<ComparisonRow> table5_literature() {
+  return {
+      {"SNNwt [9]", 65, 0.9182, -1.0, "1.2V", -1.0, 214.7, false},
+      {"SpiNNaker [3]", 130, 0.9501, 77.0, "1.8V/1.2V", 300.0, 3896.0, false},
+      {"Tianji [10]", 120, 0.9659, -1.0, "1.2V", 120.0, -1.0, false},
+      {"TrueNorth [11] (low power)", 28, 0.9270, 1000.0, "0.775V", 0.268, 0.268, false},
+      {"TrueNorth [11] (high accu.)", 28, 0.9942, 1000.0, "0.775V", 108.0, 108.0, false},
+  };
+}
+
+/// The paper's own "This work" row, for paper-vs-measured printing.
+inline ComparisonRow table5_paper_shenjing() {
+  return {"Shenjing (paper)", 28, 0.9611, 40.0, "1.05V/0.85V", 1.26, 38.0, false};
+}
+
+}  // namespace sj::power

@@ -1,0 +1,133 @@
+#include "power/power.h"
+
+namespace sj::power {
+
+using core::EnergyOp;
+
+double EnergyTable::energy(EnergyOp op) const {
+  switch (op) {
+    case EnergyOp::PsSum: return ps_sum;
+    case EnergyOp::PsSend: return ps_send;
+    case EnergyOp::PsBypass: return ps_bypass;
+    case EnergyOp::SpkSpike: return spk_spike;
+    case EnergyOp::SpkSend: return spk_send;
+    case EnergyOp::SpkBypass: return spk_bypass;
+    case EnergyOp::NeuronAcc: return acc;
+    case EnergyOp::NeuronLdWt: return ld_wt;
+  }
+  return 0.0;
+}
+
+i32 EnergyTable::cycles(EnergyOp op) const {
+  return (op == EnergyOp::NeuronAcc || op == EnergyOp::NeuronLdWt) ? acc_cycles : 1;
+}
+
+double EnergyTable::active_power_at_ref(EnergyOp op) const {
+  const double t = static_cast<double>(cycles(op)) / ref_freq_hz;
+  return 256.0 * energy(op) / t;
+}
+
+OpCensus OpCensus::from(const map::MappedNetwork& m) {
+  OpCensus c;
+  const auto crosses_chip = [&](const map::TimedOp& op) {
+    Coord to = m.cores[op.core].pos;
+    switch (op.op.dst) {
+      case Dir::North: --to.row; break;
+      case Dir::South: ++to.row; break;
+      case Dir::East: ++to.col; break;
+      case Dir::West: --to.col; break;
+    }
+    return m.chip_of(m.cores[op.core].pos) != m.chip_of(to);
+  };
+  for (const auto& op : m.schedule) {
+    const int idx = static_cast<int>(core::energy_op_of(op.op.code));
+    const i64 n = op.mask.popcount();
+    c.op_neurons[static_cast<usize>(idx)] += n;
+    // Inter-chip crossings are a static property of the placement + routes.
+    switch (op.op.code) {
+      case core::OpCode::PsSend:
+        if (!op.op.eject && crosses_chip(op)) c.interchip_ps_bits += n * m.arch.noc_bits;
+        break;
+      case core::OpCode::PsBypass:
+        if (crosses_chip(op)) c.interchip_ps_bits += n * m.arch.noc_bits;
+        break;
+      case core::OpCode::SpkSend:
+      case core::OpCode::SpkBypass:
+      case core::OpCode::SpkRecvForward:
+        if (crosses_chip(op)) c.interchip_spike_bits += n;
+        break;
+      default: break;
+    }
+  }
+  for (const auto& core : m.cores) {
+    if (core.filler) continue;
+    ++c.active_cores;
+    c.ldwt_neurons += core.neuron_mask.popcount();
+  }
+  return c;
+}
+
+PowerReport estimate(const map::MappedNetwork& m, double target_fps,
+                     const PowerParams& params) {
+  SJ_REQUIRE(target_fps > 0.0, "estimate: fps must be positive");
+  const OpCensus census = OpCensus::from(m);
+  const EnergyTable& et = params.energy;
+
+  PowerReport r;
+  r.fps = target_fps;
+  r.cores = census.active_cores;
+  r.cycles_per_frame = static_cast<u64>(m.timesteps) * m.cycles_per_timestep;
+  r.freq_hz = target_fps * static_cast<double>(r.cycles_per_frame);
+  r.freq_feasible = r.freq_hz <= m.arch.max_freq_hz;
+
+  // Dynamic energy per timestep from the static op census.
+  double e_ts = 0.0;
+  for (int op = 0; op < 8; ++op) {
+    double e = et.energy(static_cast<EnergyOp>(op));
+    if (static_cast<EnergyOp>(op) == EnergyOp::NeuronAcc &&
+        params.acc_activity_fraction > 0.0) {
+      const double f = params.acc_activity_fraction;
+      e *= (1.0 - f) + f * params.switching_activity / et.ref_activity;
+    }
+    e_ts += e * static_cast<double>(census.op_neurons[static_cast<usize>(op)]);
+  }
+  const double timesteps_per_s = target_fps * static_cast<double>(m.timesteps);
+  r.dynamic_w = e_ts * timesteps_per_s;
+  r.leakage_w = params.tile_leakage_w * static_cast<double>(census.active_cores);
+  r.interchip_w =
+      static_cast<double>(census.interchip_ps_bits + census.interchip_spike_bits) *
+      params.interchip_j_per_bit * timesteps_per_s;
+  r.total_w = r.dynamic_w + r.leakage_w + r.interchip_w;
+  r.power_per_core_w = r.total_w / static_cast<double>(std::max<i64>(1, census.active_cores));
+  r.energy_per_frame_j = r.total_w / target_fps;
+  r.init_energy_j = static_cast<double>(census.ldwt_neurons) * et.ld_wt;
+  return r;
+}
+
+std::vector<TradeoffPoint> throughput_tradeoff(const map::MappedNetwork& m,
+                                               const std::vector<double>& fps_list,
+                                               const PowerParams& params) {
+  std::vector<TradeoffPoint> pts;
+  pts.reserve(fps_list.size());
+  for (const double fps : fps_list) {
+    const PowerReport r = estimate(m, fps, params);
+    TradeoffPoint p;
+    p.fps = fps;
+    p.freq_hz = r.freq_hz;
+    p.tile_power_w = r.total_w / static_cast<double>(std::max<i64>(1, r.cores));
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+AreaReport area(const map::MappedNetwork& m) {
+  AreaReport a;
+  for (const auto& c : m.cores) {
+    if (!c.filler) ++a.tiles;
+  }
+  a.chip_mm2 = a.tile_mm2 * static_cast<double>(m.arch.chip_capacity());
+  a.system_mm2 = a.tile_mm2 * static_cast<double>(a.tiles);
+  return a;
+}
+
+}  // namespace sj::power

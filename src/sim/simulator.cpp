@@ -1,0 +1,370 @@
+#include "sim/simulator.h"
+
+#include <atomic>
+
+#include "common/fixed.h"
+#include "common/thread_pool.h"
+
+namespace sj::sim {
+
+namespace {
+
+inline bool bit_get(const std::array<u64, 4>& w, u16 p) {
+  return (w[p >> 6] >> (p & 63)) & 1u;
+}
+inline void bit_set(std::array<u64, 4>& w, u16 p, bool v) {
+  const u64 m = u64{1} << (p & 63);
+  if (v) w[p >> 6] |= m;
+  else w[p >> 6] &= ~m;
+}
+
+}  // namespace
+
+void SimStats::merge(const SimStats& o) {
+  frames += o.frames;
+  iterations += o.iterations;
+  cycles += o.cycles;
+  for (usize i = 0; i < op_neurons.size(); ++i) op_neurons[i] += o.op_neurons[i];
+  saturations += o.saturations;
+  spikes_fired += o.spikes_fired;
+  axon_spikes += o.axon_spikes;
+  axon_slots += o.axon_slots;
+  interchip_ps_bits += o.interchip_ps_bits;
+  interchip_spike_bits += o.interchip_spike_bits;
+}
+
+Simulator::Simulator(const MappedNetwork& mapped, const snn::SnnNetwork& net)
+    : mapped_(&mapped), net_(&net) {
+  const usize n = mapped.cores.size();
+  state_.resize(n);
+  for (auto& cs : state_) {
+    for (auto& v : cs.ps_in) v.assign(256, 0);
+    cs.local_ps.assign(256, 0);
+    cs.sum_buf.assign(256, 0);
+    cs.eject.assign(256, 0);
+    cs.potential.assign(256, 0);
+  }
+  // Coordinate -> core lookup for neighbor resolution.
+  std::vector<std::vector<u32>> grid(static_cast<usize>(mapped.grid_rows),
+                                     std::vector<u32>(static_cast<usize>(mapped.grid_cols), 0));
+  for (u32 c = 0; c < n; ++c) {
+    grid[static_cast<usize>(mapped.cores[c].pos.row)]
+        [static_cast<usize>(mapped.cores[c].pos.col)] = c;
+  }
+  for (int d = 0; d < 4; ++d) neighbor_[d].assign(n, ~u32{0});
+  for (u32 c = 0; c < n; ++c) {
+    const Coord p = mapped.cores[c].pos;
+    if (p.row > 0) neighbor_[static_cast<int>(Dir::North)][c] =
+        grid[static_cast<usize>(p.row - 1)][static_cast<usize>(p.col)];
+    if (p.row + 1 < mapped.grid_rows) neighbor_[static_cast<int>(Dir::South)][c] =
+        grid[static_cast<usize>(p.row + 1)][static_cast<usize>(p.col)];
+    if (p.col + 1 < mapped.grid_cols) neighbor_[static_cast<int>(Dir::East)][c] =
+        grid[static_cast<usize>(p.row)][static_cast<usize>(p.col + 1)];
+    if (p.col > 0) neighbor_[static_cast<int>(Dir::West)][c] =
+        grid[static_cast<usize>(p.row)][static_cast<usize>(p.col - 1)];
+  }
+  // Group schedule by cycle (schedule is sorted).
+  by_cycle_.assign(mapped.cycles_per_timestep, {});
+  for (const auto& op : mapped.schedule) {
+    by_cycle_[op.cycle].push_back(&op);
+  }
+}
+
+u32 Simulator::neighbor_core(u32 c, Dir d) const {
+  const u32 n = neighbor_[static_cast<int>(d)][c];
+  SJ_ASSERT(n != ~u32{0}, "sim: route off grid edge");
+  return n;
+}
+
+void Simulator::reset() {
+  for (auto& cs : state_) {
+    for (auto& v : cs.ps_in) std::fill(v.begin(), v.end(), i16{0});
+    std::fill(cs.local_ps.begin(), cs.local_ps.end(), i16{0});
+    std::fill(cs.sum_buf.begin(), cs.sum_buf.end(), i16{0});
+    std::fill(cs.eject.begin(), cs.eject.end(), i16{0});
+    std::fill(cs.potential.begin(), cs.potential.end(), i32{0});
+    cs.spk_in = {};
+    cs.spike_out = {};
+    cs.axon_cur = {};
+    cs.axon_n1 = {};
+    cs.axon_n2 = {};
+  }
+}
+
+i64 Simulator::ldwt_neurons() const {
+  i64 n = 0;
+  for (const auto& c : mapped_->cores) {
+    if (!c.filler) n += c.neuron_mask.popcount();
+  }
+  return n;
+}
+
+void Simulator::run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st) {
+  (void)iter;
+  const auto& cores = mapped_->cores;
+  const i32 ps_bits = mapped_->arch.noc_bits;
+  const i32 lps_bits = mapped_->arch.local_ps_bits;
+  const i32 pot_bits = mapped_->arch.potential_bits;
+
+  // Advance axon double-buffers.
+  for (auto& cs : state_) {
+    cs.axon_cur = cs.axon_n1;
+    cs.axon_n1 = cs.axon_n2;
+    cs.axon_n2 = {};
+  }
+  // Testbench injection: input spikes of this iteration land in axon_n1 and
+  // are consumed by depth-1 cores next iteration.
+  if (input_spikes != nullptr) {
+    for (usize g = 0; g < mapped_->input_taps.size(); ++g) {
+      if (!input_spikes->get(g)) continue;
+      for (const Slot& s : mapped_->input_taps[g]) {
+        bit_set(state_[s.core].axon_n1, s.plane, true);
+      }
+    }
+  }
+
+  // Deferred same-cycle writes (two-phase semantics).
+  struct PsWrite {
+    u32 core;
+    u8 port;
+    u16 plane;
+    i16 value;
+  };
+  struct SpkWrite {
+    u32 core;
+    u8 port;  // 0..3 = spk_in port; 4 = axon_n1; 5 = axon_n2
+    u16 plane;
+    bool value;
+  };
+  std::vector<PsWrite> ps_writes;
+  std::vector<SpkWrite> spk_writes;
+
+  for (u32 cyc = 0; cyc < mapped_->cycles_per_timestep; ++cyc) {
+    if (by_cycle_[cyc].empty()) continue;
+    ps_writes.clear();
+    spk_writes.clear();
+    for (const map::TimedOp* top : by_cycle_[cyc]) {
+      const u32 c = top->core;
+      CoreState& cs = state_[c];
+      const map::MappedCore& mc = cores[c];
+      const core::AtomicOp& op = top->op;
+      st.op_neurons[static_cast<usize>(core::energy_op_of(op.code))] +=
+          top->mask.popcount();
+      switch (op.code) {
+        case core::OpCode::Acc: {
+          std::fill(cs.local_ps.begin(), cs.local_ps.end(), i16{0});
+          std::vector<i32> acc(256, 0);
+          mc.axon_mask.for_each([&](u16 a) {
+            ++st.axon_slots;
+            if (!bit_get(cs.axon_cur, a)) return;
+            ++st.axon_spikes;
+            const auto [lo, hi] = mc.weights.row(a);
+            for (u32 t = lo; t < hi; ++t) {
+              acc[mc.weights.taps[t].first] += mc.weights.taps[t].second;
+            }
+          });
+          mc.neuron_mask.for_each([&](u16 p) {
+            bool sat = false;
+            cs.local_ps[p] =
+                static_cast<i16>(saturating_add(acc[p], 0, lps_bits, &sat));
+            if (sat) ++st.saturations;
+          });
+          break;
+        }
+        case core::OpCode::PsSum: {
+          const auto& in = cs.ps_in[static_cast<usize>(op.src)];
+          top->mask.for_each([&](u16 p) {
+            const i64 op1 = op.consec ? cs.sum_buf[p] : cs.local_ps[p];
+            bool sat = false;
+            cs.sum_buf[p] = static_cast<i16>(saturating_add(op1, in[p], ps_bits, &sat));
+            if (sat) ++st.saturations;
+          });
+          break;
+        }
+        case core::OpCode::PsSend: {
+          if (op.eject) {
+            top->mask.for_each([&](u16 p) {
+              cs.eject[p] = op.from_sum_buf ? cs.sum_buf[p] : cs.local_ps[p];
+            });
+          } else {
+            const u32 nb = neighbor_core(c, op.dst);
+            const u8 port = static_cast<u8>(opposite(op.dst));
+            const bool cross =
+                mapped_->chip_of(mc.pos) != mapped_->chip_of(cores[nb].pos);
+            top->mask.for_each([&](u16 p) {
+              ps_writes.push_back(
+                  PsWrite{nb, port, p,
+                          op.from_sum_buf ? cs.sum_buf[p] : cs.local_ps[p]});
+            });
+            if (cross) st.interchip_ps_bits += static_cast<i64>(top->mask.popcount()) * ps_bits;
+          }
+          break;
+        }
+        case core::OpCode::PsBypass: {
+          const u32 nb = neighbor_core(c, op.dst);
+          const u8 port = static_cast<u8>(opposite(op.dst));
+          const auto& in = cs.ps_in[static_cast<usize>(op.src)];
+          const bool cross = mapped_->chip_of(mc.pos) != mapped_->chip_of(cores[nb].pos);
+          top->mask.for_each([&](u16 p) {
+            ps_writes.push_back(PsWrite{nb, port, p, in[p]});
+          });
+          if (cross) st.interchip_ps_bits += static_cast<i64>(top->mask.popcount()) * ps_bits;
+          break;
+        }
+        case core::OpCode::SpkSpike: {
+          top->mask.for_each([&](u16 p) {
+            const i32 add = op.sum_or_local ? cs.eject[p] : cs.local_ps[p];
+            bool sat = false;
+            i64 v = saturating_add(cs.potential[p], add, pot_bits, &sat);
+            if (sat) ++st.saturations;
+            bool fire = false;
+            if (v >= mc.threshold) {
+              v -= mc.threshold;
+              fire = true;
+              ++st.spikes_fired;
+            }
+            cs.potential[p] = static_cast<i32>(v);
+            bit_set(cs.spike_out, p, fire);
+          });
+          break;
+        }
+        case core::OpCode::SpkSend: {
+          const u32 nb = neighbor_core(c, op.dst);
+          const u8 port = static_cast<u8>(opposite(op.dst));
+          const bool cross = mapped_->chip_of(mc.pos) != mapped_->chip_of(cores[nb].pos);
+          top->mask.for_each([&](u16 p) {
+            spk_writes.push_back(SpkWrite{nb, port, p, bit_get(cs.spike_out, p)});
+          });
+          if (cross) st.interchip_spike_bits += top->mask.popcount();
+          break;
+        }
+        case core::OpCode::SpkBypass: {
+          const u32 nb = neighbor_core(c, op.dst);
+          const u8 port = static_cast<u8>(opposite(op.dst));
+          const auto& in = cs.spk_in[static_cast<usize>(op.src)];
+          const bool cross = mapped_->chip_of(mc.pos) != mapped_->chip_of(cores[nb].pos);
+          top->mask.for_each([&](u16 p) {
+            spk_writes.push_back(SpkWrite{nb, port, p, bit_get(in, p)});
+          });
+          if (cross) st.interchip_spike_bits += top->mask.popcount();
+          break;
+        }
+        case core::OpCode::SpkRecv:
+        case core::OpCode::SpkRecvForward: {
+          const auto& in = cs.spk_in[static_cast<usize>(op.src)];
+          const u8 buf = op.hold ? u8{5} : u8{4};
+          top->mask.for_each([&](u16 p) {
+            if (bit_get(in, p)) spk_writes.push_back(SpkWrite{c, buf, p, true});
+          });
+          if (op.code == core::OpCode::SpkRecvForward) {
+            const u32 nb = neighbor_core(c, op.dst);
+            const u8 port = static_cast<u8>(opposite(op.dst));
+            top->mask.for_each([&](u16 p) {
+              spk_writes.push_back(SpkWrite{nb, port, p, bit_get(in, p)});
+            });
+          }
+          break;
+        }
+        case core::OpCode::LdWt:
+          break;  // weights are preloaded; energy accounted separately
+      }
+    }
+    // Apply writes (visible from cycle+1 on).
+    for (const PsWrite& w : ps_writes) {
+      state_[w.core].ps_in[w.port][w.plane] = w.value;
+    }
+    for (const SpkWrite& w : spk_writes) {
+      CoreState& tgt = state_[w.core];
+      if (w.port < 4) bit_set(tgt.spk_in[w.port], w.plane, w.value);
+      else if (w.port == 4) {
+        if (w.value) bit_set(tgt.axon_n1, w.plane, true);
+      } else {
+        if (w.value) bit_set(tgt.axon_n2, w.plane, true);
+      }
+    }
+  }
+  ++st.iterations;
+  st.cycles += mapped_->cycles_per_timestep;
+}
+
+FrameResult Simulator::run_frame(const Tensor& image, SimStats* stats,
+                                 HardwareTrace* trace) {
+  reset();
+  const i32 T = mapped_->timesteps;
+  const i32 total = T + mapped_->output_depth;
+  snn::InputEncoder enc(image, net_->input_scale);
+
+  const auto& out_slots = mapped_->output_slots();
+  FrameResult res;
+  res.spike_counts.assign(out_slots.size(), 0);
+  res.final_potentials.assign(out_slots.size(), 0);
+  if (trace != nullptr) {
+    trace->units.assign(net_->units.size(), {});
+    for (usize u = 0; u < net_->units.size(); ++u) {
+      trace->units[u].reserve(static_cast<usize>(T));
+    }
+  }
+
+  SimStats local;
+  local.frames = 1;
+  for (i32 k = 0; k < total; ++k) {
+    BitVec in;
+    const bool have_input = k < T;
+    if (have_input) in = enc.step();
+    run_iteration(k, have_input ? &in : nullptr, local);
+
+    // Readout: output-unit spikes within its logical window.
+    if (k >= mapped_->output_depth) {
+      for (usize j = 0; j < out_slots.size(); ++j) {
+        if (bit_get(state_[out_slots[j].core].spike_out, out_slots[j].plane)) {
+          ++res.spike_counts[j];
+        }
+      }
+    }
+    // Per-unit traces, re-aligned to logical timesteps.
+    if (trace != nullptr) {
+      for (usize u = 0; u < net_->units.size(); ++u) {
+        const i32 d = mapped_->unit_depth[u];
+        if (k >= d && k < d + T) {
+          const auto& slots = mapped_->unit_slots[u];
+          BitVec bv(slots.size());
+          for (usize j = 0; j < slots.size(); ++j) {
+            bv.set(j, bit_get(state_[slots[j].core].spike_out, slots[j].plane));
+          }
+          trace->units[u].push_back(std::move(bv));
+        }
+      }
+    }
+  }
+  for (usize j = 0; j < out_slots.size(); ++j) {
+    res.final_potentials[j] = state_[out_slots[j].core].potential[out_slots[j].plane];
+  }
+  res.predicted = snn::EvalResult::decide(res.spike_counts, res.final_potentials);
+  if (stats != nullptr) stats->merge(local);
+  return res;
+}
+
+double hardware_accuracy(const MappedNetwork& mapped, const snn::SnnNetwork& net,
+                         const nn::Dataset& data, usize max_frames, SimStats* stats) {
+  const usize n = max_frames == 0 ? data.size() : std::min(max_frames, data.size());
+  SJ_REQUIRE(n > 0, "hardware_accuracy: no frames");
+  ThreadPool& pool = ThreadPool::global();
+  const usize shards = std::min<usize>(n, std::max<usize>(1, pool.num_threads()));
+  std::vector<SimStats> shard_stats(shards);
+  std::atomic<i64> correct{0};
+  pool.parallel_for(shards, [&](usize s) {
+    Simulator sim(mapped, net);
+    const usize lo = s * n / shards;
+    const usize hi = (s + 1) * n / shards;
+    for (usize i = lo; i < hi; ++i) {
+      const FrameResult r = sim.run_frame(data.images[i], &shard_stats[s]);
+      if (r.predicted == data.labels[i]) correct.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  if (stats != nullptr) {
+    for (const auto& ss : shard_stats) stats->merge(ss);
+  }
+  return static_cast<double>(correct.load()) / static_cast<double>(n);
+}
+
+}  // namespace sj::sim

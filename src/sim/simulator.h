@@ -1,0 +1,111 @@
+// Cycle-level functional simulator (paper §V).
+//
+// Executes a compiled MappedNetwork the way the RTL would: every timestep it
+// replays the cycle-by-cycle atomic-op schedule, moving 16-bit partial sums
+// and 1-bit spikes through per-plane router registers with two-phase
+// (read-then-write) cycle semantics, integrating & firing at accumulation
+// roots, and double-buffering axon registers across timesteps. It is
+// aimed to be cycle-by-cycle equivalent to RTL in exactly the three senses
+// the paper lists: (1) it runs the Table-I atomic operations, (2) it
+// produces and routes the same data in neuron cores and NoCs, and (3) it
+// yields execution statistics for architectural power estimation.
+//
+// Layer pipelining: a unit at depth d processes frame timestep t during
+// hardware iteration d + t, so one frame needs T + depth iterations; at
+// steady state the array sustains one frame per T iterations.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "mapper/program.h"
+#include "snn/evaluate.h"
+
+namespace sj::sim {
+
+using map::MappedNetwork;
+using map::Slot;
+
+/// Execution statistics driving the power model and the paper-vs-measured
+/// reports.
+struct SimStats {
+  i64 frames = 0;
+  i64 iterations = 0;      // hardware timesteps executed
+  u64 cycles = 0;          // iterations * cycles_per_timestep
+  // Per-neuron atomic-op issue counts, indexed by core::EnergyOp.
+  std::array<i64, 8> op_neurons{};
+  i64 saturations = 0;     // adder/potential saturation events (expect 0)
+  i64 spikes_fired = 0;
+  i64 axon_spikes = 0;     // active axons observed at ACC time
+  i64 axon_slots = 0;      // axon capacity sampled at ACC time
+  i64 interchip_ps_bits = 0;
+  i64 interchip_spike_bits = 0;
+
+  /// Mean fraction of axons spiking per ACC (the paper's 6.25 % for MNIST).
+  double switching_activity() const {
+    return axon_slots == 0 ? 0.0
+                           : static_cast<double>(axon_spikes) / static_cast<double>(axon_slots);
+  }
+  void merge(const SimStats& o);
+};
+
+/// Spike trains observed at unit roots, re-aligned to logical timesteps
+/// (index [unit][t]); directly comparable with snn::Trace.
+struct HardwareTrace {
+  std::vector<std::vector<BitVec>> units;
+};
+
+/// Result of simulating one input frame.
+struct FrameResult {
+  std::vector<i32> spike_counts;      // output unit, per neuron, over T steps
+  std::vector<i64> final_potentials;  // residual membrane potentials
+  i32 predicted = -1;
+};
+
+/// One Shenjing system instance. Not thread-safe; use one Simulator per
+/// thread for parallel frame evaluation.
+class Simulator {
+ public:
+  Simulator(const MappedNetwork& mapped, const snn::SnnNetwork& net);
+
+  /// Simulates one frame (T + depth iterations). `trace`, when provided, is
+  /// filled with per-unit root spike trains for equivalence checking.
+  FrameResult run_frame(const Tensor& image, SimStats* stats = nullptr,
+                        HardwareTrace* trace = nullptr);
+
+  /// Energy bookkeeping for the one-off weight-load phase: per-neuron LD_WT
+  /// issue count (#cores x neurons); charged once per deployment.
+  i64 ldwt_neurons() const;
+
+  const MappedNetwork& mapped() const { return *mapped_; }
+
+ private:
+  struct CoreState {
+    std::array<std::vector<i16>, 4> ps_in;  // per input port, per plane
+    std::vector<i16> local_ps;
+    std::vector<i16> sum_buf;
+    std::vector<i16> eject;
+    std::array<std::array<u64, 4>, 4> spk_in{};  // per port, 256-bit
+    std::array<u64, 4> spike_out{};
+    std::vector<i32> potential;
+    std::array<u64, 4> axon_cur{}, axon_n1{}, axon_n2{};
+  };
+
+  void reset();
+  void run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st);
+  u32 neighbor_core(u32 c, Dir d) const;
+
+  const MappedNetwork* mapped_;
+  const snn::SnnNetwork* net_;
+  std::vector<CoreState> state_;
+  std::vector<u32> neighbor_[4];  // precomputed per direction
+  std::vector<std::vector<const map::TimedOp*>> by_cycle_;
+};
+
+/// Accuracy of the *hardware* on (a prefix of) a dataset, evaluated with one
+/// Simulator per worker thread. Also accumulates stats when given.
+double hardware_accuracy(const MappedNetwork& mapped, const snn::SnnNetwork& net,
+                         const nn::Dataset& data, usize max_frames = 0,
+                         SimStats* stats = nullptr);
+
+}  // namespace sj::sim

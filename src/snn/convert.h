@@ -1,0 +1,52 @@
+// ANN -> SNN conversion (data-based normalization + fixed-point quantization).
+//
+// Implements the conversion recipe the paper builds on (Cao et al. 2015 /
+// Diehl et al. 2015, cited as [6]): a bias-free ReLU/avg-pool ANN is
+// converted to rate-coded IF neurons by rescaling every linear stage with the
+// ratio of its input and output activation maxima (measured on a calibration
+// set), then quantizing each stage's weights to the hardware's 5-bit signed
+// range with a per-stage scale S and integer threshold round(S).
+//
+// Supported graph patterns (what the Table III zoo uses):
+//   Linear (Dense|Conv2D|AvgPool) [-> Add shortcut] -> ReLU
+//   trailing Dense as the classification output (no ReLU)
+//   Flatten anywhere (structural only)
+// Residual Add nodes require one pre-activation linear operand and one
+// already-converted (spiking) operand; the latter becomes a Diag
+// normalization edge as described in §III.3 of the paper.
+#pragma once
+
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "snn/network.h"
+
+namespace sj::snn {
+
+/// Conversion knobs. Defaults match the paper's MNIST settings.
+struct ConvertConfig {
+  i32 timesteps = 20;          // T, the spike-train length per frame
+  i32 weight_bits = 5;         // hardware synapse width
+  i32 input_scale = 255;       // input pixel quantization Q
+  usize calibration_samples = 128;
+};
+
+/// Per-unit conversion telemetry (for EXPERIMENTS.md and debugging).
+struct UnitReport {
+  std::string name;
+  double lambda = 0.0;     // activation normalization constant
+  double scale = 0.0;      // float->int weight scale S
+  i32 threshold = 0;
+  double max_abs_weight = 0.0;
+};
+
+struct ConvertReport {
+  std::vector<UnitReport> units;
+};
+
+/// Converts a trained model. `calib` supplies activation statistics; only
+/// cfg.calibration_samples of it are used. Throws MappingError on graphs
+/// outside the supported patterns.
+SnnNetwork convert(const nn::Model& model, const nn::Dataset& calib,
+                   const ConvertConfig& cfg, ConvertReport* report = nullptr);
+
+}  // namespace sj::snn

@@ -1,0 +1,193 @@
+#include "snn/evaluate.h"
+
+#include <atomic>
+
+namespace sj::snn {
+
+i32 EvalResult::decide(const std::vector<i32>& counts, const std::vector<i64>& pots) {
+  SJ_REQUIRE(!counts.empty() && counts.size() == pots.size(), "decide: bad inputs");
+  usize best = 0;
+  for (usize i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best] ||
+        (counts[i] == counts[best] && pots[i] > pots[best])) {
+      best = i;
+    }
+  }
+  return static_cast<i32>(best);
+}
+
+void EvalStats::merge(const EvalStats& other) {
+  frames += other.frames;
+  neuron_timesteps += other.neuron_timesteps;
+  spikes += other.spikes;
+  input_timesteps += other.input_timesteps;
+  input_spikes += other.input_spikes;
+  if (unit_spikes.size() < other.unit_spikes.size()) {
+    unit_spikes.resize(other.unit_spikes.size(), 0);
+  }
+  for (usize i = 0; i < other.unit_spikes.size(); ++i) unit_spikes[i] += other.unit_spikes[i];
+}
+
+AbstractEvaluator::AbstractEvaluator(const SnnNetwork& net, EvalMode mode,
+                                     i64 baseline_core_axons)
+    : net_(&net), mode_(mode), core_axons_(baseline_core_axons) {
+  SJ_REQUIRE(!net.units.empty(), "AbstractEvaluator: empty network");
+  SJ_REQUIRE(baseline_core_axons >= 1, "AbstractEvaluator: bad core size");
+}
+
+EvalResult AbstractEvaluator::run(const Tensor& image, EvalStats* stats, Trace* trace) const {
+  const SnnNetwork& net = *net_;
+  SJ_REQUIRE(image.shape() == net.input_shape, "evaluator: image shape mismatch");
+  const usize n_units = net.units.size();
+
+  // Membrane potentials, one vector per unit.
+  std::vector<std::vector<i32>> pot(n_units);
+  for (usize u = 0; u < n_units; ++u) pot[u].assign(static_cast<usize>(net.units[u].size), 0);
+
+  // SpikeAggregation state: per unit, per input-group sub-potential and the
+  // aggregator potential that replaces `pot` for thresholding.
+  struct AggState {
+    // One sub-potential vector per (edge, group): group g covers source
+    // indices [g*core, (g+1)*core).
+    std::vector<std::vector<std::vector<i32>>> sub;  // [edge][group][neuron]
+    std::vector<i64> agg;                            // aggregated potential
+    i32 theta_sub = 1;
+  };
+  std::vector<AggState> agg(mode_ == EvalMode::SpikeAggregation ? n_units : 0);
+  if (mode_ == EvalMode::SpikeAggregation) {
+    for (usize u = 0; u < n_units; ++u) {
+      const SnnUnit& unit = net.units[u];
+      agg[u].agg.assign(static_cast<usize>(unit.size), 0);
+      agg[u].sub.resize(unit.in.size());
+      i64 total_groups = 0;
+      for (usize e = 0; e < unit.in.size(); ++e) {
+        const i64 groups = (unit.in[e].op.in_size + core_axons_ - 1) / core_axons_;
+        total_groups += groups;
+        agg[u].sub[e].assign(static_cast<usize>(groups),
+                             std::vector<i32>(static_cast<usize>(unit.size), 0));
+      }
+      agg[u].theta_sub =
+          std::max<i32>(1, static_cast<i32>(unit.threshold / std::max<i64>(1, total_groups)));
+    }
+  }
+
+  std::vector<BitVec> cur_spikes(n_units);
+  std::vector<i32> out_counts(static_cast<usize>(net.units.back().size), 0);
+
+  InputEncoder enc(image, net.input_scale);
+  if (trace != nullptr) {
+    trace->input.clear();
+    trace->units.assign(n_units, {});
+  }
+  EvalStats local;
+  local.frames = 1;
+  local.unit_spikes.assign(n_units, 0);
+
+  for (i32 t = 0; t < net.timesteps; ++t) {
+    const BitVec input = enc.step();
+    local.input_timesteps += static_cast<i64>(input.size());
+    local.input_spikes += static_cast<i64>(input.popcount());
+    if (trace != nullptr) trace->input.push_back(input);
+
+    for (usize u = 0; u < n_units; ++u) {
+      const SnnUnit& unit = net.units[u];
+      const usize n = static_cast<usize>(unit.size);
+      BitVec spikes(n);
+      if (mode_ == EvalMode::PartialSum) {
+        // Exact: accumulate all edges into the single potential, then IF.
+        for (const auto& e : unit.in) {
+          const BitVec& src =
+              e.source < 0 ? input : cur_spikes[static_cast<usize>(e.source)];
+          e.op.accumulate(src, pot[u]);
+        }
+        for (usize j = 0; j < n; ++j) {
+          if (pot[u][j] >= unit.threshold) {
+            pot[u][j] -= unit.threshold;
+            spikes.set(j, true);
+          }
+        }
+      } else {
+        // Baseline: each axon group integrates-and-fires independently; the
+        // aggregator sums theta_sub per sub-spike and thresholds that.
+        AggState& st = agg[u];
+        for (usize e = 0; e < unit.in.size(); ++e) {
+          const LinearOp& op = unit.in[e].op;
+          const BitVec& src = unit.in[e].source < 0
+                                  ? input
+                                  : cur_spikes[static_cast<usize>(unit.in[e].source)];
+          SJ_ASSERT(static_cast<i64>(src.size()) == op.in_size, "agg: size mismatch");
+          src.for_each_set([&](usize i) {
+            const usize g = i / static_cast<usize>(core_axons_);
+            std::vector<i32>& sub = st.sub[e][g];
+            for (const auto& [j, w] : op.row_taps(static_cast<i64>(i))) {
+              sub[static_cast<usize>(j)] += w;
+            }
+          });
+        }
+        for (usize e = 0; e < unit.in.size(); ++e) {
+          for (auto& sub : st.sub[e]) {
+            for (usize j = 0; j < n; ++j) {
+              if (sub[j] >= st.theta_sub) {
+                sub[j] -= st.theta_sub;
+                st.agg[j] += st.theta_sub;  // spike carries theta_sub worth of sum
+              }
+            }
+          }
+        }
+        for (usize j = 0; j < n; ++j) {
+          if (st.agg[j] >= unit.threshold) {
+            st.agg[j] -= unit.threshold;
+            spikes.set(j, true);
+          }
+        }
+      }
+      local.unit_spikes[u] += static_cast<i64>(spikes.popcount());
+      local.neuron_timesteps += static_cast<i64>(n);
+      if (trace != nullptr) trace->units[u].push_back(spikes);
+      cur_spikes[u] = std::move(spikes);
+    }
+    const BitVec& out = cur_spikes[n_units - 1];
+    for (usize j = 0; j < out_counts.size(); ++j) {
+      if (out.get(j)) ++out_counts[j];
+    }
+  }
+  local.spikes = 0;
+  for (const i64 s : local.unit_spikes) local.spikes += s;
+
+  EvalResult res;
+  res.spike_counts = std::move(out_counts);
+  res.final_potentials.reserve(static_cast<usize>(net.units.back().size));
+  if (mode_ == EvalMode::PartialSum) {
+    for (const i32 v : pot[n_units - 1]) res.final_potentials.push_back(v);
+  } else {
+    for (const i64 v : agg[n_units - 1].agg) res.final_potentials.push_back(v);
+  }
+  res.predicted = EvalResult::decide(res.spike_counts, res.final_potentials);
+  if (stats != nullptr) stats->merge(local);
+  return res;
+}
+
+double dataset_accuracy(const SnnNetwork& net, const nn::Dataset& data, EvalMode mode,
+                        EvalStats* stats) {
+  SJ_REQUIRE(data.size() > 0, "dataset_accuracy: empty dataset");
+  const AbstractEvaluator eval(net, mode);
+  ThreadPool& pool = ThreadPool::global();
+  const usize shards = std::min(data.size(), std::max<usize>(1, pool.num_threads()));
+  std::vector<EvalStats> shard_stats(shards);
+  std::atomic<i64> correct{0};
+  pool.parallel_for(shards, [&](usize s) {
+    const usize lo = s * data.size() / shards;
+    const usize hi = (s + 1) * data.size() / shards;
+    for (usize i = lo; i < hi; ++i) {
+      const EvalResult r =
+          eval.run(data.images[i], stats != nullptr ? &shard_stats[s] : nullptr);
+      if (r.predicted == data.labels[i]) correct.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  if (stats != nullptr) {
+    for (const auto& ss : shard_stats) stats->merge(ss);
+  }
+  return static_cast<double>(correct.load()) / static_cast<double>(data.size());
+}
+
+}  // namespace sj::snn

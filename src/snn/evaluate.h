@@ -1,0 +1,86 @@
+// Abstract SNN evaluation (the paper's "Abstract SNN" row in Table IV) and
+// the prior-art spike-aggregation baseline (EXP-A1 ablation).
+//
+// PartialSum mode computes each unit's full weighted sum exactly before
+// thresholding — the behaviour Shenjing's PS NoCs realize in hardware.
+// SpikeAggregation mode emulates architectures without partial-sum networks
+// (TrueNorth/Tianji-style, §II "Reconfigurability and accuracy"): when a
+// unit's inputs exceed one core's axon count, each axon group integrates and
+// fires independently and an aggregating stage sums those *spikes*, losing
+// sub-threshold and negative information. Comparing the two modes reproduces
+// the accuracy gap that motivates the PS NoC design.
+#pragma once
+
+#include "common/thread_pool.h"
+#include "nn/dataset.h"
+#include "snn/network.h"
+
+namespace sj::snn {
+
+enum class EvalMode : u8 {
+  PartialSum,        // exact in-network summation (Shenjing)
+  SpikeAggregation,  // prior-art lossy baseline
+};
+
+/// Classification outcome for one frame.
+struct EvalResult {
+  std::vector<i32> spike_counts;   // per output neuron over T timesteps
+  std::vector<i64> final_potentials;  // residual membrane potential
+  i32 predicted = -1;
+
+  /// argmax over (spike count, residual potential, lowest index).
+  static i32 decide(const std::vector<i32>& counts, const std::vector<i64>& pots);
+};
+
+/// Aggregate spiking-activity statistics (drives the power model).
+struct EvalStats {
+  i64 frames = 0;
+  i64 neuron_timesteps = 0;   // sum over units of size*T
+  i64 spikes = 0;             // total spikes fired
+  i64 input_timesteps = 0;
+  i64 input_spikes = 0;
+  std::vector<i64> unit_spikes;  // per unit
+
+  /// Mean fraction of neurons spiking per timestep.
+  double activity() const {
+    return neuron_timesteps == 0
+               ? 0.0
+               : static_cast<double>(spikes) / static_cast<double>(neuron_timesteps);
+  }
+  double input_activity() const {
+    return input_timesteps == 0
+               ? 0.0
+               : static_cast<double>(input_spikes) / static_cast<double>(input_timesteps);
+  }
+  void merge(const EvalStats& other);
+};
+
+/// Per-timestep spike trains of every unit (for hardware equivalence tests).
+struct Trace {
+  std::vector<BitVec> input;                 // [t]
+  std::vector<std::vector<BitVec>> units;    // [unit][t]
+};
+
+/// Evaluates a converted network on single frames. Thread-safe: run() keeps
+/// all state on the caller's stack.
+class AbstractEvaluator {
+ public:
+  explicit AbstractEvaluator(const SnnNetwork& net, EvalMode mode = EvalMode::PartialSum,
+                             i64 baseline_core_axons = 256);
+
+  const SnnNetwork& network() const { return *net_; }
+
+  EvalResult run(const Tensor& image, EvalStats* stats = nullptr,
+                 Trace* trace = nullptr) const;
+
+ private:
+  const SnnNetwork* net_;
+  EvalMode mode_;
+  i64 core_axons_;  // group size for SpikeAggregation
+};
+
+/// Accuracy of `net` over a dataset (parallel over frames).
+double dataset_accuracy(const SnnNetwork& net, const nn::Dataset& data,
+                        EvalMode mode = EvalMode::PartialSum, EvalStats* stats = nullptr);
+
+}  // namespace sj::snn

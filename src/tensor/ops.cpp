@@ -1,0 +1,257 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace sj {
+
+std::string shape_to_string(const Shape& s) {
+  std::ostringstream os;
+  os << '[';
+  for (usize i = 0; i < s.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << s[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (const float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+namespace {
+
+// Inner kernel shared by matmul and matmul_acc: C[m,n] (+)= A[m,k]*B[k,n].
+// The i-k-j loop order streams B rows and lets the compiler vectorize the
+// j loop; good enough for the sub-megabyte matrices in this project.
+void mm_ikj(const float* a, const float* b, float* c, usize m, usize k, usize n) {
+  for (usize i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (usize p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;  // spike-sparse inputs make this common
+      const float* bp = b + p * n;
+      for (usize j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void check_mm(const Tensor& a, const Tensor& b, const Tensor& c, usize m, usize k,
+              usize n) {
+  SJ_REQUIRE(a.numel() == m * k, "matmul: A size mismatch");
+  SJ_REQUIRE(b.numel() == k * n, "matmul: B size mismatch");
+  SJ_REQUIRE(c.numel() == m * n, "matmul: C size mismatch");
+}
+
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  SJ_REQUIRE(a.ndim() == 2 && b.ndim() == 2, "matmul: inputs must be matrices");
+  const usize m = static_cast<usize>(a.dim(0));
+  const usize k = static_cast<usize>(a.dim(1));
+  SJ_REQUIRE(b.dim(0) == a.dim(1), "matmul: inner dimension mismatch");
+  const usize n = static_cast<usize>(b.dim(1));
+  if (c.shape() != Shape{a.dim(0), b.dim(1)}) c = Tensor({a.dim(0), b.dim(1)});
+  check_mm(a, b, c, m, k, n);
+  c.fill(0.0f);
+  mm_ikj(a.data(), b.data(), c.data(), m, k, n);
+}
+
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  SJ_REQUIRE(a.ndim() == 2 && b.ndim() == 2, "matmul_acc: inputs must be matrices");
+  const usize m = static_cast<usize>(a.dim(0));
+  const usize k = static_cast<usize>(a.dim(1));
+  SJ_REQUIRE(b.dim(0) == a.dim(1), "matmul_acc: inner dimension mismatch");
+  const usize n = static_cast<usize>(b.dim(1));
+  check_mm(a, b, c, m, k, n);
+  mm_ikj(a.data(), b.data(), c.data(), m, k, n);
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c) {
+  // A is stored [k, m]; compute C[m,n] = A^T B.
+  SJ_REQUIRE(a.ndim() == 2 && b.ndim() == 2, "matmul_tn: inputs must be matrices");
+  const usize k = static_cast<usize>(a.dim(0));
+  const usize m = static_cast<usize>(a.dim(1));
+  SJ_REQUIRE(b.dim(0) == a.dim(0), "matmul_tn: inner dimension mismatch");
+  const usize n = static_cast<usize>(b.dim(1));
+  if (c.shape() != Shape{a.dim(1), b.dim(1)}) c = Tensor({a.dim(1), b.dim(1)});
+  c.fill(0.0f);
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (usize p = 0; p < k; ++p) {
+    const float* arow = ap + p * m;
+    const float* brow = bp + p * n;
+    for (usize i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = cp + i * n;
+      for (usize j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  // B is stored [n, k]; compute C[m,n] += A B^T.
+  SJ_REQUIRE(a.ndim() == 2 && b.ndim() == 2, "matmul_nt_acc: inputs must be matrices");
+  const usize m = static_cast<usize>(a.dim(0));
+  const usize k = static_cast<usize>(a.dim(1));
+  SJ_REQUIRE(b.dim(1) == a.dim(1), "matmul_nt_acc: inner dimension mismatch");
+  const usize n = static_cast<usize>(b.dim(0));
+  check_mm(a, b, c, m, k, n);
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (usize i = 0; i < m; ++i) {
+    const float* arow = ap + i * k;
+    float* crow = cp + i * n;
+    for (usize j = 0; j < n; ++j) {
+      const float* brow = bp + j * k;
+      float acc = 0.0f;
+      for (usize p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void im2col(const Tensor& img, i32 kernel, i32 stride, i32 pad, Tensor& cols) {
+  SJ_REQUIRE(img.ndim() == 3, "im2col: image must be [h,w,c]");
+  SJ_REQUIRE(kernel >= 1 && stride >= 1 && pad >= 0, "im2col: bad geometry");
+  const i32 h = img.dim(0), w = img.dim(1), c = img.dim(2);
+  const i32 h_out = (h + 2 * pad - kernel) / stride + 1;
+  const i32 w_out = (w + 2 * pad - kernel) / stride + 1;
+  SJ_REQUIRE(h_out >= 1 && w_out >= 1, "im2col: kernel larger than padded image");
+  const Shape want{h_out * w_out, kernel * kernel * c};
+  if (cols.shape() != want) cols = Tensor(want);
+  cols.fill(0.0f);
+  const float* src = img.data();
+  float* dst = cols.data();
+  const usize row_len = static_cast<usize>(kernel * kernel * c);
+  for (i32 oy = 0; oy < h_out; ++oy) {
+    for (i32 ox = 0; ox < w_out; ++ox) {
+      float* row = dst + (static_cast<usize>(oy) * static_cast<usize>(w_out) +
+                          static_cast<usize>(ox)) *
+                             row_len;
+      for (i32 ky = 0; ky < kernel; ++ky) {
+        const i32 iy = oy * stride - pad + ky;
+        if (iy < 0 || iy >= h) continue;
+        for (i32 kx = 0; kx < kernel; ++kx) {
+          const i32 ix = ox * stride - pad + kx;
+          if (ix < 0 || ix >= w) continue;
+          const float* px = src + (static_cast<usize>(iy) * static_cast<usize>(w) +
+                                   static_cast<usize>(ix)) *
+                                      static_cast<usize>(c);
+          float* out = row + (static_cast<usize>(ky) * static_cast<usize>(kernel) +
+                              static_cast<usize>(kx)) *
+                                 static_cast<usize>(c);
+          for (i32 ch = 0; ch < c; ++ch) out[ch] = px[ch];
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& cols, i32 kernel, i32 stride, i32 pad, Tensor& grad_img) {
+  SJ_REQUIRE(grad_img.ndim() == 3, "col2im: image must be [h,w,c]");
+  const i32 h = grad_img.dim(0), w = grad_img.dim(1), c = grad_img.dim(2);
+  const i32 h_out = (h + 2 * pad - kernel) / stride + 1;
+  const i32 w_out = (w + 2 * pad - kernel) / stride + 1;
+  SJ_REQUIRE(cols.shape() == (Shape{h_out * w_out, kernel * kernel * c}),
+             "col2im: cols shape mismatch");
+  const float* src = cols.data();
+  float* dst = grad_img.data();
+  const usize row_len = static_cast<usize>(kernel * kernel * c);
+  for (i32 oy = 0; oy < h_out; ++oy) {
+    for (i32 ox = 0; ox < w_out; ++ox) {
+      const float* row = src + (static_cast<usize>(oy) * static_cast<usize>(w_out) +
+                                static_cast<usize>(ox)) *
+                                   row_len;
+      for (i32 ky = 0; ky < kernel; ++ky) {
+        const i32 iy = oy * stride - pad + ky;
+        if (iy < 0 || iy >= h) continue;
+        for (i32 kx = 0; kx < kernel; ++kx) {
+          const i32 ix = ox * stride - pad + kx;
+          if (ix < 0 || ix >= w) continue;
+          float* px = dst + (static_cast<usize>(iy) * static_cast<usize>(w) +
+                             static_cast<usize>(ix)) *
+                                static_cast<usize>(c);
+          const float* in = row + (static_cast<usize>(ky) * static_cast<usize>(kernel) +
+                                   static_cast<usize>(kx)) *
+                                      static_cast<usize>(c);
+          for (i32 ch = 0; ch < c; ++ch) px[ch] += in[ch];
+        }
+      }
+    }
+  }
+}
+
+void avgpool(const Tensor& img, i32 win, Tensor& out) {
+  SJ_REQUIRE(img.ndim() == 3, "avgpool: image must be [h,w,c]");
+  const i32 h = img.dim(0), w = img.dim(1), c = img.dim(2);
+  SJ_REQUIRE(win >= 1 && h % win == 0 && w % win == 0,
+             "avgpool: dims must be divisible by window");
+  const i32 ho = h / win, wo = w / win;
+  if (out.shape() != (Shape{ho, wo, c})) out = Tensor({ho, wo, c});
+  const float inv = 1.0f / static_cast<float>(win * win);
+  for (i32 oy = 0; oy < ho; ++oy) {
+    for (i32 ox = 0; ox < wo; ++ox) {
+      for (i32 ch = 0; ch < c; ++ch) {
+        float acc = 0.0f;
+        for (i32 dy = 0; dy < win; ++dy) {
+          for (i32 dx = 0; dx < win; ++dx) {
+            acc += img.at3(oy * win + dy, ox * win + dx, ch);
+          }
+        }
+        out.at3(oy, ox, ch) = acc * inv;
+      }
+    }
+  }
+}
+
+void avgpool_backward(const Tensor& grad_out, i32 win, Tensor& grad_img) {
+  SJ_REQUIRE(grad_out.ndim() == 3, "avgpool_backward: grad must be [h,w,c]");
+  const i32 ho = grad_out.dim(0), wo = grad_out.dim(1), c = grad_out.dim(2);
+  const Shape want{ho * win, wo * win, c};
+  if (grad_img.shape() != want) grad_img = Tensor(want);
+  const float inv = 1.0f / static_cast<float>(win * win);
+  for (i32 oy = 0; oy < ho; ++oy) {
+    for (i32 ox = 0; ox < wo; ++ox) {
+      for (i32 ch = 0; ch < c; ++ch) {
+        const float g = grad_out.at3(oy, ox, ch) * inv;
+        for (i32 dy = 0; dy < win; ++dy) {
+          for (i32 dx = 0; dx < win; ++dx) {
+            grad_img.at3(oy * win + dy, ox * win + dx, ch) = g;
+          }
+        }
+      }
+    }
+  }
+}
+
+usize argmax(const float* v, usize n) {
+  SJ_REQUIRE(n > 0, "argmax of empty range");
+  usize best = 0;
+  for (usize i = 1; i < n; ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+void softmax_inplace(float* v, usize n) {
+  SJ_REQUIRE(n > 0, "softmax of empty range");
+  float m = v[0];
+  for (usize i = 1; i < n; ++i) m = std::max(m, v[i]);
+  float sum = 0.0f;
+  for (usize i = 0; i < n; ++i) {
+    v[i] = std::exp(v[i] - m);
+    sum += v[i];
+  }
+  const float inv = 1.0f / sum;
+  for (usize i = 0; i < n; ++i) v[i] *= inv;
+}
+
+}  // namespace sj

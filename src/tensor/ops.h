@@ -1,0 +1,49 @@
+// Tuned dense kernels: matrix multiply variants, im2col, pooling.
+//
+// Naming convention for matmul variants: suffix letters give the layout of
+// the two inputs, N = as stored, T = logically transposed. All outputs are
+// row-major and *overwritten* unless the _acc variant is used.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace sj {
+
+/// C[m,n] = A[m,k] * B[k,n].
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C[m,n] += A[m,k] * B[k,n].
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C[m,n] = A[k,m]^T * B[k,n]  (A stored k-major; used for dX = W^T dY etc.).
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C[m,n] += A[m,k] * B[n,k]^T (B stored n-major; used for dW = X^T dY etc.).
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// im2col for HWC images with 'same'-style explicit padding.
+///
+/// Input `img` has shape [h, w, c]. The output matrix has one row per output
+/// pixel (h_out*w_out rows, in row-major y,x order) and k*k*c columns, with
+/// out-of-bounds taps reading 0. `stride` is the convolution stride.
+void im2col(const Tensor& img, i32 kernel, i32 stride, i32 pad, Tensor& cols);
+
+/// Transpose of im2col: scatters column-matrix gradients back into an image
+/// gradient of shape [h, w, c]. Accumulates into `grad_img` (caller zeroes).
+void col2im(const Tensor& cols, i32 kernel, i32 stride, i32 pad, Tensor& grad_img);
+
+/// Average pooling over non-overlapping windows. Input [h,w,c] ->
+/// output [h/win, w/win, c]. Requires h, w divisible by `win`.
+void avgpool(const Tensor& img, i32 win, Tensor& out);
+
+/// Backward of avgpool: spreads each output gradient uniformly over its
+/// window. `grad_out` has pooled shape; `grad_img` is overwritten.
+void avgpool_backward(const Tensor& grad_out, i32 win, Tensor& grad_img);
+
+/// Index of the maximum element (first on ties).
+usize argmax(const float* v, usize n);
+
+/// In-place numerically stable softmax over `v[0..n)`.
+void softmax_inplace(float* v, usize n);
+
+}  // namespace sj

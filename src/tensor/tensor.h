@@ -1,0 +1,119 @@
+// Dense row-major float tensor used by the ANN/SNN substrates.
+//
+// The networks in the paper (Table III) are small enough that a simple
+// contiguous float32 tensor plus a handful of tuned kernels (tensor/ops.h)
+// trains them in seconds; no external BLAS is needed or used.
+#pragma once
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sj {
+
+/// Tensor shape: dimension sizes, outermost first.
+using Shape = std::vector<i32>;
+
+/// Number of elements of a shape.
+inline usize shape_numel(const Shape& s) {
+  usize n = 1;
+  for (const i32 d : s) {
+    SJ_REQUIRE(d >= 0, "negative dimension");
+    n *= static_cast<usize>(d);
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& s);
+
+/// Dense row-major float tensor. A regular value type: copies are deep.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Creates a zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+  /// Creates a tensor with explicit contents (sizes must agree).
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    SJ_REQUIRE(data_.size() == shape_numel(shape_), "data size does not match shape");
+  }
+
+  const Shape& shape() const { return shape_; }
+  usize ndim() const { return shape_.size(); }
+  i32 dim(usize i) const {
+    SJ_REQUIRE(i < shape_.size(), "dim index out of range");
+    return shape_[i];
+  }
+  usize numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](usize i) {
+    SJ_REQUIRE(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+  float operator[](usize i) const {
+    SJ_REQUIRE(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+
+  /// 2-D access for matrices (shape [rows, cols]).
+  float& at2(i32 r, i32 c) {
+    SJ_REQUIRE(ndim() == 2, "at2 on non-matrix");
+    return data_[static_cast<usize>(r) * static_cast<usize>(shape_[1]) +
+                 static_cast<usize>(c)];
+  }
+  float at2(i32 r, i32 c) const { return const_cast<Tensor*>(this)->at2(r, c); }
+
+  /// 3-D access for HWC images (shape [h, w, c]).
+  float& at3(i32 y, i32 x, i32 ch) {
+    SJ_REQUIRE(ndim() == 3, "at3 on non-3d tensor");
+    return data_[(static_cast<usize>(y) * static_cast<usize>(shape_[1]) +
+                  static_cast<usize>(x)) *
+                     static_cast<usize>(shape_[2]) +
+                 static_cast<usize>(ch)];
+  }
+  float at3(i32 y, i32 x, i32 ch) const { return const_cast<Tensor*>(this)->at3(y, x, ch); }
+
+  /// Returns a copy with a new shape of equal element count.
+  Tensor reshaped(Shape new_shape) const {
+    SJ_REQUIRE(shape_numel(new_shape) == numel(), "reshape element count mismatch");
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Fills with N(mean, stddev) samples from `rng`.
+  void fill_normal(Rng& rng, float mean, float stddev) {
+    for (float& x : data_) x = static_cast<float>(rng.normal(mean, stddev));
+  }
+
+  /// Fills with U[lo, hi) samples from `rng`.
+  void fill_uniform(Rng& rng, float lo, float hi) {
+    for (float& x : data_) x = static_cast<float>(rng.uniform(lo, hi));
+  }
+
+  /// Largest absolute element (0 for empty tensors).
+  float abs_max() const;
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace sj

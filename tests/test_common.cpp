@@ -1,0 +1,288 @@
+// Unit tests for the common substrate: fixed-point helpers, RNG, BitVec,
+// thread pool, string utilities, error types.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/bitvec.h"
+#include "common/fixed.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+
+namespace sj {
+namespace {
+
+// ----------------------------------------------------------------- fixed ---
+
+TEST(Fixed, SignedBounds) {
+  EXPECT_EQ(signed_max(5), 15);
+  EXPECT_EQ(signed_min(5), -16);
+  EXPECT_EQ(signed_max(13), 4095);
+  EXPECT_EQ(signed_min(13), -4096);
+  EXPECT_EQ(signed_max(16), 32767);
+}
+
+TEST(Fixed, FitsSigned) {
+  EXPECT_TRUE(fits_signed(15, 5));
+  EXPECT_FALSE(fits_signed(16, 5));
+  EXPECT_TRUE(fits_signed(-16, 5));
+  EXPECT_FALSE(fits_signed(-17, 5));
+  EXPECT_TRUE(fits_signed(0, 1));
+}
+
+TEST(Fixed, SaturateClamps) {
+  EXPECT_EQ(saturate_signed(100, 5), 15);
+  EXPECT_EQ(saturate_signed(-100, 5), -16);
+  EXPECT_EQ(saturate_signed(7, 5), 7);
+}
+
+TEST(Fixed, SaturatingAddFlags) {
+  bool ovf = false;
+  EXPECT_EQ(saturating_add(10, 10, 5, &ovf), 15);
+  EXPECT_TRUE(ovf);
+  EXPECT_EQ(saturating_add(3, 4, 5, &ovf), 7);
+  EXPECT_FALSE(ovf);
+  EXPECT_EQ(saturating_add(-16, -10, 5, &ovf), -16);
+  EXPECT_TRUE(ovf);
+}
+
+TEST(Fixed, SignedBitWidth) {
+  EXPECT_EQ(signed_bit_width(0), 1);
+  EXPECT_EQ(signed_bit_width(1), 2);
+  EXPECT_EQ(signed_bit_width(-1), 1);
+  EXPECT_EQ(signed_bit_width(15), 5);
+  EXPECT_EQ(signed_bit_width(16), 6);
+  EXPECT_EQ(signed_bit_width(-16), 5);
+  EXPECT_EQ(signed_bit_width(1920), 12);  // 128 axons x |w|<=15
+  EXPECT_EQ(signed_bit_width(3840), 13);  // 256 axons x |w|<=15 -> local PS
+}
+
+// A width-parameterized sweep: saturation respects every width.
+class FixedWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedWidthTest, AddStaysInRange) {
+  const int bits = GetParam();
+  Rng rng(static_cast<u64>(bits) * 99 + 1);
+  for (int i = 0; i < 200; ++i) {
+    const i64 a = rng.uniform_int(signed_min(bits) * 2, signed_max(bits) * 2);
+    const i64 b = rng.uniform_int(signed_min(bits) * 2, signed_max(bits) * 2);
+    const i64 s = saturating_add(a, b, bits);
+    EXPECT_GE(s, signed_min(bits));
+    EXPECT_LE(s, signed_max(bits));
+    if (fits_signed(a + b, bits)) {
+      EXPECT_EQ(s, a + b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FixedWidthTest, ::testing::Values(3, 5, 8, 13, 16, 24));
+
+// ------------------------------------------------------------------- rng ---
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const i64 k = rng.uniform_int(-3, 7);
+    EXPECT_GE(k, -3);
+    EXPECT_LE(k, 7);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(9);
+  Rng child = a.split();
+  // The child stream should not replay the parent stream.
+  Rng b(9);
+  b.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 64);
+}
+
+// ---------------------------------------------------------------- bitvec ---
+
+TEST(BitVec, SetGetClear) {
+  BitVec v(300);
+  EXPECT_EQ(v.size(), 300u);
+  EXPECT_EQ(v.popcount(), 0u);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(299, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(299));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+  v.clear();
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(10);
+  EXPECT_THROW(v.get(10), InvalidArgument);
+  EXPECT_THROW(v.set(10, true), InvalidArgument);
+}
+
+TEST(BitVec, ForEachSetVisitsInOrder) {
+  BitVec v(130);
+  const std::vector<usize> want = {3, 64, 65, 129};
+  for (const usize i : want) v.set(i, true);
+  std::vector<usize> got;
+  v.for_each_set([&](usize i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitVec, Equality) {
+  BitVec a(65), b(65), c(66);
+  a.set(64, true);
+  b.set(64, true);
+  EXPECT_EQ(a, b);
+  b.set(0, true);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+// ------------------------------------------------------------ threadpool ---
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](usize i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndTiny) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](usize) { FAIL(); });
+  std::atomic<int> n{0};
+  pool.parallel_for(1, [&](usize) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](usize i) {
+                                   if (i == 57) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<i64> sum{0};
+    pool.parallel_for(100, [&](usize i) { sum.fetch_add(static_cast<i64>(i)); });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+// ----------------------------------------------------------------- types ---
+
+TEST(Types, Opposite) {
+  EXPECT_EQ(opposite(Dir::North), Dir::South);
+  EXPECT_EQ(opposite(Dir::South), Dir::North);
+  EXPECT_EQ(opposite(Dir::East), Dir::West);
+  EXPECT_EQ(opposite(Dir::West), Dir::East);
+}
+
+TEST(Types, Manhattan) {
+  EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(manhattan({1, 2}, {4, 6}), 7);
+  EXPECT_EQ(manhattan({4, 6}, {1, 2}), 7);
+}
+
+TEST(Types, CoordHashDistinct) {
+  std::set<usize> hashes;
+  std::hash<Coord> h;
+  for (i32 r = 0; r < 10; ++r) {
+    for (i32 c = 0; c < 10; ++c) hashes.insert(h(Coord{r, c}));
+  }
+  EXPECT_EQ(hashes.size(), 100u);
+}
+
+// ------------------------------------------------------------ string_util --
+
+TEST(StringUtil, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtil, FmtSi) {
+  EXPECT_EQ(fmt_si(1.26e-3, "W"), "1.26 mW");
+  EXPECT_EQ(fmt_si(120e3, "Hz"), "120 kHz");
+  EXPECT_EQ(fmt_si(4.4e-12, "J"), "4.4 pJ");
+  EXPECT_EQ(fmt_si(0.0, "W"), "0 W");
+}
+
+TEST(StringUtil, RenderTableAligns) {
+  const std::string t = render_table({{"a", "bb"}, {"ccc", "d"}});
+  EXPECT_NE(t.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(t.find("| ccc | d  |"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- status ---
+
+TEST(Status, ExceptionTypesAndLocation) {
+  try {
+    SJ_THROW_INVALID("bad arg");
+    FAIL();
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("bad arg"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+  }
+  EXPECT_THROW(SJ_ASSERT(false, "x"), InternalError);
+  EXPECT_THROW(SJ_THROW_IO("f"), IoError);
+  EXPECT_THROW(SJ_THROW_MAPPING("m"), MappingError);
+  EXPECT_NO_THROW(SJ_REQUIRE(true, "fine"));
+}
+
+}  // namespace
+}  // namespace sj

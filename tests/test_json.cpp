@@ -1,0 +1,133 @@
+// Unit tests for the minimal JSON reader/writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "json/json.h"
+
+namespace sj::json {
+namespace {
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("3.5").as_number(), 3.5);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5E-2").as_number(), -0.025);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseStructures) {
+  const Value v = parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[2].at("b").as_bool(), true);
+  EXPECT_EQ(v.at("c").as_string(), "x");
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("z"));
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"q\"\\")").as_string(), "a\nb\t\"q\"\\");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(parse(R"("中")").as_string(), "\xe4\xb8\xad");
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const Value v = parse("  {\n\t\"k\" :\r [ 1 ,2 ]\n}  ");
+  EXPECT_EQ(v.at("k").as_array().size(), 2u);
+}
+
+struct BadDoc {
+  const char* text;
+  const char* why;
+};
+
+class JsonErrorTest : public ::testing::TestWithParam<BadDoc> {};
+
+TEST_P(JsonErrorTest, Rejects) {
+  EXPECT_THROW(parse(GetParam().text), InvalidArgument) << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, JsonErrorTest,
+    ::testing::Values(BadDoc{"", "empty"}, BadDoc{"{", "unterminated object"},
+                      BadDoc{"[1,]", "trailing comma"}, BadDoc{"tru", "bad literal"},
+                      BadDoc{"\"abc", "unterminated string"},
+                      BadDoc{"\"\\x\"", "bad escape"}, BadDoc{"01a", "trailing chars"},
+                      BadDoc{"{\"a\":1} x", "trailing after doc"},
+                      BadDoc{"{a:1}", "unquoted key"}, BadDoc{"-", "lone minus"},
+                      BadDoc{"\"\x01\"", "control char in string"}));
+
+TEST(Json, TypeErrorsThrow) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), InvalidArgument);
+  EXPECT_THROW(v.as_string(), InvalidArgument);
+  EXPECT_THROW(v.at("k"), InvalidArgument);
+  EXPECT_THROW(parse("1.5").as_int(), InvalidArgument);
+}
+
+TEST(Json, BuildersAndDefaults) {
+  Value v;
+  v.set("n", 3);
+  v.set("s", "str");
+  Value arr;
+  arr.push_back(1);
+  arr.push_back(false);
+  v.set("a", std::move(arr));
+  v.set("n", 4);  // overwrite
+  EXPECT_EQ(v.at("n").as_int(), 4);
+  EXPECT_EQ(v.number_or("missing", 9.0), 9.0);
+  EXPECT_EQ(v.int_or("n", 0), 4);
+  EXPECT_EQ(v.string_or("missing", "d"), "d");
+}
+
+TEST(Json, DumpCompactAndPretty) {
+  Value v = parse(R"({"a":[1,2],"b":"x"})");
+  EXPECT_EQ(v.dump(), R"({"a":[1,2],"b":"x"})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": ["), std::string::npos);
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(Value(5).dump(), "5");
+  EXPECT_EQ(Value(-5.5).dump(), "-5.5");
+  EXPECT_EQ(Value(i64{1} << 40).dump(), "1099511627776");
+}
+
+class JsonRoundtripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundtripTest, DumpParseIdentity) {
+  const Value v = parse(GetParam());
+  EXPECT_EQ(parse(v.dump()), v);
+  EXPECT_EQ(parse(v.dump(2)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, JsonRoundtripTest,
+    ::testing::Values("null", "[]", "{}", "[[[1]]]", R"({"a":{"b":{"c":[1,2,3]}}})",
+                      R"([1.5, -2, "s", true, null, {"k": []}])",
+                      R"({"unicode":"é中","esc":"a\nb"})"));
+
+TEST(Json, ObjectOrderPreserved) {
+  const Value v = parse(R"({"z":1,"a":2,"m":3})");
+  const Object& o = v.as_object();
+  EXPECT_EQ(o[0].first, "z");
+  EXPECT_EQ(o[1].first, "a");
+  EXPECT_EQ(o[2].first, "m");
+}
+
+TEST(Json, FileRoundtrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "sj_json_test.json";
+  Value v = parse(R"({"net":"mlp","layers":[784,512,10]})");
+  write_file(path, v);
+  EXPECT_EQ(parse_file(path), v);
+  std::remove(path.c_str());
+  EXPECT_THROW(parse_file("/nonexistent/sj.json"), IoError);
+}
+
+}  // namespace
+}  // namespace sj::json

@@ -1,0 +1,366 @@
+// Unit and property tests for the mapping toolchain: XY routing, the Fig. 1
+// MLP layout, dense/conv core-count formulas, plane-assignment invariants,
+// schedule structure, and the mapping validator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mapper/mapper.h"
+#include "mapper/schedule.h"
+#include "nn/dataset.h"
+#include "snn/convert.h"
+
+namespace sj::map {
+namespace {
+
+std::vector<Dir> route(Coord a, Coord b) { return xy_route(a, b); }
+
+TEST(XyRoute, LengthEqualsManhattan) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Coord a{static_cast<i32>(rng.uniform_int(0, 30)),
+                  static_cast<i32>(rng.uniform_int(0, 30))};
+    const Coord b{static_cast<i32>(rng.uniform_int(0, 30)),
+                  static_cast<i32>(rng.uniform_int(0, 30))};
+    EXPECT_EQ(static_cast<i32>(route(a, b).size()), manhattan(a, b));
+  }
+}
+
+TEST(XyRoute, ColumnFirstOrder) {
+  const auto hops = route({0, 0}, {2, 3});
+  ASSERT_EQ(hops.size(), 5u);
+  EXPECT_EQ(hops[0], Dir::East);
+  EXPECT_EQ(hops[1], Dir::East);
+  EXPECT_EQ(hops[2], Dir::East);
+  EXPECT_EQ(hops[3], Dir::South);
+  EXPECT_EQ(hops[4], Dir::South);
+  EXPECT_TRUE(route({5, 5}, {5, 5}).empty());
+}
+
+// Helpers: build + convert a model with random weights.
+snn::SnnNetwork make_snn(nn::Model& m, const Shape& in_shape, u64 seed, i32 T = 8) {
+  Rng rng(seed);
+  m.init_weights(rng);
+  nn::Dataset calib;
+  calib.sample_shape = in_shape;
+  calib.num_classes = 10;
+  for (int i = 0; i < 8; ++i) {
+    Tensor x(in_shape);
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    calib.images.push_back(std::move(x));
+    calib.labels.push_back(0);
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = T;
+  return snn::convert(m, calib, cc);
+}
+
+i64 real_cores(const MappedNetwork& m) {
+  i64 n = 0;
+  for (const auto& c : m.cores) {
+    if (!c.filler) ++n;
+  }
+  return n;
+}
+
+TEST(MapperFc, Fig1MlpLayoutIsTenCores) {
+  nn::Model m({28, 28, 1}, "mlp");
+  m.flatten();
+  m.dense(784, 512);
+  m.relu();
+  m.dense(512, 10);
+  const snn::SnnNetwork net = make_snn(m, {28, 28, 1}, 42, 4);
+  const MappedNetwork mapped = map_network(net);
+  EXPECT_EQ(real_cores(mapped), 10);  // Fig. 1 / Table IV
+  EXPECT_EQ(mapped.chips_used, 1);
+  // Layer 1: 4 rows x 2 cols; layer 2: 2 rows x 1 col at column 2 (Fig. 1).
+  std::set<std::pair<i32, i32>> l1, l2;
+  for (const auto& c : mapped.cores) {
+    if (c.filler) continue;
+    if (c.unit == 0) l1.insert({c.pos.row, c.pos.col});
+    if (c.unit == 1) l2.insert({c.pos.row, c.pos.col});
+  }
+  EXPECT_EQ(l1.size(), 8u);
+  EXPECT_EQ(l2.size(), 2u);
+  EXPECT_TRUE(l2.count({0, 2}) == 1 && l2.count({1, 2}) == 1);
+  // Spiking roots of layer 1 sit at the top row, as in Fig. 1.
+  for (const auto& c : mapped.cores) {
+    if (!c.filler && c.unit == 0 && c.spiking) {
+      EXPECT_EQ(c.pos.row, 0);
+    }
+  }
+}
+
+struct FcDims {
+  i32 in, out, want_rows, want_cols;
+};
+
+class FcCoreCountTest : public ::testing::TestWithParam<FcDims> {};
+
+TEST_P(FcCoreCountTest, MatchesFormula) {
+  const auto [in, out, want_rows, want_cols] = GetParam();
+  nn::Model m({in}, "fc");
+  m.dense(in, out);
+  m.relu();
+  m.dense(out, 10);
+  const snn::SnnNetwork net = make_snn(m, {in}, static_cast<u64>(in * out), 4);
+  const MappedNetwork mapped = map_network(net);
+  i64 unit0 = 0;
+  for (const auto& c : mapped.cores) {
+    if (!c.filler && c.unit == 0) ++unit0;
+  }
+  EXPECT_EQ(unit0, static_cast<i64>(want_rows) * want_cols)
+      << "nrow=" << want_rows << " ncol=" << want_cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, FcCoreCountTest,
+    ::testing::Values(FcDims{100, 50, 1, 1},     // fits one core
+                      FcDims{784, 512, 4, 2},    // Fig. 1 layer 1
+                      FcDims{300, 300, 2, 2},    // ceil(300/256) both ways
+                      FcDims{512, 10, 2, 1},     // Fig. 1 layer 2
+                      FcDims{1568, 128, 7, 1})); // MNIST-CNN FC1 (paper §III)
+
+TEST(MapperConv, ModularPlaneAssignment) {
+  // Every conv-unit neuron must live at plane (y%16)*16 + x%16 — the
+  // paper's "inter-changing pattern" that aligns exchanged partial sums.
+  nn::Model m({28, 28, 1}, "c");
+  m.conv2d(3, 1, 4);
+  m.relu();
+  m.flatten();
+  m.dense(28 * 28 * 4, 10);
+  const snn::SnnNetwork net = make_snn(m, {28, 28, 1}, 7, 4);
+  const MappedNetwork mapped = map_network(net);
+  const auto& slots = mapped.unit_slots[0];
+  for (i32 y = 0; y < 28; ++y) {
+    for (i32 x = 0; x < 28; ++x) {
+      for (i32 co = 0; co < 4; ++co) {
+        const usize flat = static_cast<usize>((y * 28 + x) * 4 + co);
+        EXPECT_EQ(slots[flat].plane, (y % 16) * 16 + (x % 16));
+      }
+    }
+  }
+}
+
+TEST(MapperConv, CoreCountAndCapacity) {
+  // 28x28, k=3 -> 2x2 tiles of 14x14 (Fig. 4); cin*cout*tiles cores.
+  nn::Model m({28, 28, 1}, "c");
+  m.conv2d(3, 1, 16);
+  m.relu();
+  m.flatten();
+  m.dense(28 * 28 * 16, 10);
+  const snn::SnnNetwork net = make_snn(m, {28, 28, 1}, 9, 4);
+  const MappedNetwork mapped = map_network(net);
+  i64 conv_cores = 0;
+  for (const auto& c : mapped.cores) {
+    if (!c.filler && c.unit == 0) ++conv_cores;
+  }
+  EXPECT_EQ(conv_cores, 4 * 1 * 16);
+  for (const auto& c : mapped.cores) {
+    if (c.filler) continue;
+    EXPECT_LE(c.axon_mask.popcount(), 256);
+    EXPECT_LE(c.neuron_mask.popcount(), 256);
+  }
+}
+
+TEST(MapperConv, WindowExactly256ForMaxTile) {
+  // k=5 on 36x36: 3x3 tiles of 12x12 inputs; the center tile's output
+  // window is (12+4)^2 = 256 neurons — the full plane space.
+  nn::Model m({36, 36, 1}, "c5");
+  m.conv2d(5, 1, 4);
+  m.relu();
+  m.flatten();
+  m.dense(36 * 36 * 4, 10);
+  const snn::SnnNetwork net = make_snn(m, {36, 36, 1}, 11, 4);
+  const MappedNetwork mapped = map_network(net);
+  int full_windows = 0;
+  for (const auto& c : mapped.cores) {
+    if (!c.filler && c.unit == 0 && c.neuron_mask.popcount() == 256) ++full_windows;
+  }
+  EXPECT_GT(full_windows, 0);  // interior tiles use the whole plane space
+}
+
+TEST(MapperPool, OffsetPackingFeedsFc) {
+  // Pool cores pack outputs at per-core offsets so several source cores can
+  // share one FC core; axon planes at the FC core must be collision-free
+  // (validated inside map_network; here we also check the slot bases).
+  nn::Model m({28, 28, 1}, "p");
+  m.conv2d(3, 1, 8);
+  m.relu();
+  m.avgpool(2);
+  m.flatten();
+  m.dense(14 * 14 * 8, 10);
+  const snn::SnnNetwork net = make_snn(m, {28, 28, 1}, 13, 4);
+  const MappedNetwork mapped = map_network(net);
+  // Unit 1 is the pool; collect per-core plane ranges.
+  std::set<u32> pool_cores;
+  for (const auto& s : mapped.unit_slots[1]) pool_cores.insert(s.core);
+  EXPECT_GT(pool_cores.size(), 1u);
+  for (const u32 pc : pool_cores) {
+    EXPECT_TRUE(mapped.cores[pc].spiking);  // every pool core is a root
+  }
+}
+
+TEST(MapperResnet, NormCoresHoldOneTimestep) {
+  // Three-conv residual block (the Table III(d) shape): the shortcut's Diag
+  // edge spans two pipeline stages, so only the normalization cores hold
+  // their inputs an extra timestep; the conv path is already aligned.
+  nn::Model m({8, 8, 2}, "res");
+  m.conv2d(3, 2, 4);
+  const nn::NodeId sc = m.relu();
+  m.conv2d(3, 4, 4);
+  m.relu();
+  const nn::NodeId c3 = m.conv2d(3, 4, 4);
+  const nn::NodeId join = m.add_join(c3, sc);
+  m.relu(join);
+  m.flatten();
+  m.dense(8 * 8 * 4, 3);
+  const snn::SnnNetwork net = make_snn(m, {8, 8, 2}, 17, 4);
+  const MappedNetwork mapped = map_network(net);
+  int norm_cores = 0;
+  for (const auto& c : mapped.cores) {
+    if (c.filler) continue;
+    if (c.role.find("norm") != std::string::npos) {
+      ++norm_cores;
+      EXPECT_EQ(c.spike_hold, 1) << c.role;
+    } else {
+      EXPECT_EQ(c.spike_hold, 0) << c.role;
+    }
+  }
+  EXPECT_EQ(norm_cores, 4);  // one per (tile=1, cout=4)
+  // Unit depths: conv1=1, conv2=2, block=3 (diag spans two stages).
+  EXPECT_EQ(mapped.unit_depth[0], 1);
+  EXPECT_EQ(mapped.unit_depth[1], 2);
+  EXPECT_EQ(mapped.unit_depth[2], 3);
+}
+
+TEST(MapperResnet, ShortBlockDelaysConvPathToo) {
+  // Two-conv residual: both edges source unit 0, so the conv path must be
+  // held one timestep to stay aligned with the two-stage diag path.
+  nn::Model m({8, 8, 2}, "res2");
+  m.conv2d(3, 2, 4);
+  const nn::NodeId sc = m.relu();
+  const nn::NodeId c2 = m.conv2d(3, 4, 4);
+  const nn::NodeId join = m.add_join(c2, sc);
+  m.relu(join);
+  m.flatten();
+  m.dense(8 * 8 * 4, 3);
+  const snn::SnnNetwork net = make_snn(m, {8, 8, 2}, 18, 4);
+  const MappedNetwork mapped = map_network(net);
+  for (const auto& c : mapped.cores) {
+    if (c.filler || c.unit != 1) continue;
+    EXPECT_EQ(c.spike_hold, 1) << c.role;  // conv AND norm cores
+  }
+  EXPECT_EQ(mapped.unit_depth[1], 3);
+}
+
+TEST(MapperSchedule, AccAtCycleZeroEverywhere) {
+  nn::Model m({12}, "s");
+  m.dense(12, 8);
+  m.relu();
+  m.dense(8, 4);
+  const snn::SnnNetwork net = make_snn(m, {12}, 19, 4);
+  const MappedNetwork mapped = map_network(net);
+  std::set<u32> acc_cores;
+  for (const auto& op : mapped.schedule) {
+    if (op.op.code == core::OpCode::Acc) {
+      EXPECT_EQ(op.cycle, 0u);
+      acc_cores.insert(op.core);
+    } else {
+      EXPECT_GE(op.cycle, static_cast<u32>(mapped.arch.acc_cycles));
+    }
+  }
+  EXPECT_EQ(acc_cores.size(), static_cast<usize>(real_cores(mapped)));
+  EXPECT_GT(mapped.cycles_per_timestep, static_cast<u32>(mapped.arch.acc_cycles));
+}
+
+TEST(MapperSchedule, SortedAndConflictFree) {
+  nn::Model m({28, 28, 1}, "mlp");
+  m.flatten();
+  m.dense(784, 512);
+  m.relu();
+  m.dense(512, 10);
+  const snn::SnnNetwork net = make_snn(m, {28, 28, 1}, 21, 4);
+  const MappedNetwork mapped = map_network(net);  // validate() runs inside
+  for (usize i = 1; i < mapped.schedule.size(); ++i) {
+    EXPECT_LE(mapped.schedule[i - 1].cycle, mapped.schedule[i].cycle);
+  }
+}
+
+TEST(MapperValidate, CatchesTamperedThreshold) {
+  nn::Model m({12}, "v");
+  m.dense(12, 6);
+  m.relu();
+  m.dense(6, 3);
+  const snn::SnnNetwork net = make_snn(m, {12}, 23, 4);
+  MappedNetwork mapped = map_network(net);
+  mapped.cores[mapped.unit_slots[0][0].core].threshold += 1;
+  EXPECT_THROW(validate(mapped, net), InternalError);
+}
+
+TEST(MapperValidate, CatchesScheduleConflict) {
+  nn::Model m({12}, "v2");
+  m.dense(12, 6);
+  m.relu();
+  m.dense(6, 3);
+  const snn::SnnNetwork net = make_snn(m, {12}, 29, 4);
+  MappedNetwork mapped = map_network(net);
+  // Duplicate an op at the same (core, cycle, plane): must be rejected.
+  mapped.schedule.push_back(mapped.schedule.back());
+  EXPECT_THROW(validate(mapped, net), InternalError);
+}
+
+TEST(Mapper, InputTapsCoverEveryPixel) {
+  nn::Model m({28, 28, 1}, "in");
+  m.conv2d(3, 1, 2);
+  m.relu();
+  m.flatten();
+  m.dense(28 * 28 * 2, 10);
+  const snn::SnnNetwork net = make_snn(m, {28, 28, 1}, 31, 4);
+  const MappedNetwork mapped = map_network(net);
+  ASSERT_EQ(mapped.input_taps.size(), 784u);
+  for (const auto& taps : mapped.input_taps) {
+    EXPECT_EQ(taps.size(), 2u);  // one core per output channel (cin=1, 2 couts)
+  }
+}
+
+TEST(Mapper, CensusSumsToCoreCount) {
+  nn::Model m({28, 28, 1}, "mlp");
+  m.flatten();
+  m.dense(784, 512);
+  m.relu();
+  m.dense(512, 10);
+  const snn::SnnNetwork net = make_snn(m, {28, 28, 1}, 37, 4);
+  const MappedNetwork mapped = map_network(net);
+  const auto census = core_census(mapped, net);
+  i64 total = 0;
+  for (const auto& u : census) total += u.cores;
+  EXPECT_EQ(total, real_cores(mapped));
+  EXPECT_EQ(census[0].cores, 8);
+  EXPECT_EQ(census[1].cores, 2);
+}
+
+TEST(Mapper, RejectsTooWideWeights) {
+  nn::Model m({12}, "w");
+  m.dense(12, 6);
+  m.relu();
+  m.dense(6, 3);
+  snn::SnnNetwork net = make_snn(m, {12}, 41, 4);
+  net.weight_bits = 8;  // wider than the 5-bit hardware synapses
+  MapperConfig cfg;
+  EXPECT_THROW(map_network(net, cfg), InvalidArgument);
+}
+
+TEST(Mapper, MappingTimeRecorded) {
+  nn::Model m({12}, "t");
+  m.dense(12, 6);
+  m.relu();
+  m.dense(6, 3);
+  const snn::SnnNetwork net = make_snn(m, {12}, 43, 4);
+  const MappedNetwork mapped = map_network(net);
+  EXPECT_GT(mapped.mapping_seconds, 0.0);
+  EXPECT_EQ(mapped.timesteps, 4);
+}
+
+}  // namespace
+}  // namespace sj::map

@@ -1,0 +1,279 @@
+// Unit tests for the ANN library: analytic gradients vs numerical
+// differentiation for every layer kind, training convergence, datasets,
+// serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "nn/serialize.h"
+#include "nn/train.h"
+
+namespace sj::nn {
+namespace {
+
+/// Numerical gradient check of d(loss)/d(weights) through a whole model.
+void check_gradients(Model& model, const Tensor& input, i32 label, float tol) {
+  GradStore grads = model.make_grad_store();
+  Tensor grad_out;
+  {
+    const Activations acts = model.forward(input);
+    softmax_cross_entropy(acts.output(), label, grad_out);
+    model.backward(acts, grad_out, grads);
+  }
+  const float eps = 5e-4f;
+  Rng pick(99);
+  for (usize li = 0; li < grads.grads.size(); ++li) {
+    if (grads.grads[li].empty()) continue;
+    Tensor* w = model.layer(static_cast<NodeId>(li + 1)).weights();
+    // Sample a handful of weights per layer to keep runtime sane.
+    for (int s = 0; s < 12; ++s) {
+      const usize j = pick.uniform_index(w->numel());
+      const float orig = (*w)[j];
+      Tensor dummy;
+      (*w)[j] = orig + eps;
+      const double lp = softmax_cross_entropy(model.predict(input), label, dummy);
+      (*w)[j] = orig - eps;
+      const double lm = softmax_cross_entropy(model.predict(input), label, dummy);
+      (*w)[j] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = grads.grads[li][j];
+      // Mixed tolerance: float32 forward noise plus a relative term for
+      // ReLU-kink crossings under finite differences.
+      EXPECT_NEAR(analytic, numeric, tol + 0.02 * std::fabs(numeric))
+          << "layer " << (li + 1) << " weight " << j;
+    }
+  }
+}
+
+TEST(Layers, DenseGradients) {
+  Rng rng(1);
+  Model m({6}, "g");
+  m.dense(6, 5);
+  m.relu();
+  m.dense(5, 3);
+  m.init_weights(rng);
+  Tensor x({6});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  check_gradients(m, x, 2, 2e-3f);
+}
+
+TEST(Layers, ConvPoolGradients) {
+  Rng rng(2);
+  Model m({6, 6, 2}, "g");
+  m.conv2d(3, 2, 4);
+  m.relu();
+  m.avgpool(2);
+  m.flatten();
+  m.dense(3 * 3 * 4, 3);
+  m.init_weights(rng);
+  Tensor x({6, 6, 2});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  check_gradients(m, x, 1, 2e-3f);
+}
+
+TEST(Layers, ResidualAddGradients) {
+  Rng rng(3);
+  Model m({4, 4, 3}, "g");
+  m.conv2d(3, 3, 3);
+  const NodeId branch = m.relu();
+  const NodeId c2 = m.conv2d(3, 3, 3, branch);
+  const NodeId join = m.add_join(c2, branch);
+  m.relu(join);
+  m.flatten();
+  m.dense(48, 2);
+  m.init_weights(rng);
+  Tensor x({4, 4, 3});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  check_gradients(m, x, 0, 2e-3f);
+}
+
+TEST(Layers, ShapeInference) {
+  Model m({28, 28, 1}, "s");
+  m.conv2d(5, 1, 8);
+  EXPECT_EQ(m.output_shape(), (Shape{28, 28, 8}));
+  m.avgpool(2);
+  EXPECT_EQ(m.output_shape(), (Shape{14, 14, 8}));
+  m.flatten();
+  EXPECT_EQ(m.output_shape(), (Shape{14 * 14 * 8}));
+  m.dense(14 * 14 * 8, 10);
+  EXPECT_EQ(m.output_shape(), (Shape{10}));
+}
+
+TEST(Layers, GeometryErrors) {
+  Model m({8, 8, 2}, "e");
+  EXPECT_THROW(m.conv2d(4, 2, 3), InvalidArgument);   // even kernel
+  EXPECT_THROW(m.dense(5, 3), InvalidArgument);       // input size mismatch
+  EXPECT_THROW(m.avgpool(3), InvalidArgument);        // 8 % 3 != 0
+  const NodeId c1 = m.conv2d(3, 2, 4);
+  const NodeId c2 = m.conv2d(3, 2, 2, /*from=*/0);    // branch off the input
+  EXPECT_THROW(m.add_join(c1, c2), InvalidArgument);  // shape mismatch
+}
+
+TEST(Model, CloneIsDeep) {
+  Rng rng(4);
+  Model m({4}, "orig");
+  m.dense(4, 3);
+  m.init_weights(rng);
+  Model c = m.clone();
+  (*c.layer(1).weights())[0] += 1.0f;
+  EXPECT_NE((*c.layer(1).weights())[0], (*m.layer(1).weights())[0]);
+  EXPECT_EQ(c.num_params(), m.num_params());
+}
+
+TEST(Model, NumParamsAndSummary) {
+  Model m({28, 28, 1}, "mlp");
+  m.flatten();
+  m.dense(784, 512);
+  m.relu();
+  m.dense(512, 10);
+  EXPECT_EQ(m.num_params(), 784u * 512u + 512u * 10u);
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("Dense(784, 512)"), std::string::npos);
+  EXPECT_NE(s.find("ReLU"), std::string::npos);
+}
+
+TEST(Loss, SoftmaxCrossEntropy) {
+  Tensor logits({3});
+  logits[0] = 0.0f;
+  logits[1] = 0.0f;
+  logits[2] = 0.0f;
+  Tensor grad;
+  const double loss = softmax_cross_entropy(logits, 1, grad);
+  EXPECT_NEAR(loss, std::log(3.0), 1e-6);
+  EXPECT_NEAR(grad[0], 1.0f / 3.0f, 1e-5f);
+  EXPECT_NEAR(grad[1], 1.0f / 3.0f - 1.0f, 1e-5f);
+  EXPECT_THROW(softmax_cross_entropy(logits, 5, grad), InvalidArgument);
+}
+
+TEST(Train, LearnsLinearlySeparableProblem) {
+  // Two Gaussian blobs in 2-D -> tiny MLP reaches high accuracy quickly.
+  Rng rng(11);
+  Dataset d;
+  d.name = "blobs";
+  d.sample_shape = {2};
+  d.num_classes = 2;
+  for (int i = 0; i < 400; ++i) {
+    const int cls = i % 2;
+    Tensor x({2});
+    x[0] = static_cast<float>(rng.normal(cls == 0 ? -1.0 : 1.0, 0.4));
+    x[1] = static_cast<float>(rng.normal(cls == 0 ? 1.0 : -1.0, 0.4));
+    d.images.push_back(std::move(x));
+    d.labels.push_back(cls);
+  }
+  Model m({2}, "blob-mlp");
+  m.dense(2, 16);
+  m.relu();
+  m.dense(16, 2);
+  m.init_weights(rng);
+  TrainConfig tc;
+  tc.epochs = 12;
+  tc.batch_size = 32;
+  const TrainStats st = train(m, d, tc);
+  EXPECT_LT(st.epoch_loss.back(), st.epoch_loss.front());
+  EXPECT_GT(evaluate_accuracy(m, d), 0.95);
+}
+
+TEST(Train, DeterministicGivenSeeds) {
+  Dataset d = make_synth_digits(64, {.seed = 3});
+  auto run = [&] {
+    Rng rng(5);
+    Model m({28, 28, 1}, "t");
+    m.flatten();
+    m.dense(784, 16);
+    m.relu();
+    m.dense(16, 10);
+    m.init_weights(rng);
+    TrainConfig tc;
+    tc.epochs = 1;
+    train(m, d, tc);
+    return (*m.layer(2).weights())[100];
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Dataset, SynthDigitsShapeAndDeterminism) {
+  const Dataset a = make_synth_digits(32, {.seed = 42});
+  const Dataset b = make_synth_digits(32, {.seed = 42});
+  const Dataset c = make_synth_digits(32, {.seed = 43});
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_EQ(a.sample_shape, (Shape{28, 28, 1}));
+  EXPECT_EQ(a.images[5], b.images[5]);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_FALSE(a.images[5] == c.images[5]);
+  for (const i32 l : a.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 10);
+  }
+  for (const float v : a.images[0].vec()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Dataset, SynthColoredShapeAndRange) {
+  const Dataset d = make_synth_colored(16, {.seed = 1});
+  EXPECT_EQ(d.sample_shape, (Shape{24, 24, 3}));
+  for (const float v : d.images[3].vec()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Dataset, TakePrefix) {
+  const Dataset d = make_synth_digits(10, {.seed = 9});
+  const Dataset p = take_prefix(d, 4);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.images[3], d.images[3]);
+  EXPECT_THROW(take_prefix(d, 11), InvalidArgument);
+}
+
+TEST(Serialize, WeightsRoundtrip) {
+  Rng rng(6);
+  Model m({8}, "w");
+  m.dense(8, 4);
+  m.relu();
+  m.dense(4, 2);
+  m.init_weights(rng);
+  const std::string path = std::filesystem::temp_directory_path() / "sj_w_test.bin";
+  save_weights(m, path);
+  Model m2({8}, "w2");
+  m2.dense(8, 4);
+  m2.relu();
+  m2.dense(4, 2);
+  load_weights(m2, path);
+  EXPECT_EQ(*m.layer(1).weights(), *m2.layer(1).weights());
+  EXPECT_EQ(*m.layer(3).weights(), *m2.layer(3).weights());
+  // Shape mismatch rejected.
+  Model m3({8}, "w3");
+  m3.dense(8, 5);
+  EXPECT_THROW(load_weights(m3, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ModelJsonRoundtrip) {
+  Model m({24, 24, 3}, "cnn");
+  m.conv2d(5, 3, 16);
+  const NodeId sc = m.relu();
+  const NodeId c2 = m.conv2d(5, 16, 16);
+  m.add_join(c2, sc);
+  m.relu();
+  m.avgpool(2);
+  m.flatten();
+  m.dense(12 * 12 * 16, 10);
+  const json::Value doc = model_to_json(m);
+  const Model r = model_from_json(doc);
+  EXPECT_EQ(r.name(), "cnn");
+  EXPECT_EQ(r.input_shape(), m.input_shape());
+  EXPECT_EQ(r.num_layers(), m.num_layers());
+  EXPECT_EQ(r.output_shape(), m.output_shape());
+  for (NodeId id = 1; id <= static_cast<NodeId>(m.num_layers()); ++id) {
+    EXPECT_EQ(r.layer(id).kind(), m.layer(id).kind()) << "node " << id;
+    EXPECT_EQ(r.node(id).inputs, m.node(id).inputs) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace sj::nn

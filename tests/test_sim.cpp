@@ -1,0 +1,295 @@
+// Cycle-level simulator tests. The central property — the paper's headline
+// claim — is bit-exact equivalence between the abstract SNN evaluation and
+// the hardware simulation, for every unit and every timestep, across layer
+// kinds and split configurations (TEST_P sweeps). Also: determinism,
+// saturation detection under narrowed datapaths, and statistics sanity.
+#include <gtest/gtest.h>
+
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "sim/simulator.h"
+#include "snn/convert.h"
+#include "snn/evaluate.h"
+
+namespace sj::sim {
+namespace {
+
+struct Built {
+  snn::SnnNetwork net;
+  map::MappedNetwork mapped;
+  nn::Dataset data;
+};
+
+Built build(nn::Model& m, const Shape& in_shape, u64 seed, i32 T,
+            const map::MapperConfig& cfg = {}) {
+  Rng rng(seed);
+  m.init_weights(rng);
+  nn::Dataset d;
+  d.sample_shape = in_shape;
+  d.num_classes = 10;
+  for (int i = 0; i < 6; ++i) {
+    Tensor x(in_shape);
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    d.images.push_back(std::move(x));
+    d.labels.push_back(static_cast<i32>(rng.uniform_index(10)));
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = T;
+  Built b{snn::convert(m, d, cc), {}, {}};
+  b.mapped = map::map_network(b.net, cfg);
+  b.data = std::move(d);
+  return b;
+}
+
+/// Asserts per-unit per-timestep spike-train equality plus output equality.
+void expect_equivalent(const Built& b, usize frames, i64* sat_out = nullptr) {
+  const snn::AbstractEvaluator ev(b.net);
+  Simulator sim(b.mapped, b.net);
+  SimStats st;
+  for (usize f = 0; f < frames; ++f) {
+    snn::Trace tr;
+    const snn::EvalResult abs = ev.run(b.data.images[f], nullptr, &tr);
+    HardwareTrace ht;
+    const FrameResult hw = sim.run_frame(b.data.images[f], &st, &ht);
+    ASSERT_EQ(hw.spike_counts, abs.spike_counts) << "frame " << f;
+    ASSERT_EQ(hw.predicted, abs.predicted) << "frame " << f;
+    ASSERT_EQ(hw.final_potentials.size(), abs.final_potentials.size());
+    for (usize j = 0; j < hw.final_potentials.size(); ++j) {
+      EXPECT_EQ(hw.final_potentials[j], abs.final_potentials[j]) << "neuron " << j;
+    }
+    for (usize u = 0; u < b.net.units.size(); ++u) {
+      ASSERT_EQ(ht.units[u].size(), tr.units[u].size());
+      for (usize t = 0; t < ht.units[u].size(); ++t) {
+        ASSERT_EQ(ht.units[u][t], tr.units[u][t])
+            << "frame " << f << " unit " << u << " (" << b.net.units[u].name
+            << ") t=" << t;
+      }
+    }
+  }
+  if (sat_out != nullptr) *sat_out = st.saturations;
+  else EXPECT_EQ(st.saturations, 0);
+}
+
+struct FcCase {
+  i32 in, hidden, T;
+};
+
+class FcEquivalenceTest : public ::testing::TestWithParam<FcCase> {};
+
+TEST_P(FcEquivalenceTest, HardwareMatchesAbstract) {
+  const auto [in, hidden, T] = GetParam();
+  nn::Model m({in}, "fc");
+  m.dense(in, hidden);
+  m.relu();
+  m.dense(hidden, 10);
+  const Built b = build(m, {in}, static_cast<u64>(in * 7 + hidden), T);
+  expect_equivalent(b, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, FcEquivalenceTest,
+    ::testing::Values(FcCase{64, 32, 8},      // single core per layer
+                      FcCase{300, 80, 8},     // 2-row fold
+                      FcCase{784, 512, 12},   // Fig. 1 (4x2 + 2x1)
+                      FcCase{1100, 300, 6},   // 5-row fold, 2 columns
+                      FcCase{520, 520, 6}));  // multi-row AND multi-column
+
+struct ConvCase {
+  i32 h, w, cin, k, cout;
+  i32 T;
+};
+
+class ConvEquivalenceTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvEquivalenceTest, HardwareMatchesAbstract) {
+  const auto [h, w, cin, k, cout, T] = GetParam();
+  nn::Model m({h, w, cin}, "conv");
+  m.conv2d(k, cin, cout);
+  m.relu();
+  m.flatten();
+  m.dense(h * w * cout, 10);
+  const Built b = build(m, {h, w, cin}, static_cast<u64>(h * 100 + k), T);
+  expect_equivalent(b, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvEquivalenceTest,
+    ::testing::Values(ConvCase{12, 12, 1, 3, 4, 8},   // single tile
+                      ConvCase{28, 28, 1, 3, 4, 8},   // Fig. 4: 2x2 tiles, halos
+                      ConvCase{24, 24, 3, 5, 4, 6},   // k=5 halo=2, multi-channel
+                      ConvCase{20, 12, 2, 3, 6, 6},   // non-square tiling
+                      ConvCase{6, 6, 8, 3, 4, 6}));   // deep channel fold
+
+TEST(SimPool, PoolPipelineMatches) {
+  nn::Model m({28, 28, 1}, "cnnish");
+  m.conv2d(3, 1, 6);
+  m.relu();
+  m.avgpool(2);
+  m.flatten();
+  m.dense(14 * 14 * 6, 10);
+  const Built b = build(m, {28, 28, 1}, 77, 8);
+  expect_equivalent(b, 3);
+}
+
+TEST(SimResnet, ShortBlockShortcutMatches) {
+  // Two-conv residual: the conv path itself carries a one-timestep hold
+  // (both edges source the same unit); must still be bit-exact.
+  nn::Model m({8, 8, 2}, "res2");
+  m.conv2d(3, 2, 4);
+  const nn::NodeId sc = m.relu();
+  const nn::NodeId c2 = m.conv2d(3, 4, 4);
+  const nn::NodeId join = m.add_join(c2, sc);
+  m.relu(join);
+  m.flatten();
+  m.dense(8 * 8 * 4, 10);
+  const Built b = build(m, {8, 8, 2}, 99, 8);
+  expect_equivalent(b, 3);
+}
+
+TEST(SimResnet, ShortcutPipelineMatches) {
+  nn::Model m({12, 12, 2}, "res");
+  m.conv2d(3, 2, 4);
+  const nn::NodeId sc = m.relu();
+  m.conv2d(3, 4, 4);
+  m.relu();
+  const nn::NodeId c3 = m.conv2d(3, 4, 4);
+  const nn::NodeId join = m.add_join(c3, sc);
+  m.relu(join);
+  m.flatten();
+  m.dense(12 * 12 * 4, 10);
+  const Built b = build(m, {12, 12, 2}, 88, 10);
+  expect_equivalent(b, 3);
+}
+
+TEST(SimDeterminism, RepeatedRunsIdentical) {
+  nn::Model m({300}, "det");
+  m.dense(300, 64);
+  m.relu();
+  m.dense(64, 10);
+  const Built b = build(m, {300}, 5, 10);
+  Simulator s1(b.mapped, b.net), s2(b.mapped, b.net);
+  const FrameResult a = s1.run_frame(b.data.images[0]);
+  const FrameResult c = s2.run_frame(b.data.images[0]);
+  EXPECT_EQ(a.spike_counts, c.spike_counts);
+  EXPECT_EQ(a.final_potentials, c.final_potentials);
+  // Same simulator reused (state reset) must also agree.
+  const FrameResult d = s1.run_frame(b.data.images[0]);
+  EXPECT_EQ(a.spike_counts, d.spike_counts);
+}
+
+TEST(SimStatsTest, CountersAreConsistent) {
+  nn::Model m({784}, "stats");
+  m.dense(784, 128);
+  m.relu();
+  m.dense(128, 10);
+  const Built b = build(m, {784}, 6, 10);
+  Simulator sim(b.mapped, b.net);
+  SimStats st;
+  sim.run_frame(b.data.images[0], &st);
+  EXPECT_EQ(st.frames, 1);
+  EXPECT_EQ(st.iterations, 10 + b.mapped.output_depth);
+  EXPECT_EQ(st.cycles,
+            static_cast<u64>(st.iterations) * b.mapped.cycles_per_timestep);
+  EXPECT_GT(st.op_neurons[static_cast<usize>(core::EnergyOp::NeuronAcc)], 0);
+  EXPECT_GT(st.op_neurons[static_cast<usize>(core::EnergyOp::SpkSpike)], 0);
+  EXPECT_GT(st.spikes_fired, 0);
+  const double act = st.switching_activity();
+  EXPECT_GT(act, 0.0);
+  EXPECT_LT(act, 1.0);
+  EXPECT_GT(sim.ldwt_neurons(), 0);
+  // Single-chip system: no inter-chip traffic.
+  EXPECT_EQ(st.interchip_ps_bits, 0);
+  EXPECT_EQ(st.interchip_spike_bits, 0);
+
+  SimStats merged;
+  merged.merge(st);
+  merged.merge(st);
+  EXPECT_EQ(merged.frames, 2);
+  EXPECT_EQ(merged.cycles, 2 * st.cycles);
+}
+
+TEST(SimSaturation, NarrowLocalPsDetected) {
+  // Shrinking the local partial-sum width below what 256 x |w|<=15 needs
+  // must produce counted saturation events (EXP-A2's measurement hook).
+  nn::Model m({256}, "sat");
+  m.dense(256, 32);
+  m.relu();
+  m.dense(32, 10);
+  Rng rng(9);
+  m.init_weights(rng);
+  // Inflate weights so local partial sums exceed an 8-bit field.
+  for (float& w : m.layer(1).weights()->vec()) w *= 10.0f;
+  nn::Dataset d;
+  d.sample_shape = {256};
+  d.num_classes = 10;
+  for (int i = 0; i < 2; ++i) {
+    Tensor x({256});
+    x.fill(1.0f);  // all axons spike every timestep
+    d.images.push_back(std::move(x));
+    d.labels.push_back(0);
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = 4;
+  const snn::SnnNetwork net = snn::convert(m, d, cc);
+  map::MapperConfig cfg;
+  cfg.arch.local_ps_bits = 8;
+  cfg.arch.noc_bits = 9;
+  const map::MappedNetwork mapped = map::map_network(net, cfg);
+  Simulator sim(mapped, net);
+  SimStats st;
+  sim.run_frame(d.images[0], &st);
+  EXPECT_GT(st.saturations, 0);
+}
+
+TEST(SimHardwareAccuracy, RunsAndBounds) {
+  nn::Model m({64}, "acc");
+  m.dense(64, 32);
+  m.relu();
+  m.dense(32, 10);
+  const Built b = build(m, {64}, 10, 8);
+  SimStats st;
+  const double acc = hardware_accuracy(b.mapped, b.net, b.data, 4, &st);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+  EXPECT_EQ(st.frames, 4);
+}
+
+TEST(SimArch, SmallerCoresStillEquivalent) {
+  // The architecture is parameterized; a 128-axon/128-neuron variant forces
+  // more splits and must stay bit-exact. (Plane-modulus stays 16 since the
+  // conv window bound uses the paper geometry; use an FC net here.)
+  nn::Model m({400}, "small-core");
+  m.dense(400, 200);
+  m.relu();
+  m.dense(200, 10);
+  map::MapperConfig cfg;
+  cfg.arch.core_axons = 128;
+  cfg.arch.core_neurons = 128;
+  nn::Model* mp = &m;
+  Rng rng(11);
+  mp->init_weights(rng);
+  nn::Dataset d;
+  d.sample_shape = {400};
+  d.num_classes = 10;
+  for (int i = 0; i < 3; ++i) {
+    Tensor x({400});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    d.images.push_back(std::move(x));
+    d.labels.push_back(0);
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = 8;
+  Built b{snn::convert(m, d, cc), {}, {}};
+  b.mapped = map::map_network(b.net, cfg);
+  b.data = std::move(d);
+  i64 cores = 0;
+  for (const auto& c : b.mapped.cores) {
+    if (!c.filler) ++cores;
+  }
+  // 400 inputs / 128-axon cores -> 4 rows; 200 outs / 128 -> 2 cols.
+  EXPECT_GE(cores, 4 * 2 + 2);
+  expect_equivalent(b, 2);
+}
+
+}  // namespace
+}  // namespace sj::sim

@@ -1,0 +1,276 @@
+// Unit tests for SNN conversion and abstract evaluation: encoder rate
+// exactness, rate-coding fidelity, quantization bounds, the residual
+// shortcut, and the spike-aggregation baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fixed.h"
+#include "nn/dataset.h"
+#include "snn/convert.h"
+#include "snn/evaluate.h"
+
+namespace sj::snn {
+namespace {
+
+TEST(Encoder, ExactSpikeCounts) {
+  // An IF encoder driven by constant q emits exactly floor(q*T/Q) spikes.
+  Tensor img({4});
+  img[0] = 0.0f;
+  img[1] = 0.25f;
+  img[2] = 0.5f;
+  img[3] = 1.0f;
+  const i32 Q = 100, T = 40;
+  InputEncoder enc(img, Q);
+  std::vector<int> counts(4, 0);
+  for (i32 t = 0; t < T; ++t) {
+    const BitVec s = enc.step();
+    for (usize i = 0; i < 4; ++i) counts[i] += s.get(i);
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 25 * T / 100);
+  EXPECT_EQ(counts[2], 50 * T / 100);
+  EXPECT_EQ(counts[3], T);
+}
+
+class EncoderRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EncoderRateTest, RateMatchesPixel) {
+  const double p = GetParam();
+  Tensor img({1});
+  img[0] = static_cast<float>(p);
+  const i32 Q = 255, T = 255;
+  InputEncoder enc(img, Q);
+  int count = 0;
+  for (i32 t = 0; t < T; ++t) count += enc.step().get(0);
+  const i32 q = static_cast<i32>(std::lround(p * Q));
+  EXPECT_EQ(count, q * T / Q);  // floor((q*T)/Q)
+}
+
+INSTANTIATE_TEST_SUITE_P(Pixels, EncoderRateTest,
+                         ::testing::Values(0.0, 0.1, 0.37, 0.5, 0.66, 0.93, 1.0));
+
+nn::Model tiny_mlp(Rng& rng, i32 in = 12, i32 hidden = 16, i32 out = 4) {
+  nn::Model m({in}, "tiny");
+  m.dense(in, hidden);
+  m.relu();
+  m.dense(hidden, out);
+  m.init_weights(rng);
+  return m;
+}
+
+nn::Dataset random_dataset(Rng& rng, usize n, Shape shape, i32 classes = 4) {
+  nn::Dataset d;
+  d.name = "rand";
+  d.sample_shape = shape;
+  d.num_classes = classes;
+  for (usize i = 0; i < n; ++i) {
+    Tensor x(shape);
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    d.images.push_back(std::move(x));
+    d.labels.push_back(static_cast<i32>(rng.uniform_index(static_cast<u64>(classes))));
+  }
+  return d;
+}
+
+TEST(Convert, ProducesQuantizedUnits) {
+  Rng rng(1);
+  nn::Model m = tiny_mlp(rng);
+  const nn::Dataset calib = random_dataset(rng, 16, {12});
+  ConvertConfig cc;
+  cc.weight_bits = 5;
+  ConvertReport rep;
+  const SnnNetwork net = convert(m, calib, cc, &rep);
+  ASSERT_EQ(net.units.size(), 2u);
+  EXPECT_EQ(rep.units.size(), 2u);
+  for (const auto& u : net.units) {
+    EXPECT_GE(u.threshold, 1);
+    for (const auto& e : u.in) {
+      for (const i16 w : e.op.weights) {
+        EXPECT_TRUE(fits_signed(w, 5)) << "weight " << w;
+      }
+    }
+  }
+  for (const auto& ur : rep.units) {
+    EXPECT_GT(ur.lambda, 0.0);
+    EXPECT_GT(ur.scale, 0.0);
+  }
+}
+
+TEST(Convert, RejectsUnsupportedPatterns) {
+  Rng rng(2);
+  // ReLU directly on the input (no preceding linear stage).
+  nn::Model m({4}, "bad");
+  m.relu();
+  m.dense(4, 2);
+  const nn::Dataset calib = random_dataset(rng, 4, {4});
+  EXPECT_THROW(convert(m, calib, {}), Error);
+}
+
+TEST(Convert, RateCodingApproximatesAnn) {
+  // With many timesteps, output spike rates approach the normalized ANN
+  // activations: argmax agreement should be near-perfect on random nets.
+  Rng rng(3);
+  nn::Model m = tiny_mlp(rng, 20, 24, 5);
+  const nn::Dataset calib = random_dataset(rng, 32, {20}, 5);
+  ConvertConfig cc;
+  cc.timesteps = 256;
+  const SnnNetwork net = convert(m, calib, cc);
+  const AbstractEvaluator ev(net);
+  int agree = 0;
+  const int n = 24;
+  for (int i = 0; i < n; ++i) {
+    const Tensor& x = calib.images[static_cast<usize>(i)];
+    const Tensor logits = m.predict(x);
+    const EvalResult r = ev.run(x);
+    agree += (static_cast<i32>(argmax(logits.data(), logits.numel())) == r.predicted);
+  }
+  EXPECT_GE(agree, n - 2);
+}
+
+class TimestepFidelityTest : public ::testing::TestWithParam<i32> {};
+
+TEST_P(TimestepFidelityTest, RateErrorShrinksWithT) {
+  // Property: the output unit's spike rate converges to the clipped
+  // normalized activation as T grows.
+  Rng rng(4);
+  nn::Model m = tiny_mlp(rng, 10, 12, 3);
+  const nn::Dataset calib = random_dataset(rng, 24, {10}, 3);
+  ConvertConfig cc;
+  cc.timesteps = GetParam();
+  const SnnNetwork net = convert(m, calib, cc);
+  const AbstractEvaluator ev(net);
+  // Compare rates against the T=1024 reference run.
+  ConvertConfig ref_cc;
+  ref_cc.timesteps = 1024;
+  const SnnNetwork ref_net = convert(m, calib, ref_cc);
+  const AbstractEvaluator ref_ev(ref_net);
+  double err = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    const EvalResult r = ev.run(calib.images[static_cast<usize>(i)]);
+    const EvalResult ref = ref_ev.run(calib.images[static_cast<usize>(i)]);
+    for (usize j = 0; j < r.spike_counts.size(); ++j) {
+      err += std::fabs(static_cast<double>(r.spike_counts[j]) / cc.timesteps -
+                       static_cast<double>(ref.spike_counts[j]) / ref_cc.timesteps);
+    }
+  }
+  // Loose but monotone-ish envelope: c/sqrt(T) style bound.
+  EXPECT_LT(err / (6.0 * 3.0), 2.5 / std::sqrt(static_cast<double>(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ts, TimestepFidelityTest, ::testing::Values(16, 64, 256));
+
+TEST(Convert, ResidualShortcutBecomesDiagEdge) {
+  Rng rng(5);
+  nn::Model m({8, 8, 2}, "res");
+  m.conv2d(3, 2, 4);
+  const nn::NodeId sc = m.relu();
+  const nn::NodeId c2 = m.conv2d(3, 4, 4);
+  const nn::NodeId join = m.add_join(c2, sc);
+  m.relu(join);
+  m.flatten();
+  m.dense(8 * 8 * 4, 3);
+  m.init_weights(rng);
+  const nn::Dataset calib = random_dataset(rng, 8, {8, 8, 2}, 3);
+  const SnnNetwork net = convert(m, calib, {});
+  ASSERT_EQ(net.units.size(), 3u);
+  const SnnUnit& block = net.units[1];
+  ASSERT_EQ(block.in.size(), 2u);
+  EXPECT_EQ(block.in[0].op.kind, OpKind::Conv);
+  EXPECT_EQ(block.in[1].op.kind, OpKind::Diag);
+  EXPECT_EQ(block.in[1].source, 0);
+  EXPECT_NE(block.name.find("shortcut"), std::string::npos);
+}
+
+TEST(LinearOpRowTaps, MatchesAccumulate) {
+  // row_taps (used by the mapper) and accumulate (used by the evaluator)
+  // must describe the same linear map.
+  Rng rng(6);
+  LinearOp op;
+  op.kind = OpKind::Conv;
+  op.kernel = 3;
+  op.in_h = 5;
+  op.in_w = 4;
+  op.in_c = 2;
+  op.out_c = 3;
+  op.in_size = 5 * 4 * 2;
+  op.out_size = 5 * 4 * 3;
+  op.weights.resize(3 * 3 * 2 * 3);
+  for (auto& w : op.weights) w = static_cast<i16>(rng.uniform_int(-15, 15));
+  for (i64 i = 0; i < op.in_size; ++i) {
+    BitVec spikes(static_cast<usize>(op.in_size));
+    spikes.set(static_cast<usize>(i), true);
+    std::vector<i32> pot(static_cast<usize>(op.out_size), 0);
+    op.accumulate(spikes, pot);
+    std::vector<i32> want(static_cast<usize>(op.out_size), 0);
+    for (const auto& [j, w] : op.row_taps(i)) want[static_cast<usize>(j)] += w;
+    EXPECT_EQ(pot, want) << "input " << i;
+  }
+}
+
+TEST(Evaluate, DecideTieBreaks) {
+  EXPECT_EQ(EvalResult::decide({3, 5, 5}, {0, 2, 9}), 2);   // potential breaks tie
+  EXPECT_EQ(EvalResult::decide({3, 5, 5}, {0, 9, 2}), 1);
+  EXPECT_EQ(EvalResult::decide({1, 1}, {0, 0}), 0);          // lowest index last
+  EXPECT_THROW(EvalResult::decide({}, {}), InvalidArgument);
+}
+
+TEST(Evaluate, StatsAccumulate) {
+  Rng rng(7);
+  nn::Model m = tiny_mlp(rng);
+  const nn::Dataset calib = random_dataset(rng, 16, {12});
+  const SnnNetwork net = convert(m, calib, {});
+  EvalStats st;
+  const double acc = dataset_accuracy(net, calib, EvalMode::PartialSum, &st);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+  EXPECT_EQ(st.frames, 16);
+  EXPECT_GT(st.neuron_timesteps, 0);
+  EXPECT_GE(st.activity(), 0.0);
+  EXPECT_LE(st.activity(), 1.0);
+  EXPECT_EQ(st.unit_spikes.size(), net.units.size());
+}
+
+TEST(Evaluate, AggregationBaselineDegradesSplitLayers) {
+  // The paper's motivation (§II): without partial-sum NoCs, a layer split
+  // across cores loses sub-threshold information. On a wide layer with
+  // mixed-sign weights the aggregation baseline must disagree with the
+  // exact evaluation on a noticeable fraction of outputs.
+  Rng rng(8);
+  nn::Model m({600}, "wide");  // > 2 core-axon groups
+  m.dense(600, 32);
+  m.relu();
+  m.dense(32, 4);
+  m.init_weights(rng);
+  const nn::Dataset data = random_dataset(rng, 48, {600});
+  ConvertConfig cc;
+  cc.timesteps = 24;
+  const SnnNetwork net = convert(m, data, cc);
+  const AbstractEvaluator exact(net, EvalMode::PartialSum);
+  const AbstractEvaluator agg(net, EvalMode::SpikeAggregation);
+  int differing = 0;
+  for (usize i = 0; i < data.size(); ++i) {
+    const EvalResult a = exact.run(data.images[i]);
+    const EvalResult b = agg.run(data.images[i]);
+    if (a.spike_counts != b.spike_counts) ++differing;
+  }
+  EXPECT_GT(differing, 0) << "baseline should distort split-layer sums";
+}
+
+TEST(Evaluate, SingleCoreLayerUnaffectedByAggregation) {
+  // When every layer fits one core's axons, the baseline is exact.
+  Rng rng(9);
+  nn::Model m = tiny_mlp(rng, 12, 16, 4);  // all dims <= 256
+  const nn::Dataset data = random_dataset(rng, 16, {12});
+  const SnnNetwork net = convert(m, data, {});
+  const AbstractEvaluator exact(net, EvalMode::PartialSum);
+  const AbstractEvaluator agg(net, EvalMode::SpikeAggregation);
+  for (usize i = 0; i < 8; ++i) {
+    const EvalResult a = exact.run(data.images[i]);
+    const EvalResult b = agg.run(data.images[i]);
+    EXPECT_EQ(a.spike_counts, b.spike_counts) << "frame " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sj::snn

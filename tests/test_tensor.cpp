@@ -1,0 +1,239 @@
+// Unit tests for the tensor substrate: shapes, matmul variants, im2col,
+// pooling. The matmul/im2col kernels are validated against naive references,
+// and im2col/col2im are checked to be adjoint (the property the conv
+// backward pass relies on).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace sj {
+namespace {
+
+Tensor random_tensor(Shape s, Rng& rng) {
+  Tensor t(std::move(s));
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+void naive_matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  const i32 m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  c = Tensor({m, n});
+  for (i32 i = 0; i < m; ++i) {
+    for (i32 j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (i32 p = 0; p < k; ++p) acc += a.at2(i, p) * b.at2(p, j);
+      c.at2(i, j) = acc;
+    }
+  }
+}
+
+TEST(Tensor, ShapeAndAccess) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  t.at2(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+  Tensor img({4, 5, 3});
+  img.at3(2, 3, 1) = 7.0f;
+  EXPECT_EQ(img[(2 * 5 + 3) * 3 + 1], 7.0f);
+  EXPECT_THROW(t[6], InvalidArgument);
+  EXPECT_THROW(Tensor({2, 2}, {1.f, 2.f, 3.f}), InvalidArgument);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 6});
+  t[7] = 3.0f;
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  EXPECT_EQ(r[7], 3.0f);
+  EXPECT_THROW(t.reshaped({5, 5}), InvalidArgument);
+}
+
+TEST(Tensor, AbsMax) {
+  Tensor t({3});
+  t[0] = -4.0f;
+  t[1] = 2.0f;
+  EXPECT_EQ(t.abs_max(), 4.0f);
+  EXPECT_EQ(Tensor().abs_max(), 0.0f);
+}
+
+struct MMDims {
+  i32 m, k, n;
+};
+
+class MatmulTest : public ::testing::TestWithParam<MMDims> {};
+
+TEST_P(MatmulTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<u64>(m * 1000 + k * 10 + n));
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor b = random_tensor({k, n}, rng);
+  Tensor want, got;
+  naive_matmul(a, b, want);
+  matmul(a, b, got);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (usize i = 0; i < got.numel(); ++i) EXPECT_NEAR(got[i], want[i], 1e-4f);
+}
+
+TEST_P(MatmulTest, TnMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<u64>(m * 31 + k * 7 + n));
+  const Tensor at = random_tensor({k, m}, rng);  // stored transposed
+  const Tensor b = random_tensor({k, n}, rng);
+  // Reference: transpose A then multiply.
+  Tensor a({m, k});
+  for (i32 i = 0; i < m; ++i) {
+    for (i32 p = 0; p < k; ++p) a.at2(i, p) = at.at2(p, i);
+  }
+  Tensor want, got;
+  naive_matmul(a, b, want);
+  matmul_tn(at, b, got);
+  for (usize i = 0; i < got.numel(); ++i) EXPECT_NEAR(got[i], want[i], 1e-4f);
+}
+
+TEST_P(MatmulTest, NtAccAccumulates) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<u64>(m + k + n));
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor bt = random_tensor({n, k}, rng);  // stored transposed
+  Tensor b({k, n});
+  for (i32 p = 0; p < k; ++p) {
+    for (i32 j = 0; j < n; ++j) b.at2(p, j) = bt.at2(j, p);
+  }
+  Tensor want;
+  naive_matmul(a, b, want);
+  Tensor got({m, n});
+  got.fill(1.0f);  // verify accumulation semantics
+  matmul_nt_acc(a, bt, got);
+  for (usize i = 0; i < got.numel(); ++i) EXPECT_NEAR(got[i], want[i] + 1.0f, 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MatmulTest,
+                         ::testing::Values(MMDims{1, 1, 1}, MMDims{2, 3, 4},
+                                           MMDims{7, 5, 3}, MMDims{16, 16, 16},
+                                           MMDims{1, 64, 10}, MMDims{33, 17, 9}));
+
+TEST(Matmul, AccAddsIntoC) {
+  Rng rng(3);
+  const Tensor a = random_tensor({2, 3}, rng);
+  const Tensor b = random_tensor({3, 2}, rng);
+  Tensor base;
+  matmul(a, b, base);
+  Tensor acc({2, 2});
+  acc.fill(0.5f);
+  matmul_acc(a, b, acc);
+  for (usize i = 0; i < acc.numel(); ++i) EXPECT_NEAR(acc[i], base[i] + 0.5f, 1e-5f);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  Tensor a({2, 3}), b({4, 2}), c;
+  EXPECT_THROW(matmul(a, b, c), InvalidArgument);
+}
+
+struct ConvGeom {
+  i32 h, w, c, k;
+};
+
+class Im2colTest : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(Im2colTest, MatchesDirectConvolution) {
+  const auto [h, w, c, k] = GetParam();
+  const i32 pad = (k - 1) / 2;
+  Rng rng(static_cast<u64>(h * 100 + w * 10 + k));
+  const Tensor img = random_tensor({h, w, c}, rng);
+  const Tensor kern = random_tensor({k * k * c, 1}, rng);
+  Tensor cols, out;
+  im2col(img, k, 1, pad, cols);
+  matmul(cols, kern, out);
+  // Direct convolution reference.
+  for (i32 oy = 0; oy < h; ++oy) {
+    for (i32 ox = 0; ox < w; ++ox) {
+      float acc = 0.0f;
+      for (i32 ky = 0; ky < k; ++ky) {
+        for (i32 kx = 0; kx < k; ++kx) {
+          const i32 iy = oy + ky - pad, ix = ox + kx - pad;
+          if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+          for (i32 ch = 0; ch < c; ++ch) {
+            acc += img.at3(iy, ix, ch) * kern[static_cast<usize>(((ky * k + kx) * c + ch))];
+          }
+        }
+      }
+      EXPECT_NEAR(out.at2(oy * w + ox, 0), acc, 1e-4f);
+    }
+  }
+}
+
+TEST_P(Im2colTest, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for all x, y (checked on random pairs).
+  const auto [h, w, c, k] = GetParam();
+  const i32 pad = (k - 1) / 2;
+  Rng rng(static_cast<u64>(h + w + c + k));
+  const Tensor x = random_tensor({h, w, c}, rng);
+  Tensor cols;
+  im2col(x, k, 1, pad, cols);
+  const Tensor y = random_tensor(cols.shape(), rng);
+  double lhs = 0.0;
+  for (usize i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[i]) * static_cast<double>(y[i]);
+  }
+  Tensor back({h, w, c});
+  col2im(y, k, 1, pad, back);
+  double rhs = 0.0;
+  for (usize i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * static_cast<double>(back[i]);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geoms, Im2colTest,
+                         ::testing::Values(ConvGeom{4, 4, 1, 3}, ConvGeom{5, 7, 2, 3},
+                                           ConvGeom{8, 8, 3, 5}, ConvGeom{6, 6, 4, 1},
+                                           ConvGeom{12, 12, 2, 5}));
+
+TEST(AvgPool, ForwardAveragesWindows) {
+  Tensor img({4, 4, 2});
+  for (usize i = 0; i < img.numel(); ++i) img[i] = static_cast<float>(i);
+  Tensor out;
+  avgpool(img, 2, out);
+  EXPECT_EQ(out.shape(), (Shape{2, 2, 2}));
+  // Window (0,0), channel 0: elements at (0,0,0),(0,1,0),(1,0,0),(1,1,0).
+  const float want = (img.at3(0, 0, 0) + img.at3(0, 1, 0) + img.at3(1, 0, 0) +
+                      img.at3(1, 1, 0)) / 4.0f;
+  EXPECT_NEAR(out.at3(0, 0, 0), want, 1e-5f);
+}
+
+TEST(AvgPool, BackwardSpreadsUniformly) {
+  Tensor go({2, 2, 1});
+  go.fill(4.0f);
+  Tensor gi;
+  avgpool_backward(go, 2, gi);
+  EXPECT_EQ(gi.shape(), (Shape{4, 4, 1}));
+  for (usize i = 0; i < gi.numel(); ++i) EXPECT_NEAR(gi[i], 1.0f, 1e-6f);
+}
+
+TEST(AvgPool, IndivisibleThrows) {
+  Tensor img({5, 4, 1});
+  Tensor out;
+  EXPECT_THROW(avgpool(img, 2, out), InvalidArgument);
+}
+
+TEST(Ops, ArgmaxFirstOnTies) {
+  const float v[] = {1.0f, 3.0f, 3.0f, 2.0f};
+  EXPECT_EQ(argmax(v, 4), 1u);
+  const float w[] = {-5.0f};
+  EXPECT_EQ(argmax(w, 1), 0u);
+}
+
+TEST(Ops, SoftmaxNormalizes) {
+  float v[] = {1.0f, 2.0f, 3.0f};
+  softmax_inplace(v, 3);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0f, 1e-5f);
+  EXPECT_GT(v[2], v[1]);
+  // Stability with large values.
+  float big[] = {1000.0f, 1001.0f};
+  softmax_inplace(big, 2);
+  EXPECT_NEAR(big[0] + big[1], 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace sj
