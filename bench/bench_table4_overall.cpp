@@ -92,6 +92,16 @@ int main() {
         r.name.c_str(), r.hw_frames, r.hw_matches_abstract ? "BIT-EXACT" : "MISMATCH",
         static_cast<long long>(r.saturations), r.switching_activity * 100.0);
   }
+
+  std::printf("\nNoC utilization (per-link accounting over the verification run):\n");
+  for (const auto& r : results) {
+    noc::FabricOptions fo;
+    fo.track_toggles = false;  // topology only: counters come from the sim run
+    const noc::NocFabric fabric = map::make_fabric(r.mapped, fo);
+    const noc::TrafficReport rep = noc::TrafficReport::build(
+        fabric, r.sim_stats.noc, r.sim_stats.cycles, r.sim_stats.iterations, r.name);
+    bench::print_traffic_summary(rep);
+  }
   std::printf("\nNOTE accuracy rows: synthetic datasets; the reproduced claim is the\n"
               "ordering (ANN >= SNN, MNIST-like >> CIFAR-like) and Shenjing == abstract.\n");
   return all_ok ? 0 : 1;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "noc/traffic.h"
 
 namespace sj::bench {
 
@@ -27,5 +28,24 @@ inline void print_table(const std::vector<std::vector<std::string>>& rows) {
 inline std::string pct(double v) { return strprintf("%.2f%%", v * 100.0); }
 inline std::string num(double v, int digits = 3) { return fmt_fixed(v, digits); }
 inline std::string na() { return "n.a."; }
+
+/// One-line NoC traffic summary (per-link accounting rolled up), printed by
+/// the app-level benches next to their power numbers.
+inline void print_traffic_summary(const noc::TrafficReport& r) {
+  std::printf(
+      "  %-13s links %zu/%zu active; mean|peak util %.3f%%|%.3f%%; "
+      "PS %s, spikes %s; toggles %s; inter-chip %s/timestep\n",
+      r.name.c_str(), r.active_links, r.links.size(), r.mean_utilization * 100.0,
+      r.peak_utilization * 100.0,
+      fmt_si(static_cast<double>(r.total_ps_bits), "b").c_str(),
+      fmt_si(static_cast<double>(r.total_spike_bits), "b").c_str(),
+      fmt_si(static_cast<double>(r.total_ps_toggles + r.total_spike_toggles), "t").c_str(),
+      fmt_si(r.iterations > 0 ? static_cast<double>(r.interchip_ps_bits +
+                                                    r.interchip_spike_bits) /
+                                    static_cast<double>(r.iterations)
+                              : 0.0,
+             "b")
+          .c_str());
+}
 
 }  // namespace sj::bench

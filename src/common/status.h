@@ -52,6 +52,37 @@ class MappingError : public Error {
 [[noreturn]] void throw_io_error(const std::string& msg, const char* file, int line);
 [[noreturn]] void throw_mapping_error(const std::string& msg, const char* file, int line);
 
+/// Non-throwing success/failure result for queries that are *expected* to
+/// fail on some inputs (e.g. "is there a neighbor in this direction?",
+/// "is this schedule conflict-free?"). Unlike the exception hierarchy above,
+/// a Status is a value the caller can test, so validation layers can report
+/// problems without unwinding, and tests can assert on the failure path.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status ok() { return Status(); }
+  static Status error(std::string msg) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(msg);
+    return s;
+  }
+
+  bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  /// Empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.ok_ == b.ok_ && a.message_ == b.message_;
+  }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
 }  // namespace sj
 
 /// Precondition check: throws sj::InvalidArgument when `cond` is false.

@@ -204,6 +204,7 @@ AppResult run_app(const AppConfig& cfg) {
   res.hw_matches_abstract = all_match;
   res.saturations = st.saturations;
   res.switching_activity = st.switching_activity();
+  res.sim_stats = st;
   // The bit-exactness just verified is the paper's "Shenjing Accu. ==
   // Abstract SNN Accu." claim; report the abstract value as the hardware
   // accuracy (the cycle simulator would reproduce it frame for frame).
@@ -213,7 +214,13 @@ AppResult run_app(const AppConfig& cfg) {
 
   power::PowerParams pp;
   pp.switching_activity = res.switching_activity;
-  res.power = power::estimate(res.mapped, cfg.target_fps, pp);
+  // Inter-chip energy from the traffic measured on the NoC's inter-chip
+  // links during the verification run (falls back to the static census when
+  // nothing was simulated).
+  res.power = st.iterations > 0
+                  ? power::estimate_measured(res.mapped, cfg.target_fps, st.noc,
+                                             st.iterations, pp)
+                  : power::estimate(res.mapped, cfg.target_fps, pp);
   res.freq_hz = res.power.freq_hz;
   return res;
 }

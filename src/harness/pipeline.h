@@ -14,6 +14,7 @@
 #include "nn/model.h"
 #include "nn/train.h"
 #include "power/power.h"
+#include "sim/simulator.h"
 #include "snn/convert.h"
 #include "snn/evaluate.h"
 
@@ -66,6 +67,9 @@ struct AppResult {
   double switching_activity = 0.0;
   i64 saturations = 0;
   double train_seconds = 0.0;
+  /// Stats of the hw_frames cycle-accurate verification run, including the
+  /// per-link NoC traffic counters the power estimate was derived from.
+  sim::SimStats sim_stats;
   // Handles for further experiments.
   snn::SnnNetwork snn;
   map::MappedNetwork mapped;

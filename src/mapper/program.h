@@ -16,6 +16,8 @@
 #include "core/arch.h"
 #include "core/isa.h"
 #include "core/plane_mask.h"
+#include "noc/dryrun.h"
+#include "noc/fabric.h"
 #include "snn/network.h"
 
 namespace sj::map {
@@ -105,5 +107,19 @@ struct MappedNetwork {
 /// Structural validation: every invariant the mapping must satisfy
 /// (see mapper/validate.cpp for the list). Throws InternalError on violation.
 void validate(const MappedNetwork& mapped, const snn::SnnNetwork& net);
+
+/// The NoC fabric (per-tile routers + directed links) matching this
+/// mapping's grid: one router pair per core, links between grid neighbors,
+/// inter-chip flags from the architecture's chip geometry. The simulator
+/// routes through it; validation dry-runs it; power reads its link flags.
+noc::NocFabric make_fabric(const MappedNetwork& m, noc::FabricOptions options = {});
+
+/// The schedule as NoC dry-run ops (see noc/dryrun.h).
+std::vector<noc::RouteOp> route_ops(const MappedNetwork& m);
+
+/// NoC-only validation of the schedule: off-grid routes, same-cycle issue
+/// conflicts, same-cycle writes to one router register. Cheap (one pass, no
+/// data movement); run by validate() and usable standalone by tools.
+Status check_routes(const MappedNetwork& m);
 
 }  // namespace sj::map

@@ -6,18 +6,41 @@
 //      spike mask and carrying the unit's threshold;
 //  (2) per-core capacities hold (axons/neurons within the architecture);
 //  (3) weight taps stay within the hardware's synapse width;
-//  (4) the schedule never issues two same-cycle operations to one plane of
-//      one router (the compile-time equivalent of link-level flow control);
+//  (4) the schedule dry-runs cleanly on the NoC fabric (noc/dryrun.h): no
+//      off-grid route, no two same-cycle ops on one plane of one router,
+//      no two same-cycle writes to one router register — the compile-time
+//      equivalent of link-level flow control;
 //  (5) every input pixel reaches at least one axon, every unit slot points
 //      at a spiking core.
 // Arithmetic equivalence with the abstract SNN is established separately by
 // the simulator tests (tests/test_sim.cpp) — the strongest check of all.
-#include <unordered_map>
-
 #include "common/fixed.h"
 #include "mapper/program.h"
 
 namespace sj::map {
+
+noc::NocFabric make_fabric(const MappedNetwork& m, noc::FabricOptions options) {
+  std::vector<Coord> positions;
+  positions.reserve(m.cores.size());
+  for (const MappedCore& c : m.cores) positions.push_back(c.pos);
+  return noc::NocFabric(m.arch, m.grid_rows, m.grid_cols, positions, options);
+}
+
+std::vector<noc::RouteOp> route_ops(const MappedNetwork& m) {
+  std::vector<noc::RouteOp> ops;
+  ops.reserve(m.schedule.size());
+  for (const TimedOp& top : m.schedule) {
+    ops.push_back(noc::RouteOp{top.cycle, top.core, top.mask, top.op});
+  }
+  return ops;
+}
+
+Status check_routes(const MappedNetwork& m) {
+  noc::FabricOptions opts;
+  opts.track_toggles = false;  // dry run moves no data
+  const noc::NocFabric fabric = make_fabric(m, opts);
+  return noc::dry_run(fabric, route_ops(m));
+}
 
 void validate(const MappedNetwork& m, const snn::SnnNetwork& net) {
   SJ_ASSERT(m.unit_slots.size() == net.units.size(), "validate: unit table size");
@@ -46,19 +69,12 @@ void validate(const MappedNetwork& m, const snn::SnnNetwork& net) {
                 "validate: weight exceeds synapse width in " + c.role);
     }
   }
-  // (4): per-(router, plane, cycle) exclusivity, split by router type.
+  // (4): NoC dry run — off-grid routes, issue conflicts, register-write
+  // conflicts. The schedule must be executable on routers with no buffers
+  // and no arbitration.
   {
-    std::unordered_map<u64, PlaneMask> busy;
-    for (const TimedOp& op : m.schedule) {
-      const int net_kind = static_cast<int>(core::block_of(op.op.code));
-      const u64 key = (static_cast<u64>(op.core) << 26) |
-                      (static_cast<u64>(net_kind) << 24) | op.cycle;
-      PlaneMask& b = busy[key];
-      SJ_ASSERT(!b.intersects(op.mask),
-                "validate: same-cycle plane conflict at core " + std::to_string(op.core) +
-                    " cycle " + std::to_string(op.cycle));
-      b |= op.mask;
-    }
+    const Status routes = check_routes(m);
+    SJ_ASSERT(routes.is_ok(), "validate: " + routes.message());
   }
   // (5a): inputs reach axons.
   for (usize i = 0; i < m.input_taps.size(); ++i) {

@@ -1,0 +1,128 @@
+#include "noc/dryrun.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace sj::noc {
+
+namespace {
+
+using core::Block;
+using core::OpCode;
+using core::PlaneMask;
+
+Reg ps_in_reg(Dir port) { return static_cast<Reg>(static_cast<u8>(Reg::PsInN) + static_cast<u8>(port)); }
+Reg spk_in_reg(Dir port) { return static_cast<Reg>(static_cast<u8>(Reg::SpkInN) + static_cast<u8>(port)); }
+
+/// Hash key for one (cycle, core, slot) cell. Slot is a register id or a
+/// block id depending on the table.
+u64 key_of(u32 cycle, u32 core, u8 slot) {
+  return (static_cast<u64>(cycle) << 40) | (static_cast<u64>(core) << 8) | slot;
+}
+
+}  // namespace
+
+const char* reg_name(Reg r) {
+  switch (r) {
+    case Reg::PsInN: return "ps.in[N]";
+    case Reg::PsInS: return "ps.in[S]";
+    case Reg::PsInE: return "ps.in[E]";
+    case Reg::PsInW: return "ps.in[W]";
+    case Reg::PsSumBuf: return "ps.sum_buf";
+    case Reg::PsEject: return "ps.eject";
+    case Reg::SpkInN: return "spk.in[N]";
+    case Reg::SpkInS: return "spk.in[S]";
+    case Reg::SpkInE: return "spk.in[E]";
+    case Reg::SpkInW: return "spk.in[W]";
+    case Reg::SpikeOut: return "spk.spike_out";
+  }
+  return "?";
+}
+
+Status dry_run(const NocFabric& fabric, const std::vector<RouteOp>& schedule) {
+  // (2): per (cycle, core, block) planes already issued an op.
+  std::unordered_map<u64, PlaneMask> issue_busy;
+  // (3): per (cycle, core, register) planes already written.
+  std::unordered_map<u64, PlaneMask> write_busy;
+
+  const auto claim_issue = [&](const RouteOp& top, Block block) -> Status {
+    PlaneMask& busy = issue_busy[key_of(top.cycle, top.core, static_cast<u8>(block))];
+    if (busy.intersects(top.mask)) {
+      return Status::error(strprintf(
+          "issue conflict: two ops on one plane of core %u's %s at cycle %u (%s)",
+          top.core,
+          block == Block::PsRouter ? "PS router"
+          : block == Block::SpikeRouter ? "spike router" : "neuron core",
+          top.cycle, core::to_string(top.op).c_str()));
+    }
+    busy |= top.mask;
+    return Status::ok();
+  };
+  const auto claim_write = [&](const RouteOp& top, u32 target, Reg reg) -> Status {
+    PlaneMask& busy = write_busy[key_of(top.cycle, target, static_cast<u8>(reg))];
+    if (busy.intersects(top.mask)) {
+      return Status::error(strprintf(
+          "register write conflict: two same-cycle writes to %s of core %u at "
+          "cycle %u (last writer: core %u, %s)",
+          reg_name(reg), target, top.cycle, top.core,
+          core::to_string(top.op).c_str()));
+    }
+    busy |= top.mask;
+    return Status::ok();
+  };
+  // (1): resolve the $DST hop, surfacing grid-edge errors as a Status.
+  const auto resolve_hop = [&](const RouteOp& top, u32* nb) -> Status {
+    const Status s = fabric.neighbor(top.core, top.op.dst, nb);
+    if (!s.is_ok()) {
+      return Status::error(strprintf("off-grid route at cycle %u (%s): %s",
+                                     top.cycle, core::to_string(top.op).c_str(),
+                                     s.message().c_str()));
+    }
+    return Status::ok();
+  };
+
+  for (const RouteOp& top : schedule) {
+    if (top.core >= fabric.num_cores()) {
+      return Status::error(strprintf("op addresses core %u outside the fabric (%zu cores)",
+                                     top.core, fabric.num_cores()));
+    }
+    if (Status s = claim_issue(top, core::block_of(top.op.code)); !s.is_ok()) return s;
+
+    u32 nb = kInvalidCore;
+    switch (top.op.code) {
+      case OpCode::PsSum:
+        if (Status s = claim_write(top, top.core, Reg::PsSumBuf); !s.is_ok()) return s;
+        break;
+      case OpCode::PsSend:
+        if (top.op.eject) {
+          if (Status s = claim_write(top, top.core, Reg::PsEject); !s.is_ok()) return s;
+        } else {
+          if (Status s = resolve_hop(top, &nb); !s.is_ok()) return s;
+          if (Status s = claim_write(top, nb, ps_in_reg(opposite(top.op.dst))); !s.is_ok()) return s;
+        }
+        break;
+      case OpCode::PsBypass:
+        if (Status s = resolve_hop(top, &nb); !s.is_ok()) return s;
+        if (Status s = claim_write(top, nb, ps_in_reg(opposite(top.op.dst))); !s.is_ok()) return s;
+        break;
+      case OpCode::SpkSpike:
+        if (Status s = claim_write(top, top.core, Reg::SpikeOut); !s.is_ok()) return s;
+        break;
+      case OpCode::SpkSend:
+      case OpCode::SpkBypass:
+      case OpCode::SpkRecvForward:
+        if (Status s = resolve_hop(top, &nb); !s.is_ok()) return s;
+        if (Status s = claim_write(top, nb, spk_in_reg(opposite(top.op.dst))); !s.is_ok()) return s;
+        break;
+      case OpCode::SpkRecv:
+        break;  // axon delivery OR-accumulates: concurrent recvs commute
+      case OpCode::LdWt:
+      case OpCode::Acc:
+        break;  // neuron-core ops write no router register
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace sj::noc

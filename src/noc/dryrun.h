@@ -1,0 +1,53 @@
+// Fast NoC-only dry run: route a compiled schedule through the fabric
+// *without data* and report every way it could violate the buffer-less,
+// flow-control-less NoC contract before a full simulation is attempted.
+//
+// Checked, in order of detection:
+//   (1) off-grid routes — an op whose $DST hop has no neighbor (what used
+//       to be a runtime assert deep inside the simulator is a testable
+//       Status here);
+//   (2) issue conflicts — two same-cycle ops addressed to one plane of one
+//       router block (the configuration memory emits one control word per
+//       plane per block per cycle);
+//   (3) register write conflicts — two same-cycle ops writing one router
+//       register (port input, sum_buf, eject, or spike_out) of one plane:
+//       with no arbitration, the last write would silently win. Axon-register
+//       deliveries (SPK.RECV*) are exempt: the axon register OR-accumulates,
+//       so concurrent deliveries commute.
+//
+// The dry run is data-independent and touches no router state, so it costs
+// one pass over the schedule — cheap enough for the mapper to run on every
+// compiled program (mapper/validate.cpp does exactly that).
+#pragma once
+
+#include <vector>
+
+#include "core/isa.h"
+#include "core/plane_mask.h"
+#include "noc/fabric.h"
+
+namespace sj::noc {
+
+/// One schedule entry, mirroring map::TimedOp without the mapper dependency.
+struct RouteOp {
+  u32 cycle = 0;
+  u32 core = 0;
+  core::PlaneMask mask;
+  core::AtomicOp op;
+};
+
+/// Routers' writable register files, per plane (conflict-detection domain).
+enum class Reg : u8 {
+  PsInN = 0, PsInS, PsInE, PsInW,  // PS router port inputs
+  PsSumBuf, PsEject,               // PS router accumulation / ejection
+  SpkInN, SpkInS, SpkInE, SpkInW,  // spike router port inputs
+  SpikeOut,                        // spike router injection register
+};
+const char* reg_name(Reg r);
+
+/// Dry-runs `schedule` on `fabric`. Returns OK when conflict-free, or an
+/// error Status naming the first violated rule, the cycle, the core and the
+/// register/block involved.
+Status dry_run(const NocFabric& fabric, const std::vector<RouteOp>& schedule);
+
+}  // namespace sj::noc

@@ -1,0 +1,149 @@
+#include "noc/fabric.h"
+
+#include <bit>
+
+#include "common/string_util.h"
+
+namespace sj::noc {
+
+NocFabric::NocFabric(const core::ArchParams& arch, i32 grid_rows, i32 grid_cols,
+                     const std::vector<Coord>& positions, FabricOptions options)
+    : grid_rows_(grid_rows),
+      grid_cols_(grid_cols),
+      noc_bits_(arch.noc_bits),
+      track_toggles_(options.track_toggles),
+      positions_(positions) {
+  SJ_REQUIRE(grid_rows >= 1 && grid_cols >= 1, "NocFabric: empty grid");
+  const usize n = positions.size();
+  SJ_REQUIRE(n >= 1, "NocFabric: no cores");
+  routers_.resize(n);
+
+  // Coordinate -> core lookup (also rejects duplicates / off-grid tiles).
+  std::vector<std::vector<u32>> grid(
+      static_cast<usize>(grid_rows),
+      std::vector<u32>(static_cast<usize>(grid_cols), kInvalidCore));
+  for (u32 c = 0; c < n; ++c) {
+    const Coord p = positions[c];
+    SJ_REQUIRE(p.row >= 0 && p.row < grid_rows && p.col >= 0 && p.col < grid_cols,
+               "NocFabric: core " + std::to_string(c) + " off grid at " + to_string(p));
+    u32& cell = grid[static_cast<usize>(p.row)][static_cast<usize>(p.col)];
+    SJ_REQUIRE(cell == kInvalidCore,
+               "NocFabric: two cores share tile " + to_string(p));
+    cell = c;
+  }
+
+  const auto chip_of = [&](Coord c) {
+    return std::pair<i32, i32>{c.row / arch.chip_rows, c.col / arch.chip_cols};
+  };
+
+  for (int d = 0; d < kNumDirs; ++d) {
+    neighbor_[static_cast<usize>(d)].assign(n, kInvalidCore);
+    link_id_[static_cast<usize>(d)].assign(n, kInvalidLink);
+  }
+  for (u32 c = 0; c < n; ++c) {
+    const Coord p = positions[c];
+    const auto try_link = [&](Dir d, i32 row, i32 col) {
+      if (row < 0 || row >= grid_rows || col < 0 || col >= grid_cols) return;
+      const u32 nb = grid[static_cast<usize>(row)][static_cast<usize>(col)];
+      if (nb == kInvalidCore) return;  // hole in a sparse grid: no wire
+      neighbor_[static_cast<usize>(d)][c] = nb;
+      link_id_[static_cast<usize>(d)][c] = static_cast<LinkId>(links_.size());
+      Link ln;
+      ln.src = c;
+      ln.dst = nb;
+      ln.dir = d;
+      ln.src_pos = p;
+      ln.dst_pos = positions[nb];
+      ln.interchip = chip_of(ln.src_pos) != chip_of(ln.dst_pos);
+      links_.push_back(ln);
+    };
+    try_link(Dir::North, p.row - 1, p.col);
+    try_link(Dir::South, p.row + 1, p.col);
+    try_link(Dir::East, p.row, p.col + 1);
+    try_link(Dir::West, p.row, p.col - 1);
+  }
+  if (track_toggles_) {
+    ps_last_.assign(links_.size(), std::vector<i16>(Router::kPlanes, 0));
+    spk_last_.assign(links_.size(), {});
+  }
+}
+
+Status NocFabric::neighbor(u32 core, Dir d, u32* out) const {
+  const u32 nb = neighbor(core, d);
+  if (nb == kInvalidCore) {
+    return Status::error(strprintf("no %s neighbor of core %u at %s (grid edge)",
+                                   dir_name(d), core,
+                                   to_string(positions_[core]).c_str()));
+  }
+  *out = nb;
+  return Status::ok();
+}
+
+u32 NocFabric::neighbor_checked(u32 core, Dir d) const {
+  u32 nb = kInvalidCore;
+  const Status s = neighbor(core, d, &nb);
+  SJ_ASSERT(s.is_ok(), "noc: route off grid edge: " + s.message());
+  return nb;
+}
+
+void NocFabric::send_ps(u32 src, Dir d, u16 plane, i16 value, TrafficCounters& tc) {
+  const LinkId lid = link_id(src, d);
+  SJ_ASSERT(lid != kInvalidLink, "noc: PS send off grid edge");
+  const Link& ln = links_[lid];
+  ps_staged_.push_back(PsWrite{ln.dst, opposite(d), plane, value});
+
+  tc.ensure(links_.size());
+  LinkTraffic& t = tc.links[lid];
+  ++t.ps_flits;
+  t.ps_bits += noc_bits_;
+  if (ln.interchip) tc.interchip_ps_bits += noc_bits_;
+  if (track_toggles_) {
+    i16& last = ps_last_[lid][plane];
+    const u16 wire_mask = static_cast<u16>((u32{1} << noc_bits_) - 1);
+    t.ps_toggles += std::popcount(
+        static_cast<u32>((static_cast<u16>(last) ^ static_cast<u16>(value)) & wire_mask));
+    last = value;
+  }
+}
+
+void NocFabric::send_spike(u32 src, Dir d, u16 plane, bool value, TrafficCounters& tc) {
+  const LinkId lid = link_id(src, d);
+  SJ_ASSERT(lid != kInvalidLink, "noc: spike send off grid edge");
+  const Link& ln = links_[lid];
+  spk_staged_.push_back(SpkWrite{ln.dst, opposite(d), plane, value});
+
+  tc.ensure(links_.size());
+  LinkTraffic& t = tc.links[lid];
+  ++t.spike_flits;
+  if (ln.interchip) ++tc.interchip_spike_bits;
+  if (track_toggles_) {
+    auto& last = spk_last_[lid];
+    if (Router::bit_get(last, plane) != value) {
+      ++t.spike_toggles;
+      Router::bit_set(last, plane, value);
+    }
+  }
+}
+
+void NocFabric::commit_cycle() {
+  for (const PsWrite& w : ps_staged_) {
+    routers_[w.core].set_ps_in(w.port, w.plane, w.value);
+  }
+  for (const SpkWrite& w : spk_staged_) {
+    routers_[w.core].set_spike_in(w.port, w.plane, w.value);
+  }
+  ps_staged_.clear();
+  spk_staged_.clear();
+}
+
+void NocFabric::reset() {
+  for (Router& r : routers_) r.reset();
+  ps_staged_.clear();
+  spk_staged_.clear();
+  if (track_toggles_) {
+    for (auto& v : ps_last_) std::fill(v.begin(), v.end(), i16{0});
+    for (auto& w : spk_last_) w = {};
+  }
+}
+
+}  // namespace sj::noc

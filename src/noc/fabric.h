@@ -1,0 +1,117 @@
+// NocFabric: the grid of per-tile routers and the directed links between
+// them, with two-phase (read-then-write) cycle semantics and per-link
+// traffic accounting.
+//
+// The fabric owns everything physical about the two NoCs — router registers,
+// neighbor wiring, chip-boundary geometry — and nothing about *what* moves:
+// the simulator (or any other client) reads registers, stages sends, and
+// calls commit_cycle() once per cycle. Staged writes land in the receiving
+// router's input-port registers in staging order, reproducing the RTL's
+// "every register reads old values, writes become visible next cycle" rule.
+//
+// Traffic is charged to TrafficCounters at send time: payload bits, flits,
+// wire toggles (Hamming distance against the previous value on the same
+// plane-wire) and the inter-chip aggregates the power model consumes.
+#pragma once
+
+#include <vector>
+
+#include "core/arch.h"
+#include "noc/link.h"
+#include "noc/router.h"
+
+namespace sj::noc {
+
+struct FabricOptions {
+  /// Track per-plane-wire previous values so LinkTraffic::*_toggles counts
+  /// real bit-flips. Costs ~0.5 KiB per link; disable for huge fleets of
+  /// throwaway fabrics.
+  bool track_toggles = true;
+};
+
+class NocFabric {
+ public:
+  /// Builds the fabric for a `grid_rows` x `grid_cols` tile grid.
+  /// `positions[c]` is the coordinate of core c; every coordinate must be
+  /// unique and on-grid. Chip boundaries fall at multiples of
+  /// arch.chip_rows/chip_cols (links crossing one are marked interchip).
+  NocFabric(const core::ArchParams& arch, i32 grid_rows, i32 grid_cols,
+            const std::vector<Coord>& positions, FabricOptions options = {});
+
+  usize num_cores() const { return routers_.size(); }
+  usize num_links() const { return links_.size(); }
+  const std::vector<Link>& links() const { return links_; }
+  const Link& link(LinkId id) const { return links_[id]; }
+  i32 grid_rows() const { return grid_rows_; }
+  i32 grid_cols() const { return grid_cols_; }
+  i32 noc_bits() const { return noc_bits_; }
+  Coord position(u32 core) const { return positions_[core]; }
+
+  /// Neighbor of `core` in direction `d`, or kInvalidCore off-grid.
+  u32 neighbor(u32 core, Dir d) const {
+    return neighbor_[static_cast<usize>(d)][core];
+  }
+  /// Testable form: OK + *out on success, error Status at a grid edge.
+  Status neighbor(u32 core, Dir d, u32* out) const;
+  /// Throwing form for contexts where off-grid is a programming error.
+  u32 neighbor_checked(u32 core, Dir d) const;
+
+  /// Outgoing link of `core` in direction `d`, or kInvalidLink off-grid.
+  LinkId link_id(u32 core, Dir d) const {
+    return link_id_[static_cast<usize>(d)][core];
+  }
+
+  Router& router(u32 core) { return routers_[core]; }
+  const Router& router(u32 core) const { return routers_[core]; }
+
+  // --- two-phase, traffic-accounted movement ------------------------------
+  /// Stages a 16-bit partial sum onto the outgoing link of `src` in
+  /// direction `d`; it lands in the neighbor's in[opposite(d)] register at
+  /// commit_cycle(). Charges the link in `tc`.
+  void send_ps(u32 src, Dir d, u16 plane, i16 value, TrafficCounters& tc);
+  /// Same for a 1-bit spike.
+  void send_spike(u32 src, Dir d, u16 plane, bool value, TrafficCounters& tc);
+  /// Applies all staged writes in staging order (end of cycle).
+  void commit_cycle();
+
+  /// Zeroes router registers, staged writes, and toggle-tracking state
+  /// (frame boundary). Does not touch any TrafficCounters.
+  void reset();
+
+  /// A counter table pre-sized to this fabric.
+  TrafficCounters make_counters() const {
+    TrafficCounters tc;
+    tc.ensure(num_links());
+    return tc;
+  }
+
+ private:
+  struct PsWrite {
+    u32 core;
+    Dir port;
+    u16 plane;
+    i16 value;
+  };
+  struct SpkWrite {
+    u32 core;
+    Dir port;
+    u16 plane;
+    bool value;
+  };
+
+  i32 grid_rows_, grid_cols_;
+  i32 noc_bits_;
+  bool track_toggles_;
+  std::vector<Coord> positions_;
+  std::vector<Router> routers_;
+  std::array<std::vector<u32>, 4> neighbor_;   // [dir][core]
+  std::array<std::vector<LinkId>, 4> link_id_; // [dir][core]
+  std::vector<Link> links_;
+  // Previous value on each plane-wire, for toggle accounting.
+  std::vector<std::vector<i16>> ps_last_;          // [link][plane]
+  std::vector<std::array<u64, 4>> spk_last_;       // [link], bit-packed
+  std::vector<PsWrite> ps_staged_;
+  std::vector<SpkWrite> spk_staged_;
+};
+
+}  // namespace sj::noc

@@ -1,0 +1,96 @@
+// Per-tile router state: the registers of one partial-sum router and one
+// spike router, 256 planes each (paper Fig. 2b/2c).
+//
+// A router plane has no buffers and no flow control; its state is exactly
+// one register per input port plus the in-router accumulation registers:
+//   PS router:    in[N/S/E/W] (16-bit), sum_buf (adder output), eject
+//                 (out_sel = eject register feeding the spiking logic)
+//   Spike router: in[N/S/E/W] (1-bit), spike_out (local injection register
+//                 written by SPIKE)
+// Two-phase cycle semantics (read-then-write) are owned by NocFabric: port
+// input registers are only written at commit_cycle(), while the same-tile
+// registers (sum_buf / eject / spike_out) update immediately — the schedule
+// guarantees a plane executes at most one op per router per cycle, so an
+// immediate same-tile write can never race a same-cycle read.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/fixed.h"
+#include "common/types.h"
+
+namespace sj::noc {
+
+class Router {
+ public:
+  static constexpr int kPlanes = 256;
+
+  Router() {
+    for (auto& v : ps_in_) v.assign(kPlanes, 0);
+    sum_buf_.assign(kPlanes, 0);
+    eject_.assign(kPlanes, 0);
+  }
+
+  // --- partial-sum plane ---------------------------------------------------
+  i16 ps_in(Dir port, u16 plane) const {
+    return ps_in_[static_cast<usize>(port)][plane];
+  }
+  void set_ps_in(Dir port, u16 plane, i16 v) {
+    ps_in_[static_cast<usize>(port)][plane] = v;
+  }
+  i16 sum_buf(u16 plane) const { return sum_buf_[plane]; }
+  i16 eject(u16 plane) const { return eject_[plane]; }
+  void set_eject(u16 plane, i16 v) { eject_[plane] = v; }
+
+  /// The in-router adder (SUM $SRC, $CONSEC): sum_buf = op1 + in[src],
+  /// saturating at the NoC width. `op1` is the previous sum (consecutive
+  /// add) or the neuron core's local partial sum — the caller selects, since
+  /// the local PS lives in the neuron core, not the router.
+  /// Increments *saturations when the hardware adder would have clipped.
+  void ps_sum(u16 plane, i64 op1, Dir src, i32 noc_bits, i64* saturations) {
+    bool sat = false;
+    sum_buf_[plane] = static_cast<i16>(
+        saturating_add(op1, ps_in(src, plane), noc_bits, &sat));
+    if (sat && saturations != nullptr) ++*saturations;
+  }
+
+  // --- spike plane ---------------------------------------------------------
+  bool spike_in(Dir port, u16 plane) const {
+    return bit_get(spk_in_[static_cast<usize>(port)], plane);
+  }
+  void set_spike_in(Dir port, u16 plane, bool v) {
+    bit_set(spk_in_[static_cast<usize>(port)], plane, v);
+  }
+  bool spike_out(u16 plane) const { return bit_get(spike_out_, plane); }
+  void set_spike_out(u16 plane, bool v) { bit_set(spike_out_, plane, v); }
+
+  /// Zeroes every register (frame boundary).
+  void reset() {
+    for (auto& v : ps_in_) std::fill(v.begin(), v.end(), i16{0});
+    std::fill(sum_buf_.begin(), sum_buf_.end(), i16{0});
+    std::fill(eject_.begin(), eject_.end(), i16{0});
+    for (auto& w : spk_in_) w = {};
+    spike_out_ = {};
+  }
+
+  // 256-bit register helpers (shared with callers that keep bit-packed
+  // per-plane state, e.g. the simulator's axon registers).
+  static bool bit_get(const std::array<u64, 4>& w, u16 p) {
+    return (w[p >> 6] >> (p & 63)) & 1u;
+  }
+  static void bit_set(std::array<u64, 4>& w, u16 p, bool v) {
+    const u64 m = u64{1} << (p & 63);
+    if (v) w[p >> 6] |= m;
+    else w[p >> 6] &= ~m;
+  }
+
+ private:
+  std::array<std::vector<i16>, 4> ps_in_;  // per input port, per plane
+  std::vector<i16> sum_buf_;
+  std::vector<i16> eject_;
+  std::array<std::array<u64, 4>, 4> spk_in_{};  // per input port, bit-packed
+  std::array<u64, 4> spike_out_{};
+};
+
+}  // namespace sj::noc

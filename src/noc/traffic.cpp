@@ -1,0 +1,153 @@
+#include "noc/traffic.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sj::noc {
+
+TrafficReport TrafficReport::build(const NocFabric& fabric, const TrafficCounters& tc,
+                                   u64 cycles, i64 iterations, const std::string& name) {
+  SJ_REQUIRE(tc.links.empty() || tc.links.size() == fabric.num_links(),
+             "TrafficReport: counters sized for a different fabric");
+  TrafficReport r;
+  r.name = name;
+  r.cycles = cycles;
+  r.iterations = iterations;
+  r.noc_bits = fabric.noc_bits();
+  r.grid_rows = fabric.grid_rows();
+  r.grid_cols = fabric.grid_cols();
+  r.tile_bits.assign(static_cast<usize>(r.grid_rows) * static_cast<usize>(r.grid_cols), 0);
+
+  const double plane_cycles =
+      static_cast<double>(cycles) * static_cast<double>(Router::kPlanes);
+  double util_sum = 0.0;
+  r.links.reserve(fabric.num_links());
+  for (LinkId id = 0; id < fabric.num_links(); ++id) {
+    LinkUse u;
+    u.id = id;
+    u.link = fabric.link(id);
+    if (id < tc.links.size()) u.traffic = tc.links[id];
+    if (plane_cycles > 0.0) {
+      u.ps_utilization = static_cast<double>(u.traffic.ps_flits) / plane_cycles;
+      u.spike_utilization = static_cast<double>(u.traffic.spike_flits) / plane_cycles;
+    }
+    r.total_ps_bits += u.traffic.ps_bits;
+    r.total_spike_bits += u.traffic.spike_flits;
+    r.total_ps_toggles += u.traffic.ps_toggles;
+    r.total_spike_toggles += u.traffic.spike_toggles;
+    if (u.link.interchip) {
+      r.interchip_ps_bits += u.traffic.ps_bits;
+      r.interchip_spike_bits += u.traffic.spike_flits;
+    }
+    if (!u.traffic.idle()) {
+      ++r.active_links;
+      const double util = u.ps_utilization + u.spike_utilization;
+      util_sum += util;
+      if (util > r.peak_utilization) {
+        r.peak_utilization = util;
+        r.busiest_link = id;
+      }
+      const i64 bits = u.traffic.total_bits();
+      const auto tile = [&](Coord c) -> i64& {
+        return r.tile_bits[static_cast<usize>(c.row) * static_cast<usize>(r.grid_cols) +
+                           static_cast<usize>(c.col)];
+      };
+      tile(u.link.src_pos) += bits;
+      tile(u.link.dst_pos) += bits;
+    }
+    r.links.push_back(std::move(u));
+  }
+  if (r.active_links > 0) util_sum /= static_cast<double>(r.active_links);
+  r.mean_utilization = util_sum;
+  // Consistency with the incrementally maintained aggregates (when present).
+  if (!tc.links.empty()) {
+    SJ_ASSERT(r.interchip_ps_bits == tc.interchip_ps_bits &&
+                  r.interchip_spike_bits == tc.interchip_spike_bits,
+              "TrafficReport: per-link roll-up disagrees with aggregate counters");
+  }
+  return r;
+}
+
+json::Value TrafficReport::to_json() const {
+  json::Value root;
+  root.set("name", name);
+  root.set("cycles", static_cast<i64>(cycles));
+  root.set("iterations", iterations);
+  root.set("noc_bits", noc_bits);
+  root.set("grid_rows", grid_rows);
+  root.set("grid_cols", grid_cols);
+
+  json::Value summary;
+  summary.set("total_ps_bits", total_ps_bits);
+  summary.set("total_spike_bits", total_spike_bits);
+  summary.set("total_ps_toggles", total_ps_toggles);
+  summary.set("total_spike_toggles", total_spike_toggles);
+  summary.set("interchip_ps_bits", interchip_ps_bits);
+  summary.set("interchip_spike_bits", interchip_spike_bits);
+  summary.set("links_total", links.size());
+  summary.set("links_active", active_links);
+  summary.set("peak_utilization", peak_utilization);
+  summary.set("mean_utilization", mean_utilization);
+  root.set("summary", std::move(summary));
+
+  json::Array arr;
+  for (const LinkUse& u : links) {
+    if (u.traffic.idle()) continue;  // topology is implied by the grid
+    json::Value l;
+    l.set("src", json::Array{u.link.src_pos.row, u.link.src_pos.col});
+    l.set("dst", json::Array{u.link.dst_pos.row, u.link.dst_pos.col});
+    l.set("dir", dir_name(u.link.dir));
+    l.set("interchip", u.link.interchip);
+    l.set("ps_flits", u.traffic.ps_flits);
+    l.set("ps_bits", u.traffic.ps_bits);
+    l.set("ps_toggles", u.traffic.ps_toggles);
+    l.set("spike_flits", u.traffic.spike_flits);
+    l.set("spike_toggles", u.traffic.spike_toggles);
+    l.set("ps_utilization", u.ps_utilization);
+    l.set("spike_utilization", u.spike_utilization);
+    arr.push_back(std::move(l));
+  }
+  root.set("links", std::move(arr));
+
+  json::Array heat;
+  for (i32 row = 0; row < grid_rows; ++row) {
+    json::Array line;
+    for (i32 col = 0; col < grid_cols; ++col) {
+      line.push_back(tile_bits[static_cast<usize>(row) * static_cast<usize>(grid_cols) +
+                               static_cast<usize>(col)]);
+    }
+    heat.push_back(std::move(line));
+  }
+  root.set("tile_bits", std::move(heat));
+  return root;
+}
+
+void TrafficReport::save(const std::string& path) const {
+  json::write_file(path, to_json(), 2);
+}
+
+std::string TrafficReport::ascii_heatmap() const {
+  static const char kRamp[] = " .:-=+*#%@";
+  const i64 peak = tile_bits.empty()
+                       ? 0
+                       : *std::max_element(tile_bits.begin(), tile_bits.end());
+  std::string out;
+  out.reserve(static_cast<usize>(grid_rows) * static_cast<usize>(grid_cols + 1));
+  for (i32 row = 0; row < grid_rows; ++row) {
+    for (i32 col = 0; col < grid_cols; ++col) {
+      const i64 b = tile_bits[static_cast<usize>(row) * static_cast<usize>(grid_cols) +
+                              static_cast<usize>(col)];
+      usize idx = 0;
+      if (peak > 0 && b > 0) {
+        idx = 1 + static_cast<usize>((b * 8) / peak);
+        idx = std::min<usize>(idx, sizeof(kRamp) - 2);
+      }
+      out.push_back(kRamp[idx]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace sj::noc

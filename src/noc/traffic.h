@@ -1,0 +1,73 @@
+// TrafficReport: per-link utilization and congestion analysis of a
+// simulation run, built from a fabric's topology plus the TrafficCounters a
+// run accumulated.
+//
+// Utilization of a directed link is the fraction of plane-cycles its bundle
+// was busy: flits / (cycles * 256 planes). The congestion heatmap aggregates
+// payload bits through each tile's routers (incident directed links), which
+// is what the paper's Fig. 1 mapping diagrams visualize qualitatively.
+// Reports serialize via src/json so benches and examples can emit
+// machine-readable traffic dumps next to their power tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "noc/fabric.h"
+
+namespace sj::noc {
+
+/// One link's share of the report.
+struct LinkUse {
+  LinkId id = kInvalidLink;
+  Link link;
+  LinkTraffic traffic;
+  double ps_utilization = 0.0;     // PS plane-cycles busy, 0..1
+  double spike_utilization = 0.0;  // spike plane-cycles busy, 0..1
+};
+
+struct TrafficReport {
+  std::string name;        // network / run label (free-form)
+  u64 cycles = 0;          // cycles observed (SimStats::cycles)
+  i64 iterations = 0;      // hardware timesteps observed
+  i32 noc_bits = 16;
+  i32 grid_rows = 0, grid_cols = 0;
+
+  std::vector<LinkUse> links;  // every fabric link, LinkId order
+
+  // Roll-ups.
+  i64 total_ps_bits = 0;
+  i64 total_spike_bits = 0;
+  i64 total_ps_toggles = 0;
+  i64 total_spike_toggles = 0;
+  i64 interchip_ps_bits = 0;     // from links whose endpoints differ in chip
+  i64 interchip_spike_bits = 0;
+  usize active_links = 0;        // links that carried any traffic
+  LinkId busiest_link = kInvalidLink;
+  double peak_utilization = 0.0;  // max over links of ps+spike utilization
+  double mean_utilization = 0.0;  // over active links
+
+  /// Payload bits through each tile's routers (row-major grid_rows x
+  /// grid_cols; tiles without a core stay 0).
+  std::vector<i64> tile_bits;
+
+  /// Builds the report. `cycles`/`iterations` come from the SimStats of the
+  /// same run; counters must be sized by `fabric` (or empty for an idle run).
+  static TrafficReport build(const NocFabric& fabric, const TrafficCounters& tc,
+                             u64 cycles, i64 iterations,
+                             const std::string& name = "");
+
+  /// Per-link records and summary as a JSON document. Idle links are
+  /// omitted from the "links" array (the topology is implied by the grid).
+  json::Value to_json() const;
+
+  /// Writes to_json() to `path` (pretty-printed).
+  void save(const std::string& path) const;
+
+  /// Text congestion heatmap of tile_bits (one char per tile, ' ' idle ->
+  /// '@' max), for terminal inspection.
+  std::string ascii_heatmap() const;
+};
+
+}  // namespace sj::noc

@@ -29,21 +29,21 @@ double EnergyTable::active_power_at_ref(EnergyOp op) const {
 
 OpCensus OpCensus::from(const map::MappedNetwork& m) {
   OpCensus c;
+  // Inter-chip crossings are a static property of the placement + routes:
+  // resolve each send's hop against the NoC fabric and charge the bits to
+  // the link when its endpoints lie on different chips.
+  noc::FabricOptions fo;
+  fo.track_toggles = false;  // no data moves in a census
+  const noc::NocFabric fabric = map::make_fabric(m, fo);
   const auto crosses_chip = [&](const map::TimedOp& op) {
-    Coord to = m.cores[op.core].pos;
-    switch (op.op.dst) {
-      case Dir::North: --to.row; break;
-      case Dir::South: ++to.row; break;
-      case Dir::East: ++to.col; break;
-      case Dir::West: --to.col; break;
-    }
-    return m.chip_of(m.cores[op.core].pos) != m.chip_of(to);
+    const noc::LinkId lid = fabric.link_id(op.core, op.op.dst);
+    SJ_ASSERT(lid != noc::kInvalidLink, "census: route off grid edge");
+    return fabric.link(lid).interchip;
   };
   for (const auto& op : m.schedule) {
     const int idx = static_cast<int>(core::energy_op_of(op.op.code));
     const i64 n = op.mask.popcount();
     c.op_neurons[static_cast<usize>(idx)] += n;
-    // Inter-chip crossings are a static property of the placement + routes.
     switch (op.op.code) {
       case core::OpCode::PsSend:
         if (!op.op.eject && crosses_chip(op)) c.interchip_ps_bits += n * m.arch.noc_bits;
@@ -67,10 +67,11 @@ OpCensus OpCensus::from(const map::MappedNetwork& m) {
   return c;
 }
 
-PowerReport estimate(const map::MappedNetwork& m, double target_fps,
-                     const PowerParams& params) {
+namespace {
+
+PowerReport estimate_census(const map::MappedNetwork& m, double target_fps,
+                            const OpCensus& census, const PowerParams& params) {
   SJ_REQUIRE(target_fps > 0.0, "estimate: fps must be positive");
-  const OpCensus census = OpCensus::from(m);
   const EnergyTable& et = params.energy;
 
   PowerReport r;
@@ -104,13 +105,34 @@ PowerReport estimate(const map::MappedNetwork& m, double target_fps,
   return r;
 }
 
+}  // namespace
+
+PowerReport estimate(const map::MappedNetwork& m, double target_fps,
+                     const PowerParams& params) {
+  return estimate_census(m, target_fps, OpCensus::from(m), params);
+}
+
+PowerReport estimate_measured(const map::MappedNetwork& m, double target_fps,
+                              const noc::TrafficCounters& traffic, i64 iterations,
+                              const PowerParams& params) {
+  SJ_REQUIRE(iterations > 0, "estimate_measured: no iterations observed");
+  OpCensus census = OpCensus::from(m);
+  // Replace the static crossing census with the per-timestep average of the
+  // traffic actually observed on inter-chip links. The schedule repeats
+  // every timestep, so the measured totals are exact multiples.
+  census.interchip_ps_bits = traffic.interchip_ps_bits / iterations;
+  census.interchip_spike_bits = traffic.interchip_spike_bits / iterations;
+  return estimate_census(m, target_fps, census, params);
+}
+
 std::vector<TradeoffPoint> throughput_tradeoff(const map::MappedNetwork& m,
                                                const std::vector<double>& fps_list,
                                                const PowerParams& params) {
   std::vector<TradeoffPoint> pts;
   pts.reserve(fps_list.size());
+  const OpCensus census = OpCensus::from(m);  // fps-independent: compute once
   for (const double fps : fps_list) {
-    const PowerReport r = estimate(m, fps, params);
+    const PowerReport r = estimate_census(m, fps, census, params);
     TradeoffPoint p;
     p.fps = fps;
     p.freq_hz = r.freq_hz;

@@ -89,8 +89,19 @@ struct PowerReport {
 };
 
 /// Estimates power for running `m` at `target_fps` frames per second.
+/// Inter-chip energy comes from the static op census routed over the NoC
+/// fabric (links whose endpoints lie on different chips).
 PowerReport estimate(const map::MappedNetwork& m, double target_fps,
                      const PowerParams& params = {});
+
+/// Like estimate(), but inter-chip energy is derived from *measured*
+/// per-link traffic (noc::TrafficCounters accumulated by the simulator over
+/// `iterations` hardware timesteps) instead of the static census. Because
+/// Shenjing replays the identical schedule every timestep, the two agree on
+/// a correct simulator — benches assert exactly that.
+PowerReport estimate_measured(const map::MappedNetwork& m, double target_fps,
+                              const noc::TrafficCounters& traffic, i64 iterations,
+                              const PowerParams& params = {});
 
 /// Fig. 5: clock frequency and per-tile power across a throughput sweep.
 struct TradeoffPoint {

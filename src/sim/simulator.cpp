@@ -9,13 +9,13 @@ namespace sj::sim {
 
 namespace {
 
+// Bit helpers for the neuron core's bit-packed axon registers; one
+// implementation shared with the router registers (noc/router.h).
 inline bool bit_get(const std::array<u64, 4>& w, u16 p) {
-  return (w[p >> 6] >> (p & 63)) & 1u;
+  return noc::Router::bit_get(w, p);
 }
 inline void bit_set(std::array<u64, 4>& w, u16 p, bool v) {
-  const u64 m = u64{1} << (p & 63);
-  if (v) w[p >> 6] |= m;
-  else w[p >> 6] &= ~m;
+  noc::Router::bit_set(w, p, v);
 }
 
 }  // namespace
@@ -29,39 +29,16 @@ void SimStats::merge(const SimStats& o) {
   spikes_fired += o.spikes_fired;
   axon_spikes += o.axon_spikes;
   axon_slots += o.axon_slots;
-  interchip_ps_bits += o.interchip_ps_bits;
-  interchip_spike_bits += o.interchip_spike_bits;
+  noc.merge(o.noc);
 }
 
 Simulator::Simulator(const MappedNetwork& mapped, const snn::SnnNetwork& net)
-    : mapped_(&mapped), net_(&net) {
+    : mapped_(&mapped), net_(&net), fabric_(map::make_fabric(mapped)) {
   const usize n = mapped.cores.size();
   state_.resize(n);
   for (auto& cs : state_) {
-    for (auto& v : cs.ps_in) v.assign(256, 0);
     cs.local_ps.assign(256, 0);
-    cs.sum_buf.assign(256, 0);
-    cs.eject.assign(256, 0);
     cs.potential.assign(256, 0);
-  }
-  // Coordinate -> core lookup for neighbor resolution.
-  std::vector<std::vector<u32>> grid(static_cast<usize>(mapped.grid_rows),
-                                     std::vector<u32>(static_cast<usize>(mapped.grid_cols), 0));
-  for (u32 c = 0; c < n; ++c) {
-    grid[static_cast<usize>(mapped.cores[c].pos.row)]
-        [static_cast<usize>(mapped.cores[c].pos.col)] = c;
-  }
-  for (int d = 0; d < 4; ++d) neighbor_[d].assign(n, ~u32{0});
-  for (u32 c = 0; c < n; ++c) {
-    const Coord p = mapped.cores[c].pos;
-    if (p.row > 0) neighbor_[static_cast<int>(Dir::North)][c] =
-        grid[static_cast<usize>(p.row - 1)][static_cast<usize>(p.col)];
-    if (p.row + 1 < mapped.grid_rows) neighbor_[static_cast<int>(Dir::South)][c] =
-        grid[static_cast<usize>(p.row + 1)][static_cast<usize>(p.col)];
-    if (p.col + 1 < mapped.grid_cols) neighbor_[static_cast<int>(Dir::East)][c] =
-        grid[static_cast<usize>(p.row)][static_cast<usize>(p.col + 1)];
-    if (p.col > 0) neighbor_[static_cast<int>(Dir::West)][c] =
-        grid[static_cast<usize>(p.row)][static_cast<usize>(p.col - 1)];
   }
   // Group schedule by cycle (schedule is sorted).
   by_cycle_.assign(mapped.cycles_per_timestep, {});
@@ -70,25 +47,15 @@ Simulator::Simulator(const MappedNetwork& mapped, const snn::SnnNetwork& net)
   }
 }
 
-u32 Simulator::neighbor_core(u32 c, Dir d) const {
-  const u32 n = neighbor_[static_cast<int>(d)][c];
-  SJ_ASSERT(n != ~u32{0}, "sim: route off grid edge");
-  return n;
-}
-
 void Simulator::reset() {
   for (auto& cs : state_) {
-    for (auto& v : cs.ps_in) std::fill(v.begin(), v.end(), i16{0});
     std::fill(cs.local_ps.begin(), cs.local_ps.end(), i16{0});
-    std::fill(cs.sum_buf.begin(), cs.sum_buf.end(), i16{0});
-    std::fill(cs.eject.begin(), cs.eject.end(), i16{0});
     std::fill(cs.potential.begin(), cs.potential.end(), i32{0});
-    cs.spk_in = {};
-    cs.spike_out = {};
     cs.axon_cur = {};
     cs.axon_n1 = {};
     cs.axon_n2 = {};
   }
+  fabric_.reset();
 }
 
 i64 Simulator::ldwt_neurons() const {
@@ -123,29 +90,12 @@ void Simulator::run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st
     }
   }
 
-  // Deferred same-cycle writes (two-phase semantics).
-  struct PsWrite {
-    u32 core;
-    u8 port;
-    u16 plane;
-    i16 value;
-  };
-  struct SpkWrite {
-    u32 core;
-    u8 port;  // 0..3 = spk_in port; 4 = axon_n1; 5 = axon_n2
-    u16 plane;
-    bool value;
-  };
-  std::vector<PsWrite> ps_writes;
-  std::vector<SpkWrite> spk_writes;
-
   for (u32 cyc = 0; cyc < mapped_->cycles_per_timestep; ++cyc) {
     if (by_cycle_[cyc].empty()) continue;
-    ps_writes.clear();
-    spk_writes.clear();
     for (const map::TimedOp* top : by_cycle_[cyc]) {
       const u32 c = top->core;
       CoreState& cs = state_[c];
+      noc::Router& rt = fabric_.router(c);
       const map::MappedCore& mc = cores[c];
       const core::AtomicOp& op = top->op;
       st.op_neurons[static_cast<usize>(core::energy_op_of(op.code))] +=
@@ -172,48 +122,37 @@ void Simulator::run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st
           break;
         }
         case core::OpCode::PsSum: {
-          const auto& in = cs.ps_in[static_cast<usize>(op.src)];
+          // In-router adder: OP1 is the running sum (consecutive add) or the
+          // neuron core's local PS; OP2 arrives on the $SRC port register.
           top->mask.for_each([&](u16 p) {
-            const i64 op1 = op.consec ? cs.sum_buf[p] : cs.local_ps[p];
-            bool sat = false;
-            cs.sum_buf[p] = static_cast<i16>(saturating_add(op1, in[p], ps_bits, &sat));
-            if (sat) ++st.saturations;
+            const i64 op1 = op.consec ? rt.sum_buf(p) : cs.local_ps[p];
+            rt.ps_sum(p, op1, op.src, ps_bits, &st.saturations);
           });
           break;
         }
         case core::OpCode::PsSend: {
           if (op.eject) {
             top->mask.for_each([&](u16 p) {
-              cs.eject[p] = op.from_sum_buf ? cs.sum_buf[p] : cs.local_ps[p];
+              rt.set_eject(p, op.from_sum_buf ? rt.sum_buf(p) : cs.local_ps[p]);
             });
           } else {
-            const u32 nb = neighbor_core(c, op.dst);
-            const u8 port = static_cast<u8>(opposite(op.dst));
-            const bool cross =
-                mapped_->chip_of(mc.pos) != mapped_->chip_of(cores[nb].pos);
             top->mask.for_each([&](u16 p) {
-              ps_writes.push_back(
-                  PsWrite{nb, port, p,
-                          op.from_sum_buf ? cs.sum_buf[p] : cs.local_ps[p]});
+              fabric_.send_ps(c, op.dst, p,
+                              op.from_sum_buf ? rt.sum_buf(p) : cs.local_ps[p],
+                              st.noc);
             });
-            if (cross) st.interchip_ps_bits += static_cast<i64>(top->mask.popcount()) * ps_bits;
           }
           break;
         }
         case core::OpCode::PsBypass: {
-          const u32 nb = neighbor_core(c, op.dst);
-          const u8 port = static_cast<u8>(opposite(op.dst));
-          const auto& in = cs.ps_in[static_cast<usize>(op.src)];
-          const bool cross = mapped_->chip_of(mc.pos) != mapped_->chip_of(cores[nb].pos);
           top->mask.for_each([&](u16 p) {
-            ps_writes.push_back(PsWrite{nb, port, p, in[p]});
+            fabric_.send_ps(c, op.dst, p, rt.ps_in(op.src, p), st.noc);
           });
-          if (cross) st.interchip_ps_bits += static_cast<i64>(top->mask.popcount()) * ps_bits;
           break;
         }
         case core::OpCode::SpkSpike: {
           top->mask.for_each([&](u16 p) {
-            const i32 add = op.sum_or_local ? cs.eject[p] : cs.local_ps[p];
+            const i32 add = op.sum_or_local ? rt.eject(p) : cs.local_ps[p];
             bool sat = false;
             i64 v = saturating_add(cs.potential[p], add, pot_bits, &sat);
             if (sat) ++st.saturations;
@@ -224,43 +163,33 @@ void Simulator::run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st
               ++st.spikes_fired;
             }
             cs.potential[p] = static_cast<i32>(v);
-            bit_set(cs.spike_out, p, fire);
+            rt.set_spike_out(p, fire);
           });
           break;
         }
         case core::OpCode::SpkSend: {
-          const u32 nb = neighbor_core(c, op.dst);
-          const u8 port = static_cast<u8>(opposite(op.dst));
-          const bool cross = mapped_->chip_of(mc.pos) != mapped_->chip_of(cores[nb].pos);
           top->mask.for_each([&](u16 p) {
-            spk_writes.push_back(SpkWrite{nb, port, p, bit_get(cs.spike_out, p)});
+            fabric_.send_spike(c, op.dst, p, rt.spike_out(p), st.noc);
           });
-          if (cross) st.interchip_spike_bits += top->mask.popcount();
           break;
         }
         case core::OpCode::SpkBypass: {
-          const u32 nb = neighbor_core(c, op.dst);
-          const u8 port = static_cast<u8>(opposite(op.dst));
-          const auto& in = cs.spk_in[static_cast<usize>(op.src)];
-          const bool cross = mapped_->chip_of(mc.pos) != mapped_->chip_of(cores[nb].pos);
           top->mask.for_each([&](u16 p) {
-            spk_writes.push_back(SpkWrite{nb, port, p, bit_get(in, p)});
+            fabric_.send_spike(c, op.dst, p, rt.spike_in(op.src, p), st.noc);
           });
-          if (cross) st.interchip_spike_bits += top->mask.popcount();
           break;
         }
         case core::OpCode::SpkRecv:
         case core::OpCode::SpkRecvForward: {
-          const auto& in = cs.spk_in[static_cast<usize>(op.src)];
-          const u8 buf = op.hold ? u8{5} : u8{4};
+          // Axon delivery OR-accumulates, and the axon buffers are only read
+          // at the next iteration boundary, so the write needs no staging.
+          auto& axon = op.hold ? cs.axon_n2 : cs.axon_n1;
           top->mask.for_each([&](u16 p) {
-            if (bit_get(in, p)) spk_writes.push_back(SpkWrite{c, buf, p, true});
+            if (rt.spike_in(op.src, p)) bit_set(axon, p, true);
           });
           if (op.code == core::OpCode::SpkRecvForward) {
-            const u32 nb = neighbor_core(c, op.dst);
-            const u8 port = static_cast<u8>(opposite(op.dst));
             top->mask.for_each([&](u16 p) {
-              spk_writes.push_back(SpkWrite{nb, port, p, bit_get(in, p)});
+              fabric_.send_spike(c, op.dst, p, rt.spike_in(op.src, p), st.noc);
             });
           }
           break;
@@ -269,19 +198,8 @@ void Simulator::run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st
           break;  // weights are preloaded; energy accounted separately
       }
     }
-    // Apply writes (visible from cycle+1 on).
-    for (const PsWrite& w : ps_writes) {
-      state_[w.core].ps_in[w.port][w.plane] = w.value;
-    }
-    for (const SpkWrite& w : spk_writes) {
-      CoreState& tgt = state_[w.core];
-      if (w.port < 4) bit_set(tgt.spk_in[w.port], w.plane, w.value);
-      else if (w.port == 4) {
-        if (w.value) bit_set(tgt.axon_n1, w.plane, true);
-      } else {
-        if (w.value) bit_set(tgt.axon_n2, w.plane, true);
-      }
-    }
+    // Two-phase commit: staged port writes become visible from cycle+1 on.
+    fabric_.commit_cycle();
   }
   ++st.iterations;
   st.cycles += mapped_->cycles_per_timestep;
@@ -316,7 +234,7 @@ FrameResult Simulator::run_frame(const Tensor& image, SimStats* stats,
     // Readout: output-unit spikes within its logical window.
     if (k >= mapped_->output_depth) {
       for (usize j = 0; j < out_slots.size(); ++j) {
-        if (bit_get(state_[out_slots[j].core].spike_out, out_slots[j].plane)) {
+        if (fabric_.router(out_slots[j].core).spike_out(out_slots[j].plane)) {
           ++res.spike_counts[j];
         }
       }
@@ -329,7 +247,7 @@ FrameResult Simulator::run_frame(const Tensor& image, SimStats* stats,
           const auto& slots = mapped_->unit_slots[u];
           BitVec bv(slots.size());
           for (usize j = 0; j < slots.size(); ++j) {
-            bv.set(j, bit_get(state_[slots[j].core].spike_out, slots[j].plane));
+            bv.set(j, fabric_.router(slots[j].core).spike_out(slots[j].plane));
           }
           trace->units[u].push_back(std::move(bv));
         }

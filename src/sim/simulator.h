@@ -2,13 +2,19 @@
 //
 // Executes a compiled MappedNetwork the way the RTL would: every timestep it
 // replays the cycle-by-cycle atomic-op schedule, moving 16-bit partial sums
-// and 1-bit spikes through per-plane router registers with two-phase
-// (read-then-write) cycle semantics, integrating & firing at accumulation
-// roots, and double-buffering axon registers across timesteps. It is
-// aimed to be cycle-by-cycle equivalent to RTL in exactly the three senses
-// the paper lists: (1) it runs the Table-I atomic operations, (2) it
+// and 1-bit spikes through the noc::NocFabric's per-plane router registers
+// with two-phase (read-then-write) cycle semantics, integrating & firing at
+// accumulation roots, and double-buffering axon registers across timesteps.
+// It is aimed to be cycle-by-cycle equivalent to RTL in exactly the three
+// senses the paper lists: (1) it runs the Table-I atomic operations, (2) it
 // produces and routes the same data in neuron cores and NoCs, and (3) it
 // yields execution statistics for architectural power estimation.
+//
+// The division of labor with src/noc: the fabric owns everything physical
+// about the two NoCs (router registers, link wiring, per-link traffic
+// accounting); the simulator owns the neuron cores (axon registers, local
+// partial sums, membrane potentials) and drives the fabric cycle by cycle
+// from the compiled schedule.
 //
 // Layer pipelining: a unit at depth d processes frame timestep t during
 // hardware iteration d + t, so one frame needs T + depth iterations; at
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "mapper/program.h"
+#include "noc/link.h"
 #include "snn/evaluate.h"
 
 namespace sj::sim {
@@ -38,8 +45,13 @@ struct SimStats {
   i64 spikes_fired = 0;
   i64 axon_spikes = 0;     // active axons observed at ACC time
   i64 axon_slots = 0;      // axon capacity sampled at ACC time
-  i64 interchip_ps_bits = 0;
-  i64 interchip_spike_bits = 0;
+  /// Per-link NoC traffic (LinkId-indexed; see noc/link.h). The inter-chip
+  /// aggregates the power model consumes are rolled up from links whose
+  /// endpoints lie on different chips.
+  noc::TrafficCounters noc;
+
+  i64 interchip_ps_bits() const { return noc.interchip_ps_bits; }
+  i64 interchip_spike_bits() const { return noc.interchip_spike_bits; }
 
   /// Mean fraction of axons spiking per ACC (the paper's 6.25 % for MNIST).
   double switching_activity() const {
@@ -78,27 +90,24 @@ class Simulator {
   i64 ldwt_neurons() const;
 
   const MappedNetwork& mapped() const { return *mapped_; }
+  /// The NoC this simulator routes through (topology for traffic reports).
+  const noc::NocFabric& fabric() const { return fabric_; }
 
  private:
+  /// Neuron-core state. Router registers live in fabric_.
   struct CoreState {
-    std::array<std::vector<i16>, 4> ps_in;  // per input port, per plane
     std::vector<i16> local_ps;
-    std::vector<i16> sum_buf;
-    std::vector<i16> eject;
-    std::array<std::array<u64, 4>, 4> spk_in{};  // per port, 256-bit
-    std::array<u64, 4> spike_out{};
     std::vector<i32> potential;
     std::array<u64, 4> axon_cur{}, axon_n1{}, axon_n2{};
   };
 
   void reset();
   void run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st);
-  u32 neighbor_core(u32 c, Dir d) const;
 
   const MappedNetwork* mapped_;
   const snn::SnnNetwork* net_;
+  noc::NocFabric fabric_;
   std::vector<CoreState> state_;
-  std::vector<u32> neighbor_[4];  // precomputed per direction
   std::vector<std::vector<const map::TimedOp*>> by_cycle_;
 };
 

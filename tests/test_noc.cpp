@@ -1,0 +1,375 @@
+// NoC subsystem tests: fabric topology, two-phase (read-then-write) router
+// semantics, per-link traffic/toggle/inter-chip accounting, the PS in-router
+// saturating adder, the dry-run conflict checker, and the traffic report.
+// Also the mapper-integration acceptance case: validation rejects a
+// hand-built program with two same-cycle writes to one router register.
+#include <gtest/gtest.h>
+
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "noc/dryrun.h"
+#include "noc/fabric.h"
+#include "noc/traffic.h"
+#include "power/power.h"
+#include "sim/simulator.h"
+#include "snn/convert.h"
+
+namespace sj::noc {
+namespace {
+
+using core::AtomicOp;
+using core::PlaneMask;
+
+/// Dense grid of rows x cols cores, row-major core ids.
+NocFabric grid_fabric(i32 rows, i32 cols, core::ArchParams arch = {},
+                      FabricOptions opts = {}) {
+  std::vector<Coord> pos;
+  for (i32 r = 0; r < rows; ++r) {
+    for (i32 c = 0; c < cols; ++c) pos.push_back(Coord{r, c});
+  }
+  return NocFabric(arch, rows, cols, pos, opts);
+}
+
+TEST(NocFabricTest, GridTopology) {
+  const NocFabric f = grid_fabric(2, 3);
+  EXPECT_EQ(f.num_cores(), 6u);
+  // Directed links: horizontal 2 rows * 2 pairs * 2 dirs = 8, vertical
+  // 3 cols * 1 pair * 2 dirs = 6.
+  EXPECT_EQ(f.num_links(), 14u);
+  // Core 1 = (0,1): neighbors W=0, E=2, S=4, no N.
+  EXPECT_EQ(f.neighbor(1, Dir::West), 0u);
+  EXPECT_EQ(f.neighbor(1, Dir::East), 2u);
+  EXPECT_EQ(f.neighbor(1, Dir::South), 4u);
+  EXPECT_EQ(f.neighbor(1, Dir::North), kInvalidCore);
+  // Every link id resolves and matches the neighbor tables.
+  for (u32 c = 0; c < f.num_cores(); ++c) {
+    for (int d = 0; d < kNumDirs; ++d) {
+      const Dir dir = static_cast<Dir>(d);
+      const LinkId lid = f.link_id(c, dir);
+      if (f.neighbor(c, dir) == kInvalidCore) {
+        EXPECT_EQ(lid, kInvalidLink);
+      } else {
+        ASSERT_NE(lid, kInvalidLink);
+        EXPECT_EQ(f.link(lid).src, c);
+        EXPECT_EQ(f.link(lid).dst, f.neighbor(c, dir));
+        EXPECT_EQ(f.link(lid).dir, dir);
+      }
+    }
+  }
+}
+
+TEST(NocFabricTest, OffGridNeighborIsTestableStatus) {
+  const NocFabric f = grid_fabric(2, 2);
+  u32 nb = kInvalidCore;
+  // Corner core 0 = (0,0): North and West fall off the grid.
+  const Status north = f.neighbor(0, Dir::North, &nb);
+  EXPECT_FALSE(north.is_ok());
+  EXPECT_NE(north.message().find("grid edge"), std::string::npos);
+  const Status east = f.neighbor(0, Dir::East, &nb);
+  ASSERT_TRUE(east.is_ok());
+  EXPECT_EQ(nb, 1u);
+  // The throwing form stays available for can't-happen contexts.
+  EXPECT_THROW(f.neighbor_checked(0, Dir::West), InternalError);
+  EXPECT_EQ(f.neighbor_checked(0, Dir::South), 2u);
+}
+
+TEST(NocFabricTest, SparseGridHasNoWireAcrossHoles) {
+  // Cores at (0,0) and (0,2) with a hole at (0,1): no direct link.
+  core::ArchParams arch;
+  const NocFabric f(arch, 1, 3, {Coord{0, 0}, Coord{0, 2}});
+  EXPECT_EQ(f.num_links(), 0u);
+  EXPECT_EQ(f.neighbor(0, Dir::East), kInvalidCore);
+}
+
+TEST(NocFabricTest, DuplicateTileRejected) {
+  core::ArchParams arch;
+  EXPECT_THROW(NocFabric(arch, 1, 2, {Coord{0, 0}, Coord{0, 0}}), InvalidArgument);
+}
+
+TEST(NocRouterTest, TwoPhaseSendIsInvisibleUntilCommit) {
+  NocFabric f = grid_fabric(1, 2);
+  TrafficCounters tc = f.make_counters();
+  f.send_ps(0, Dir::East, 7, 1234, tc);
+  f.send_spike(0, Dir::East, 7, true, tc);
+  // Read phase of the same cycle still sees the old register values.
+  EXPECT_EQ(f.router(1).ps_in(Dir::West, 7), 0);
+  EXPECT_FALSE(f.router(1).spike_in(Dir::West, 7));
+  f.commit_cycle();
+  EXPECT_EQ(f.router(1).ps_in(Dir::West, 7), 1234);
+  EXPECT_TRUE(f.router(1).spike_in(Dir::West, 7));
+  // Plane isolation: neighboring planes untouched.
+  EXPECT_EQ(f.router(1).ps_in(Dir::West, 6), 0);
+  EXPECT_FALSE(f.router(1).spike_in(Dir::West, 8));
+}
+
+TEST(NocRouterTest, CommitAppliesStagedWritesInOrder) {
+  // Two same-cycle writes to one register are a schedule bug (the dry run
+  // rejects them), but the fabric's behavior is still defined: staging
+  // order wins, mirroring the pre-refactor simulator.
+  NocFabric f = grid_fabric(1, 2);
+  TrafficCounters tc = f.make_counters();
+  f.send_ps(0, Dir::East, 0, 11, tc);
+  f.send_ps(0, Dir::East, 0, 22, tc);
+  f.commit_cycle();
+  EXPECT_EQ(f.router(1).ps_in(Dir::West, 0), 22);
+}
+
+TEST(NocRouterTest, PsAdderSaturatesAtNocWidth) {
+  core::ArchParams arch;
+  arch.noc_bits = 8;  // [-128, 127]
+  arch.local_ps_bits = 7;
+  NocFabric f = grid_fabric(1, 2, arch);
+  TrafficCounters tc = f.make_counters();
+  f.send_ps(0, Dir::East, 3, 100, tc);
+  f.commit_cycle();
+  i64 sats = 0;
+  Router& r = f.router(1);
+  r.ps_sum(3, 60, Dir::West, arch.noc_bits, &sats);  // 160 > 127: clips
+  EXPECT_EQ(r.sum_buf(3), 127);
+  EXPECT_EQ(sats, 1);
+  r.ps_sum(3, -10, Dir::West, arch.noc_bits, &sats);  // 90: fits
+  EXPECT_EQ(r.sum_buf(3), 90);
+  EXPECT_EQ(sats, 1);
+}
+
+TEST(NocTrafficTest, PerLinkBitAndToggleCounters) {
+  const i32 noc_bits = core::ArchParams{}.noc_bits;
+  NocFabric f = grid_fabric(1, 2);
+  TrafficCounters tc = f.make_counters();
+  const LinkId east = f.link_id(0, Dir::East);
+  ASSERT_NE(east, kInvalidLink);
+
+  f.send_ps(0, Dir::East, 0, 0b1010, tc);  // from 0: 2 wire toggles
+  f.commit_cycle();
+  f.send_ps(0, Dir::East, 0, 0b1010, tc);  // same value: 0 toggles
+  f.commit_cycle();
+  f.send_ps(0, Dir::East, 0, 0b0101, tc);  // 4 toggles
+  f.commit_cycle();
+  EXPECT_EQ(tc.links[east].ps_flits, 3);
+  EXPECT_EQ(tc.links[east].ps_bits, 3 * noc_bits);
+  EXPECT_EQ(tc.links[east].ps_toggles, 6);
+
+  f.send_spike(0, Dir::East, 9, true, tc);
+  f.send_spike(0, Dir::East, 9, true, tc);   // no transition
+  f.send_spike(0, Dir::East, 9, false, tc);  // transition
+  EXPECT_EQ(tc.links[east].spike_flits, 3);
+  EXPECT_EQ(tc.links[east].spike_toggles, 2);
+
+  // Nothing moved westward.
+  const LinkId west = f.link_id(1, Dir::West);
+  EXPECT_TRUE(tc.links[west].idle());
+}
+
+TEST(NocTrafficTest, InterchipLinksAndAggregates) {
+  // 1x4 grid with 2-column chips: the (0,1)->(0,2) hop crosses chips.
+  core::ArchParams arch;
+  arch.chip_rows = 2;
+  arch.chip_cols = 2;
+  NocFabric f = grid_fabric(1, 4, arch);
+  int interchip = 0;
+  for (const Link& l : f.links()) interchip += l.interchip ? 1 : 0;
+  EXPECT_EQ(interchip, 2);  // east and west directions of the boundary hop
+
+  TrafficCounters tc = f.make_counters();
+  f.send_ps(0, Dir::East, 0, 5, tc);   // intra-chip
+  f.send_ps(1, Dir::East, 0, 5, tc);   // crosses the boundary
+  f.send_spike(2, Dir::West, 0, true, tc);  // crosses back
+  EXPECT_EQ(tc.interchip_ps_bits, arch.noc_bits);
+  EXPECT_EQ(tc.interchip_spike_bits, 1);
+}
+
+TEST(NocTrafficTest, CountersMerge) {
+  NocFabric f = grid_fabric(1, 2);
+  TrafficCounters a = f.make_counters(), b = f.make_counters();
+  f.send_ps(0, Dir::East, 0, 1, a);
+  f.commit_cycle();
+  f.send_ps(0, Dir::East, 0, 2, b);
+  f.commit_cycle();
+  TrafficCounters merged;  // starts empty: adopts the first operand
+  merged.merge(a);
+  merged.merge(b);
+  const LinkId east = f.link_id(0, Dir::East);
+  EXPECT_EQ(merged.links[east].ps_flits, 2);
+  EXPECT_EQ(merged.total_ps_bits(), a.total_ps_bits() + b.total_ps_bits());
+}
+
+TEST(NocDryRunTest, CleanScheduleAndPlaneMaskingPass) {
+  const NocFabric f = grid_fabric(1, 3);
+  std::vector<RouteOp> ops;
+  // Same cycle, same core, same block — but disjoint plane sets: legal
+  // (the 256 planes are physically independent networks).
+  ops.push_back({0, 0, PlaneMask::first_n(8), AtomicOp::ps_send(Dir::East, false)});
+  ops.push_back({0, 1, PlaneMask::first_n(8), AtomicOp::ps_sum(Dir::West, false)});
+  ops.push_back({1, 1, PlaneMask::first_n(8), AtomicOp::ps_send(Dir::East, true)});
+  EXPECT_TRUE(dry_run(f, ops).is_ok());
+}
+
+TEST(NocDryRunTest, SameCycleIssueConflictOnOverlappingPlanes) {
+  const NocFabric f = grid_fabric(1, 3);
+  std::vector<RouteOp> ops;
+  ops.push_back({4, 1, PlaneMask::first_n(8), AtomicOp::ps_sum(Dir::West, false)});
+  ops.push_back({4, 1, PlaneMask::single(3), AtomicOp::ps_send(Dir::East, true)});
+  const Status s = dry_run(f, ops);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("issue conflict"), std::string::npos);
+  // Disjoint planes on the same router: no conflict.
+  ops[1].mask = PlaneMask::single(9);
+  EXPECT_TRUE(dry_run(f, ops).is_ok());
+}
+
+TEST(NocDryRunTest, TwoWritersOfOneRegisterRejected) {
+  const NocFabric f = grid_fabric(1, 3);
+  // Cores 0 and 1 both SUM into core 1's... impossible from two cores; the
+  // realistic double-writer is one core issuing against one register twice
+  // in different *cycles* folded to one by a scheduler bug. Model it
+  // directly at the register level: two same-cycle SENDs from core 0 and a
+  // BYPASS from core 0 — the second op lands in the same ps.in[W] of core 1.
+  std::vector<RouteOp> ops;
+  ops.push_back({2, 0, PlaneMask::single(0), AtomicOp::ps_send(Dir::East, false)});
+  ops.push_back({2, 0, PlaneMask::single(0), AtomicOp::ps_bypass(Dir::West, Dir::East)});
+  const Status s = dry_run(f, ops);
+  ASSERT_FALSE(s.is_ok());  // caught as issue conflict first (same block)
+  // Spike recvs are exempt: axon delivery OR-accumulates.
+  std::vector<RouteOp> recvs;
+  recvs.push_back({2, 1, PlaneMask::single(0), AtomicOp::spk_recv(Dir::West, false)});
+  recvs.push_back({3, 1, PlaneMask::single(0), AtomicOp::spk_recv(Dir::East, false)});
+  EXPECT_TRUE(dry_run(f, recvs).is_ok());
+}
+
+TEST(NocDryRunTest, OffGridRouteIsStatusNotCrash) {
+  const NocFabric f = grid_fabric(1, 2);
+  std::vector<RouteOp> ops;
+  ops.push_back({0, 1, PlaneMask::single(0), AtomicOp::spk_send(Dir::East)});
+  const Status s = dry_run(f, ops);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("off-grid"), std::string::npos);
+}
+
+/// Maps a small dense model end to end (shared by the integration cases).
+struct Built {
+  snn::SnnNetwork net;
+  map::MappedNetwork mapped;
+  nn::Dataset data;
+};
+
+Built build_small(u64 seed = 3, i32 T = 6) {
+  nn::Model m({64}, "noc-int");
+  m.dense(64, 40);
+  m.relu();
+  m.dense(40, 10);
+  Rng rng(seed);
+  m.init_weights(rng);
+  nn::Dataset d;
+  d.sample_shape = {64};
+  d.num_classes = 10;
+  for (int i = 0; i < 2; ++i) {
+    Tensor x({64});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    d.images.push_back(std::move(x));
+    d.labels.push_back(0);
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = T;
+  Built b{snn::convert(m, d, cc), {}, {}};
+  b.mapped = map::map_network(b.net);
+  b.data = std::move(d);
+  return b;
+}
+
+TEST(NocMapperIntegration, ValidateRejectsSameCycleRegisterDoubleWrite) {
+  Built b = build_small();
+  ASSERT_FALSE(b.mapped.schedule.empty());
+  EXPECT_TRUE(map::check_routes(b.mapped).is_ok());
+  // Hand-build the corruption: duplicate a routing op at its own cycle, so
+  // two identical ops write the same router register in the same cycle.
+  map::MappedNetwork broken = b.mapped;
+  for (const map::TimedOp& op : b.mapped.schedule) {
+    if (core::block_of(op.op.code) != core::Block::NeuronCore) {
+      broken.schedule.push_back(op);
+      break;
+    }
+  }
+  ASSERT_EQ(broken.schedule.size(), b.mapped.schedule.size() + 1);
+  const Status s = map::check_routes(broken);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_THROW(map::validate(broken, b.net), InternalError);
+}
+
+TEST(NocMapperIntegration, SimTrafficMatchesStaticCensusPerTimestep) {
+  // The schedule replays identically every timestep, so measured per-link
+  // traffic divided by iterations must equal the static census — this is
+  // the contract estimate_measured() relies on.
+  Built b = build_small();
+  sim::Simulator sim(b.mapped, b.net);
+  sim::SimStats st;
+  sim.run_frame(b.data.images[0], &st);
+  sim.run_frame(b.data.images[1], &st);
+  ASSERT_GT(st.iterations, 0);
+
+  i64 send_flits = 0;  // PS values a timestep puts on the wires, per census
+  for (const map::TimedOp& op : b.mapped.schedule) {
+    if ((op.op.code == core::OpCode::PsSend && !op.op.eject) ||
+        op.op.code == core::OpCode::PsBypass) {
+      send_flits += op.mask.popcount();
+    }
+  }
+  i64 measured_flits = 0;
+  for (const auto& l : st.noc.links) measured_flits += l.ps_flits;
+  EXPECT_EQ(measured_flits, send_flits * st.iterations);
+
+  const TrafficReport rep =
+      TrafficReport::build(sim.fabric(), st.noc, st.cycles, st.iterations, "noc-int");
+  EXPECT_EQ(rep.total_ps_bits, measured_flits * b.mapped.arch.noc_bits);
+  EXPECT_EQ(rep.interchip_ps_bits, st.interchip_ps_bits());
+  EXPECT_GT(rep.active_links, 0u);
+  EXPECT_GT(rep.peak_utilization, 0.0);
+  EXPECT_LE(rep.mean_utilization, rep.peak_utilization + 1e-12);
+
+  // Report serializes; the heatmap covers the grid.
+  const json::Value doc = rep.to_json();
+  EXPECT_EQ(doc.at("summary").at("links_active").as_int(),
+            static_cast<i64>(rep.active_links));
+  const std::string heat = rep.ascii_heatmap();
+  EXPECT_EQ(heat.size(),
+            static_cast<usize>(rep.grid_rows) * static_cast<usize>(rep.grid_cols + 1));
+}
+
+TEST(NocMapperIntegration, MeasuredPowerMatchesStaticEstimate) {
+  // Multi-chip mapping: shrink the chip to force boundary crossings, then
+  // check estimate_measured (per-link, measured) == estimate (census).
+  nn::Model m({128}, "noc-chips");
+  m.dense(128, 96);
+  m.relu();
+  m.dense(96, 10);
+  Rng rng(11);
+  m.init_weights(rng);
+  nn::Dataset d;
+  d.sample_shape = {128};
+  d.num_classes = 10;
+  Tensor x({128});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  d.images.push_back(std::move(x));
+  d.labels.push_back(0);
+  snn::ConvertConfig cc;
+  cc.timesteps = 5;
+  const snn::SnnNetwork net = snn::convert(m, d, cc);
+  map::MapperConfig mc;
+  mc.arch.chip_rows = 1;
+  mc.arch.chip_cols = 1;  // one tile per chip: every hop crosses chips
+  const map::MappedNetwork mapped = map::map_network(net, mc);
+
+  sim::Simulator sim(mapped, net);
+  sim::SimStats st;
+  sim.run_frame(d.images[0], &st);
+  ASSERT_GT(st.interchip_ps_bits() + st.interchip_spike_bits(), 0);
+
+  const power::PowerReport from_census = power::estimate(mapped, 30.0);
+  const power::PowerReport from_traffic =
+      power::estimate_measured(mapped, 30.0, st.noc, st.iterations);
+  EXPECT_GT(from_traffic.interchip_w, 0.0);
+  EXPECT_DOUBLE_EQ(from_traffic.interchip_w, from_census.interchip_w);
+  EXPECT_DOUBLE_EQ(from_traffic.total_w, from_census.total_w);
+}
+
+}  // namespace
+}  // namespace sj::noc

@@ -198,8 +198,12 @@ TEST(SimStatsTest, CountersAreConsistent) {
   EXPECT_LT(act, 1.0);
   EXPECT_GT(sim.ldwt_neurons(), 0);
   // Single-chip system: no inter-chip traffic.
-  EXPECT_EQ(st.interchip_ps_bits, 0);
-  EXPECT_EQ(st.interchip_spike_bits, 0);
+  EXPECT_EQ(st.interchip_ps_bits(), 0);
+  EXPECT_EQ(st.interchip_spike_bits(), 0);
+  // Per-link accounting: something moved, and the roll-up agrees with the
+  // merged aggregate view.
+  EXPECT_FALSE(st.noc.empty());
+  EXPECT_GT(st.noc.total_ps_bits() + st.noc.total_spike_bits(), 0);
 
   SimStats merged;
   merged.merge(st);
