@@ -3,8 +3,19 @@
 // Measures simulated frames per second and host-cycles-per-simulated-cycle
 // for the MNIST networks — the practical budget that determines how many
 // frames the table benches can verify.
+//
+// Besides the google-benchmark tables, the harness times the Table-IV MNIST
+// MLP directly and writes the headline throughput (frames/s, simulated
+// cycles/s) to BENCH_sim.json via bench_util.h, so the perf trajectory of
+// the plane-parallel engine is machine-readable across PRs. SHENJING_FAST=1
+// shrinks the timed run.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+
+#include "bench_util.h"
+#include "harness/pipeline.h"
 #include "harness/zoo.h"
 #include "mapper/mapper.h"
 #include "nn/dataset.h"
@@ -34,10 +45,14 @@ Fixture make_fixture(bool cnn) {
   return f;
 }
 
+const Fixture& mlp_fixture() {
+  static const Fixture f = make_fixture(false);
+  return f;
+}
+
 void BM_SimulateFrame(benchmark::State& state) {
-  static const Fixture mlp = make_fixture(false);
   static const Fixture cnn = make_fixture(true);
-  const Fixture& f = state.range(0) == 0 ? mlp : cnn;
+  const Fixture& f = state.range(0) == 0 ? mlp_fixture() : cnn;
   sim::Simulator sim(f.mapped, f.net);
   sim::SimStats st;
   usize i = 0;
@@ -51,8 +66,64 @@ void BM_SimulateFrame(benchmark::State& state) {
       static_cast<double>(st.frames), benchmark::Counter::kIsRate);
 }
 
+/// Timed throughput run on the Table-IV MLP: at least `min_frames` frames
+/// and at least ~0.5 s of wall time (FAST mode settles for less), recorded
+/// to BENCH_sim.json.
+void record_throughput() {
+  const Fixture& f = mlp_fixture();
+  sim::Simulator sim(f.mapped, f.net);
+  sim::SimStats st;
+  const int min_frames = harness::fast_mode() ? 8 : 64;
+  const double min_seconds = harness::fast_mode() ? 0.05 : 0.5;
+  const auto t0 = std::chrono::steady_clock::now();
+  double seconds = 0.0;
+  usize i = 0;
+  do {
+    sim.run_frame(f.data.images[i % f.data.size()], &st);
+    ++i;
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  } while (static_cast<int>(i) < min_frames || seconds < min_seconds);
+
+  const double fps = static_cast<double>(st.frames) / seconds;
+  const double cps = static_cast<double>(st.cycles) / seconds;
+  std::printf("\nTable-IV MNIST MLP throughput: %.1f frames/s, %.3g sim cycles/s "
+              "(%lld frames in %.2f s)\n",
+              fps, cps, static_cast<long long>(st.frames), seconds);
+
+  json::Value doc;
+  doc.set("network", "mnist-mlp-table4");
+  doc.set("timesteps", static_cast<i64>(f.mapped.timesteps));
+  doc.set("cores", f.mapped.num_cores());
+  doc.set("cycles_per_timestep", static_cast<i64>(f.mapped.cycles_per_timestep));
+  doc.set("frames", st.frames);
+  doc.set("sim_cycles", static_cast<i64>(st.cycles));
+  doc.set("seconds", seconds);
+  doc.set("frames_per_sec", fps);
+  doc.set("sim_cycles_per_sec", cps);
+  doc.set("fast_mode", harness::fast_mode());
+  bench::write_bench_json("sim", std::move(doc));
+}
+
 }  // namespace
 
 BENCHMARK(BM_SimulateFrame)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // List/filter invocations are benchmark-introspection only: skip the
+  // timed BENCH_sim.json recording (it simulates for ~0.5 s and writes
+  // into the cwd).
+  bool introspection = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmark_list_tests", 0) == 0 ||
+        arg.rfind("--benchmark_filter", 0) == 0) {
+      introspection = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!introspection) record_throughput();
+  return 0;
+}

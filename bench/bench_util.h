@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "json/json.h"
 #include "noc/traffic.h"
 
 namespace sj::bench {
@@ -28,6 +29,17 @@ inline void print_table(const std::vector<std::vector<std::string>>& rows) {
 inline std::string pct(double v) { return strprintf("%.2f%%", v * 100.0); }
 inline std::string num(double v, int digits = 3) { return fmt_fixed(v, digits); }
 inline std::string na() { return "n.a."; }
+
+/// Writes a machine-readable bench record to `BENCH_<tag>.json` in the
+/// current directory (pretty-printed, stable key order), so CI can archive
+/// the perf trajectory across PRs. `doc` should carry the bench's headline
+/// numbers; the helper stamps the bench name in.
+inline void write_bench_json(const std::string& tag, json::Value doc) {
+  doc.set("bench", "BENCH_" + tag);
+  const std::string path = "BENCH_" + tag + ".json";
+  json::write_file(path, doc);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 /// One-line NoC traffic summary (per-link accounting rolled up), printed by
 /// the app-level benches next to their power numbers.

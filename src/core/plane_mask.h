@@ -26,11 +26,16 @@ struct PlaneMask {
     m.w = {~u64{0}, ~u64{0}, ~u64{0}, ~u64{0}};
     return m;
   }
-  /// Mask of planes [0, n).
+  /// Mask of planes [0, n). Fills whole 64-bit words; the straddled word
+  /// gets a low-bit run.
   static PlaneMask first_n(int n) {
     SJ_REQUIRE(n >= 0 && n <= kPlanes, "PlaneMask: n out of range");
     PlaneMask m;
-    for (int i = 0; i < n; ++i) m.set(static_cast<u16>(i));
+    for (int wi = 0; wi < 4; ++wi) {
+      const int lo = wi * 64;
+      if (n >= lo + 64) m.w[static_cast<usize>(wi)] = ~u64{0};
+      else if (n > lo) m.w[static_cast<usize>(wi)] = (u64{1} << (n - lo)) - 1;
+    }
     return m;
   }
   static PlaneMask single(u16 plane) {
@@ -68,6 +73,15 @@ struct PlaneMask {
   PlaneMask& operator|=(const PlaneMask& o) {
     for (int i = 0; i < 4; ++i) w[static_cast<usize>(i)] |= o.w[static_cast<usize>(i)];
     return *this;
+  }
+  PlaneMask& operator&=(const PlaneMask& o) {
+    for (int i = 0; i < 4; ++i) w[static_cast<usize>(i)] &= o.w[static_cast<usize>(i)];
+    return *this;
+  }
+  PlaneMask operator~() const {
+    PlaneMask m;
+    for (int i = 0; i < 4; ++i) m.w[static_cast<usize>(i)] = ~w[static_cast<usize>(i)];
+    return m;
   }
 
   /// Calls fn(plane) for each set plane in increasing order.

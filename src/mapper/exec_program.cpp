@@ -1,0 +1,75 @@
+#include "mapper/exec_program.h"
+
+#include "common/string_util.h"
+
+namespace sj::map {
+
+namespace {
+
+/// True for ops that put a value on an outgoing link (and therefore need a
+/// pre-resolved LinkId). PsSend only when not ejecting to the local spiking
+/// logic.
+bool needs_link(const core::AtomicOp& op) {
+  switch (op.code) {
+    case core::OpCode::PsSend:
+      return !op.eject;
+    case core::OpCode::PsBypass:
+    case core::OpCode::SpkSend:
+    case core::OpCode::SpkBypass:
+    case core::OpCode::SpkRecvForward:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ExecProgram lower_program(const MappedNetwork& m, const noc::NocFabric& fabric) {
+  SJ_REQUIRE(m.cores.size() == fabric.num_cores(),
+             "lower_program: fabric does not match the mapping");
+  ExecProgram p;
+  p.ops.reserve(m.schedule.size());
+
+  u32 group_cycle = 0;
+  u32 group_begin = 0;
+  bool open = false;
+  for (const TimedOp& top : m.schedule) {
+    SJ_REQUIRE(p.ops.empty() || top.cycle >= group_cycle,
+               "lower_program: schedule not sorted by cycle");
+    if (open && top.cycle != group_cycle) {
+      p.cycles.push_back({group_begin, static_cast<u32>(p.ops.size())});
+      open = false;
+    }
+    if (!open) {
+      group_cycle = top.cycle;
+      group_begin = static_cast<u32>(p.ops.size());
+      open = true;
+    }
+
+    ExecOp e;
+    e.code = top.op.code;
+    e.src = top.op.src;
+    e.consec = top.op.consec;
+    e.from_sum_buf = top.op.from_sum_buf;
+    e.eject = top.op.eject;
+    e.sum_or_local = top.op.sum_or_local;
+    e.hold = top.op.hold;
+    e.energy_op = static_cast<u8>(core::energy_op_of(top.op.code));
+    e.core = top.core;
+    e.mask = top.mask.w;
+    e.mask_pop = top.mask.popcount();
+    if (needs_link(top.op)) {
+      e.link = fabric.link_id(top.core, top.op.dst);
+      SJ_ASSERT(e.link != noc::kInvalidLink,
+                strprintf("lower_program: core %u routes %s off the grid edge "
+                          "at cycle %u",
+                          top.core, dir_name(top.op.dst), top.cycle));
+    }
+    p.ops.push_back(e);
+  }
+  if (open) p.cycles.push_back({group_begin, static_cast<u32>(p.ops.size())});
+  return p;
+}
+
+}  // namespace sj::map

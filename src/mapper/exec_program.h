@@ -1,0 +1,69 @@
+// ExecProgram: the compiled schedule lowered into the dense, cache-linear
+// form the plane-parallel execution engine consumes.
+//
+// The mapper's TimedOp schedule is the *architectural* program — small ops
+// referencing cores by index and ports by direction, replayed every
+// timestep. Executing it fast requires resolving everything resolvable
+// once: the outgoing LinkId of every send/bypass/forward hop, the energy
+// table row each op charges, and the plane-mask popcount that scales its
+// census contribution. ExecOp carries all of that inline (including the four
+// 64-bit mask words), so the simulator's hot loop walks one flat array with
+// no pointer chasing and no per-op hash or grid lookups — the software
+// analogue of the configuration memory's pre-decoded control words.
+//
+// Lowering is deterministic and order-preserving: ops appear in schedule
+// order, grouped into [begin, end) ranges per *non-empty* cycle (the fabric
+// commit between groups is what gives cycles their meaning; empty cycles
+// need no commit because there is nothing staged to land and nothing that
+// reads in between).
+//
+// The power model's OpCensus derives its per-op counts and inter-chip bit
+// census from the same lowered stream, so execution statistics and static
+// estimates cannot drift apart.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/isa.h"
+#include "mapper/program.h"
+#include "noc/fabric.h"
+
+namespace sj::map {
+
+/// One lowered atomic operation. Fixed-size, trivially copyable; the mask
+/// words live inline so a kernel touches exactly one cache-resident struct.
+struct ExecOp {
+  core::OpCode code = core::OpCode::Acc;
+  Dir src = Dir::North;        // $SRC port, where applicable
+  // No dst port: every $DST operand is pre-resolved into `link` below.
+  bool consec = false;         // PsSum: OP1 = previous sum instead of local PS
+  bool from_sum_buf = false;   // PsSend: send sum_buf instead of local PS
+  bool eject = false;          // PsSend: out_sel = eject to spiking logic
+  bool sum_or_local = false;   // SpkSpike: potential += ejected sum / local PS
+  bool hold = false;           // SpkRecv*: delay axon visibility one timestep
+  u8 energy_op = 0;            // core::EnergyOp row the op charges
+  u32 core = 0;                // tile index (router + core state)
+  noc::LinkId link = noc::kInvalidLink;  // outgoing link of send/bypass/forward
+  i32 mask_pop = 0;            // popcount of mask (census weight)
+  std::array<u64, 4> mask{};   // plane-mask words, inline
+};
+
+/// Ops issued in one schedule cycle: [begin, end) into ExecProgram::ops.
+struct ExecCycle {
+  u32 begin = 0;
+  u32 end = 0;
+};
+
+/// The lowered program: one flat op array plus per-cycle ranges.
+struct ExecProgram {
+  std::vector<ExecOp> ops;        // cycle-major, schedule order preserved
+  std::vector<ExecCycle> cycles;  // non-empty cycles only, ascending
+};
+
+/// Lowers `m.schedule` against `fabric` (which must be the fabric built from
+/// `m`, see make_fabric). Throws InternalError on an off-grid route — the
+/// same condition check_routes() reports as a Status.
+ExecProgram lower_program(const MappedNetwork& m, const noc::NocFabric& fabric);
+
+}  // namespace sj::map

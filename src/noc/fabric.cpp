@@ -86,51 +86,115 @@ u32 NocFabric::neighbor_checked(u32 core, Dir d) const {
   return nb;
 }
 
+namespace {
+
+inline int popcount_words(const Router::Words& w) {
+  return std::popcount(w[0]) + std::popcount(w[1]) + std::popcount(w[2]) +
+         std::popcount(w[3]);
+}
+
+inline Router::Words single_plane(u16 plane) {
+  Router::Words m{};
+  m[plane >> 6] = u64{1} << (plane & 63);
+  return m;
+}
+
+}  // namespace
+
 void NocFabric::send_ps(u32 src, Dir d, u16 plane, i16 value, TrafficCounters& tc) {
   const LinkId lid = link_id(src, d);
   SJ_ASSERT(lid != kInvalidLink, "noc: PS send off grid edge");
-  const Link& ln = links_[lid];
-  ps_staged_.push_back(PsWrite{ln.dst, opposite(d), plane, value});
-
-  tc.ensure(links_.size());
-  LinkTraffic& t = tc.links[lid];
-  ++t.ps_flits;
-  t.ps_bits += noc_bits_;
-  if (ln.interchip) tc.interchip_ps_bits += noc_bits_;
-  if (track_toggles_) {
-    i16& last = ps_last_[lid][plane];
-    const u16 wire_mask = static_cast<u16>((u32{1} << noc_bits_) - 1);
-    t.ps_toggles += std::popcount(
-        static_cast<u32>((static_cast<u16>(last) ^ static_cast<u16>(value)) & wire_mask));
-    last = value;
-  }
+  std::array<i16, Router::kPlanes> values;
+  values[plane] = value;  // only the masked plane is read
+  send_ps_masked(lid, single_plane(plane), values.data(), tc);
 }
 
 void NocFabric::send_spike(u32 src, Dir d, u16 plane, bool value, TrafficCounters& tc) {
   const LinkId lid = link_id(src, d);
   SJ_ASSERT(lid != kInvalidLink, "noc: spike send off grid edge");
+  Router::Words bits{};
+  if (value) bits[plane >> 6] = u64{1} << (plane & 63);
+  send_spike_masked(lid, single_plane(plane), bits, tc);
+}
+
+void NocFabric::send_ps_masked(LinkId lid, const Router::Words& mask,
+                               const i16* values, TrafficCounters& tc) {
+  SJ_ASSERT(lid != kInvalidLink, "noc: PS send off grid edge");
+  const int pop = popcount_words(mask);
+  if (pop == 0) return;
   const Link& ln = links_[lid];
-  spk_staged_.push_back(SpkWrite{ln.dst, opposite(d), plane, value});
+
+  PsWrite& w = ps_staged_.emplace_back();
+  w.core = ln.dst;
+  w.port = opposite(ln.dir);
+  w.mask = mask;
+  Router::masked_copy(mask, values, w.values.data());
 
   tc.ensure(links_.size());
   LinkTraffic& t = tc.links[lid];
-  ++t.spike_flits;
-  if (ln.interchip) ++tc.interchip_spike_bits;
+  t.ps_flits += pop;
+  t.ps_bits += static_cast<i64>(pop) * noc_bits_;
+  if (ln.interchip) tc.interchip_ps_bits += static_cast<i64>(pop) * noc_bits_;
   if (track_toggles_) {
-    auto& last = spk_last_[lid];
-    if (Router::bit_get(last, plane) != value) {
-      ++t.spike_toggles;
-      Router::bit_set(last, plane, value);
+    std::vector<i16>& last = ps_last_[lid];
+    const u16 wire_mask = static_cast<u16>((u32{1} << noc_bits_) - 1);
+    i64 toggles = 0;
+    Router::for_each_masked_strip(mask, [&](int p) {
+      toggles += std::popcount(static_cast<u32>(
+          (static_cast<u16>(last[static_cast<usize>(p)]) ^
+           static_cast<u16>(values[p])) & wire_mask));
+      last[static_cast<usize>(p)] = values[p];
+    });
+    t.ps_toggles += toggles;
+  }
+}
+
+void NocFabric::send_spike_masked(LinkId lid, const Router::Words& mask,
+                                  const Router::Words& bits, TrafficCounters& tc) {
+  SJ_ASSERT(lid != kInvalidLink, "noc: spike send off grid edge");
+  const int pop = popcount_words(mask);
+  if (pop == 0) return;
+  const Link& ln = links_[lid];
+
+  SpkWrite& w = spk_staged_.emplace_back();
+  w.core = ln.dst;
+  w.port = opposite(ln.dir);
+  w.mask = mask;
+  for (int wi = 0; wi < Router::kWords; ++wi) {
+    w.bits[static_cast<usize>(wi)] =
+        bits[static_cast<usize>(wi)] & mask[static_cast<usize>(wi)];
+  }
+
+  tc.ensure(links_.size());
+  LinkTraffic& t = tc.links[lid];
+  t.spike_flits += pop;
+  if (ln.interchip) tc.interchip_spike_bits += pop;
+  if (track_toggles_) {
+    Router::Words& last = spk_last_[lid];
+    i64 toggles = 0;
+    for (int wi = 0; wi < Router::kWords; ++wi) {
+      const u64 m = mask[static_cast<usize>(wi)];
+      if (m == 0) continue;
+      const u64 diff = (last[static_cast<usize>(wi)] ^ bits[static_cast<usize>(wi)]) & m;
+      toggles += std::popcount(diff);
+      last[static_cast<usize>(wi)] =
+          (last[static_cast<usize>(wi)] & ~m) | (bits[static_cast<usize>(wi)] & m);
     }
+    t.spike_toggles += toggles;
   }
 }
 
 void NocFabric::commit_cycle() {
   for (const PsWrite& w : ps_staged_) {
-    routers_[w.core].set_ps_in(w.port, w.plane, w.value);
+    Router::masked_copy(w.mask, w.values.data(), routers_[w.core].ps_in_data(w.port));
   }
   for (const SpkWrite& w : spk_staged_) {
-    routers_[w.core].set_spike_in(w.port, w.plane, w.value);
+    Router::Words& reg = routers_[w.core].spk_in_words(w.port);
+    for (int wi = 0; wi < Router::kWords; ++wi) {
+      const u64 m = w.mask[static_cast<usize>(wi)];
+      reg[static_cast<usize>(wi)] =
+          (reg[static_cast<usize>(wi)] & ~m) | w.bits[static_cast<usize>(wi)];
+    }
   }
   ps_staged_.clear();
   spk_staged_.clear();
@@ -143,6 +207,19 @@ void NocFabric::reset() {
   if (track_toggles_) {
     for (auto& v : ps_last_) std::fill(v.begin(), v.end(), i16{0});
     for (auto& w : spk_last_) w = {};
+  }
+}
+
+void NocFabric::reset_subset(const std::vector<u32>& cores,
+                             const std::vector<LinkId>& links) {
+  for (const u32 c : cores) routers_[c].reset();
+  ps_staged_.clear();
+  spk_staged_.clear();
+  if (track_toggles_) {
+    for (const LinkId lid : links) {
+      std::fill(ps_last_[lid].begin(), ps_last_[lid].end(), i16{0});
+      spk_last_[lid] = {};
+    }
   }
 }
 

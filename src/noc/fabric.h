@@ -12,6 +12,14 @@
 // Traffic is charged to TrafficCounters at send time: payload bits, flits,
 // wire toggles (Hamming distance against the previous value on the same
 // plane-wire) and the inter-chip aggregates the power model consumes.
+//
+// Movement has two granularities. The plane-parallel engine stages a whole
+// 256-plane mask per call (`send_ps_masked`/`send_spike_masked`, keyed by a
+// pre-resolved LinkId) and charges flit/bit counters with one popcount and
+// spike toggles with whole-word Hamming weights. The scalar per-plane
+// `send_ps`/`send_spike` wrappers stage a single-plane mask through the same
+// path, so staging order — and therefore commit order — is shared between
+// the two granularities.
 #pragma once
 
 #include <vector>
@@ -71,12 +79,33 @@ class NocFabric {
   void send_ps(u32 src, Dir d, u16 plane, i16 value, TrafficCounters& tc);
   /// Same for a 1-bit spike.
   void send_spike(u32 src, Dir d, u16 plane, bool value, TrafficCounters& tc);
+
+  /// Bulk form: stages `values[p]` for every plane `p` in `mask` onto link
+  /// `lid` in one call (the plane-parallel engine pre-resolves the LinkId at
+  /// program lowering). `values` must cover every masked strip; a snapshot
+  /// is taken, so the source register may change before commit_cycle().
+  /// Charges pop(mask) flits in one step. No-op for an empty mask.
+  void send_ps_masked(LinkId lid, const Router::Words& mask, const i16* values,
+                      TrafficCounters& tc);
+  /// Bulk spike form: the payload is the bit-packed word group `bits`
+  /// (masked down internally); toggle accounting is whole-word Hamming
+  /// weight against the wire's previous word group.
+  void send_spike_masked(LinkId lid, const Router::Words& mask,
+                         const Router::Words& bits, TrafficCounters& tc);
+
   /// Applies all staged writes in staging order (end of cycle).
   void commit_cycle();
 
   /// Zeroes router registers, staged writes, and toggle-tracking state
   /// (frame boundary). Does not touch any TrafficCounters.
   void reset();
+
+  /// Selective frame-boundary reset: zeroes only the listed routers and the
+  /// toggle history of the listed links (plus any staged writes).
+  /// Equivalent to reset() when the lists cover every router and link the
+  /// run could have written — e.g. the cores and links referenced by a
+  /// lowered ExecProgram. Duplicate-free lists are the caller's job.
+  void reset_subset(const std::vector<u32>& cores, const std::vector<LinkId>& links);
 
   /// A counter table pre-sized to this fabric.
   TrafficCounters make_counters() const {
@@ -86,17 +115,22 @@ class NocFabric {
   }
 
  private:
+  // Staged masked writes; scalar sends stage a single-plane mask. The
+  // user-provided empty constructors keep emplace_back from value-zeroing
+  // the 512-byte payload that masked_copy overwrites anyway.
   struct PsWrite {
+    PsWrite() {}
     u32 core;
     Dir port;
-    u16 plane;
-    i16 value;
+    Router::Words mask;
+    std::array<i16, Router::kPlanes> values;  // masked planes valid
   };
   struct SpkWrite {
+    SpkWrite() {}
     u32 core;
     Dir port;
-    u16 plane;
-    bool value;
+    Router::Words mask;
+    Router::Words bits;  // pre-masked payload
   };
 
   i32 grid_rows_, grid_cols_;
@@ -109,7 +143,7 @@ class NocFabric {
   std::vector<Link> links_;
   // Previous value on each plane-wire, for toggle accounting.
   std::vector<std::vector<i16>> ps_last_;          // [link][plane]
-  std::vector<std::array<u64, 4>> spk_last_;       // [link], bit-packed
+  std::vector<Router::Words> spk_last_;            // [link], bit-packed
   std::vector<PsWrite> ps_staged_;
   std::vector<SpkWrite> spk_staged_;
 };

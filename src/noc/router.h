@@ -7,6 +7,14 @@
 //                 (out_sel = eject register feeding the spiking logic)
 //   Spike router: in[N/S/E/W] (1-bit), spike_out (local injection register
 //                 written by SPIKE)
+// Storage is struct-of-arrays and word-addressable: every 16-bit register
+// file is one contiguous `i16[256]` array (vectorizable 64-plane strips),
+// every 1-bit register file is one `u64[4]` word group operated on with
+// whole-word AND/OR/shift kernels. The hardware executes the same compiled
+// op across all 256 planes of a tile in lockstep, so the word-level layout
+// is the faithful one — the scalar per-plane accessors below it are the
+// convenience view, not the other way around.
+//
 // Two-phase cycle semantics (read-then-write) are owned by NocFabric: port
 // input registers are only written at commit_cycle(), while the same-tile
 // registers (sum_buf / eject / spike_out) update immediately — the schedule
@@ -15,7 +23,8 @@
 #pragma once
 
 #include <array>
-#include <vector>
+#include <bit>
+#include <cstring>
 
 #include "common/fixed.h"
 #include "common/types.h"
@@ -25,11 +34,30 @@ namespace sj::noc {
 class Router {
  public:
   static constexpr int kPlanes = 256;
+  static constexpr int kWords = 4;  // kPlanes / 64 bit-packed words
 
-  Router() {
-    for (auto& v : ps_in_) v.assign(kPlanes, 0);
-    sum_buf_.assign(kPlanes, 0);
-    eject_.assign(kPlanes, 0);
+  using Words = std::array<u64, kWords>;       // one 1-bit register file
+  using PsRegs = std::array<i16, kPlanes>;     // one 16-bit register file
+
+  /// Calls fn(plane) for each set plane of `mask`, strip-wise: an all-ones
+  /// word runs a contiguous 64-lane loop (the compiler vectorizes the
+  /// inlined body), a partial word walks its set bits. The shared skeleton
+  /// of every word-level kernel that needs per-plane values.
+  template <typename Fn>
+  static void for_each_masked_strip(const Words& mask, Fn&& fn) {
+    for (int wi = 0; wi < kWords; ++wi) {
+      u64 word = mask[static_cast<usize>(wi)];
+      if (word == 0) continue;
+      const int base = wi * 64;
+      if (word == ~u64{0}) {
+        for (int l = 0; l < 64; ++l) fn(base + l);
+      } else {
+        while (word != 0) {
+          fn(base + std::countr_zero(word));
+          word &= word - 1;
+        }
+      }
+    }
   }
 
   // --- partial-sum plane ---------------------------------------------------
@@ -42,6 +70,39 @@ class Router {
   i16 sum_buf(u16 plane) const { return sum_buf_[plane]; }
   i16 eject(u16 plane) const { return eject_[plane]; }
   void set_eject(u16 plane, i16 v) { eject_[plane] = v; }
+
+  // Word-level views (contiguous 256-plane arrays) for the plane-parallel
+  // execution kernels.
+  const i16* ps_in_data(Dir port) const { return ps_in_[static_cast<usize>(port)].data(); }
+  i16* ps_in_data(Dir port) { return ps_in_[static_cast<usize>(port)].data(); }
+  const i16* sum_buf_data() const { return sum_buf_.data(); }
+  i16* sum_buf_data() { return sum_buf_.data(); }
+  const i16* eject_data() const { return eject_.data(); }
+  i16* eject_data() { return eject_.data(); }
+
+  /// dst[p] = src[p] for every plane in `mask`, 64-plane strips at a time
+  /// (full words are straight memcpy). Unmasked planes are untouched.
+  static void masked_copy(const Words& mask, const i16* src, i16* dst) {
+    for (int wi = 0; wi < kWords; ++wi) {
+      u64 word = mask[static_cast<usize>(wi)];
+      if (word == 0) continue;
+      const int base = wi * 64;
+      if (word == ~u64{0}) {
+        std::memcpy(dst + base, src + base, 64 * sizeof(i16));
+      } else {
+        while (word != 0) {
+          const int p = base + std::countr_zero(word);
+          word &= word - 1;
+          dst[p] = src[p];
+        }
+      }
+    }
+  }
+
+  /// Masked copy into the eject registers (PS_SEND with out_sel = eject).
+  void set_eject_masked(const Words& mask, const i16* src) {
+    masked_copy(mask, src, eject_.data());
+  }
 
   /// The in-router adder (SUM $SRC, $CONSEC): sum_buf = op1 + in[src],
   /// saturating at the NoC width. `op1` is the previous sum (consecutive
@@ -65,32 +126,38 @@ class Router {
   bool spike_out(u16 plane) const { return bit_get(spike_out_, plane); }
   void set_spike_out(u16 plane, bool v) { bit_set(spike_out_, plane, v); }
 
+  // Whole-word views of the 1-bit register files.
+  const Words& spk_in_words(Dir port) const { return spk_in_[static_cast<usize>(port)]; }
+  Words& spk_in_words(Dir port) { return spk_in_[static_cast<usize>(port)]; }
+  const Words& spike_out_words() const { return spike_out_; }
+  Words& spike_out_words() { return spike_out_; }
+
   /// Zeroes every register (frame boundary).
   void reset() {
-    for (auto& v : ps_in_) std::fill(v.begin(), v.end(), i16{0});
-    std::fill(sum_buf_.begin(), sum_buf_.end(), i16{0});
-    std::fill(eject_.begin(), eject_.end(), i16{0});
+    for (auto& v : ps_in_) v.fill(0);
+    sum_buf_.fill(0);
+    eject_.fill(0);
     for (auto& w : spk_in_) w = {};
     spike_out_ = {};
   }
 
   // 256-bit register helpers (shared with callers that keep bit-packed
   // per-plane state, e.g. the simulator's axon registers).
-  static bool bit_get(const std::array<u64, 4>& w, u16 p) {
+  static bool bit_get(const Words& w, u16 p) {
     return (w[p >> 6] >> (p & 63)) & 1u;
   }
-  static void bit_set(std::array<u64, 4>& w, u16 p, bool v) {
+  static void bit_set(Words& w, u16 p, bool v) {
     const u64 m = u64{1} << (p & 63);
     if (v) w[p >> 6] |= m;
     else w[p >> 6] &= ~m;
   }
 
  private:
-  std::array<std::vector<i16>, 4> ps_in_;  // per input port, per plane
-  std::vector<i16> sum_buf_;
-  std::vector<i16> eject_;
-  std::array<std::array<u64, 4>, 4> spk_in_{};  // per input port, bit-packed
-  std::array<u64, 4> spike_out_{};
+  std::array<PsRegs, 4> ps_in_{};  // per input port, per plane
+  PsRegs sum_buf_{};
+  PsRegs eject_{};
+  std::array<Words, 4> spk_in_{};  // per input port, bit-packed
+  Words spike_out_{};
 };
 
 }  // namespace sj::noc

@@ -1,5 +1,7 @@
 #include "power/power.h"
 
+#include "mapper/exec_program.h"
+
 namespace sj::power {
 
 using core::EnergyOp;
@@ -29,32 +31,30 @@ double EnergyTable::active_power_at_ref(EnergyOp op) const {
 
 OpCensus OpCensus::from(const map::MappedNetwork& m) {
   OpCensus c;
-  // Inter-chip crossings are a static property of the placement + routes:
-  // resolve each send's hop against the NoC fabric and charge the bits to
-  // the link when its endpoints lie on different chips.
+  // The census walks the same lowered ExecProgram the plane-parallel
+  // simulator executes: per-op energy rows and plane popcounts come
+  // precomputed, and inter-chip crossings read the op's pre-resolved link —
+  // so the static estimate and the measured execution statistics are
+  // derived from one structure and cannot drift apart.
   noc::FabricOptions fo;
   fo.track_toggles = false;  // no data moves in a census
   const noc::NocFabric fabric = map::make_fabric(m, fo);
-  const auto crosses_chip = [&](const map::TimedOp& op) {
-    const noc::LinkId lid = fabric.link_id(op.core, op.op.dst);
-    SJ_ASSERT(lid != noc::kInvalidLink, "census: route off grid edge");
-    return fabric.link(lid).interchip;
-  };
-  for (const auto& op : m.schedule) {
-    const int idx = static_cast<int>(core::energy_op_of(op.op.code));
-    const i64 n = op.mask.popcount();
-    c.op_neurons[static_cast<usize>(idx)] += n;
-    switch (op.op.code) {
+  const map::ExecProgram prog = map::lower_program(m, fabric);
+  for (const map::ExecOp& op : prog.ops) {
+    const i64 n = op.mask_pop;
+    c.op_neurons[op.energy_op] += n;
+    // Ops without a lowered link (compute, ejects, receives) move nothing
+    // between tiles; PS ops charge noc_bits wires per plane, spike ops one.
+    if (op.link == noc::kInvalidLink || !fabric.link(op.link).interchip) continue;
+    switch (op.code) {
       case core::OpCode::PsSend:
-        if (!op.op.eject && crosses_chip(op)) c.interchip_ps_bits += n * m.arch.noc_bits;
-        break;
       case core::OpCode::PsBypass:
-        if (crosses_chip(op)) c.interchip_ps_bits += n * m.arch.noc_bits;
+        c.interchip_ps_bits += n * m.arch.noc_bits;
         break;
       case core::OpCode::SpkSend:
       case core::OpCode::SpkBypass:
       case core::OpCode::SpkRecvForward:
-        if (crosses_chip(op)) c.interchip_spike_bits += n;
+        c.interchip_spike_bits += n;
         break;
       default: break;
     }

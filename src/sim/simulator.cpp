@@ -9,13 +9,19 @@ namespace sj::sim {
 
 namespace {
 
-// Bit helpers for the neuron core's bit-packed axon registers; one
+// Bit helper for the neuron core's bit-packed axon registers; one
 // implementation shared with the router registers (noc/router.h).
-inline bool bit_get(const std::array<u64, 4>& w, u16 p) {
-  return noc::Router::bit_get(w, p);
-}
 inline void bit_set(std::array<u64, 4>& w, u16 p, bool v) {
   noc::Router::bit_set(w, p, v);
+}
+
+// Saturating clamp with exact overflow counting: identical result and
+// saturation tally to common/fixed.h's saturating_add, but branchless so the
+// per-word kernels below stay straight-line code.
+inline i64 clamp_count(i64 v, i64 lo, i64 hi, i64& sat) {
+  const i64 c = v < lo ? lo : (v > hi ? hi : v);
+  sat += (c != v);
+  return c;
 }
 
 }  // namespace
@@ -33,29 +39,80 @@ void SimStats::merge(const SimStats& o) {
 }
 
 Simulator::Simulator(const MappedNetwork& mapped, const snn::SnnNetwork& net)
-    : mapped_(&mapped), net_(&net), fabric_(map::make_fabric(mapped)) {
-  const usize n = mapped.cores.size();
-  state_.resize(n);
-  for (auto& cs : state_) {
-    cs.local_ps.assign(256, 0);
-    cs.potential.assign(256, 0);
+    : mapped_(&mapped),
+      net_(&net),
+      fabric_(map::make_fabric(mapped)),
+      prog_(map::lower_program(mapped, fabric_)) {
+  state_.resize(mapped.cores.size());
+
+  // Precompile dense weight rows where they pay off. FC cores have ~fully
+  // dense synapse rows, so the ACC gather becomes one contiguous 256-lane
+  // add per spiking axon (adding the explicit zeros is exact — integer adds
+  // of 0 change nothing). Conv cores keep the CSR walk: their rows hold
+  // k*k*cin taps, far below the ~64-tap break-even of a full-width add.
+  dense_w_.resize(mapped.cores.size());
+  for (usize c = 0; c < mapped.cores.size(); ++c) {
+    const map::MappedCore& mc = mapped.cores[c];
+    const i64 axons = mc.axon_mask.popcount();
+    if (axons == 0) continue;
+    const i64 taps = static_cast<i64>(mc.weights.taps.size());
+    if (taps < axons * 64) continue;
+    auto& dw = dense_w_[c];
+    dw.assign(static_cast<usize>(256) * 256, 0);
+    // Fold in i32: duplicate taps to one (axon, plane) sum exactly as the
+    // CSR walk would. If the folded row value cannot round-trip through the
+    // i16 lane (possible only with duplicates), densifying would change
+    // results — keep that core on the CSR path instead.
+    bool fits = true;
+    mc.axon_mask.for_each([&](u16 a) {
+      const auto [lo, hi] = mc.weights.row(a);
+      std::array<i32, 256> row{};
+      for (u32 t = lo; t < hi; ++t) row[mc.weights.taps[t].first] += mc.weights.taps[t].second;
+      i16* out = dw.data() + static_cast<usize>(a) * 256;
+      for (int j = 0; j < 256; ++j) {
+        fits = fits && fits_signed(row[static_cast<usize>(j)], 16);
+        out[j] = static_cast<i16>(row[static_cast<usize>(j)]);
+      }
+    });
+    if (!fits) dw.clear();
   }
-  // Group schedule by cycle (schedule is sorted).
-  by_cycle_.assign(mapped.cycles_per_timestep, {});
-  for (const auto& op : mapped.schedule) {
-    by_cycle_[op.cycle].push_back(&op);
+
+  // Touch sets: which routers, links and core states the program can write.
+  // Everything else is filler pass-through that stays zero for the whole
+  // run, so frame resets and axon rotation skip it.
+  std::vector<bool> router_touched(mapped.cores.size(), false);
+  std::vector<bool> core_active(mapped.cores.size(), false);
+  std::vector<bool> link_touched(fabric_.num_links(), false);
+  for (const map::ExecOp& op : prog_.ops) {
+    router_touched[op.core] = true;
+    core_active[op.core] = true;
+    if (op.link != noc::kInvalidLink) {
+      link_touched[op.link] = true;
+      router_touched[fabric_.link(op.link).dst] = true;
+    }
+  }
+  for (const auto& taps : mapped.input_taps) {
+    for (const Slot& s : taps) core_active[s.core] = true;
+  }
+  for (u32 c = 0; c < mapped.cores.size(); ++c) {
+    if (router_touched[c]) touched_routers_.push_back(c);
+    if (core_active[c]) active_cores_.push_back(c);
+  }
+  for (u32 l = 0; l < fabric_.num_links(); ++l) {
+    if (link_touched[l]) touched_links_.push_back(l);
   }
 }
 
 void Simulator::reset() {
-  for (auto& cs : state_) {
-    std::fill(cs.local_ps.begin(), cs.local_ps.end(), i16{0});
-    std::fill(cs.potential.begin(), cs.potential.end(), i32{0});
+  for (const u32 c : active_cores_) {
+    CoreState& cs = state_[c];
+    cs.local_ps.fill(0);
+    cs.potential.fill(0);
     cs.axon_cur = {};
     cs.axon_n1 = {};
     cs.axon_n2 = {};
   }
-  fabric_.reset();
+  fabric_.reset_subset(touched_routers_, touched_links_);
 }
 
 i64 Simulator::ldwt_neurons() const {
@@ -73,8 +130,9 @@ void Simulator::run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st
   const i32 lps_bits = mapped_->arch.local_ps_bits;
   const i32 pot_bits = mapped_->arch.potential_bits;
 
-  // Advance axon double-buffers.
-  for (auto& cs : state_) {
+  // Advance axon double-buffers (filler cores never receive spikes).
+  for (const u32 c : active_cores_) {
+    CoreState& cs = state_[c];
     cs.axon_cur = cs.axon_n1;
     cs.axon_n1 = cs.axon_n2;
     cs.axon_n2 = {};
@@ -90,93 +148,118 @@ void Simulator::run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st
     }
   }
 
-  for (u32 cyc = 0; cyc < mapped_->cycles_per_timestep; ++cyc) {
-    if (by_cycle_[cyc].empty()) continue;
-    for (const map::TimedOp* top : by_cycle_[cyc]) {
-      const u32 c = top->core;
+  const i64 ps_lo = signed_min(ps_bits), ps_hi = signed_max(ps_bits);
+  const i64 lps_lo = signed_min(lps_bits), lps_hi = signed_max(lps_bits);
+  const i64 pot_lo = signed_min(pot_bits), pot_hi = signed_max(pot_bits);
+
+  // Every op runs as a word-level kernel over its mask's four u64 words:
+  // all-ones words take a contiguous 64-lane strip loop (vectorizable),
+  // partial words walk set bits. Unmasked planes are never touched.
+  for (const map::ExecCycle& cyc : prog_.cycles) {
+    for (u32 oi = cyc.begin; oi < cyc.end; ++oi) {
+      const map::ExecOp& op = prog_.ops[oi];
+      const u32 c = op.core;
       CoreState& cs = state_[c];
       noc::Router& rt = fabric_.router(c);
-      const map::MappedCore& mc = cores[c];
-      const core::AtomicOp& op = top->op;
-      st.op_neurons[static_cast<usize>(core::energy_op_of(op.code))] +=
-          top->mask.popcount();
+      st.op_neurons[op.energy_op] += op.mask_pop;
       switch (op.code) {
         case core::OpCode::Acc: {
-          std::fill(cs.local_ps.begin(), cs.local_ps.end(), i16{0});
-          std::vector<i32> acc(256, 0);
-          mc.axon_mask.for_each([&](u16 a) {
-            ++st.axon_slots;
-            if (!bit_get(cs.axon_cur, a)) return;
-            ++st.axon_spikes;
-            const auto [lo, hi] = mc.weights.row(a);
-            for (u32 t = lo; t < hi; ++t) {
-              acc[mc.weights.taps[t].first] += mc.weights.taps[t].second;
+          const map::MappedCore& mc = cores[c];
+          cs.local_ps.fill(0);
+          auto& acc = cs.acc;
+          acc.fill(0);
+          // Weighted-sum gather over *spiking* axons only: the word AND of
+          // the axon mask with the current axon register prunes the ~94 %
+          // silent slots before the weight walk. Dense cores add their whole
+          // precompiled 256-lane row per spiking axon (vectorizable); sparse
+          // cores walk the CSR taps.
+          const i16* dw = dense_w_[c].empty() ? nullptr : dense_w_[c].data();
+          for (int wi = 0; wi < 4; ++wi) {
+            const u64 slots = mc.axon_mask.w[static_cast<usize>(wi)];
+            st.axon_slots += std::popcount(slots);
+            u64 active = slots & cs.axon_cur[static_cast<usize>(wi)];
+            st.axon_spikes += std::popcount(active);
+            while (active != 0) {
+              const u16 a = static_cast<u16>(wi * 64 + std::countr_zero(active));
+              active &= active - 1;
+              if (dw != nullptr) {
+                const i16* row = dw + static_cast<usize>(a) * 256;
+                for (int j = 0; j < 256; ++j) acc[static_cast<usize>(j)] += row[j];
+              } else {
+                const auto [lo, hi] = mc.weights.row(a);
+                for (u32 t = lo; t < hi; ++t) {
+                  acc[mc.weights.taps[t].first] += mc.weights.taps[t].second;
+                }
+              }
             }
+          }
+          i64 sat = 0;
+          noc::Router::for_each_masked_strip(mc.neuron_mask.w, [&](int p) {
+            cs.local_ps[static_cast<usize>(p)] = static_cast<i16>(
+                clamp_count(acc[static_cast<usize>(p)], lps_lo, lps_hi, sat));
           });
-          mc.neuron_mask.for_each([&](u16 p) {
-            bool sat = false;
-            cs.local_ps[p] =
-                static_cast<i16>(saturating_add(acc[p], 0, lps_bits, &sat));
-            if (sat) ++st.saturations;
-          });
+          st.saturations += sat;
           break;
         }
         case core::OpCode::PsSum: {
           // In-router adder: OP1 is the running sum (consecutive add) or the
           // neuron core's local PS; OP2 arrives on the $SRC port register.
-          top->mask.for_each([&](u16 p) {
-            const i64 op1 = op.consec ? rt.sum_buf(p) : cs.local_ps[p];
-            rt.ps_sum(p, op1, op.src, ps_bits, &st.saturations);
+          i16* sb = rt.sum_buf_data();
+          const i16* in = rt.ps_in_data(op.src);
+          const i16* one = op.consec ? sb : cs.local_ps.data();
+          i64 sat = 0;
+          noc::Router::for_each_masked_strip(op.mask, [&](int p) {
+            sb[p] = static_cast<i16>(clamp_count(
+                static_cast<i64>(one[p]) + in[p], ps_lo, ps_hi, sat));
           });
+          st.saturations += sat;
           break;
         }
         case core::OpCode::PsSend: {
+          const i16* src = op.from_sum_buf ? rt.sum_buf_data() : cs.local_ps.data();
           if (op.eject) {
-            top->mask.for_each([&](u16 p) {
-              rt.set_eject(p, op.from_sum_buf ? rt.sum_buf(p) : cs.local_ps[p]);
-            });
+            rt.set_eject_masked(op.mask, src);
           } else {
-            top->mask.for_each([&](u16 p) {
-              fabric_.send_ps(c, op.dst, p,
-                              op.from_sum_buf ? rt.sum_buf(p) : cs.local_ps[p],
-                              st.noc);
-            });
+            fabric_.send_ps_masked(op.link, op.mask, src, st.noc);
           }
           break;
         }
         case core::OpCode::PsBypass: {
-          top->mask.for_each([&](u16 p) {
-            fabric_.send_ps(c, op.dst, p, rt.ps_in(op.src, p), st.noc);
-          });
+          fabric_.send_ps_masked(op.link, op.mask, rt.ps_in_data(op.src), st.noc);
           break;
         }
         case core::OpCode::SpkSpike: {
-          top->mask.for_each([&](u16 p) {
-            const i32 add = op.sum_or_local ? rt.eject(p) : cs.local_ps[p];
-            bool sat = false;
-            i64 v = saturating_add(cs.potential[p], add, pot_bits, &sat);
-            if (sat) ++st.saturations;
-            bool fire = false;
-            if (v >= mc.threshold) {
-              v -= mc.threshold;
-              fire = true;
-              ++st.spikes_fired;
-            }
-            cs.potential[p] = static_cast<i32>(v);
-            rt.set_spike_out(p, fire);
+          const map::MappedCore& mc = cores[c];
+          const i16* add = op.sum_or_local ? rt.eject_data() : cs.local_ps.data();
+          i32* pot = cs.potential.data();
+          auto& out = rt.spike_out_words();
+          const i64 thr = mc.threshold;
+          i64 sat = 0, fired = 0;
+          noc::Router::Words fire{};
+          noc::Router::for_each_masked_strip(op.mask, [&](int p) {
+            i64 v = clamp_count(static_cast<i64>(pot[p]) + add[p],
+                                pot_lo, pot_hi, sat);
+            const bool f = v >= thr;
+            v -= f ? thr : 0;
+            fired += f;
+            pot[p] = static_cast<i32>(v);
+            fire[static_cast<usize>(p) >> 6] |= static_cast<u64>(f) << (p & 63);
           });
+          for (int wi = 0; wi < 4; ++wi) {
+            out[static_cast<usize>(wi)] =
+                (out[static_cast<usize>(wi)] & ~op.mask[static_cast<usize>(wi)]) |
+                fire[static_cast<usize>(wi)];
+          }
+          st.saturations += sat;
+          st.spikes_fired += fired;
           break;
         }
         case core::OpCode::SpkSend: {
-          top->mask.for_each([&](u16 p) {
-            fabric_.send_spike(c, op.dst, p, rt.spike_out(p), st.noc);
-          });
+          fabric_.send_spike_masked(op.link, op.mask, rt.spike_out_words(), st.noc);
           break;
         }
         case core::OpCode::SpkBypass: {
-          top->mask.for_each([&](u16 p) {
-            fabric_.send_spike(c, op.dst, p, rt.spike_in(op.src, p), st.noc);
-          });
+          fabric_.send_spike_masked(op.link, op.mask, rt.spk_in_words(op.src), st.noc);
           break;
         }
         case core::OpCode::SpkRecv:
@@ -184,13 +267,13 @@ void Simulator::run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st
           // Axon delivery OR-accumulates, and the axon buffers are only read
           // at the next iteration boundary, so the write needs no staging.
           auto& axon = op.hold ? cs.axon_n2 : cs.axon_n1;
-          top->mask.for_each([&](u16 p) {
-            if (rt.spike_in(op.src, p)) bit_set(axon, p, true);
-          });
+          const auto& in = rt.spk_in_words(op.src);
+          for (int wi = 0; wi < 4; ++wi) {
+            axon[static_cast<usize>(wi)] |=
+                in[static_cast<usize>(wi)] & op.mask[static_cast<usize>(wi)];
+          }
           if (op.code == core::OpCode::SpkRecvForward) {
-            top->mask.for_each([&](u16 p) {
-              fabric_.send_spike(c, op.dst, p, rt.spike_in(op.src, p), st.noc);
-            });
+            fabric_.send_spike_masked(op.link, op.mask, in, st.noc);
           }
           break;
         }
@@ -199,6 +282,8 @@ void Simulator::run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st
       }
     }
     // Two-phase commit: staged port writes become visible from cycle+1 on.
+    // Cycles with no ops need no commit — nothing was staged and nothing
+    // reads before the next non-empty cycle.
     fabric_.commit_cycle();
   }
   ++st.iterations;

@@ -1,4 +1,4 @@
-// Cycle-level functional simulator (paper §V).
+// Cycle-level functional simulator (paper §V), plane-parallel edition.
 //
 // Executes a compiled MappedNetwork the way the RTL would: every timestep it
 // replays the cycle-by-cycle atomic-op schedule, moving 16-bit partial sums
@@ -10,11 +10,24 @@
 // produces and routes the same data in neuron cores and NoCs, and (3) it
 // yields execution statistics for architectural power estimation.
 //
+// Execution model: the 256 router planes of a tile run the *same* compiled
+// op in lockstep ("each PS NoC is dedicated exclusively to the same neuron
+// in each core", §II), so the engine executes each op as a word-level
+// kernel over the plane mask — whole-u64 AND/OR/shift for the 1-bit spike
+// planes, contiguous 64-plane strips (with an all-ones fast path the
+// compiler vectorizes) for the 16-bit PS planes — instead of a per-plane
+// scalar callback. The schedule is lowered once, at construction, into a
+// map::ExecProgram with pre-resolved link ids and mask popcounts; SimStats
+// stays exact because every counter is derived from popcounts of the same
+// words the kernels operate on. Bit-exactness of this path against the
+// abstract SNN reference is enforced by tests/test_fuzz_equivalence.cpp,
+// and against a per-plane scalar reference by tests/test_exec_kernels.cpp.
+//
 // The division of labor with src/noc: the fabric owns everything physical
 // about the two NoCs (router registers, link wiring, per-link traffic
 // accounting); the simulator owns the neuron cores (axon registers, local
 // partial sums, membrane potentials) and drives the fabric cycle by cycle
-// from the compiled schedule.
+// from the lowered program.
 //
 // Layer pipelining: a unit at depth d processes frame timestep t during
 // hardware iteration d + t, so one frame needs T + depth iterations; at
@@ -24,6 +37,7 @@
 #include <array>
 #include <vector>
 
+#include "mapper/exec_program.h"
 #include "mapper/program.h"
 #include "noc/link.h"
 #include "snn/evaluate.h"
@@ -92,12 +106,17 @@ class Simulator {
   const MappedNetwork& mapped() const { return *mapped_; }
   /// The NoC this simulator routes through (topology for traffic reports).
   const noc::NocFabric& fabric() const { return fabric_; }
+  /// The lowered op stream this simulator executes (for tests/inspection).
+  const map::ExecProgram& program() const { return prog_; }
 
  private:
-  /// Neuron-core state. Router registers live in fabric_.
+  /// Neuron-core state. Router registers live in fabric_. Fixed-size
+  /// contiguous arrays: the kernels address them in 64-plane strips, and
+  /// `acc` is the reusable ACC scratch (no per-op heap allocation).
   struct CoreState {
-    std::vector<i16> local_ps;
-    std::vector<i32> potential;
+    std::array<i16, 256> local_ps{};
+    std::array<i32, 256> potential{};
+    std::array<i32, 256> acc{};
     std::array<u64, 4> axon_cur{}, axon_n1{}, axon_n2{};
   };
 
@@ -107,8 +126,18 @@ class Simulator {
   const MappedNetwork* mapped_;
   const snn::SnnNetwork* net_;
   noc::NocFabric fabric_;
+  map::ExecProgram prog_;
   std::vector<CoreState> state_;
-  std::vector<std::vector<const map::TimedOp*>> by_cycle_;
+  // Per-core dense weight rows (axon-major, 256 i16 lanes per row) for
+  // cores whose synapse rows are dense enough that a contiguous 256-lane
+  // add beats the CSR tap walk; empty for sparse (conv-like) cores.
+  std::vector<std::vector<i16>> dense_w_;
+  // Precomputed touch sets (sorted, unique): the grid is mostly filler
+  // tiles, so per-frame resets and per-iteration axon rotation only visit
+  // state the program can actually write.
+  std::vector<u32> touched_routers_;   // op cores + send destinations
+  std::vector<u32> active_cores_;      // cores whose CoreState can change
+  std::vector<noc::LinkId> touched_links_;
 };
 
 /// Accuracy of the *hardware* on (a prefix of) a dataset, evaluated with one

@@ -180,6 +180,28 @@ TEST(PlaneMask, FirstNAndAll) {
   EXPECT_EQ(PlaneMask::all().popcount(), 256);
   EXPECT_TRUE(PlaneMask::first_n(10).get(9));
   EXPECT_FALSE(PlaneMask::first_n(10).get(10));
+  // Word-fill implementation: every n, including the word-boundary
+  // straddles, must produce exactly the low-n-bit prefix.
+  for (const int n : {1, 63, 64, 65, 127, 128, 129, 191, 192, 193, 255, 256}) {
+    const PlaneMask m = PlaneMask::first_n(n);
+    EXPECT_EQ(m.popcount(), n) << "n=" << n;
+    EXPECT_TRUE(m.get(static_cast<u16>(n - 1))) << "n=" << n;
+    if (n < 256) {
+      EXPECT_FALSE(m.get(static_cast<u16>(n))) << "n=" << n;
+    }
+  }
+}
+
+TEST(PlaneMask, AndAssignAndComplement) {
+  const PlaneMask lo = PlaneMask::first_n(70);
+  PlaneMask m = PlaneMask::all();
+  m &= lo;
+  EXPECT_EQ(m, lo);
+  EXPECT_EQ((~lo).popcount(), 256 - 70);
+  EXPECT_TRUE((lo & ~lo).empty());
+  EXPECT_EQ((lo | ~lo), PlaneMask::all());
+  m &= ~lo;
+  EXPECT_TRUE(m.empty());
 }
 
 TEST(PlaneMask, ForEachOrdered) {
