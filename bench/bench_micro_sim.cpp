@@ -5,16 +5,21 @@
 // frames the table benches can verify.
 //
 // Besides the google-benchmark tables, the harness times the Table-IV MNIST
-// MLP directly and writes the headline throughput (frames/s, simulated
-// cycles/s) to BENCH_sim.json via bench_util.h, so the perf trajectory of
-// the plane-parallel engine is machine-readable across PRs. SHENJING_FAST=1
-// shrinks the timed run.
+// MLP directly — single-context and batched over sim::Engine::run_batch —
+// and writes the headline throughput (frames/s, simulated cycles/s, batched
+// frames/s with the thread/context count) to BENCH_sim.json via
+// bench_util.h, so the perf trajectory of the plane-parallel engine is
+// machine-readable across PRs. SHENJING_FAST=1 shrinks the timed runs;
+// SHENJING_THREADS pins the batch worker count.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "harness/pipeline.h"
 #include "harness/zoo.h"
 #include "mapper/mapper.h"
@@ -66,15 +71,19 @@ void BM_SimulateFrame(benchmark::State& state) {
       static_cast<double>(st.frames), benchmark::Counter::kIsRate);
 }
 
-/// Timed throughput run on the Table-IV MLP: at least `min_frames` frames
-/// and at least ~0.5 s of wall time (FAST mode settles for less), recorded
-/// to BENCH_sim.json.
+/// Timed throughput runs on the Table-IV MLP, recorded to BENCH_sim.json:
+/// single-context frames/s (one Simulator, frames in sequence) and batched
+/// frames/s (sim::Engine::run_batch fanning contexts over the global
+/// ThreadPool), each at least `min_frames` frames and ~0.5 s of wall time
+/// (FAST mode settles for less).
 void record_throughput() {
   const Fixture& f = mlp_fixture();
-  sim::Simulator sim(f.mapped, f.net);
-  sim::SimStats st;
   const int min_frames = harness::fast_mode() ? 8 : 64;
   const double min_seconds = harness::fast_mode() ? 0.05 : 0.5;
+
+  // Single context: the pre-batch baseline.
+  sim::Simulator sim(f.mapped, f.net);
+  sim::SimStats st;
   const auto t0 = std::chrono::steady_clock::now();
   double seconds = 0.0;
   usize i = 0;
@@ -90,6 +99,32 @@ void record_throughput() {
               "(%lld frames in %.2f s)\n",
               fps, cps, static_cast<long long>(st.frames), seconds);
 
+  // Batched: one compiled artifact, per-thread contexts. The batch is a
+  // multiple of the worker count so every context stays busy.
+  ThreadPool& pool = ThreadPool::global();
+  const usize threads = std::max<usize>(1, pool.num_threads());
+  std::vector<Tensor> batch;
+  const usize batch_frames =
+      std::max<usize>(static_cast<usize>(min_frames), threads * 8);
+  batch.reserve(batch_frames);
+  for (usize b = 0; b < batch_frames; ++b) batch.push_back(f.data.images[b % f.data.size()]);
+
+  sim::Engine engine(f.mapped, f.net);
+  sim::SimStats bst;
+  const auto bt0 = std::chrono::steady_clock::now();
+  double bseconds = 0.0;
+  do {
+    engine.run_batch(std::span<const Tensor>(batch.data(), batch.size()), &bst);
+    bseconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - bt0).count();
+  } while (bst.frames < min_frames || bseconds < min_seconds);
+
+  const double bfps = static_cast<double>(bst.frames) / bseconds;
+  std::printf("batched (%zu threads, %zu contexts): %.1f frames/s — %.2fx the "
+              "single-context rate (%lld frames in %.2f s)\n",
+              threads, engine.num_contexts(), bfps, fps > 0.0 ? bfps / fps : 0.0,
+              static_cast<long long>(bst.frames), bseconds);
+
   json::Value doc;
   doc.set("network", "mnist-mlp-table4");
   doc.set("timesteps", static_cast<i64>(f.mapped.timesteps));
@@ -100,6 +135,12 @@ void record_throughput() {
   doc.set("seconds", seconds);
   doc.set("frames_per_sec", fps);
   doc.set("sim_cycles_per_sec", cps);
+  doc.set("batch_frames", bst.frames);
+  doc.set("batch_seconds", bseconds);
+  doc.set("batch_frames_per_sec", bfps);
+  doc.set("batch_threads", static_cast<i64>(threads));
+  doc.set("batch_contexts", static_cast<i64>(engine.num_contexts()));
+  doc.set("batch_speedup", fps > 0.0 ? bfps / fps : 0.0);
   doc.set("fast_mode", harness::fast_mode());
   bench::write_bench_json("sim", std::move(doc));
 }

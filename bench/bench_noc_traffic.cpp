@@ -22,14 +22,13 @@ using harness::App;
 namespace {
 
 void report_app(const harness::AppResult& r) {
-  noc::FabricOptions fo;
-  fo.track_toggles = false;  // topology only: counters come from the sim run
-  const noc::NocFabric fabric = map::make_fabric(r.mapped, fo);
+  // Topology only: counters come from the sim run, no router state needed.
+  const noc::NocTopology topo = map::make_topology(r.mapped);
   const noc::TrafficReport rep = noc::TrafficReport::build(
-      fabric, r.sim_stats.noc, r.sim_stats.cycles, r.sim_stats.iterations, r.name);
+      topo, r.sim_stats.noc, r.sim_stats.cycles, r.sim_stats.iterations, r.name);
 
   std::printf("\n--- %s: %lld cores, %zu links, %llu cycles observed ---\n",
-              r.name.c_str(), static_cast<long long>(r.cores), fabric.num_links(),
+              r.name.c_str(), static_cast<long long>(r.cores), topo.num_links(),
               static_cast<unsigned long long>(r.sim_stats.cycles));
   bench::print_traffic_summary(rep);
 

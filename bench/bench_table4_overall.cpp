@@ -95,11 +95,11 @@ int main() {
 
   std::printf("\nNoC utilization (per-link accounting over the verification run):\n");
   for (const auto& r : results) {
-    noc::FabricOptions fo;
-    fo.track_toggles = false;  // topology only: counters come from the sim run
-    const noc::NocFabric fabric = map::make_fabric(r.mapped, fo);
+    // Topology only: counters come from the sim run (merged across the
+    // engine's batch contexts), no router state needed.
+    const noc::NocTopology topo = map::make_topology(r.mapped);
     const noc::TrafficReport rep = noc::TrafficReport::build(
-        fabric, r.sim_stats.noc, r.sim_stats.cycles, r.sim_stats.iterations, r.name);
+        topo, r.sim_stats.noc, r.sim_stats.cycles, r.sim_stats.iterations, r.name);
     bench::print_traffic_summary(rep);
   }
   std::printf("\nNOTE accuracy rows: synthetic datasets; the reproduced claim is the\n"

@@ -53,7 +53,7 @@ int main() {
   for (int f = 0; f < 4; ++f) sim.run_frame(calib.images[static_cast<usize>(f)], &st);
 
   const noc::TrafficReport rep = noc::TrafficReport::build(
-      sim.fabric(), st.noc, st.cycles, st.iterations, model.name());
+      sim.topology(), st.noc, st.cycles, st.iterations, model.name());
   std::printf("\n%zu of %zu links active; PS %lld bits, spikes %lld bits, "
               "%lld wire toggles over %llu cycles\n",
               rep.active_links, rep.links.size(),

@@ -3,12 +3,13 @@
 //   1. define + train a small ANN (bias-free ReLU net),
 //   2. convert it to a quantized spiking network,
 //   3. map it onto Shenjing cores and NoCs,
-//   4. run frames on the cycle-accurate simulator,
+//   4. run a batch of frames on the cycle-accurate engine,
 //   5. estimate power the way the paper does.
 //
 // Build: cmake --build build --target quickstart
 // Run:   ./build/examples/quickstart
 #include <cstdio>
+#include <span>
 
 #include "harness/pipeline.h"
 #include "mapper/mapper.h"
@@ -16,7 +17,7 @@
 #include "nn/model.h"
 #include "nn/train.h"
 #include "power/power.h"
-#include "sim/simulator.h"
+#include "sim/engine.h"
 #include "snn/convert.h"
 
 using namespace sj;
@@ -55,18 +56,18 @@ int main() {
               static_cast<long long>(cores), mapped.cycles_per_timestep,
               mapped.chips_used);
 
-  // 4. Cycle-accurate simulation of a few frames.
-  sim::Simulator sim(mapped, snn_net);
+  // 4. Cycle-accurate simulation, batched: one immutable compiled model,
+  //    frames fanned out over per-thread execution contexts.
+  sim::Engine engine(mapped, snn_net);
   const snn::AbstractEvaluator abstract_eval(snn_net);
   sim::SimStats stats;
-  int agree = 0;
-  const int frames = 10;
-  for (int i = 0; i < frames; ++i) {
-    const sim::FrameResult hw = sim.run_frame(test_set.images[static_cast<usize>(i)], &stats);
-    const snn::EvalResult ab = abstract_eval.run(test_set.images[static_cast<usize>(i)]);
-    agree += (hw.spike_counts == ab.spike_counts);
-  }
-  std::printf("hardware == abstract on %d/%d frames (adder saturations: %lld)\n",
+  const usize frames = 10;
+  const std::span<const Tensor> batch(test_set.images.data(), frames);
+  const std::vector<sim::FrameResult> hw = engine.run_batch(batch, &stats);
+  const std::vector<snn::EvalResult> ab = abstract_eval.run_batch(batch);
+  usize agree = 0;
+  for (usize i = 0; i < frames; ++i) agree += (hw[i].spike_counts == ab[i].spike_counts);
+  std::printf("hardware == abstract on %zu/%zu frames (adder saturations: %lld)\n",
               agree, frames, static_cast<long long>(stats.saturations));
 
   // 5. Power at a 40 fps video target.

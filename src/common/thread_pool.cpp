@@ -1,10 +1,20 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cstdlib>
 
 #include "common/status.h"
 
 namespace sj {
+
+namespace {
+
+// The pool whose worker_loop owns the calling thread (null on any thread
+// that is not a pool worker). Keyed per-thread so nested pools compose:
+// a worker of pool A calling into pool B still parallelizes on B.
+thread_local const ThreadPool* t_worker_of = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(usize num_threads) {
   if (num_threads == 0) {
@@ -26,7 +36,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_of == this; }
+
 void ThreadPool::worker_loop() {
+  t_worker_of = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -43,7 +56,11 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(usize n, const std::function<void(usize)>& fn) {
   if (n == 0) return;
   const usize workers = num_threads();
-  if (n <= 1 || workers <= 1) {
+  // Inline paths: tiny n, degenerate pools, and nested calls from this
+  // pool's own workers — the saturated pool would leave the nested caller
+  // draining its own chunks anyway, so run them inline without the queue
+  // round-trip (see the header comment).
+  if (n <= 1 || workers <= 1 || on_worker_thread()) {
     for (usize i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -104,7 +121,18 @@ void ThreadPool::parallel_for(usize n, const std::function<void(usize)>& fn) {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    const char* env = std::getenv("SHENJING_THREADS");
+    if (env == nullptr || env[0] == '\0') return usize{0};
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    // Malformed or out-of-range values fall back to hardware concurrency
+    // (0); a sane ceiling keeps a fat-fingered value from trying to spawn
+    // a billion OS threads inside a static initializer.
+    constexpr long kMaxThreads = 256;
+    if (end == env || *end != '\0' || v < 0 || v > kMaxThreads) return usize{0};
+    return static_cast<usize>(v);  // 0 = hardware concurrency
+  }());
   return pool;
 }
 

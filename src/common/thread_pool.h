@@ -1,8 +1,18 @@
 // Shared-queue thread pool with a parallel_for convenience wrapper.
 //
 // Used for data-parallel work whose items are independent: minibatch
-// gradient evaluation in the ANN trainer and per-image SNN evaluation.
-// Exceptions thrown by tasks are captured and rethrown on the caller.
+// gradient evaluation in the ANN trainer, per-image SNN evaluation, and the
+// batch inference engine's per-context frame shards. Exceptions thrown by
+// tasks are captured and rethrown on the caller.
+//
+// Reentrancy: parallel_for called from one of this pool's own worker
+// threads runs every item inline on the caller. The outer parallel_for has
+// already saturated the pool, so a nested call would end up draining its
+// own chunks on the calling worker anyway (the caller participates via the
+// shared chunk counter) — inline gives that schedule directly, without
+// queueing stale task copies the busy pool cannot service, and lets
+// callers (e.g. sim::Engine::run_batch) detect the nested case via
+// on_worker_thread() and size per-thread resources to 1.
 #pragma once
 
 #include <condition_variable>
@@ -29,12 +39,20 @@ class ThreadPool {
 
   usize num_threads() const { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers (i.e. the
+  /// call sits inside a task this pool is running).
+  bool on_worker_thread() const;
+
   /// Runs fn(i) for every i in [0, n), distributing chunks over the pool and
   /// blocking until all items complete. The first task exception (if any) is
-  /// rethrown here. Falls back to inline execution for tiny n.
+  /// rethrown here. Falls back to inline execution for tiny n and for calls
+  /// made from this pool's own workers (see header comment).
   void parallel_for(usize n, const std::function<void(usize)>& fn);
 
-  /// Process-wide default pool (lazily constructed).
+  /// Process-wide default pool (lazily constructed). Honors the
+  /// SHENJING_THREADS environment variable at first use: a positive value
+  /// fixes the worker count (for reproducible CI / bench runs), 0 or unset
+  /// means hardware concurrency.
   static ThreadPool& global();
 
  private:

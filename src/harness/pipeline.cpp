@@ -4,10 +4,12 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include <span>
+
 #include "common/log.h"
 #include "harness/zoo.h"
 #include "nn/serialize.h"
-#include "sim/simulator.h"
+#include "sim/engine.h"
 
 namespace sj::harness {
 
@@ -186,19 +188,23 @@ AppResult run_app(const AppConfig& cfg) {
 
   // Cycle-accurate verification on a frame subset: the Shenjing row of
   // Table IV equals the abstract row because the hardware is bit-exact.
+  // Both sides run as one batch — the hardware frames fan out over the
+  // engine's context pool, the abstract frames over the evaluator's shards —
+  // and are compared frame for frame afterwards.
   const usize frames = std::min<usize>(cfg.hw_frames, res.test_set.size());
-  const snn::AbstractEvaluator ev(res.snn);
-  sim::Simulator sim(res.mapped, res.snn);
+  const std::span<const Tensor> batch(res.test_set.images.data(), frames);
+  sim::Engine engine(res.mapped, res.snn);
   sim::SimStats st;
+  const std::vector<sim::FrameResult> hw = engine.run_batch(batch, &st);
+  const snn::AbstractEvaluator ev(res.snn);
+  const std::vector<snn::EvalResult> ab = ev.run_batch(batch);
   usize correct = 0;
   bool all_match = true;
   for (usize i = 0; i < frames; ++i) {
-    const sim::FrameResult hw = sim.run_frame(res.test_set.images[i], &st);
-    const snn::EvalResult ab = ev.run(res.test_set.images[i]);
-    if (hw.spike_counts != ab.spike_counts || hw.predicted != ab.predicted) {
+    if (hw[i].spike_counts != ab[i].spike_counts || hw[i].predicted != ab[i].predicted) {
       all_match = false;
     }
-    if (hw.predicted == res.test_set.labels[i]) ++correct;
+    if (hw[i].predicted == res.test_set.labels[i]) ++correct;
   }
   res.hw_frames = frames;
   res.hw_matches_abstract = all_match;

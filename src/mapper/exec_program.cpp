@@ -25,9 +25,9 @@ bool needs_link(const core::AtomicOp& op) {
 
 }  // namespace
 
-ExecProgram lower_program(const MappedNetwork& m, const noc::NocFabric& fabric) {
-  SJ_REQUIRE(m.cores.size() == fabric.num_cores(),
-             "lower_program: fabric does not match the mapping");
+ExecProgram lower_program(const MappedNetwork& m, const noc::NocTopology& topo) {
+  SJ_REQUIRE(m.cores.size() == topo.num_cores(),
+             "lower_program: topology does not match the mapping");
   ExecProgram p;
   p.ops.reserve(m.schedule.size());
 
@@ -60,7 +60,7 @@ ExecProgram lower_program(const MappedNetwork& m, const noc::NocFabric& fabric) 
     e.mask = top.mask.w;
     e.mask_pop = top.mask.popcount();
     if (needs_link(top.op)) {
-      e.link = fabric.link_id(top.core, top.op.dst);
+      e.link = topo.link_id(top.core, top.op.dst);
       SJ_ASSERT(e.link != noc::kInvalidLink,
                 strprintf("lower_program: core %u routes %s off the grid edge "
                           "at cycle %u",

@@ -61,9 +61,11 @@ struct ExecProgram {
   std::vector<ExecCycle> cycles;  // non-empty cycles only, ascending
 };
 
-/// Lowers `m.schedule` against `fabric` (which must be the fabric built from
-/// `m`, see make_fabric). Throws InternalError on an off-grid route — the
-/// same condition check_routes() reports as a Status.
-ExecProgram lower_program(const MappedNetwork& m, const noc::NocFabric& fabric);
+/// Lowers `m.schedule` against `topo` (which must be the topology built from
+/// `m`, see make_topology). Throws InternalError on an off-grid route — the
+/// same condition check_routes() reports as a Status. Lowering is purely
+/// topological, so one lowered program is shared read-only by every
+/// execution context.
+ExecProgram lower_program(const MappedNetwork& m, const noc::NocTopology& topo);
 
 }  // namespace sj::map

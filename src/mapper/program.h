@@ -108,10 +108,14 @@ struct MappedNetwork {
 /// (see mapper/validate.cpp for the list). Throws InternalError on violation.
 void validate(const MappedNetwork& mapped, const snn::SnnNetwork& net);
 
-/// The NoC fabric (per-tile routers + directed links) matching this
-/// mapping's grid: one router pair per core, links between grid neighbors,
-/// inter-chip flags from the architecture's chip geometry. The simulator
-/// routes through it; validation dry-runs it; power reads its link flags.
+/// The immutable NoC topology (directed links, neighbor wiring, chip
+/// geometry) matching this mapping's grid. This is the shared read-only
+/// artifact: the batch engine lowers against it and shares it across
+/// contexts; validation dry-runs it; power reads its link flags.
+noc::NocTopology make_topology(const MappedNetwork& m);
+
+/// A single-context fabric (topology + one set of router registers) for
+/// tools that simulate exactly one frame stream.
 noc::NocFabric make_fabric(const MappedNetwork& m, noc::FabricOptions options = {});
 
 /// The schedule as NoC dry-run ops (see noc/dryrun.h).

@@ -19,11 +19,23 @@
 
 namespace sj::map {
 
-noc::NocFabric make_fabric(const MappedNetwork& m, noc::FabricOptions options) {
+namespace {
+
+std::vector<Coord> core_positions(const MappedNetwork& m) {
   std::vector<Coord> positions;
   positions.reserve(m.cores.size());
   for (const MappedCore& c : m.cores) positions.push_back(c.pos);
-  return noc::NocFabric(m.arch, m.grid_rows, m.grid_cols, positions, options);
+  return positions;
+}
+
+}  // namespace
+
+noc::NocTopology make_topology(const MappedNetwork& m) {
+  return noc::NocTopology(m.arch, m.grid_rows, m.grid_cols, core_positions(m));
+}
+
+noc::NocFabric make_fabric(const MappedNetwork& m, noc::FabricOptions options) {
+  return noc::NocFabric(m.arch, m.grid_rows, m.grid_cols, core_positions(m), options);
 }
 
 std::vector<noc::RouteOp> route_ops(const MappedNetwork& m) {
@@ -36,10 +48,8 @@ std::vector<noc::RouteOp> route_ops(const MappedNetwork& m) {
 }
 
 Status check_routes(const MappedNetwork& m) {
-  noc::FabricOptions opts;
-  opts.track_toggles = false;  // dry run moves no data
-  const noc::NocFabric fabric = make_fabric(m, opts);
-  return noc::dry_run(fabric, route_ops(m));
+  // Topology only: the dry run moves no data, so no router state is built.
+  return noc::dry_run(make_topology(m), route_ops(m));
 }
 
 void validate(const MappedNetwork& m, const snn::SnnNetwork& net) {

@@ -40,7 +40,7 @@ const char* reg_name(Reg r) {
   return "?";
 }
 
-Status dry_run(const NocFabric& fabric, const std::vector<RouteOp>& schedule) {
+Status dry_run(const NocTopology& topo, const std::vector<RouteOp>& schedule) {
   // (2): per (cycle, core, block) planes already issued an op.
   std::unordered_map<u64, PlaneMask> issue_busy;
   // (3): per (cycle, core, register) planes already written.
@@ -73,7 +73,7 @@ Status dry_run(const NocFabric& fabric, const std::vector<RouteOp>& schedule) {
   };
   // (1): resolve the $DST hop, surfacing grid-edge errors as a Status.
   const auto resolve_hop = [&](const RouteOp& top, u32* nb) -> Status {
-    const Status s = fabric.neighbor(top.core, top.op.dst, nb);
+    const Status s = topo.neighbor(top.core, top.op.dst, nb);
     if (!s.is_ok()) {
       return Status::error(strprintf("off-grid route at cycle %u (%s): %s",
                                      top.cycle, core::to_string(top.op).c_str(),
@@ -83,9 +83,9 @@ Status dry_run(const NocFabric& fabric, const std::vector<RouteOp>& schedule) {
   };
 
   for (const RouteOp& top : schedule) {
-    if (top.core >= fabric.num_cores()) {
+    if (top.core >= topo.num_cores()) {
       return Status::error(strprintf("op addresses core %u outside the fabric (%zu cores)",
-                                     top.core, fabric.num_cores()));
+                                     top.core, topo.num_cores()));
     }
     if (Status s = claim_issue(top, core::block_of(top.op.code)); !s.is_ok()) return s;
 

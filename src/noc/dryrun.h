@@ -45,9 +45,15 @@ enum class Reg : u8 {
 };
 const char* reg_name(Reg r);
 
-/// Dry-runs `schedule` on `fabric`. Returns OK when conflict-free, or an
-/// error Status naming the first violated rule, the cycle, the core and the
-/// register/block involved.
-Status dry_run(const NocFabric& fabric, const std::vector<RouteOp>& schedule);
+/// Dry-runs `schedule` against a topology. Returns OK when conflict-free,
+/// or an error Status naming the first violated rule, the cycle, the core
+/// and the register/block involved. Purely topological — no router state is
+/// needed, so callers can validate a schedule without building any.
+Status dry_run(const NocTopology& topo, const std::vector<RouteOp>& schedule);
+
+/// Single-context convenience overload.
+inline Status dry_run(const NocFabric& fabric, const std::vector<RouteOp>& schedule) {
+  return dry_run(fabric.topology(), schedule);
+}
 
 }  // namespace sj::noc

@@ -6,17 +6,15 @@
 
 namespace sj::noc {
 
-NocFabric::NocFabric(const core::ArchParams& arch, i32 grid_rows, i32 grid_cols,
-                     const std::vector<Coord>& positions, FabricOptions options)
+NocTopology::NocTopology(const core::ArchParams& arch, i32 grid_rows, i32 grid_cols,
+                         const std::vector<Coord>& positions)
     : grid_rows_(grid_rows),
       grid_cols_(grid_cols),
       noc_bits_(arch.noc_bits),
-      track_toggles_(options.track_toggles),
       positions_(positions) {
-  SJ_REQUIRE(grid_rows >= 1 && grid_cols >= 1, "NocFabric: empty grid");
+  SJ_REQUIRE(grid_rows >= 1 && grid_cols >= 1, "NocTopology: empty grid");
   const usize n = positions.size();
-  SJ_REQUIRE(n >= 1, "NocFabric: no cores");
-  routers_.resize(n);
+  SJ_REQUIRE(n >= 1, "NocTopology: no cores");
 
   // Coordinate -> core lookup (also rejects duplicates / off-grid tiles).
   std::vector<std::vector<u32>> grid(
@@ -25,10 +23,10 @@ NocFabric::NocFabric(const core::ArchParams& arch, i32 grid_rows, i32 grid_cols,
   for (u32 c = 0; c < n; ++c) {
     const Coord p = positions[c];
     SJ_REQUIRE(p.row >= 0 && p.row < grid_rows && p.col >= 0 && p.col < grid_cols,
-               "NocFabric: core " + std::to_string(c) + " off grid at " + to_string(p));
+               "NocTopology: core " + std::to_string(c) + " off grid at " + to_string(p));
     u32& cell = grid[static_cast<usize>(p.row)][static_cast<usize>(p.col)];
     SJ_REQUIRE(cell == kInvalidCore,
-               "NocFabric: two cores share tile " + to_string(p));
+               "NocTopology: two cores share tile " + to_string(p));
     cell = c;
   }
 
@@ -62,13 +60,9 @@ NocFabric::NocFabric(const core::ArchParams& arch, i32 grid_rows, i32 grid_cols,
     try_link(Dir::East, p.row, p.col + 1);
     try_link(Dir::West, p.row, p.col - 1);
   }
-  if (track_toggles_) {
-    ps_last_.assign(links_.size(), std::vector<i16>(Router::kPlanes, 0));
-    spk_last_.assign(links_.size(), {});
-  }
 }
 
-Status NocFabric::neighbor(u32 core, Dir d, u32* out) const {
+Status NocTopology::neighbor(u32 core, Dir d, u32* out) const {
   const u32 nb = neighbor(core, d);
   if (nb == kInvalidCore) {
     return Status::error(strprintf("no %s neighbor of core %u at %s (grid edge)",
@@ -79,11 +73,27 @@ Status NocFabric::neighbor(u32 core, Dir d, u32* out) const {
   return Status::ok();
 }
 
-u32 NocFabric::neighbor_checked(u32 core, Dir d) const {
+u32 NocTopology::neighbor_checked(u32 core, Dir d) const {
   u32 nb = kInvalidCore;
   const Status s = neighbor(core, d, &nb);
   SJ_ASSERT(s.is_ok(), "noc: route off grid edge: " + s.message());
   return nb;
+}
+
+NocState::NocState(const NocTopology& topo, FabricOptions options)
+    : num_cores_(topo.num_cores()),
+      num_links_(topo.num_links()),
+      track_toggles_(options.track_toggles) {
+  routers_.resize(num_cores_);
+  if (track_toggles_) {
+    ps_last_.assign(num_links_, std::vector<i16>(Router::kPlanes, 0));
+    spk_last_.assign(num_links_, {});
+  }
+}
+
+void NocState::check_topology(const NocTopology& topo) const {
+  SJ_ASSERT(topo.num_cores() == num_cores_ && topo.num_links() == num_links_,
+            "NocState: routed over a topology it was not sized for");
 }
 
 namespace {
@@ -101,28 +111,31 @@ inline Router::Words single_plane(u16 plane) {
 
 }  // namespace
 
-void NocFabric::send_ps(u32 src, Dir d, u16 plane, i16 value, TrafficCounters& tc) {
-  const LinkId lid = link_id(src, d);
+void NocState::send_ps(const NocTopology& topo, u32 src, Dir d, u16 plane, i16 value,
+                       TrafficCounters& tc) {
+  const LinkId lid = topo.link_id(src, d);
   SJ_ASSERT(lid != kInvalidLink, "noc: PS send off grid edge");
   std::array<i16, Router::kPlanes> values;
   values[plane] = value;  // only the masked plane is read
-  send_ps_masked(lid, single_plane(plane), values.data(), tc);
+  send_ps_masked(topo, lid, single_plane(plane), values.data(), tc);
 }
 
-void NocFabric::send_spike(u32 src, Dir d, u16 plane, bool value, TrafficCounters& tc) {
-  const LinkId lid = link_id(src, d);
+void NocState::send_spike(const NocTopology& topo, u32 src, Dir d, u16 plane, bool value,
+                          TrafficCounters& tc) {
+  const LinkId lid = topo.link_id(src, d);
   SJ_ASSERT(lid != kInvalidLink, "noc: spike send off grid edge");
   Router::Words bits{};
   if (value) bits[plane >> 6] = u64{1} << (plane & 63);
-  send_spike_masked(lid, single_plane(plane), bits, tc);
+  send_spike_masked(topo, lid, single_plane(plane), bits, tc);
 }
 
-void NocFabric::send_ps_masked(LinkId lid, const Router::Words& mask,
-                               const i16* values, TrafficCounters& tc) {
+void NocState::send_ps_masked(const NocTopology& topo, LinkId lid, const Router::Words& mask,
+                              const i16* values, TrafficCounters& tc) {
+  check_topology(topo);
   SJ_ASSERT(lid != kInvalidLink, "noc: PS send off grid edge");
   const int pop = popcount_words(mask);
   if (pop == 0) return;
-  const Link& ln = links_[lid];
+  const Link& ln = topo.link(lid);
 
   PsWrite& w = ps_staged_.emplace_back();
   w.core = ln.dst;
@@ -130,14 +143,14 @@ void NocFabric::send_ps_masked(LinkId lid, const Router::Words& mask,
   w.mask = mask;
   Router::masked_copy(mask, values, w.values.data());
 
-  tc.ensure(links_.size());
+  tc.ensure(topo.num_links());
   LinkTraffic& t = tc.links[lid];
   t.ps_flits += pop;
-  t.ps_bits += static_cast<i64>(pop) * noc_bits_;
-  if (ln.interchip) tc.interchip_ps_bits += static_cast<i64>(pop) * noc_bits_;
+  t.ps_bits += static_cast<i64>(pop) * topo.noc_bits();
+  if (ln.interchip) tc.interchip_ps_bits += static_cast<i64>(pop) * topo.noc_bits();
   if (track_toggles_) {
     std::vector<i16>& last = ps_last_[lid];
-    const u16 wire_mask = static_cast<u16>((u32{1} << noc_bits_) - 1);
+    const u16 wire_mask = static_cast<u16>((u32{1} << topo.noc_bits()) - 1);
     i64 toggles = 0;
     Router::for_each_masked_strip(mask, [&](int p) {
       toggles += std::popcount(static_cast<u32>(
@@ -149,12 +162,14 @@ void NocFabric::send_ps_masked(LinkId lid, const Router::Words& mask,
   }
 }
 
-void NocFabric::send_spike_masked(LinkId lid, const Router::Words& mask,
-                                  const Router::Words& bits, TrafficCounters& tc) {
+void NocState::send_spike_masked(const NocTopology& topo, LinkId lid,
+                                 const Router::Words& mask, const Router::Words& bits,
+                                 TrafficCounters& tc) {
+  check_topology(topo);
   SJ_ASSERT(lid != kInvalidLink, "noc: spike send off grid edge");
   const int pop = popcount_words(mask);
   if (pop == 0) return;
-  const Link& ln = links_[lid];
+  const Link& ln = topo.link(lid);
 
   SpkWrite& w = spk_staged_.emplace_back();
   w.core = ln.dst;
@@ -165,7 +180,7 @@ void NocFabric::send_spike_masked(LinkId lid, const Router::Words& mask,
         bits[static_cast<usize>(wi)] & mask[static_cast<usize>(wi)];
   }
 
-  tc.ensure(links_.size());
+  tc.ensure(topo.num_links());
   LinkTraffic& t = tc.links[lid];
   t.spike_flits += pop;
   if (ln.interchip) tc.interchip_spike_bits += pop;
@@ -184,7 +199,7 @@ void NocFabric::send_spike_masked(LinkId lid, const Router::Words& mask,
   }
 }
 
-void NocFabric::commit_cycle() {
+void NocState::commit_cycle() {
   for (const PsWrite& w : ps_staged_) {
     Router::masked_copy(w.mask, w.values.data(), routers_[w.core].ps_in_data(w.port));
   }
@@ -200,7 +215,7 @@ void NocFabric::commit_cycle() {
   spk_staged_.clear();
 }
 
-void NocFabric::reset() {
+void NocState::reset() {
   for (Router& r : routers_) r.reset();
   ps_staged_.clear();
   spk_staged_.clear();
@@ -210,8 +225,8 @@ void NocFabric::reset() {
   }
 }
 
-void NocFabric::reset_subset(const std::vector<u32>& cores,
-                             const std::vector<LinkId>& links) {
+void NocState::reset_subset(const std::vector<u32>& cores,
+                            const std::vector<LinkId>& links) {
   for (const u32 c : cores) routers_[c].reset();
   ps_staged_.clear();
   spk_staged_.clear();

@@ -1,13 +1,26 @@
-// NocFabric: the grid of per-tile routers and the directed links between
-// them, with two-phase (read-then-write) cycle semantics and per-link
-// traffic accounting.
+// The two NoCs, split along the artifact/state seam the batch engine
+// exploits:
 //
-// The fabric owns everything physical about the two NoCs — router registers,
-// neighbor wiring, chip-boundary geometry — and nothing about *what* moves:
-// the simulator (or any other client) reads registers, stages sends, and
-// calls commit_cycle() once per cycle. Staged writes land in the receiving
-// router's input-port registers in staging order, reproducing the RTL's
-// "every register reads old values, writes become visible next cycle" rule.
+//   NocTopology — everything *immutable* about a mapped grid: tile
+//   coordinates, neighbor wiring, the directed links between tiles, chip
+//   boundary geometry and the NoC wire width. Built once per compiled
+//   network and shared read-only by any number of concurrent contexts.
+//
+//   NocState — everything *mutable* about one frame in flight: the per-tile
+//   router register files, the staged two-phase writes, and the per-wire
+//   toggle history that makes LinkTraffic::*_toggles count real bit-flips.
+//   One NocState per simulation context; movement calls take the topology
+//   they route against explicitly, so a state object never outlives or
+//   aliases the wiring it was sized for by accident.
+//
+//   NocFabric — the single-context convenience pairing (one topology + one
+//   state) that keeps the original fabric API for tools and tests that
+//   simulate exactly one frame stream.
+//
+// Two-phase cycle semantics are owned by the state: staged writes land in
+// the receiving router's input-port registers in staging order at
+// commit_cycle(), reproducing the RTL's "every register reads old values,
+// writes become visible next cycle" rule.
 //
 // Traffic is charged to TrafficCounters at send time: payload bits, flits,
 // wire toggles (Hamming distance against the previous value on the same
@@ -33,20 +46,21 @@ namespace sj::noc {
 struct FabricOptions {
   /// Track per-plane-wire previous values so LinkTraffic::*_toggles counts
   /// real bit-flips. Costs ~0.5 KiB per link; disable for huge fleets of
-  /// throwaway fabrics.
+  /// throwaway contexts.
   bool track_toggles = true;
 };
 
-class NocFabric {
+/// Read-only wiring of a `grid_rows` x `grid_cols` tile grid. Safe to share
+/// across threads: nothing here changes after construction.
+class NocTopology {
  public:
-  /// Builds the fabric for a `grid_rows` x `grid_cols` tile grid.
   /// `positions[c]` is the coordinate of core c; every coordinate must be
   /// unique and on-grid. Chip boundaries fall at multiples of
   /// arch.chip_rows/chip_cols (links crossing one are marked interchip).
-  NocFabric(const core::ArchParams& arch, i32 grid_rows, i32 grid_cols,
-            const std::vector<Coord>& positions, FabricOptions options = {});
+  NocTopology(const core::ArchParams& arch, i32 grid_rows, i32 grid_cols,
+              const std::vector<Coord>& positions);
 
-  usize num_cores() const { return routers_.size(); }
+  usize num_cores() const { return positions_.size(); }
   usize num_links() const { return links_.size(); }
   const std::vector<Link>& links() const { return links_; }
   const Link& link(LinkId id) const { return links_[id]; }
@@ -69,6 +83,31 @@ class NocFabric {
     return link_id_[static_cast<usize>(d)][core];
   }
 
+  /// A counter table pre-sized to this topology.
+  TrafficCounters make_counters() const {
+    TrafficCounters tc;
+    tc.ensure(num_links());
+    return tc;
+  }
+
+ private:
+  i32 grid_rows_, grid_cols_;
+  i32 noc_bits_;
+  std::vector<Coord> positions_;
+  std::array<std::vector<u32>, 4> neighbor_;    // [dir][core]
+  std::array<std::vector<LinkId>, 4> link_id_;  // [dir][core]
+  std::vector<Link> links_;
+};
+
+/// The mutable register/staging/toggle state of one frame stream. Sized by
+/// a topology at construction; every movement call names the topology it
+/// routes against, and asserts it is dimension-compatible with the sizing
+/// one (a mismatched pairing would otherwise index out of bounds). Not
+/// thread-safe — one NocState per worker, like TrafficCounters.
+class NocState {
+ public:
+  explicit NocState(const NocTopology& topo, FabricOptions options = {});
+
   Router& router(u32 core) { return routers_[core]; }
   const Router& router(u32 core) const { return routers_[core]; }
 
@@ -76,21 +115,23 @@ class NocFabric {
   /// Stages a 16-bit partial sum onto the outgoing link of `src` in
   /// direction `d`; it lands in the neighbor's in[opposite(d)] register at
   /// commit_cycle(). Charges the link in `tc`.
-  void send_ps(u32 src, Dir d, u16 plane, i16 value, TrafficCounters& tc);
+  void send_ps(const NocTopology& topo, u32 src, Dir d, u16 plane, i16 value,
+               TrafficCounters& tc);
   /// Same for a 1-bit spike.
-  void send_spike(u32 src, Dir d, u16 plane, bool value, TrafficCounters& tc);
+  void send_spike(const NocTopology& topo, u32 src, Dir d, u16 plane, bool value,
+                  TrafficCounters& tc);
 
   /// Bulk form: stages `values[p]` for every plane `p` in `mask` onto link
   /// `lid` in one call (the plane-parallel engine pre-resolves the LinkId at
   /// program lowering). `values` must cover every masked strip; a snapshot
   /// is taken, so the source register may change before commit_cycle().
   /// Charges pop(mask) flits in one step. No-op for an empty mask.
-  void send_ps_masked(LinkId lid, const Router::Words& mask, const i16* values,
-                      TrafficCounters& tc);
+  void send_ps_masked(const NocTopology& topo, LinkId lid, const Router::Words& mask,
+                      const i16* values, TrafficCounters& tc);
   /// Bulk spike form: the payload is the bit-packed word group `bits`
   /// (masked down internally); toggle accounting is whole-word Hamming
   /// weight against the wire's previous word group.
-  void send_spike_masked(LinkId lid, const Router::Words& mask,
+  void send_spike_masked(const NocTopology& topo, LinkId lid, const Router::Words& mask,
                          const Router::Words& bits, TrafficCounters& tc);
 
   /// Applies all staged writes in staging order (end of cycle).
@@ -106,13 +147,6 @@ class NocFabric {
   /// run could have written — e.g. the cores and links referenced by a
   /// lowered ExecProgram. Duplicate-free lists are the caller's job.
   void reset_subset(const std::vector<u32>& cores, const std::vector<LinkId>& links);
-
-  /// A counter table pre-sized to this fabric.
-  TrafficCounters make_counters() const {
-    TrafficCounters tc;
-    tc.ensure(num_links());
-    return tc;
-  }
 
  private:
   // Staged masked writes; scalar sends stage a single-plane mask. The
@@ -133,19 +167,77 @@ class NocFabric {
     Router::Words bits;  // pre-masked payload
   };
 
-  i32 grid_rows_, grid_cols_;
-  i32 noc_bits_;
+  // Dimensions of the sizing topology, asserted against the topology each
+  // movement call routes over.
+  void check_topology(const NocTopology& topo) const;
+
+  usize num_cores_;
+  usize num_links_;
   bool track_toggles_;
-  std::vector<Coord> positions_;
   std::vector<Router> routers_;
-  std::array<std::vector<u32>, 4> neighbor_;   // [dir][core]
-  std::array<std::vector<LinkId>, 4> link_id_; // [dir][core]
-  std::vector<Link> links_;
   // Previous value on each plane-wire, for toggle accounting.
-  std::vector<std::vector<i16>> ps_last_;          // [link][plane]
-  std::vector<Router::Words> spk_last_;            // [link], bit-packed
+  std::vector<std::vector<i16>> ps_last_;  // [link][plane]
+  std::vector<Router::Words> spk_last_;    // [link], bit-packed
   std::vector<PsWrite> ps_staged_;
   std::vector<SpkWrite> spk_staged_;
+};
+
+/// One topology paired with one state: the single-context fabric. Keeps the
+/// original flat API for tools, tests and single-stream simulations; the
+/// batch engine holds one shared NocTopology and per-context NocStates
+/// directly.
+class NocFabric {
+ public:
+  NocFabric(const core::ArchParams& arch, i32 grid_rows, i32 grid_cols,
+            const std::vector<Coord>& positions, FabricOptions options = {})
+      : topo_(arch, grid_rows, grid_cols, positions), state_(topo_, options) {}
+
+  const NocTopology& topology() const { return topo_; }
+  NocState& state() { return state_; }
+  const NocState& state() const { return state_; }
+
+  // --- topology queries (delegated) ---------------------------------------
+  usize num_cores() const { return topo_.num_cores(); }
+  usize num_links() const { return topo_.num_links(); }
+  const std::vector<Link>& links() const { return topo_.links(); }
+  const Link& link(LinkId id) const { return topo_.link(id); }
+  i32 grid_rows() const { return topo_.grid_rows(); }
+  i32 grid_cols() const { return topo_.grid_cols(); }
+  i32 noc_bits() const { return topo_.noc_bits(); }
+  Coord position(u32 core) const { return topo_.position(core); }
+  u32 neighbor(u32 core, Dir d) const { return topo_.neighbor(core, d); }
+  Status neighbor(u32 core, Dir d, u32* out) const { return topo_.neighbor(core, d, out); }
+  u32 neighbor_checked(u32 core, Dir d) const { return topo_.neighbor_checked(core, d); }
+  LinkId link_id(u32 core, Dir d) const { return topo_.link_id(core, d); }
+  TrafficCounters make_counters() const { return topo_.make_counters(); }
+
+  // --- state access / movement (delegated) --------------------------------
+  Router& router(u32 core) { return state_.router(core); }
+  const Router& router(u32 core) const { return state_.router(core); }
+
+  void send_ps(u32 src, Dir d, u16 plane, i16 value, TrafficCounters& tc) {
+    state_.send_ps(topo_, src, d, plane, value, tc);
+  }
+  void send_spike(u32 src, Dir d, u16 plane, bool value, TrafficCounters& tc) {
+    state_.send_spike(topo_, src, d, plane, value, tc);
+  }
+  void send_ps_masked(LinkId lid, const Router::Words& mask, const i16* values,
+                      TrafficCounters& tc) {
+    state_.send_ps_masked(topo_, lid, mask, values, tc);
+  }
+  void send_spike_masked(LinkId lid, const Router::Words& mask, const Router::Words& bits,
+                         TrafficCounters& tc) {
+    state_.send_spike_masked(topo_, lid, mask, bits, tc);
+  }
+  void commit_cycle() { state_.commit_cycle(); }
+  void reset() { state_.reset(); }
+  void reset_subset(const std::vector<u32>& cores, const std::vector<LinkId>& links) {
+    state_.reset_subset(cores, links);
+  }
+
+ private:
+  NocTopology topo_;
+  NocState state_;
 };
 
 }  // namespace sj::noc

@@ -6,27 +6,27 @@
 
 namespace sj::noc {
 
-TrafficReport TrafficReport::build(const NocFabric& fabric, const TrafficCounters& tc,
+TrafficReport TrafficReport::build(const NocTopology& topo, const TrafficCounters& tc,
                                    u64 cycles, i64 iterations, const std::string& name) {
-  SJ_REQUIRE(tc.links.empty() || tc.links.size() == fabric.num_links(),
-             "TrafficReport: counters sized for a different fabric");
+  SJ_REQUIRE(tc.links.empty() || tc.links.size() == topo.num_links(),
+             "TrafficReport: counters sized for a different topology");
   TrafficReport r;
   r.name = name;
   r.cycles = cycles;
   r.iterations = iterations;
-  r.noc_bits = fabric.noc_bits();
-  r.grid_rows = fabric.grid_rows();
-  r.grid_cols = fabric.grid_cols();
+  r.noc_bits = topo.noc_bits();
+  r.grid_rows = topo.grid_rows();
+  r.grid_cols = topo.grid_cols();
   r.tile_bits.assign(static_cast<usize>(r.grid_rows) * static_cast<usize>(r.grid_cols), 0);
 
   const double plane_cycles =
       static_cast<double>(cycles) * static_cast<double>(Router::kPlanes);
   double util_sum = 0.0;
-  r.links.reserve(fabric.num_links());
-  for (LinkId id = 0; id < fabric.num_links(); ++id) {
+  r.links.reserve(topo.num_links());
+  for (LinkId id = 0; id < topo.num_links(); ++id) {
     LinkUse u;
     u.id = id;
-    u.link = fabric.link(id);
+    u.link = topo.link(id);
     if (id < tc.links.size()) u.traffic = tc.links[id];
     if (plane_cycles > 0.0) {
       u.ps_utilization = static_cast<double>(u.traffic.ps_flits) / plane_cycles;

@@ -53,8 +53,10 @@ struct TrafficReport {
   std::vector<i64> tile_bits;
 
   /// Builds the report. `cycles`/`iterations` come from the SimStats of the
-  /// same run; counters must be sized by `fabric` (or empty for an idle run).
-  static TrafficReport build(const NocFabric& fabric, const TrafficCounters& tc,
+  /// same run; counters must be sized by `topo` (or empty for an idle run).
+  /// Purely topological: counters may have been merged from any number of
+  /// per-context NocStates routed over the same topology.
+  static TrafficReport build(const NocTopology& topo, const TrafficCounters& tc,
                              u64 cycles, i64 iterations,
                              const std::string& name = "");
 

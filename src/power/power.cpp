@@ -36,16 +36,14 @@ OpCensus OpCensus::from(const map::MappedNetwork& m) {
   // precomputed, and inter-chip crossings read the op's pre-resolved link —
   // so the static estimate and the measured execution statistics are
   // derived from one structure and cannot drift apart.
-  noc::FabricOptions fo;
-  fo.track_toggles = false;  // no data moves in a census
-  const noc::NocFabric fabric = map::make_fabric(m, fo);
-  const map::ExecProgram prog = map::lower_program(m, fabric);
+  const noc::NocTopology topo = map::make_topology(m);
+  const map::ExecProgram prog = map::lower_program(m, topo);
   for (const map::ExecOp& op : prog.ops) {
     const i64 n = op.mask_pop;
     c.op_neurons[op.energy_op] += n;
     // Ops without a lowered link (compute, ejects, receives) move nothing
     // between tiles; PS ops charge noc_bits wires per plane, spike ops one.
-    if (op.link == noc::kInvalidLink || !fabric.link(op.link).interchip) continue;
+    if (op.link == noc::kInvalidLink || !topo.link(op.link).interchip) continue;
     switch (op.code) {
       case core::OpCode::PsSend:
       case core::OpCode::PsBypass:

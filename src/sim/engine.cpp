@@ -1,0 +1,422 @@
+#include "sim/engine.h"
+
+#include "common/fixed.h"
+
+namespace sj::sim {
+
+namespace {
+
+// Bit helper for the neuron core's bit-packed axon registers; one
+// implementation shared with the router registers (noc/router.h).
+inline void bit_set(std::array<u64, 4>& w, u16 p, bool v) {
+  noc::Router::bit_set(w, p, v);
+}
+
+// Saturating clamp with exact overflow counting: identical result and
+// saturation tally to common/fixed.h's saturating_add, but branchless so the
+// per-word kernels below stay straight-line code.
+inline i64 clamp_count(i64 v, i64 lo, i64 hi, i64& sat) {
+  const i64 c = v < lo ? lo : (v > hi ? hi : v);
+  sat += (c != v);
+  return c;
+}
+
+}  // namespace
+
+void SimStats::merge(const SimStats& o) {
+  frames += o.frames;
+  iterations += o.iterations;
+  cycles += o.cycles;
+  for (usize i = 0; i < op_neurons.size(); ++i) op_neurons[i] += o.op_neurons[i];
+  saturations += o.saturations;
+  spikes_fired += o.spikes_fired;
+  axon_spikes += o.axon_spikes;
+  axon_slots += o.axon_slots;
+  noc.merge(o.noc);
+}
+
+CompiledModel::CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork& net)
+    : mapped_(&mapped),
+      net_(&net),
+      topo_(map::make_topology(mapped)),
+      prog_(map::lower_program(mapped, topo_)) {
+  // Precompile dense weight rows where they pay off. FC cores have ~fully
+  // dense synapse rows, so the ACC gather becomes one contiguous 256-lane
+  // add per spiking axon (adding the explicit zeros is exact — integer adds
+  // of 0 change nothing). Conv cores keep the CSR walk: their rows hold
+  // k*k*cin taps, far below the ~64-tap break-even of a full-width add.
+  dense_w_.resize(mapped.cores.size());
+  for (usize c = 0; c < mapped.cores.size(); ++c) {
+    const map::MappedCore& mc = mapped.cores[c];
+    const i64 axons = mc.axon_mask.popcount();
+    if (axons == 0) continue;
+    const i64 taps = static_cast<i64>(mc.weights.taps.size());
+    if (taps < axons * 64) continue;
+    auto& dw = dense_w_[c];
+    dw.assign(static_cast<usize>(256) * 256, 0);
+    // Fold in i32: duplicate taps to one (axon, plane) sum exactly as the
+    // CSR walk would. If the folded row value cannot round-trip through the
+    // i16 lane (possible only with duplicates), densifying would change
+    // results — keep that core on the CSR path instead.
+    bool fits = true;
+    mc.axon_mask.for_each([&](u16 a) {
+      const auto [lo, hi] = mc.weights.row(a);
+      std::array<i32, 256> row{};
+      for (u32 t = lo; t < hi; ++t) row[mc.weights.taps[t].first] += mc.weights.taps[t].second;
+      i16* out = dw.data() + static_cast<usize>(a) * 256;
+      for (int j = 0; j < 256; ++j) {
+        fits = fits && fits_signed(row[static_cast<usize>(j)], 16);
+        out[j] = static_cast<i16>(row[static_cast<usize>(j)]);
+      }
+    });
+    if (!fits) dw.clear();
+  }
+
+  // Touch sets: which routers, links and core states the program can write.
+  // Everything else is filler pass-through that stays zero for the whole
+  // run, so frame resets and axon rotation skip it.
+  std::vector<bool> router_touched(mapped.cores.size(), false);
+  std::vector<bool> core_active(mapped.cores.size(), false);
+  std::vector<bool> link_touched(topo_.num_links(), false);
+  for (const map::ExecOp& op : prog_.ops) {
+    router_touched[op.core] = true;
+    core_active[op.core] = true;
+    if (op.link != noc::kInvalidLink) {
+      link_touched[op.link] = true;
+      router_touched[topo_.link(op.link).dst] = true;
+    }
+  }
+  for (const auto& taps : mapped.input_taps) {
+    for (const Slot& s : taps) core_active[s.core] = true;
+  }
+  for (u32 c = 0; c < mapped.cores.size(); ++c) {
+    if (router_touched[c]) touched_routers_.push_back(c);
+    if (core_active[c]) active_cores_.push_back(c);
+  }
+  for (u32 l = 0; l < topo_.num_links(); ++l) {
+    if (link_touched[l]) touched_links_.push_back(l);
+  }
+}
+
+i64 CompiledModel::ldwt_neurons() const {
+  i64 n = 0;
+  for (const auto& c : mapped_->cores) {
+    if (!c.filler) n += c.neuron_mask.popcount();
+  }
+  return n;
+}
+
+SimContext::SimContext(const CompiledModel& model) : noc_(model.topology()) {
+  cores_.resize(model.mapped().cores.size());
+}
+
+SimStats SimContext::take_stats() {
+  SimStats out = std::move(stats_);
+  stats_ = SimStats{};
+  return out;
+}
+
+Engine::Engine(const MappedNetwork& mapped, const snn::SnnNetwork& net)
+    : model_(mapped, net) {}
+
+usize Engine::ensure_contexts(usize n) {
+  while (contexts_.size() < n) {
+    contexts_.push_back(std::make_unique<SimContext>(model_));
+  }
+  return contexts_.size();
+}
+
+void Engine::reset(SimContext& ctx) const {
+  // Guard against a context built for a different model before any state
+  // is indexed (the NoC layer's own topology check only fires later, at
+  // the first masked send).
+  SJ_ASSERT(ctx.cores_.size() == model_.mapped().cores.size(),
+            "Engine: context was not built for this model");
+  for (const u32 c : model_.active_cores_) {
+    SimContext::CoreState& cs = ctx.cores_[c];
+    cs.local_ps.fill(0);
+    cs.potential.fill(0);
+    cs.axon_cur = {};
+    cs.axon_n1 = {};
+    cs.axon_n2 = {};
+  }
+  ctx.noc_.reset_subset(model_.touched_routers_, model_.touched_links_);
+}
+
+void Engine::run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats& st) const {
+  const MappedNetwork& mapped = *model_.mapped_;
+  const noc::NocTopology& topo = model_.topo_;
+  const auto& cores = mapped.cores;
+  const i32 ps_bits = mapped.arch.noc_bits;
+  const i32 lps_bits = mapped.arch.local_ps_bits;
+  const i32 pot_bits = mapped.arch.potential_bits;
+
+  // Advance axon double-buffers (filler cores never receive spikes).
+  for (const u32 c : model_.active_cores_) {
+    SimContext::CoreState& cs = ctx.cores_[c];
+    cs.axon_cur = cs.axon_n1;
+    cs.axon_n1 = cs.axon_n2;
+    cs.axon_n2 = {};
+  }
+  // Testbench injection: input spikes of this iteration land in axon_n1 and
+  // are consumed by depth-1 cores next iteration.
+  if (input_spikes != nullptr) {
+    for (usize g = 0; g < mapped.input_taps.size(); ++g) {
+      if (!input_spikes->get(g)) continue;
+      for (const Slot& s : mapped.input_taps[g]) {
+        bit_set(ctx.cores_[s.core].axon_n1, s.plane, true);
+      }
+    }
+  }
+
+  const i64 ps_lo = signed_min(ps_bits), ps_hi = signed_max(ps_bits);
+  const i64 lps_lo = signed_min(lps_bits), lps_hi = signed_max(lps_bits);
+  const i64 pot_lo = signed_min(pot_bits), pot_hi = signed_max(pot_bits);
+
+  // Every op runs as a word-level kernel over its mask's four u64 words:
+  // all-ones words take a contiguous 64-lane strip loop (vectorizable),
+  // partial words walk set bits. Unmasked planes are never touched.
+  for (const map::ExecCycle& cyc : model_.prog_.cycles) {
+    for (u32 oi = cyc.begin; oi < cyc.end; ++oi) {
+      const map::ExecOp& op = model_.prog_.ops[oi];
+      const u32 c = op.core;
+      SimContext::CoreState& cs = ctx.cores_[c];
+      noc::Router& rt = ctx.noc_.router(c);
+      st.op_neurons[op.energy_op] += op.mask_pop;
+      switch (op.code) {
+        case core::OpCode::Acc: {
+          const map::MappedCore& mc = cores[c];
+          cs.local_ps.fill(0);
+          auto& acc = cs.acc;
+          acc.fill(0);
+          // Weighted-sum gather over *spiking* axons only: the word AND of
+          // the axon mask with the current axon register prunes the ~94 %
+          // silent slots before the weight walk. Dense cores add their whole
+          // precompiled 256-lane row per spiking axon (vectorizable); sparse
+          // cores walk the CSR taps.
+          const i16* dw = model_.dense_w_[c].empty() ? nullptr : model_.dense_w_[c].data();
+          for (int wi = 0; wi < 4; ++wi) {
+            const u64 slots = mc.axon_mask.w[static_cast<usize>(wi)];
+            st.axon_slots += std::popcount(slots);
+            u64 active = slots & cs.axon_cur[static_cast<usize>(wi)];
+            st.axon_spikes += std::popcount(active);
+            while (active != 0) {
+              const u16 a = static_cast<u16>(wi * 64 + std::countr_zero(active));
+              active &= active - 1;
+              if (dw != nullptr) {
+                const i16* row = dw + static_cast<usize>(a) * 256;
+                for (int j = 0; j < 256; ++j) acc[static_cast<usize>(j)] += row[j];
+              } else {
+                const auto [lo, hi] = mc.weights.row(a);
+                for (u32 t = lo; t < hi; ++t) {
+                  acc[mc.weights.taps[t].first] += mc.weights.taps[t].second;
+                }
+              }
+            }
+          }
+          i64 sat = 0;
+          noc::Router::for_each_masked_strip(mc.neuron_mask.w, [&](int p) {
+            cs.local_ps[static_cast<usize>(p)] = static_cast<i16>(
+                clamp_count(acc[static_cast<usize>(p)], lps_lo, lps_hi, sat));
+          });
+          st.saturations += sat;
+          break;
+        }
+        case core::OpCode::PsSum: {
+          // In-router adder: OP1 is the running sum (consecutive add) or the
+          // neuron core's local PS; OP2 arrives on the $SRC port register.
+          i16* sb = rt.sum_buf_data();
+          const i16* in = rt.ps_in_data(op.src);
+          const i16* one = op.consec ? sb : cs.local_ps.data();
+          i64 sat = 0;
+          noc::Router::for_each_masked_strip(op.mask, [&](int p) {
+            sb[p] = static_cast<i16>(clamp_count(
+                static_cast<i64>(one[p]) + in[p], ps_lo, ps_hi, sat));
+          });
+          st.saturations += sat;
+          break;
+        }
+        case core::OpCode::PsSend: {
+          const i16* src = op.from_sum_buf ? rt.sum_buf_data() : cs.local_ps.data();
+          if (op.eject) {
+            rt.set_eject_masked(op.mask, src);
+          } else {
+            ctx.noc_.send_ps_masked(topo, op.link, op.mask, src, st.noc);
+          }
+          break;
+        }
+        case core::OpCode::PsBypass: {
+          ctx.noc_.send_ps_masked(topo, op.link, op.mask, rt.ps_in_data(op.src), st.noc);
+          break;
+        }
+        case core::OpCode::SpkSpike: {
+          const map::MappedCore& mc = cores[c];
+          const i16* add = op.sum_or_local ? rt.eject_data() : cs.local_ps.data();
+          i32* pot = cs.potential.data();
+          auto& out = rt.spike_out_words();
+          const i64 thr = mc.threshold;
+          i64 sat = 0, fired = 0;
+          noc::Router::Words fire{};
+          noc::Router::for_each_masked_strip(op.mask, [&](int p) {
+            i64 v = clamp_count(static_cast<i64>(pot[p]) + add[p],
+                                pot_lo, pot_hi, sat);
+            const bool f = v >= thr;
+            v -= f ? thr : 0;
+            fired += f;
+            pot[p] = static_cast<i32>(v);
+            fire[static_cast<usize>(p) >> 6] |= static_cast<u64>(f) << (p & 63);
+          });
+          for (int wi = 0; wi < 4; ++wi) {
+            out[static_cast<usize>(wi)] =
+                (out[static_cast<usize>(wi)] & ~op.mask[static_cast<usize>(wi)]) |
+                fire[static_cast<usize>(wi)];
+          }
+          st.saturations += sat;
+          st.spikes_fired += fired;
+          break;
+        }
+        case core::OpCode::SpkSend: {
+          ctx.noc_.send_spike_masked(topo, op.link, op.mask, rt.spike_out_words(), st.noc);
+          break;
+        }
+        case core::OpCode::SpkBypass: {
+          ctx.noc_.send_spike_masked(topo, op.link, op.mask, rt.spk_in_words(op.src), st.noc);
+          break;
+        }
+        case core::OpCode::SpkRecv:
+        case core::OpCode::SpkRecvForward: {
+          // Axon delivery OR-accumulates, and the axon buffers are only read
+          // at the next iteration boundary, so the write needs no staging.
+          auto& axon = op.hold ? cs.axon_n2 : cs.axon_n1;
+          const auto& in = rt.spk_in_words(op.src);
+          for (int wi = 0; wi < 4; ++wi) {
+            axon[static_cast<usize>(wi)] |=
+                in[static_cast<usize>(wi)] & op.mask[static_cast<usize>(wi)];
+          }
+          if (op.code == core::OpCode::SpkRecvForward) {
+            ctx.noc_.send_spike_masked(topo, op.link, op.mask, in, st.noc);
+          }
+          break;
+        }
+        case core::OpCode::LdWt:
+          break;  // weights are preloaded; energy accounted separately
+      }
+    }
+    // Two-phase commit: staged port writes become visible from cycle+1 on.
+    // Cycles with no ops need no commit — nothing was staged and nothing
+    // reads before the next non-empty cycle.
+    ctx.noc_.commit_cycle();
+  }
+  ++st.iterations;
+  st.cycles += mapped.cycles_per_timestep;
+}
+
+FrameResult Engine::run_frame(SimContext& ctx, const Tensor& image,
+                              HardwareTrace* trace) const {
+  reset(ctx);
+  const MappedNetwork& mapped = *model_.mapped_;
+  const snn::SnnNetwork& net = *model_.net_;
+  const i32 T = mapped.timesteps;
+  const i32 total = T + mapped.output_depth;
+  snn::InputEncoder enc(image, net.input_scale);
+
+  const auto& out_slots = mapped.output_slots();
+  FrameResult res;
+  res.spike_counts.assign(out_slots.size(), 0);
+  res.final_potentials.assign(out_slots.size(), 0);
+  if (trace != nullptr) {
+    trace->units.assign(net.units.size(), {});
+    for (usize u = 0; u < net.units.size(); ++u) {
+      trace->units[u].reserve(static_cast<usize>(T));
+    }
+  }
+
+  SimStats& st = ctx.stats_;
+  st.frames += 1;
+  for (i32 k = 0; k < total; ++k) {
+    BitVec in;
+    const bool have_input = k < T;
+    if (have_input) in = enc.step();
+    run_iteration(ctx, have_input ? &in : nullptr, st);
+
+    // Readout: output-unit spikes within its logical window.
+    if (k >= mapped.output_depth) {
+      for (usize j = 0; j < out_slots.size(); ++j) {
+        if (ctx.noc_.router(out_slots[j].core).spike_out(out_slots[j].plane)) {
+          ++res.spike_counts[j];
+        }
+      }
+    }
+    // Per-unit traces, re-aligned to logical timesteps.
+    if (trace != nullptr) {
+      for (usize u = 0; u < net.units.size(); ++u) {
+        const i32 d = mapped.unit_depth[u];
+        if (k >= d && k < d + T) {
+          const auto& slots = mapped.unit_slots[u];
+          BitVec bv(slots.size());
+          for (usize j = 0; j < slots.size(); ++j) {
+            bv.set(j, ctx.noc_.router(slots[j].core).spike_out(slots[j].plane));
+          }
+          trace->units[u].push_back(std::move(bv));
+        }
+      }
+    }
+  }
+  for (usize j = 0; j < out_slots.size(); ++j) {
+    res.final_potentials[j] = ctx.cores_[out_slots[j].core].potential[out_slots[j].plane];
+  }
+  res.predicted = snn::EvalResult::decide(res.spike_counts, res.final_potentials);
+  return res;
+}
+
+std::vector<FrameResult> Engine::run_batch(std::span<const Tensor> images,
+                                           SimStats* stats, ThreadPool* pool) {
+  std::vector<FrameResult> results(images.size());
+  if (images.empty()) return results;
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+  const usize n = images.size();
+  // From one of the pool's own workers, parallel_for runs inline on a
+  // single thread (see ThreadPool), so one context suffices — don't build
+  // num_threads contexts that would only ever execute sequentially.
+  const usize threads = p.on_worker_thread() ? 1 : std::max<usize>(1, p.num_threads());
+  const usize shards = std::min<usize>(n, threads);
+  ensure_contexts(shards);
+  // Pooled contexts may carry tallies from direct run_frame use; set those
+  // aside so the batch reports exactly its own frames, and restore them
+  // afterwards so a caller's own accounting is not silently stolen.
+  std::vector<SimStats> carry(shards);
+  for (usize s = 0; s < shards; ++s) carry[s] = contexts_[s]->take_stats();
+  // Drains each context's batch tally (merging into `out` when asked) and
+  // restores its pre-batch stats — also on the exception path, so a
+  // throwing frame can neither lose the caller's tally nor leave partial
+  // batch counts behind.
+  const auto drain_and_restore = [&](SimStats* out) {
+    for (usize s = 0; s < shards; ++s) {
+      SimStats part = contexts_[s]->take_stats();
+      if (out != nullptr) out->merge(part);
+      contexts_[s]->stats_ = std::move(carry[s]);
+    }
+  };
+  try {
+    // Contiguous shards, one pooled context each. Per-frame results and
+    // stats contributions are context-independent (full reset at every
+    // frame boundary), so the sharding never shows in the outputs.
+    p.parallel_for(shards, [&](usize s) {
+      SimContext& ctx = *contexts_[s];
+      const usize lo = s * n / shards;
+      const usize hi = (s + 1) * n / shards;
+      for (usize i = lo; i < hi; ++i) {
+        results[i] = run_frame(ctx, images[i]);
+      }
+    });
+  } catch (...) {
+    drain_and_restore(nullptr);  // discard partial batch tallies
+    throw;
+  }
+  // Deterministic reduction: per-context tallies merge in context order, on
+  // this thread, regardless of how many workers ran the batch.
+  drain_and_restore(stats);
+  return results;
+}
+
+}  // namespace sj::sim

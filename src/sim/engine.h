@@ -1,0 +1,202 @@
+// Batched inference engine: one immutable compiled artifact, many mutable
+// execution contexts.
+//
+// The split mirrors how Shenjing itself scales — fixed-function tiles whose
+// configuration memories are written once, replicated behind the two NoCs —
+// and how SpiNNaker-class systems get throughput: many identical processing
+// elements running the same program against private state.
+//
+//   CompiledModel  (immutable, shared)      SimContext  (mutable, per frame
+//     MappedNetwork (weights, schedule)       stream)
+//     noc::NocTopology (links, wiring)          per-core state (axons, local
+//     map::ExecProgram (lowered op stream)        PS, membrane potentials)
+//     dense weight rows, touch sets             noc::NocState (router regs,
+//                                                 staged writes, toggles)
+//                                               SimStats (incl. per-link
+//                                                 TrafficCounters)
+//
+// Engine::run_frame(ctx, image) executes one frame against one context with
+// exactly the plane-parallel word kernels of the single-frame engine (PR 2);
+// Engine::run_batch(images) fans frames out over the global ThreadPool, one
+// context per worker shard, and merges per-context SimStats and per-link
+// traffic counters in fixed context order. Because every frame starts from
+// a full context reset (registers, axons, toggle history), a frame's
+// results *and* its stats contribution are independent of which context ran
+// it — so batch outputs and merged counters are bit-identical under 1 or N
+// threads. tests/test_engine_batch.cpp enforces this.
+//
+// The thin sim::Simulator wrapper (simulator.h) binds one Engine to one
+// context for single-stream callers.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "mapper/exec_program.h"
+#include "mapper/program.h"
+#include "noc/fabric.h"
+#include "snn/evaluate.h"
+
+namespace sj::sim {
+
+using map::MappedNetwork;
+using map::Slot;
+
+/// Execution statistics driving the power model and the paper-vs-measured
+/// reports.
+struct SimStats {
+  i64 frames = 0;
+  i64 iterations = 0;      // hardware timesteps executed
+  u64 cycles = 0;          // iterations * cycles_per_timestep
+  // Per-neuron atomic-op issue counts, indexed by core::EnergyOp.
+  std::array<i64, 8> op_neurons{};
+  i64 saturations = 0;     // adder/potential saturation events (expect 0)
+  i64 spikes_fired = 0;
+  i64 axon_spikes = 0;     // active axons observed at ACC time
+  i64 axon_slots = 0;      // axon capacity sampled at ACC time
+  /// Per-link NoC traffic (LinkId-indexed; see noc/link.h). The inter-chip
+  /// aggregates the power model consumes are rolled up from links whose
+  /// endpoints lie on different chips.
+  noc::TrafficCounters noc;
+
+  i64 interchip_ps_bits() const { return noc.interchip_ps_bits; }
+  i64 interchip_spike_bits() const { return noc.interchip_spike_bits; }
+
+  /// Mean fraction of axons spiking per ACC (the paper's 6.25 % for MNIST).
+  double switching_activity() const {
+    return axon_slots == 0 ? 0.0
+                           : static_cast<double>(axon_spikes) / static_cast<double>(axon_slots);
+  }
+  void merge(const SimStats& o);
+};
+
+/// Spike trains observed at unit roots, re-aligned to logical timesteps
+/// (index [unit][t]); directly comparable with snn::Trace.
+struct HardwareTrace {
+  std::vector<std::vector<BitVec>> units;
+};
+
+/// Result of simulating one input frame.
+struct FrameResult {
+  std::vector<i32> spike_counts;      // output unit, per neuron, over T steps
+  std::vector<i64> final_potentials;  // residual membrane potentials
+  i32 predicted = -1;
+};
+
+/// Everything immutable about a mapped network, compiled once: the NoC
+/// topology, the lowered op stream, the precompiled dense weight rows and
+/// the touch sets that let per-frame resets skip filler tiles. Shared
+/// read-only by every SimContext; keeps pointers to `mapped`/`net`, which
+/// must outlive it (same contract as the original Simulator).
+class CompiledModel {
+ public:
+  CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork& net);
+
+  const MappedNetwork& mapped() const { return *mapped_; }
+  const snn::SnnNetwork& net() const { return *net_; }
+  const noc::NocTopology& topology() const { return topo_; }
+  const map::ExecProgram& program() const { return prog_; }
+
+  /// Energy bookkeeping for the one-off weight-load phase: per-neuron LD_WT
+  /// issue count (#cores x neurons); charged once per deployment.
+  i64 ldwt_neurons() const;
+
+ private:
+  friend class Engine;
+
+  const MappedNetwork* mapped_;
+  const snn::SnnNetwork* net_;
+  noc::NocTopology topo_;
+  map::ExecProgram prog_;
+  // Per-core dense weight rows (axon-major, 256 i16 lanes per row) for
+  // cores whose synapse rows are dense enough that a contiguous 256-lane
+  // add beats the CSR tap walk; empty for sparse (conv-like) cores.
+  std::vector<std::vector<i16>> dense_w_;
+  // Precomputed touch sets (sorted, unique): the grid is mostly filler
+  // tiles, so per-frame resets and per-iteration axon rotation only visit
+  // state the program can actually write.
+  std::vector<u32> touched_routers_;   // op cores + send destinations
+  std::vector<u32> active_cores_;      // cores whose CoreState can change
+  std::vector<noc::LinkId> touched_links_;
+};
+
+/// The mutable state of one frame stream: neuron-core registers, one
+/// NocState, and the stats the stream has accumulated since the last
+/// take_stats(). Not thread-safe; one context per worker.
+class SimContext {
+ public:
+  explicit SimContext(const CompiledModel& model);
+
+  /// Stats accrued by run_frame calls on this context since construction or
+  /// the last take_stats().
+  const SimStats& stats() const { return stats_; }
+  /// Returns the accrued stats and zeroes the context's tally.
+  SimStats take_stats();
+
+ private:
+  friend class Engine;
+
+  /// Neuron-core state. Router registers live in noc_. Fixed-size
+  /// contiguous arrays: the kernels address them in 64-plane strips, and
+  /// `acc` is the reusable ACC scratch (no per-op heap allocation).
+  struct CoreState {
+    std::array<i16, 256> local_ps{};
+    std::array<i32, 256> potential{};
+    std::array<i32, 256> acc{};
+    std::array<u64, 4> axon_cur{}, axon_n1{}, axon_n2{};
+  };
+
+  noc::NocState noc_;
+  std::vector<CoreState> cores_;
+  SimStats stats_;
+};
+
+/// One compiled model plus a pool of contexts. run_frame is const and
+/// mutates only the context it is handed, so distinct contexts run
+/// concurrently against one Engine. run_batch itself is NOT thread-safe —
+/// it grows and reuses the internal context pool; concurrent batches need
+/// one Engine each (cheap: the expensive part, lowering, is per-model).
+class Engine {
+ public:
+  Engine(const MappedNetwork& mapped, const snn::SnnNetwork& net);
+
+  const CompiledModel& model() const { return model_; }
+
+  /// A fresh context for this model (callers may also own contexts
+  /// directly; see SimContext).
+  SimContext make_context() const { return SimContext(model_); }
+
+  /// Grows the internal pool to at least `n` contexts and returns the pool
+  /// size. Contexts are reused across run_batch calls.
+  usize ensure_contexts(usize n);
+  usize num_contexts() const { return contexts_.size(); }
+  SimContext& context(usize i) { return *contexts_[i]; }
+
+  /// Simulates one frame (T + depth iterations) on `ctx`, accruing stats
+  /// into ctx.stats(). `trace`, when provided, is filled with per-unit root
+  /// spike trains for equivalence checking. Semantically identical to the
+  /// pre-batch Simulator::run_frame.
+  FrameResult run_frame(SimContext& ctx, const Tensor& image,
+                        HardwareTrace* trace = nullptr) const;
+
+  /// Simulates every frame of `images`, fanning contiguous shards out over
+  /// `pool` (the global ThreadPool when null), one pooled context per
+  /// shard. Results are indexed like `images`. Per-context stats — SimStats
+  /// and per-link traffic counters — are merged into `stats` in fixed
+  /// context order, so outputs and merged counters are bit-identical
+  /// regardless of thread count.
+  std::vector<FrameResult> run_batch(std::span<const Tensor> images,
+                                     SimStats* stats = nullptr,
+                                     ThreadPool* pool = nullptr);
+
+ private:
+  void reset(SimContext& ctx) const;
+  void run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats& st) const;
+
+  CompiledModel model_;
+  std::vector<std::unique_ptr<SimContext>> contexts_;
+};
+
+}  // namespace sj::sim

@@ -1,147 +1,73 @@
-// Cycle-level functional simulator (paper §V), plane-parallel edition.
+// Single-context view of the cycle-level functional simulator (paper §V).
 //
-// Executes a compiled MappedNetwork the way the RTL would: every timestep it
-// replays the cycle-by-cycle atomic-op schedule, moving 16-bit partial sums
-// and 1-bit spikes through the noc::NocFabric's per-plane router registers
-// with two-phase (read-then-write) cycle semantics, integrating & firing at
-// accumulation roots, and double-buffering axon registers across timesteps.
+// The execution machinery lives in sim/engine.h, split along the
+// artifact/state seam: an immutable CompiledModel (mapped network, lowered
+// plane-parallel op stream, NoC topology) and mutable SimContexts (core
+// registers, router state, stats). Simulator binds one Engine to one
+// context and keeps the original one-frame-at-a-time API for tests, tools
+// and anything that doesn't batch. Batch callers use sim::Engine directly.
+//
 // It is aimed to be cycle-by-cycle equivalent to RTL in exactly the three
 // senses the paper lists: (1) it runs the Table-I atomic operations, (2) it
 // produces and routes the same data in neuron cores and NoCs, and (3) it
 // yields execution statistics for architectural power estimation.
-//
-// Execution model: the 256 router planes of a tile run the *same* compiled
-// op in lockstep ("each PS NoC is dedicated exclusively to the same neuron
-// in each core", §II), so the engine executes each op as a word-level
-// kernel over the plane mask — whole-u64 AND/OR/shift for the 1-bit spike
-// planes, contiguous 64-plane strips (with an all-ones fast path the
-// compiler vectorizes) for the 16-bit PS planes — instead of a per-plane
-// scalar callback. The schedule is lowered once, at construction, into a
-// map::ExecProgram with pre-resolved link ids and mask popcounts; SimStats
-// stays exact because every counter is derived from popcounts of the same
-// words the kernels operate on. Bit-exactness of this path against the
-// abstract SNN reference is enforced by tests/test_fuzz_equivalence.cpp,
-// and against a per-plane scalar reference by tests/test_exec_kernels.cpp.
-//
-// The division of labor with src/noc: the fabric owns everything physical
-// about the two NoCs (router registers, link wiring, per-link traffic
-// accounting); the simulator owns the neuron cores (axon registers, local
-// partial sums, membrane potentials) and drives the fabric cycle by cycle
-// from the lowered program.
+// Bit-exactness against the abstract SNN reference is enforced by
+// tests/test_fuzz_equivalence.cpp, and against a per-plane scalar reference
+// by tests/test_exec_kernels.cpp.
 //
 // Layer pipelining: a unit at depth d processes frame timestep t during
 // hardware iteration d + t, so one frame needs T + depth iterations; at
 // steady state the array sustains one frame per T iterations.
 #pragma once
 
-#include <array>
-#include <vector>
-
-#include "mapper/exec_program.h"
-#include "mapper/program.h"
-#include "noc/link.h"
-#include "snn/evaluate.h"
+#include "sim/engine.h"
 
 namespace sj::sim {
 
-using map::MappedNetwork;
-using map::Slot;
-
-/// Execution statistics driving the power model and the paper-vs-measured
-/// reports.
-struct SimStats {
-  i64 frames = 0;
-  i64 iterations = 0;      // hardware timesteps executed
-  u64 cycles = 0;          // iterations * cycles_per_timestep
-  // Per-neuron atomic-op issue counts, indexed by core::EnergyOp.
-  std::array<i64, 8> op_neurons{};
-  i64 saturations = 0;     // adder/potential saturation events (expect 0)
-  i64 spikes_fired = 0;
-  i64 axon_spikes = 0;     // active axons observed at ACC time
-  i64 axon_slots = 0;      // axon capacity sampled at ACC time
-  /// Per-link NoC traffic (LinkId-indexed; see noc/link.h). The inter-chip
-  /// aggregates the power model consumes are rolled up from links whose
-  /// endpoints lie on different chips.
-  noc::TrafficCounters noc;
-
-  i64 interchip_ps_bits() const { return noc.interchip_ps_bits; }
-  i64 interchip_spike_bits() const { return noc.interchip_spike_bits; }
-
-  /// Mean fraction of axons spiking per ACC (the paper's 6.25 % for MNIST).
-  double switching_activity() const {
-    return axon_slots == 0 ? 0.0
-                           : static_cast<double>(axon_spikes) / static_cast<double>(axon_slots);
-  }
-  void merge(const SimStats& o);
-};
-
-/// Spike trains observed at unit roots, re-aligned to logical timesteps
-/// (index [unit][t]); directly comparable with snn::Trace.
-struct HardwareTrace {
-  std::vector<std::vector<BitVec>> units;
-};
-
-/// Result of simulating one input frame.
-struct FrameResult {
-  std::vector<i32> spike_counts;      // output unit, per neuron, over T steps
-  std::vector<i64> final_potentials;  // residual membrane potentials
-  i32 predicted = -1;
-};
-
-/// One Shenjing system instance. Not thread-safe; use one Simulator per
-/// thread for parallel frame evaluation.
+/// One Shenjing system instance bound to one execution context. Not
+/// thread-safe; for parallel frame evaluation use sim::Engine::run_batch
+/// (which shares one compiled artifact across contexts) instead of one
+/// Simulator per thread.
 class Simulator {
  public:
-  Simulator(const MappedNetwork& mapped, const snn::SnnNetwork& net);
+  Simulator(const MappedNetwork& mapped, const snn::SnnNetwork& net)
+      : engine_(mapped, net), ctx_(engine_.model()) {}
 
   /// Simulates one frame (T + depth iterations). `trace`, when provided, is
-  /// filled with per-unit root spike trains for equivalence checking.
+  /// filled with per-unit root spike trains for equivalence checking. A
+  /// frame that throws contributes nothing to later frames' stats (the
+  /// partial tally is discarded, as the pre-batch simulator did).
   FrameResult run_frame(const Tensor& image, SimStats* stats = nullptr,
-                        HardwareTrace* trace = nullptr);
+                        HardwareTrace* trace = nullptr) {
+    FrameResult res;
+    try {
+      res = engine_.run_frame(ctx_, image, trace);
+    } catch (...) {
+      ctx_.take_stats();  // discard the partial frame tally
+      throw;
+    }
+    SimStats frame_stats = ctx_.take_stats();
+    if (stats != nullptr) stats->merge(frame_stats);
+    return res;
+  }
 
   /// Energy bookkeeping for the one-off weight-load phase: per-neuron LD_WT
   /// issue count (#cores x neurons); charged once per deployment.
-  i64 ldwt_neurons() const;
+  i64 ldwt_neurons() const { return engine_.model().ldwt_neurons(); }
 
-  const MappedNetwork& mapped() const { return *mapped_; }
-  /// The NoC this simulator routes through (topology for traffic reports).
-  const noc::NocFabric& fabric() const { return fabric_; }
+  const MappedNetwork& mapped() const { return engine_.model().mapped(); }
+  /// The NoC topology this simulator routes over (for traffic reports).
+  const noc::NocTopology& topology() const { return engine_.model().topology(); }
   /// The lowered op stream this simulator executes (for tests/inspection).
-  const map::ExecProgram& program() const { return prog_; }
+  const map::ExecProgram& program() const { return engine_.model().program(); }
 
  private:
-  /// Neuron-core state. Router registers live in fabric_. Fixed-size
-  /// contiguous arrays: the kernels address them in 64-plane strips, and
-  /// `acc` is the reusable ACC scratch (no per-op heap allocation).
-  struct CoreState {
-    std::array<i16, 256> local_ps{};
-    std::array<i32, 256> potential{};
-    std::array<i32, 256> acc{};
-    std::array<u64, 4> axon_cur{}, axon_n1{}, axon_n2{};
-  };
-
-  void reset();
-  void run_iteration(i32 iter, const BitVec* input_spikes, SimStats& st);
-
-  const MappedNetwork* mapped_;
-  const snn::SnnNetwork* net_;
-  noc::NocFabric fabric_;
-  map::ExecProgram prog_;
-  std::vector<CoreState> state_;
-  // Per-core dense weight rows (axon-major, 256 i16 lanes per row) for
-  // cores whose synapse rows are dense enough that a contiguous 256-lane
-  // add beats the CSR tap walk; empty for sparse (conv-like) cores.
-  std::vector<std::vector<i16>> dense_w_;
-  // Precomputed touch sets (sorted, unique): the grid is mostly filler
-  // tiles, so per-frame resets and per-iteration axon rotation only visit
-  // state the program can actually write.
-  std::vector<u32> touched_routers_;   // op cores + send destinations
-  std::vector<u32> active_cores_;      // cores whose CoreState can change
-  std::vector<noc::LinkId> touched_links_;
+  Engine engine_;
+  SimContext ctx_;
 };
 
-/// Accuracy of the *hardware* on (a prefix of) a dataset, evaluated with one
-/// Simulator per worker thread. Also accumulates stats when given.
+/// Accuracy of the *hardware* on (a prefix of) a dataset, evaluated as one
+/// Engine batch. Also accumulates stats when given.
 double hardware_accuracy(const MappedNetwork& mapped, const snn::SnnNetwork& net,
                          const nn::Dataset& data, usize max_frames = 0,
                          SimStats* stats = nullptr);

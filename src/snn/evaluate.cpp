@@ -167,27 +167,47 @@ EvalResult AbstractEvaluator::run(const Tensor& image, EvalStats* stats, Trace* 
   return res;
 }
 
+std::vector<EvalResult> AbstractEvaluator::run_batch(std::span<const Tensor> images,
+                                                     EvalStats* stats) const {
+  std::vector<EvalResult> results(images.size());
+  if (images.empty()) return results;
+  ThreadPool& pool = ThreadPool::global();
+  const usize n = images.size();
+  const usize shards = std::min(n, std::max<usize>(1, pool.num_threads()));
+  std::vector<EvalStats> shard_stats(shards);
+  pool.parallel_for(shards, [&](usize s) {
+    const usize lo = s * n / shards;
+    const usize hi = (s + 1) * n / shards;
+    for (usize i = lo; i < hi; ++i) {
+      results[i] = run(images[i], stats != nullptr ? &shard_stats[s] : nullptr);
+    }
+  });
+  // Fixed reduction order: per-frame stats are history-independent, so the
+  // merged tally does not depend on the shard split or thread count.
+  if (stats != nullptr) {
+    for (const auto& ss : shard_stats) stats->merge(ss);
+  }
+  return results;
+}
+
 double dataset_accuracy(const SnnNetwork& net, const nn::Dataset& data, EvalMode mode,
                         EvalStats* stats) {
   SJ_REQUIRE(data.size() > 0, "dataset_accuracy: empty dataset");
   const AbstractEvaluator eval(net, mode);
-  ThreadPool& pool = ThreadPool::global();
-  const usize shards = std::min(data.size(), std::max<usize>(1, pool.num_threads()));
-  std::vector<EvalStats> shard_stats(shards);
-  std::atomic<i64> correct{0};
-  pool.parallel_for(shards, [&](usize s) {
-    const usize lo = s * data.size() / shards;
-    const usize hi = (s + 1) * data.size() / shards;
-    for (usize i = lo; i < hi; ++i) {
-      const EvalResult r =
-          eval.run(data.images[i], stats != nullptr ? &shard_stats[s] : nullptr);
-      if (r.predicted == data.labels[i]) correct.fetch_add(1, std::memory_order_relaxed);
+  // Bounded batches keep result memory O(chunk) on full-dataset sweeps;
+  // grouping does not affect per-frame results or accumulated stats.
+  constexpr usize kChunk = 1024;
+  const usize n = data.size();
+  usize correct = 0;
+  for (usize base = 0; base < n; base += kChunk) {
+    const usize len = std::min(kChunk, n - base);
+    const std::vector<EvalResult> results =
+        eval.run_batch(std::span<const Tensor>(data.images.data() + base, len), stats);
+    for (usize i = 0; i < len; ++i) {
+      if (results[i].predicted == data.labels[base + i]) ++correct;
     }
-  });
-  if (stats != nullptr) {
-    for (const auto& ss : shard_stats) stats->merge(ss);
   }
-  return static_cast<double>(correct.load()) / static_cast<double>(data.size());
+  return static_cast<double>(correct) / static_cast<double>(n);
 }
 
 }  // namespace sj::snn

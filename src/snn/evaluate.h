@@ -11,6 +11,8 @@
 // the accuracy gap that motivates the PS NoC design.
 #pragma once
 
+#include <span>
+
 #include "common/thread_pool.h"
 #include "nn/dataset.h"
 #include "snn/network.h"
@@ -72,6 +74,14 @@ class AbstractEvaluator {
 
   EvalResult run(const Tensor& image, EvalStats* stats = nullptr,
                  Trace* trace = nullptr) const;
+
+  /// Evaluates every frame of `images` in parallel over the global
+  /// ThreadPool; results are indexed like `images`. Per-shard stats merge in
+  /// fixed shard order, so accumulated statistics are independent of thread
+  /// count — the abstract-side counterpart of sim::Engine::run_batch, used
+  /// by the hardware-equivalence checks to produce both sides as batches.
+  std::vector<EvalResult> run_batch(std::span<const Tensor> images,
+                                    EvalStats* stats = nullptr) const;
 
  private:
   const SnnNetwork* net_;

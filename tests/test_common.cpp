@@ -224,6 +224,61 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   }
 }
 
+TEST(ThreadPool, NestedParallelForFromWorkerRunsInlineAndCompletes) {
+  // A nested call from one of the pool's own workers runs inline on that
+  // worker instead of round-tripping chunks through the saturated queue.
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<bool> worker_ran_nested{false};
+  std::atomic<i64> sum{0};
+  pool.parallel_for(3, [&](usize) {
+    if (pool.on_worker_thread()) {
+      // The nested call must run inline: every item on this same worker.
+      const std::thread::id self = std::this_thread::get_id();
+      std::atomic<bool> all_inline{true};
+      pool.parallel_for(32, [&](usize j) {
+        if (std::this_thread::get_id() != self) all_inline.store(false);
+        sum.fetch_add(static_cast<i64>(j));
+      });
+      EXPECT_TRUE(all_inline.load());
+      worker_ran_nested.store(true);
+    } else {
+      // Items on the participating caller park until a worker has taken
+      // one, so the caller cannot drain the whole loop before the inline
+      // path is exercised. Cannot deadlock: while this thread spins, the
+      // queued chunks are only poppable by the (idle) workers.
+      while (!worker_ran_nested.load()) std::this_thread::yield();
+    }
+  });
+  EXPECT_TRUE(worker_ran_nested.load());
+  // Each worker-run outer item contributed sum(0..31) = 496 exactly once.
+  EXPECT_GT(sum.load(), 0);
+  EXPECT_EQ(sum.load() % 496, 0);
+}
+
+TEST(ThreadPool, NestedExceptionStillPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](usize) {
+                                   pool.parallel_for(8, [](usize j) {
+                                     if (j == 3) throw std::runtime_error("inner");
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DistinctPoolsComposeWithoutInlining) {
+  // A worker of pool A is not a worker of pool B: nesting across pools
+  // still parallelizes on the inner pool.
+  ThreadPool a(2), b(2);
+  std::atomic<i64> sum{0};
+  a.parallel_for(4, [&](usize i) {
+    EXPECT_FALSE(b.on_worker_thread());
+    b.parallel_for(50, [&](usize j) { sum.fetch_add(static_cast<i64>(i + j)); });
+  });
+  EXPECT_EQ(sum.load(), 4 * (50 * 49 / 2) + 50 * (4 * 3 / 2));
+}
+
 // ----------------------------------------------------------------- types ---
 
 TEST(Types, Opposite) {

@@ -1,0 +1,313 @@
+// Batch engine tests: the artifact/state split must be invisible in the
+// numbers.
+//
+//  1. run_batch == a serial Simulator frame loop, bit for bit: FrameResults,
+//     merged SimStats (op census, saturations, spikes, axon activity) and
+//     the entire per-link TrafficCounters table.
+//  2. Thread-count independence: the same batch under a 1-thread and an
+//     N-thread pool yields bit-identical per-frame outputs and merged
+//     counters (every frame starts from a full context reset, so results
+//     and stats contributions cannot depend on which context ran them).
+//  3. Context hygiene: contexts from one Engine are interchangeable, stats
+//     accrue per context and take_stats() drains them, and run_batch nests
+//     safely inside an outer parallel_for (ThreadPool reentrancy).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <span>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "sim/simulator.h"
+#include "snn/convert.h"
+
+namespace sj::sim {
+namespace {
+
+struct Built {
+  snn::SnnNetwork net;
+  map::MappedNetwork mapped;
+  nn::Dataset data;
+};
+
+Built build_fc(u64 seed, i32 T, usize frames) {
+  nn::Model m({300}, "batch-fc");
+  m.dense(300, 80);
+  m.relu();
+  m.dense(80, 10);
+  Rng rng(seed);
+  m.init_weights(rng);
+  nn::Dataset d;
+  d.sample_shape = {300};
+  d.num_classes = 10;
+  for (usize i = 0; i < frames; ++i) {
+    Tensor x({300});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    d.images.push_back(std::move(x));
+    d.labels.push_back(static_cast<i32>(rng.uniform_index(10)));
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = T;
+  Built b{snn::convert(m, d, cc), {}, {}};
+  b.mapped = map::map_network(b.net);
+  b.data = std::move(d);
+  return b;
+}
+
+std::span<const Tensor> batch_of(const Built& b) {
+  return {b.data.images.data(), b.data.images.size()};
+}
+
+void expect_frames_eq(const std::vector<FrameResult>& a, const std::vector<FrameResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (usize i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spike_counts, b[i].spike_counts) << "frame " << i;
+    EXPECT_EQ(a[i].final_potentials, b[i].final_potentials) << "frame " << i;
+    EXPECT_EQ(a[i].predicted, b[i].predicted) << "frame " << i;
+  }
+}
+
+void expect_stats_eq(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.cycles, b.cycles);
+  for (usize i = 0; i < a.op_neurons.size(); ++i) {
+    EXPECT_EQ(a.op_neurons[i], b.op_neurons[i]) << "energy op " << i;
+  }
+  EXPECT_EQ(a.saturations, b.saturations);
+  EXPECT_EQ(a.spikes_fired, b.spikes_fired);
+  EXPECT_EQ(a.axon_spikes, b.axon_spikes);
+  EXPECT_EQ(a.axon_slots, b.axon_slots);
+  ASSERT_EQ(a.noc.links.size(), b.noc.links.size());
+  for (usize l = 0; l < a.noc.links.size(); ++l) {
+    EXPECT_EQ(a.noc.links[l].ps_flits, b.noc.links[l].ps_flits) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].ps_bits, b.noc.links[l].ps_bits) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].ps_toggles, b.noc.links[l].ps_toggles) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].spike_flits, b.noc.links[l].spike_flits) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].spike_toggles, b.noc.links[l].spike_toggles) << "link " << l;
+  }
+  EXPECT_EQ(a.noc.interchip_ps_bits, b.noc.interchip_ps_bits);
+  EXPECT_EQ(a.noc.interchip_spike_bits, b.noc.interchip_spike_bits);
+}
+
+TEST(EngineBatch, MatchesSerialSimulatorBitExactly) {
+  const Built b = build_fc(17, 8, 6);
+
+  Simulator serial(b.mapped, b.net);
+  SimStats serial_stats;
+  std::vector<FrameResult> serial_results;
+  for (const Tensor& img : b.data.images) {
+    serial_results.push_back(serial.run_frame(img, &serial_stats));
+  }
+
+  ThreadPool pool(3);
+  Engine engine(b.mapped, b.net);
+  SimStats batch_stats;
+  const std::vector<FrameResult> batch_results =
+      engine.run_batch(batch_of(b), &batch_stats, &pool);
+
+  expect_frames_eq(batch_results, serial_results);
+  expect_stats_eq(batch_stats, serial_stats);
+}
+
+TEST(EngineBatch, ThreadCountDoesNotChangeResultsOrMergedStats) {
+  const Built b = build_fc(23, 10, 8);
+
+  ThreadPool one(1), four(4);
+  // Separate engines so the context pools are sized independently — the
+  // 1-thread engine runs the whole batch through one context, the 4-thread
+  // engine shards it over four.
+  Engine e1(b.mapped, b.net), e4(b.mapped, b.net);
+  SimStats s1, s4;
+  const std::vector<FrameResult> r1 = e1.run_batch(batch_of(b), &s1, &one);
+  const std::vector<FrameResult> r4 = e4.run_batch(batch_of(b), &s4, &four);
+  EXPECT_EQ(e1.num_contexts(), 1u);
+  EXPECT_GT(e4.num_contexts(), 1u);
+
+  expect_frames_eq(r4, r1);
+  expect_stats_eq(s4, s1);
+}
+
+TEST(EngineBatch, RepeatedBatchesReuseContextsAndStayIdentical) {
+  const Built b = build_fc(29, 6, 5);
+  ThreadPool pool(2);
+  Engine engine(b.mapped, b.net);
+  SimStats s1, s2;
+  const std::vector<FrameResult> r1 = engine.run_batch(batch_of(b), &s1, &pool);
+  const usize contexts_after_first = engine.num_contexts();
+  const std::vector<FrameResult> r2 = engine.run_batch(batch_of(b), &s2, &pool);
+  EXPECT_EQ(engine.num_contexts(), contexts_after_first);
+  expect_frames_eq(r2, r1);
+  expect_stats_eq(s2, s1);
+}
+
+TEST(EngineBatch, EmptyBatchIsANoOp) {
+  const Built b = build_fc(31, 4, 1);
+  Engine engine(b.mapped, b.net);
+  SimStats st;
+  const std::vector<FrameResult> r = engine.run_batch({}, &st);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(st.frames, 0);
+  EXPECT_EQ(engine.num_contexts(), 0u);
+}
+
+TEST(EngineBatch, ContextsOfOneEngineAreInterchangeable) {
+  const Built b = build_fc(37, 6, 2);
+  Engine engine(b.mapped, b.net);
+  SimContext c1 = engine.make_context();
+  SimContext c2 = engine.make_context();
+
+  const FrameResult a = engine.run_frame(c1, b.data.images[0]);
+  // Dirty c2 with a different frame, then replay frame 0 on it: the frame
+  // boundary reset must erase all history.
+  engine.run_frame(c2, b.data.images[1]);
+  const FrameResult a2 = engine.run_frame(c2, b.data.images[0]);
+  EXPECT_EQ(a.spike_counts, a2.spike_counts);
+  EXPECT_EQ(a.final_potentials, a2.final_potentials);
+  EXPECT_EQ(a.predicted, a2.predicted);
+}
+
+TEST(EngineBatch, ContextStatsAccrueAndDrain) {
+  const Built b = build_fc(41, 5, 2);
+  Engine engine(b.mapped, b.net);
+  SimContext ctx = engine.make_context();
+  engine.run_frame(ctx, b.data.images[0]);
+  engine.run_frame(ctx, b.data.images[1]);
+  EXPECT_EQ(ctx.stats().frames, 2);
+  const SimStats taken = ctx.take_stats();
+  EXPECT_EQ(taken.frames, 2);
+  EXPECT_GT(taken.iterations, 0);
+  EXPECT_EQ(ctx.stats().frames, 0);
+  EXPECT_EQ(ctx.stats().iterations, 0);
+  EXPECT_TRUE(ctx.stats().noc.empty());
+}
+
+TEST(EngineBatch, BatchStatsExcludeAndPreservePriorContextTallies) {
+  // A pooled context used directly via run_frame keeps its own tally: the
+  // batch must neither report those frames as its own nor zero them out.
+  const Built b = build_fc(53, 5, 4);
+  ThreadPool pool(2);
+  Engine engine(b.mapped, b.net);
+  engine.ensure_contexts(1);
+  engine.run_frame(engine.context(0), b.data.images[0]);
+  EXPECT_EQ(engine.context(0).stats().frames, 1);
+
+  SimStats st;
+  engine.run_batch(batch_of(b), &st, &pool);
+  EXPECT_EQ(st.frames, static_cast<i64>(b.data.size()));
+  EXPECT_EQ(engine.context(0).stats().frames, 1);
+}
+
+TEST(EngineBatch, ThrowingFrameRestoresPriorTalliesAndDiscardsPartials) {
+  // A batch that throws mid-run must leave every pooled context exactly as
+  // it was: prior tallies restored, no partial batch counts left behind.
+  const Built b = build_fc(59, 5, 3);
+  ThreadPool pool(2);
+  Engine engine(b.mapped, b.net);
+  engine.ensure_contexts(1);
+  engine.run_frame(engine.context(0), b.data.images[0]);
+  const i64 prior_iterations = engine.context(0).stats().iterations;
+
+  std::vector<Tensor> bad = b.data.images;
+  bad.push_back(Tensor({4}));  // too few pixels: input injection throws
+  EXPECT_THROW(
+      engine.run_batch(std::span<const Tensor>(bad.data(), bad.size()), nullptr, &pool),
+      Error);
+  EXPECT_EQ(engine.context(0).stats().frames, 1);
+  EXPECT_EQ(engine.context(0).stats().iterations, prior_iterations);
+
+  // The engine stays usable: a clean batch afterwards is still bit-exact.
+  SimStats st;
+  Engine fresh(b.mapped, b.net);
+  SimStats fresh_st;
+  const std::vector<FrameResult> after = engine.run_batch(batch_of(b), &st, &pool);
+  const std::vector<FrameResult> expect = fresh.run_batch(batch_of(b), &fresh_st, &pool);
+  expect_frames_eq(after, expect);
+  expect_stats_eq(st, fresh_st);
+}
+
+TEST(EngineBatch, SimulatorShimDiscardsPartialStatsOfThrowingFrame) {
+  // The single-stream shim keeps the pre-batch contract: a frame that
+  // throws contributes nothing to the stats of later frames.
+  const Built b = build_fc(61, 5, 2);
+  Simulator sim(b.mapped, b.net);
+  EXPECT_THROW(sim.run_frame(Tensor({4})), Error);
+  SimStats st;
+  sim.run_frame(b.data.images[0], &st);
+
+  Simulator fresh(b.mapped, b.net);
+  SimStats fresh_st;
+  fresh.run_frame(b.data.images[0], &fresh_st);
+  expect_stats_eq(st, fresh_st);
+  EXPECT_EQ(st.frames, 1);
+}
+
+TEST(EngineBatch, NestedBatchUsesOneContext) {
+  // Inside a worker of its own pool, run_batch runs inline — it must not
+  // allocate a context per pool thread it can never use concurrently.
+  const Built b = build_fc(67, 4, 3);
+  ThreadPool pool(2);
+  std::vector<Engine> engines;
+  engines.reserve(3);
+  for (int i = 0; i < 3; ++i) engines.emplace_back(b.mapped, b.net);
+  std::atomic<bool> worker_ran{false};
+  pool.parallel_for(3, [&](usize i) {
+    if (pool.on_worker_thread()) {
+      engines[i].run_batch(batch_of(b), nullptr, &pool);
+      EXPECT_EQ(engines[i].num_contexts(), 1u);
+      worker_ran.store(true);
+    } else {
+      // Park caller-thread items until a worker demonstrably took one (the
+      // idle workers are the only threads that can pop the queued chunks).
+      while (!worker_ran.load()) std::this_thread::yield();
+    }
+  });
+  EXPECT_TRUE(worker_ran.load());
+}
+
+TEST(EngineBatch, NestsInsideOuterParallelForWithoutDeadlock) {
+  // An outer parallel_for on the same pool run_batch uses: the nested
+  // parallel_for inside run_batch detects the worker thread and runs the
+  // shards inline, so batch-of-batches compositions complete correctly.
+  const Built b = build_fc(43, 4, 3);
+  Engine engine(b.mapped, b.net);
+  SimStats base;
+  const std::vector<FrameResult> expected = engine.run_batch(batch_of(b), &base);
+
+  ThreadPool pool(2);
+  std::vector<std::vector<FrameResult>> per_task(4);
+  std::vector<Engine> engines;
+  engines.reserve(4);
+  for (int i = 0; i < 4; ++i) engines.emplace_back(b.mapped, b.net);
+  pool.parallel_for(4, [&](usize i) {
+    per_task[i] = engines[i].run_batch(batch_of(b), nullptr, &pool);
+  });
+  for (usize i = 0; i < per_task.size(); ++i) {
+    expect_frames_eq(per_task[i], expected);
+  }
+}
+
+TEST(EngineBatch, HardwareAccuracyUsesTheBatchPathConsistently) {
+  const Built b = build_fc(47, 6, 5);
+  SimStats st;
+  const double acc = hardware_accuracy(b.mapped, b.net, b.data, 0, &st);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+  EXPECT_EQ(st.frames, static_cast<i64>(b.data.size()));
+
+  // Against the serial path, for both the stats and the prediction tally.
+  Simulator serial(b.mapped, b.net);
+  SimStats serial_stats;
+  usize correct = 0;
+  for (usize i = 0; i < b.data.size(); ++i) {
+    const FrameResult r = serial.run_frame(b.data.images[i], &serial_stats);
+    if (r.predicted == b.data.labels[i]) ++correct;
+  }
+  EXPECT_DOUBLE_EQ(acc, static_cast<double>(correct) / static_cast<double>(b.data.size()));
+  expect_stats_eq(st, serial_stats);
+}
+
+}  // namespace
+}  // namespace sj::sim

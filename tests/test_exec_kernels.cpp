@@ -542,8 +542,8 @@ TEST(ExecProgramTest, LoweringIsDenseResolvedAndCycleGrouped) {
                        t.op.code == OpCode::SpkRecvForward;
     if (sends) {
       ASSERT_NE(e.link, noc::kInvalidLink) << "op " << i;
-      EXPECT_EQ(sim.fabric().link(e.link).src, t.core);
-      EXPECT_EQ(sim.fabric().link(e.link).dir, t.op.dst);
+      EXPECT_EQ(sim.topology().link(e.link).src, t.core);
+      EXPECT_EQ(sim.topology().link(e.link).dir, t.op.dst);
     } else {
       EXPECT_EQ(e.link, noc::kInvalidLink) << "op " << i;
     }

@@ -318,7 +318,7 @@ TEST(NocMapperIntegration, SimTrafficMatchesStaticCensusPerTimestep) {
   EXPECT_EQ(measured_flits, send_flits * st.iterations);
 
   const TrafficReport rep =
-      TrafficReport::build(sim.fabric(), st.noc, st.cycles, st.iterations, "noc-int");
+      TrafficReport::build(sim.topology(), st.noc, st.cycles, st.iterations, "noc-int");
   EXPECT_EQ(rep.total_ps_bits, measured_flits * b.mapped.arch.noc_bits);
   EXPECT_EQ(rep.interchip_ps_bits, st.interchip_ps_bits());
   EXPECT_GT(rep.active_links, 0u);
