@@ -1,0 +1,211 @@
+// EXP-S1 — serving front-end latency & throughput.
+//
+// Measures the async serve::Server on the Table-IV MNIST MLP against the
+// sim::Engine::run_batch baseline the ROADMAP's batch benches record:
+//
+//   - run_batch frames/s (one caller, synchronous batches — the PR 3 number
+//     recorded in BENCH_sim.json);
+//   - serving requests/s at steady state: a client double-buffers frame
+//     batches through submit_batch so the queue never starves, and the rate
+//     is sampled over a mid-flight window (no ramp-down dilution);
+//   - request latency p50/p99 from an unloaded depth-1 closed loop
+//     (submit -> future ready, no queueing delay).
+//
+// The queue, futures and stats merging are the serving tax; the acceptance
+// bar is that batched-steady-state requests/s does not regress below the
+// run_batch rate. Headline numbers land in BENCH_serving.json via
+// bench_util.h so CI archives the trajectory. SHENJING_FAST=1 shrinks the
+// timed runs; SHENJING_THREADS pins the worker count of both paths.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "harness/pipeline.h"
+#include "harness/zoo.h"
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "serve/server.h"
+#include "sim/engine.h"
+#include "snn/convert.h"
+
+using namespace sj;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const usize idx = static_cast<usize>(p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+}  // namespace
+
+int main() {
+  // The Table-IV MLP fixture, as in bench_micro_sim.
+  Rng rng(55);
+  nn::Model m = harness::make_mnist_mlp();
+  m.init_weights(rng);
+  const nn::Dataset data = nn::make_synth_digits(8, {.seed = 12});
+  snn::ConvertConfig cc;
+  cc.timesteps = 20;
+  const snn::SnnNetwork net = snn::convert(m, data, cc);
+  const map::MappedNetwork mapped = map::map_network(net);
+
+  const bool fast = harness::fast_mode();
+  const int min_frames = fast ? 8 : 64;
+  const double min_seconds = fast ? 0.15 : 0.5;
+  const usize workers = std::max<usize>(1, ThreadPool::global().num_threads());
+
+  bench::heading("EXP-S1 — async serving front-end (serve::Server)",
+                 "closed-loop clients vs sim::Engine::run_batch on the Table-IV MLP");
+
+  // Both paths: the same compiled MLP, the same worker count. Measurements
+  // alternate over a few rounds and the best window of each path is
+  // reported — on small shared hosts a single 0.5 s window measures the
+  // neighbour's cron jobs as much as the code.
+  const int rounds = 3;
+
+  // ---- Baseline: synchronous batches through Engine::run_batch. ----------
+  sim::Engine engine(mapped, net);
+  std::vector<Tensor> batch;
+  const usize batch_frames = std::max<usize>(static_cast<usize>(min_frames), workers * 8);
+  batch.reserve(batch_frames);
+  for (usize i = 0; i < batch_frames; ++i) batch.push_back(data.images[i % data.size()]);
+  i64 total_batch_frames = 0;
+  double total_batch_seconds = 0.0;
+  const auto measure_batch = [&]() -> double {
+    sim::SimStats bst;
+    const auto t0 = Clock::now();
+    double secs = 0.0;
+    do {
+      engine.run_batch(std::span<const Tensor>(batch.data(), batch.size()), &bst);
+      secs = seconds_since(t0);
+    } while (bst.frames < min_frames || secs < min_seconds);
+    total_batch_frames += bst.frames;
+    total_batch_seconds += secs;
+    return static_cast<double>(bst.frames) / secs;
+  };
+
+  // ---- Serving: closed-loop batched clients against the async queue. -----
+  serve::Server server({.workers = workers});
+  const serve::ModelKey key = server.load_model(mapped, net);
+  // Warmup: let every worker build its context and fault in the weights.
+  for (auto& f : server.submit_batch(
+           key, {data.images.data(), std::min<usize>(data.size(), workers)})) {
+    f.get();
+  }
+  server.take_stats(key);
+
+  // Latency phase: an unloaded closed loop at depth 1 — submit one frame,
+  // await it, repeat. This measures true request service latency (queue
+  // handoff + one simulated frame) without queueing delay.
+  std::vector<double> latencies_ms;
+  const usize lat_requests = fast ? 32 : 256;
+  const auto measure_latency = [&] {
+    for (usize i = 0; i < lat_requests; ++i) {
+      const auto r0 = Clock::now();
+      server.submit(key, data.images[i % data.size()]).get();
+      latencies_ms.push_back(seconds_since(r0) * 1e3);
+    }
+  };
+
+  // Throughput phase: one client keeps two frame batches in flight
+  // (double-buffered submit_batch) and blocks only on each batch's tail
+  // future — the "frame batches" client shape the server API serves.
+  // Awaiting per request in lockstep would context-switch the client awake
+  // for every frame and measure the OS scheduler instead of the server.
+  const usize kClientBatch = std::max<usize>(32, workers * 16);
+  i64 total_requests = 0;
+  double total_serve_seconds = 0.0;
+  const auto measure_serving = [&]() -> double {
+    server.take_stats(key);  // zero the round's tally
+    const auto st0 = Clock::now();
+    std::thread client([&, st0] {
+      std::vector<Tensor> frames;
+      for (usize j = 0; j < kClientBatch; ++j) frames.push_back(data.images[j % data.size()]);
+      const std::span<const Tensor> span(frames.data(), frames.size());
+      std::vector<std::vector<std::future<sim::FrameResult>>> inflight;
+      while (seconds_since(st0) < min_seconds) {
+        while (inflight.size() < 2) inflight.push_back(server.submit_batch(key, span));
+        std::vector<std::future<sim::FrameResult>> done = std::move(inflight.front());
+        inflight.erase(inflight.begin());
+        done.back().wait();               // one block per batch, not per frame
+        for (auto& f : done) f.get();     // FIFO queue: the rest are (near) ready
+      }
+      for (auto& bf : inflight) {
+        for (auto& f : bf) f.get();
+      }
+    });
+    // Steady-state window: sample the tally at the deadline, while the
+    // client is still pumping (a request's stats merge before its future
+    // becomes ready, so a mid-flight read is exact). This excludes the
+    // ramp-down drain after the deadline, which would dilute the rate with
+    // partially idle workers.
+    std::this_thread::sleep_until(st0 + std::chrono::duration_cast<Clock::duration>(
+                                            std::chrono::duration<double>(min_seconds)));
+    const i64 window_frames = server.stats(key).frames;
+    const double window_seconds = seconds_since(st0);
+    client.join();
+    total_requests += server.take_stats(key).frames;
+    total_serve_seconds += seconds_since(st0);
+    return static_cast<double>(window_frames) / window_seconds;
+  };
+
+  double batch_fps = 0.0, requests_per_sec = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    requests_per_sec = std::max(requests_per_sec, measure_serving());
+    batch_fps = std::max(batch_fps, measure_batch());
+  }
+  measure_latency();
+  server.take_stats(key);  // the latency phase is not part of any window
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p99 = percentile(latencies_ms, 0.99);
+  const double ratio = batch_fps > 0.0 ? requests_per_sec / batch_fps : 0.0;
+
+  bench::print_table({
+      {"path", "best rate", "frames", "seconds", "p50 lat", "p99 lat"},
+      {"Engine::run_batch", bench::num(batch_fps, 1) + " frames/s",
+       std::to_string(total_batch_frames), bench::num(total_batch_seconds, 2),
+       bench::na(), bench::na()},
+      {"serve::Server", bench::num(requests_per_sec, 1) + " req/s",
+       std::to_string(total_requests), bench::num(total_serve_seconds, 2),
+       bench::num(p50, 3) + " ms", bench::num(p99, 3) + " ms"},
+  });
+  std::printf("serving steady state: %.2fx the run_batch rate "
+              "(%zu workers, batches of %zu double-buffered, best of %d windows; "
+              "latency from %zu unloaded depth-1 requests)\n",
+              ratio, workers, kClientBatch, rounds, lat_requests);
+
+  json::Value doc;
+  doc.set("network", "mnist-mlp-table4");
+  doc.set("workers", static_cast<i64>(workers));
+  doc.set("client_batch", static_cast<i64>(kClientBatch));
+  doc.set("latency_requests", static_cast<i64>(lat_requests));
+  doc.set("rounds", static_cast<i64>(rounds));
+  doc.set("requests", total_requests);
+  doc.set("seconds", total_serve_seconds);
+  doc.set("requests_per_sec", requests_per_sec);
+  doc.set("latency_p50_ms", p50);
+  doc.set("latency_p99_ms", p99);
+  doc.set("run_batch_frames", total_batch_frames);
+  doc.set("run_batch_seconds", total_batch_seconds);
+  doc.set("run_batch_frames_per_sec", batch_fps);
+  doc.set("serving_vs_batch", ratio);
+  doc.set("fast_mode", fast);
+  bench::write_bench_json("serving", std::move(doc));
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/status.h"
@@ -16,11 +17,13 @@ thread_local const ThreadPool* t_worker_of = nullptr;
 
 }  // namespace
 
+usize hardware_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
 ThreadPool::ThreadPool(usize num_threads) {
-  if (num_threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    num_threads = hw == 0 ? 4 : hw;
-  }
+  if (num_threads == 0) num_threads = hardware_thread_count();
   workers_.reserve(num_threads);
   for (usize i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -56,11 +59,13 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(usize n, const std::function<void(usize)>& fn) {
   if (n == 0) return;
   const usize workers = num_threads();
-  // Inline paths: tiny n, degenerate pools, and nested calls from this
-  // pool's own workers — the saturated pool would leave the nested caller
-  // draining its own chunks anyway, so run them inline without the queue
-  // round-trip (see the header comment).
-  if (n <= 1 || workers <= 1 || on_worker_thread()) {
+  // Inline paths: tiny n and degenerate pools. Nested calls from this
+  // pool's own workers do NOT run inline: their chunks enqueue like any
+  // other call so idle workers can claim them (outer n < workers would
+  // otherwise serialize the inner batch on the calling worker), and the
+  // caller help-drains through the shared chunk counter below, which makes
+  // the nested wait deadlock-free regardless of queue backlog.
+  if (n <= 1 || workers <= 1) {
     for (usize i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -120,19 +125,27 @@ void ThreadPool::parallel_for(usize n, const std::function<void(usize)>& fn) {
   if (sh->first_error) std::rethrow_exception(sh->first_error);
 }
 
+usize parse_thread_count(const char* text) {
+  if (text == nullptr || text[0] == '\0') return 0;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text) return 0;  // no digits at all
+  // Tolerate trailing blanks ("4 " from a shell export); anything else
+  // after the number is garbage.
+  while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
+  // Malformed or out-of-range values fall back to hardware concurrency
+  // (0); a sane ceiling keeps a fat-fingered value from trying to spawn
+  // a billion OS threads inside a static initializer, and the explicit
+  // ERANGE check keeps an overflowing string from wrapping into a small
+  // "valid" count on platforms where strtol saturates differently.
+  constexpr long kMaxThreads = 256;
+  if (*end != '\0' || errno == ERANGE || v < 0 || v > kMaxThreads) return 0;
+  return static_cast<usize>(v);  // 0 = hardware concurrency
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    const char* env = std::getenv("SHENJING_THREADS");
-    if (env == nullptr || env[0] == '\0') return usize{0};
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    // Malformed or out-of-range values fall back to hardware concurrency
-    // (0); a sane ceiling keeps a fat-fingered value from trying to spawn
-    // a billion OS threads inside a static initializer.
-    constexpr long kMaxThreads = 256;
-    if (end == env || *end != '\0' || v < 0 || v > kMaxThreads) return usize{0};
-    return static_cast<usize>(v);  // 0 = hardware concurrency
-  }());
+  static ThreadPool pool(parse_thread_count(std::getenv("SHENJING_THREADS")));
   return pool;
 }
 

@@ -5,14 +5,16 @@
 // batch inference engine's per-context frame shards. Exceptions thrown by
 // tasks are captured and rethrown on the caller.
 //
-// Reentrancy: parallel_for called from one of this pool's own worker
-// threads runs every item inline on the caller. The outer parallel_for has
-// already saturated the pool, so a nested call would end up draining its
-// own chunks on the calling worker anyway (the caller participates via the
-// shared chunk counter) — inline gives that schedule directly, without
-// queueing stale task copies the busy pool cannot service, and lets
-// callers (e.g. sim::Engine::run_batch) detect the nested case via
-// on_worker_thread() and size per-thread resources to 1.
+// Reentrancy: parallel_for nests. A call from one of this pool's own
+// workers enqueues its chunks like any other call and then help-drains them
+// through the shared chunk counter, so it can never deadlock waiting on a
+// queue position — the caller itself retires every chunk no other thread
+// claims. When the outer loop has saturated the pool that degenerates to
+// the caller running its chunks back to back (the old inline schedule);
+// when the outer loop *under-fills* the pool (outer n < workers), the idle
+// workers pop the queued chunks and the nested batch actually
+// parallelizes instead of serializing on the calling worker. Chunk task
+// copies that lose every claim race pop later as cheap no-ops.
 #pragma once
 
 #include <condition_variable>
@@ -45,14 +47,15 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [0, n), distributing chunks over the pool and
   /// blocking until all items complete. The first task exception (if any) is
-  /// rethrown here. Falls back to inline execution for tiny n and for calls
-  /// made from this pool's own workers (see header comment).
+  /// rethrown here. Falls back to inline execution for tiny n; calls made
+  /// from this pool's own workers enqueue and help-drain (see header
+  /// comment), so idle workers participate in nested loops.
   void parallel_for(usize n, const std::function<void(usize)>& fn);
 
   /// Process-wide default pool (lazily constructed). Honors the
-  /// SHENJING_THREADS environment variable at first use: a positive value
-  /// fixes the worker count (for reproducible CI / bench runs), 0 or unset
-  /// means hardware concurrency.
+  /// SHENJING_THREADS environment variable at first use (see
+  /// parse_thread_count): a positive value fixes the worker count (for
+  /// reproducible CI / bench runs), 0 or unset means hardware concurrency.
   static ThreadPool& global();
 
  private:
@@ -64,5 +67,18 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// Parses a SHENJING_THREADS-style worker-count override. A plain decimal
+/// integer in [1, 256] (leading/trailing blanks tolerated) fixes the worker
+/// count; everything else — unset/empty, trailing garbage, negative values,
+/// and numbers that overflow `long` or exceed the 256 ceiling — returns 0
+/// (= hardware concurrency) instead of wrapping or spawning a runaway
+/// thread count. Exposed for tests; ThreadPool::global() applies it.
+usize parse_thread_count(const char* text);
+
+/// The hardware-concurrency fallback every worker-count decision shares
+/// (ThreadPool's 0 case, the serving front-end's default): the detected
+/// concurrency, or 4 when the platform reports none.
+usize hardware_thread_count();
 
 }  // namespace sj

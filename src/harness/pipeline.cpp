@@ -9,6 +9,7 @@
 #include "common/log.h"
 #include "harness/zoo.h"
 #include "nn/serialize.h"
+#include "serve/server.h"
 #include "sim/engine.h"
 
 namespace sj::harness {
@@ -190,12 +191,29 @@ AppResult run_app(const AppConfig& cfg) {
   // Table IV equals the abstract row because the hardware is bit-exact.
   // Both sides run as one batch — the hardware frames fan out over the
   // engine's context pool, the abstract frames over the evaluator's shards —
-  // and are compared frame for frame afterwards.
+  // and are compared frame for frame afterwards. SHENJING_SERVE=1 routes
+  // the hardware frames through the async serving front-end instead
+  // (submit + await per frame); the server's per-frame reset makes the two
+  // paths bit-identical, so the equivalence check doubles as a serving
+  // soak test.
   const usize frames = std::min<usize>(cfg.hw_frames, res.test_set.size());
   const std::span<const Tensor> batch(res.test_set.images.data(), frames);
-  sim::Engine engine(res.mapped, res.snn);
   sim::SimStats st;
-  const std::vector<sim::FrameResult> hw = engine.run_batch(batch, &st);
+  std::vector<sim::FrameResult> hw;
+  const char* serve_env = std::getenv("SHENJING_SERVE");
+  if (serve_env != nullptr && serve_env[0] == '1') {
+    serve::Server server;
+    const serve::ModelKey key = server.load_model(res.mapped, res.snn);
+    auto futures = server.submit_batch(key, batch);
+    hw.reserve(frames);
+    for (auto& f : futures) hw.push_back(f.get());
+    st.merge(server.take_stats(key));
+    SJ_INFO(app_name(cfg.app) << ": hardware frames served via serve::Server ("
+                              << server.num_workers() << " workers)");
+  } else {
+    sim::Engine engine(res.mapped, res.snn);
+    hw = engine.run_batch(batch, &st);
+  }
   const snn::AbstractEvaluator ev(res.snn);
   const std::vector<snn::EvalResult> ab = ev.run_batch(batch);
   usize correct = 0;

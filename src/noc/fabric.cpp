@@ -84,10 +84,39 @@ NocState::NocState(const NocTopology& topo, FabricOptions options)
     : num_cores_(topo.num_cores()),
       num_links_(topo.num_links()),
       track_toggles_(options.track_toggles) {
+  // Full state: identity slot tables, everything allocated.
+  router_slot_.resize(num_cores_);
+  for (usize c = 0; c < num_cores_; ++c) router_slot_[c] = static_cast<u32>(c);
+  link_slot_.resize(num_links_);
+  for (usize l = 0; l < num_links_; ++l) link_slot_[l] = static_cast<u32>(l);
   routers_.resize(num_cores_);
   if (track_toggles_) {
     ps_last_.assign(num_links_, std::vector<i16>(Router::kPlanes, 0));
     spk_last_.assign(num_links_, {});
+  }
+}
+
+NocState::NocState(const NocTopology& topo, const std::vector<u32>& cores,
+                   const std::vector<LinkId>& links, FabricOptions options)
+    : num_cores_(topo.num_cores()),
+      num_links_(topo.num_links()),
+      track_toggles_(options.track_toggles) {
+  router_slot_.assign(num_cores_, kNoSlot);
+  usize n_routers = 0;
+  for (const u32 c : cores) {
+    SJ_REQUIRE(c < num_cores_, "NocState: touched core off the topology");
+    if (router_slot_[c] == kNoSlot) router_slot_[c] = static_cast<u32>(n_routers++);
+  }
+  routers_.resize(n_routers);
+  link_slot_.assign(num_links_, kNoSlot);
+  usize n_links = 0;
+  for (const LinkId l : links) {
+    SJ_REQUIRE(l < num_links_, "NocState: touched link off the topology");
+    if (link_slot_[l] == kNoSlot) link_slot_[l] = static_cast<u32>(n_links++);
+  }
+  if (track_toggles_) {
+    ps_last_.assign(n_links, std::vector<i16>(Router::kPlanes, 0));
+    spk_last_.assign(n_links, {});
   }
 }
 
@@ -149,7 +178,7 @@ void NocState::send_ps_masked(const NocTopology& topo, LinkId lid, const Router:
   t.ps_bits += static_cast<i64>(pop) * topo.noc_bits();
   if (ln.interchip) tc.interchip_ps_bits += static_cast<i64>(pop) * topo.noc_bits();
   if (track_toggles_) {
-    std::vector<i16>& last = ps_last_[lid];
+    std::vector<i16>& last = ps_last_[link_slot(lid)];
     const u16 wire_mask = static_cast<u16>((u32{1} << topo.noc_bits()) - 1);
     i64 toggles = 0;
     Router::for_each_masked_strip(mask, [&](int p) {
@@ -185,7 +214,7 @@ void NocState::send_spike_masked(const NocTopology& topo, LinkId lid,
   t.spike_flits += pop;
   if (ln.interchip) tc.interchip_spike_bits += pop;
   if (track_toggles_) {
-    Router::Words& last = spk_last_[lid];
+    Router::Words& last = spk_last_[link_slot(lid)];
     i64 toggles = 0;
     for (int wi = 0; wi < Router::kWords; ++wi) {
       const u64 m = mask[static_cast<usize>(wi)];
@@ -201,10 +230,11 @@ void NocState::send_spike_masked(const NocTopology& topo, LinkId lid,
 
 void NocState::commit_cycle() {
   for (const PsWrite& w : ps_staged_) {
-    Router::masked_copy(w.mask, w.values.data(), routers_[w.core].ps_in_data(w.port));
+    Router::masked_copy(w.mask, w.values.data(),
+                        routers_[router_slot(w.core)].ps_in_data(w.port));
   }
   for (const SpkWrite& w : spk_staged_) {
-    Router::Words& reg = routers_[w.core].spk_in_words(w.port);
+    Router::Words& reg = routers_[router_slot(w.core)].spk_in_words(w.port);
     for (int wi = 0; wi < Router::kWords; ++wi) {
       const u64 m = w.mask[static_cast<usize>(wi)];
       reg[static_cast<usize>(wi)] =
@@ -227,13 +257,14 @@ void NocState::reset() {
 
 void NocState::reset_subset(const std::vector<u32>& cores,
                             const std::vector<LinkId>& links) {
-  for (const u32 c : cores) routers_[c].reset();
+  for (const u32 c : cores) routers_[router_slot(c)].reset();
   ps_staged_.clear();
   spk_staged_.clear();
   if (track_toggles_) {
     for (const LinkId lid : links) {
-      std::fill(ps_last_[lid].begin(), ps_last_[lid].end(), i16{0});
-      spk_last_[lid] = {};
+      const usize s = link_slot(lid);
+      std::fill(ps_last_[s].begin(), ps_last_[s].end(), i16{0});
+      spk_last_[s] = {};
     }
   }
 }

@@ -104,12 +104,34 @@ class NocTopology {
 /// routes against, and asserts it is dimension-compatible with the sizing
 /// one (a mismatched pairing would otherwise index out of bounds). Not
 /// thread-safe — one NocState per worker, like TrafficCounters.
+///
+/// State can be *compacted*: a mapped grid is mostly filler tiles whose
+/// routers a lowered program can never write, so per-context storage only
+/// materializes the touched subset (dense arrays behind a core/link -> slot
+/// table). Core and link ids stay the topology's ids at every public
+/// call; only the backing allocation shrinks.
 class NocState {
  public:
+  /// Full state: every router and every link's toggle history allocated.
   explicit NocState(const NocTopology& topo, FabricOptions options = {});
 
-  Router& router(u32 core) { return routers_[core]; }
-  const Router& router(u32 core) const { return routers_[core]; }
+  /// Compacted state: router registers exist only for `cores` and toggle
+  /// history only for `links` — typically a lowered program's touch sets
+  /// (op cores + send destinations, and the links the program sends on).
+  /// Touching a router or sending on a link outside the sets is an
+  /// InternalError: a correctly lowered program cannot reference them.
+  /// Duplicates in the lists are tolerated.
+  NocState(const NocTopology& topo, const std::vector<u32>& cores,
+           const std::vector<LinkId>& links, FabricOptions options = {});
+
+  Router& router(u32 core) { return routers_[router_slot(core)]; }
+  const Router& router(u32 core) const { return routers_[router_slot(core)]; }
+
+  /// Router register files actually allocated (== num_cores for full state,
+  /// the touched-core count for compacted state).
+  usize allocated_routers() const { return routers_.size(); }
+  /// Links with toggle history allocated (0 when toggle tracking is off).
+  usize allocated_toggle_links() const { return ps_last_.size(); }
 
   // --- two-phase, traffic-accounted movement ------------------------------
   /// Stages a 16-bit partial sum onto the outgoing link of `src` in
@@ -171,13 +193,29 @@ class NocState {
   // movement call routes over.
   void check_topology(const NocTopology& topo) const;
 
+  // Slot of a core's router / a link's toggle history in the dense backing
+  // arrays; kNoSlot marks state the compaction left unallocated.
+  static constexpr u32 kNoSlot = ~u32{0};
+  usize router_slot(u32 core) const {
+    const u32 s = router_slot_[core];
+    SJ_ASSERT(s != kNoSlot, "NocState: router outside the compacted touch set");
+    return s;
+  }
+  usize link_slot(LinkId link) const {
+    const u32 s = link_slot_[link];
+    SJ_ASSERT(s != kNoSlot, "NocState: link outside the compacted touch set");
+    return s;
+  }
+
   usize num_cores_;
   usize num_links_;
   bool track_toggles_;
+  std::vector<u32> router_slot_;  // core -> slot in routers_
+  std::vector<u32> link_slot_;    // link -> slot in ps_last_/spk_last_
   std::vector<Router> routers_;
-  // Previous value on each plane-wire, for toggle accounting.
-  std::vector<std::vector<i16>> ps_last_;  // [link][plane]
-  std::vector<Router::Words> spk_last_;    // [link], bit-packed
+  // Previous value on each allocated plane-wire, for toggle accounting.
+  std::vector<std::vector<i16>> ps_last_;  // [link slot][plane]
+  std::vector<Router::Words> spk_last_;    // [link slot], bit-packed
   std::vector<PsWrite> ps_staged_;
   std::vector<SpkWrite> spk_staged_;
 };

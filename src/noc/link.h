@@ -13,6 +13,7 @@
 // exactly like sim::SimStats.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/status.h"
@@ -72,6 +73,14 @@ struct TrafficCounters {
   /// Lazily sizes the per-link table (fabrics call this on first use).
   void ensure(usize num_links) {
     if (links.size() < num_links) links.resize(num_links);
+  }
+
+  /// Zeroes every counter, keeping the table's allocation — for hot paths
+  /// that drain per-frame tallies (see SimContext::drain_stats).
+  void clear() {
+    std::fill(links.begin(), links.end(), LinkTraffic{});
+    interchip_ps_bits = 0;
+    interchip_spike_bits = 0;
   }
 
   i64 total_ps_bits() const {

@@ -1,0 +1,376 @@
+#include "serve/server.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace sj::serve {
+
+namespace {
+
+/// FNV-1a, byte-at-a-time over 64-bit lanes. Not cryptographic — a cache
+/// key, like the mapper's own deterministic hashes.
+struct Fnv {
+  u64 h = 1469598103934665603ull;
+  void mix(u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix_i(i64 v) { mix(static_cast<u64>(v)); }
+};
+
+usize default_workers() {
+  const usize env = parse_thread_count(std::getenv("SHENJING_THREADS"));
+  return env != 0 ? env : hardware_thread_count();
+}
+
+}  // namespace
+
+ModelKey model_key(const map::MappedNetwork& mapped, const snn::SnnNetwork& net) {
+  Fnv f;
+  // SNN-side inputs the engine reads at run time: the input encoder's
+  // quantization scale and the train length. Two conversions of one model
+  // that differ only here map to identical MappedNetworks but simulate
+  // differently, so they must not alias.
+  f.mix_i(net.input_scale);
+  f.mix_i(net.timesteps);
+  f.mix_i(net.weight_bits);
+  f.mix(net.units.size());
+  f.mix(static_cast<u64>(net.input_size()));
+  // The architecture parameters are part of the identity: the same net
+  // mapped under different datapath widths or chip geometry simulates
+  // differently even when placement, schedule and weights coincide.
+  const core::ArchParams& a = mapped.arch;
+  f.mix_i(a.core_axons);
+  f.mix_i(a.core_neurons);
+  f.mix_i(a.sram_banks);
+  f.mix_i(a.acc_cycles);
+  f.mix_i(a.weight_bits);
+  f.mix_i(a.local_ps_bits);
+  f.mix_i(a.noc_bits);
+  f.mix_i(a.potential_bits);
+  f.mix_i(a.chip_rows);
+  f.mix_i(a.chip_cols);
+  f.mix(mapped.cores.size());
+  f.mix_i(mapped.timesteps);
+  f.mix_i(mapped.output_depth);
+  f.mix_i(mapped.grid_rows);
+  f.mix_i(mapped.grid_cols);
+  f.mix(mapped.cycles_per_timestep);
+  // The op stream and the slot tables are part of the identity: two
+  // mappings of the same weights under different mapper configurations are
+  // different served artifacts (they route differently), and must not
+  // alias to one cache entry.
+  f.mix(mapped.schedule.size());
+  for (const map::TimedOp& t : mapped.schedule) {
+    f.mix((static_cast<u64>(t.cycle) << 32) | t.core);
+    for (const u64 w : t.mask.w) f.mix(w);
+    f.mix(core::encode(t.op));
+  }
+  const auto mix_slots = [&f](const std::vector<std::vector<map::Slot>>& tables) {
+    f.mix(tables.size());
+    for (const auto& table : tables) {
+      f.mix(table.size());
+      for (const map::Slot& s : table) f.mix((static_cast<u64>(s.core) << 16) | s.plane);
+    }
+  };
+  mix_slots(mapped.input_taps);
+  mix_slots(mapped.unit_slots);
+  for (const i32 d : mapped.unit_depth) f.mix_i(d);
+  for (const map::MappedCore& c : mapped.cores) {
+    f.mix_i(c.pos.row);
+    f.mix_i(c.pos.col);
+    f.mix(static_cast<u64>(c.filler) | (static_cast<u64>(c.spiking) << 1) |
+          (static_cast<u64>(c.is_output) << 2));
+    f.mix_i(c.threshold);
+    f.mix_i(c.spike_hold);
+    for (const u64 w : c.axon_mask.w) f.mix(w);
+    for (const u64 w : c.neuron_mask.w) f.mix(w);
+    for (const u64 w : c.spike_mask.w) f.mix(w);
+    f.mix(c.weights.taps.size());
+    for (const auto& [plane, weight] : c.weights.taps) {
+      f.mix((static_cast<u64>(plane) << 16) | static_cast<u16>(weight));
+    }
+  }
+  return f.h;
+}
+
+std::shared_ptr<const Server::Generation> Server::make_generation(
+    const map::MappedNetwork& mapped, const snn::SnnNetwork& net, const Generation* donor) {
+  // Copy first so the engine's internal pointers target storage owned by
+  // the generation itself — the server outlives any caller-held network.
+  auto gen = std::make_shared<Generation>();
+  gen->mapped = mapped;
+  gen->net = net;
+  gen->engine = donor == nullptr
+                    ? std::make_unique<sim::Engine>(gen->mapped, gen->net)
+                    : std::make_unique<sim::Engine>(gen->mapped, gen->net, *donor->engine);
+  return gen;
+}
+
+Server::Server(ServerOptions options) : max_pending_(options.max_pending) {
+  const usize n = options.workers == 0 ? default_workers() : options.workers;
+  workers_.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(DrainMode::kDrain); }
+
+ModelKey Server::load_model(const map::MappedNetwork& mapped, const snn::SnnNetwork& net) {
+  const ModelKey key = model_key(mapped, net);
+  std::shared_ptr<const Generation> donor;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    SJ_REQUIRE(accepting_, "serve: load_model after shutdown");
+    const auto it = models_.find(key);
+    if (it != models_.end()) {
+      // Cache hit only when the key still serves this exact content; after
+      // a weight swap the key denotes the swapped-in generation, and
+      // returning it for the original content would silently serve the
+      // wrong weights. Re-publish instead (donor compile: the content
+      // hashed to this key, so it is structurally identical to whatever
+      // the key currently serves).
+      if (it->second.content_key == key) return key;
+      donor = it->second.gen;
+    } else {
+      // Another entry may already serve this exact content under its own
+      // key (a weight swap published it there). Generations are immutable,
+      // so alias it instead of re-lowering a duplicate engine.
+      std::shared_ptr<const Generation> alias;
+      for (const auto& [other_key, entry] : models_) {
+        if (entry.content_key == key && entry.gen != nullptr) {
+          alias = entry.gen;
+          break;
+        }
+      }
+      if (alias != nullptr) {  // insert after the scan: no iterator reuse
+        ModelEntry& mine = models_[key];
+        mine.gen = std::move(alias);
+        mine.content_key = key;
+        return key;
+      }
+    }
+  }
+  // Compile (lowering is the expensive part) outside the lock so serving
+  // traffic is not stalled behind a model load.
+  std::shared_ptr<const Generation> gen = make_generation(mapped, net, donor.get());
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    SJ_REQUIRE(accepting_, "serve: load_model after shutdown");
+    ModelEntry& entry = models_[key];
+    if (entry.content_key == key && entry.gen != nullptr) return key;  // lost a benign race
+    if (entry.gen != nullptr) ++entry.generation;  // re-publish over a swapped entry
+    entry.gen = std::move(gen);
+    entry.content_key = key;
+  }
+  return key;
+}
+
+void Server::swap_weights(ModelKey key, const map::MappedNetwork& mapped,
+                          const snn::SnnNetwork& net) {
+  std::shared_ptr<const Generation> donor;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    SJ_REQUIRE(accepting_, "serve: swap_weights after shutdown");
+    const auto it = models_.find(key);
+    SJ_REQUIRE(it != models_.end(), "serve: swap_weights on unknown model key");
+    donor = it->second.gen;
+  }
+  // The donor compile REQUIREs structural compatibility and reuses the
+  // donor's topology + lowered program (no re-lowering).
+  std::shared_ptr<const Generation> next = make_generation(mapped, net, donor.get());
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = models_.find(key);
+    SJ_REQUIRE(it != models_.end(), "serve: model disappeared during swap");
+    it->second.gen = std::move(next);
+    ++it->second.generation;
+    // The key keeps naming the served slot; record what it now serves so
+    // load_model can tell a true cache hit from a swapped-away key.
+    it->second.content_key = model_key(mapped, net);
+  }
+}
+
+std::future<sim::FrameResult> Server::submit(ModelKey key, Tensor frame) {
+  Request req;
+  req.key = key;
+  req.frame = std::move(frame);
+  std::future<sim::FrameResult> fut = req.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (max_pending_ != 0) {
+      space_cv_.wait(lock, [&] { return !accepting_ || queue_.size() < max_pending_; });
+    }
+    SJ_REQUIRE(accepting_, "serve: submit after shutdown");
+    const auto it = models_.find(key);
+    SJ_REQUIRE(it != models_.end(), "serve: submit to unknown model key");
+    req.gen = it->second.gen;  // bind the current generation
+    queue_.push_back(std::move(req));
+  }
+  work_cv_.notify_one();
+  return fut;
+}
+
+std::vector<std::future<sim::FrameResult>> Server::submit_batch(
+    ModelKey key, std::span<const Tensor> frames) {
+  std::vector<std::future<sim::FrameResult>> futures;
+  futures.reserve(frames.size());
+  if (frames.empty()) return futures;
+  // A bounded queue needs per-frame admission (a batch may exceed
+  // max_pending outright); the unbounded path builds every request —
+  // frame copies, promises — outside the lock, enqueues the whole batch
+  // under one lock with one generation bind, then wakes the workers once.
+  if (max_pending_ != 0) {
+    for (const Tensor& f : frames) futures.push_back(submit(key, f));
+    return futures;
+  }
+  std::vector<Request> reqs(frames.size());
+  for (usize i = 0; i < frames.size(); ++i) {
+    reqs[i].key = key;
+    reqs[i].frame = frames[i];
+    futures.push_back(reqs[i].promise.get_future());
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    SJ_REQUIRE(accepting_, "serve: submit after shutdown");
+    const auto it = models_.find(key);
+    SJ_REQUIRE(it != models_.end(), "serve: submit to unknown model key");
+    for (Request& req : reqs) {
+      req.gen = it->second.gen;
+      queue_.push_back(std::move(req));
+    }
+  }
+  if (frames.size() == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+  return futures;
+}
+
+sim::SimStats Server::stats(ModelKey key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(key);
+  SJ_REQUIRE(it != models_.end(), "serve: stats for unknown model key");
+  return it->second.stats;
+}
+
+sim::SimStats Server::take_stats(ModelKey key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(key);
+  SJ_REQUIRE(it != models_.end(), "serve: take_stats for unknown model key");
+  sim::SimStats out = std::move(it->second.stats);
+  it->second.stats = sim::SimStats{};
+  return out;
+}
+
+usize Server::num_models() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+usize Server::pending() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Server::worker_loop() {
+  // This worker's long-lived context pool: one SimContext per model it has
+  // served. Contexts survive weight swaps — the swap-compatibility check
+  // guarantees identical state shapes, and every frame starts from a full
+  // reset, so a context built against generation g runs generation g+1
+  // frames bit-exactly.
+  std::unordered_map<ModelKey, std::unique_ptr<sim::SimContext>> contexts;
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (max_pending_ != 0) space_cv_.notify_one();
+
+    auto it = contexts.find(req.key);
+    if (it == contexts.end()) {
+      it = contexts
+               .emplace(req.key, std::make_unique<sim::SimContext>(
+                                     req.gen->engine->make_context()))
+               .first;
+    }
+    sim::SimContext& ctx = *it->second;
+    try {
+      sim::FrameResult res = req.gen->engine->run_frame(ctx, req.frame);
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto mit = models_.find(req.key);
+        // The model cache never shrinks, so the entry must exist; drain
+        // before fulfilling the promise so a client that awaits the future
+        // observes its own frame in the tally. drain_stats is the
+        // allocation-free one-walk drain (~1 us against a ~0.5 ms frame; a
+        // lazy worker-local tally was tried and reverted — it cannot make
+        // the tally complete for a reader that wakes on the last future
+        // without re-adding a flush handshake at least this expensive).
+        if (mit != models_.end()) {
+          ctx.drain_stats(mit->second.stats);
+        } else {
+          ctx.take_stats();
+        }
+      }
+      req.promise.set_value(std::move(res));
+    } catch (...) {
+      // A throwing frame contributes nothing: discard the partial tally so
+      // later frames on this context report exactly their own work.
+      ctx.take_stats();
+      req.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void Server::shutdown(DrainMode mode) {
+  std::vector<std::thread> workers;
+  std::deque<Request> cancelled;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    stop_ = true;
+    if (mode == DrainMode::kCancel) cancelled.swap(queue_);
+    workers.swap(workers_);  // claim the join exactly once (idempotence)
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& w : workers) w.join();
+  for (Request& r : cancelled) {
+    r.promise.set_exception(std::make_exception_ptr(
+        Cancelled("serve: request cancelled by shutdown", __FILE__, __LINE__)));
+  }
+}
+
+double serving_accuracy(Server& server, ModelKey key, const nn::Dataset& data,
+                        usize max_frames, sim::SimStats* stats) {
+  const usize n = max_frames == 0 ? data.size() : std::min(max_frames, data.size());
+  SJ_REQUIRE(n > 0, "serving_accuracy: no frames");
+  // Bounded in-flight chunks, like sim::hardware_accuracy: only a chunk of
+  // futures is ever live, and chunking cannot affect the results (each
+  // request is independent and deterministic).
+  constexpr usize kChunk = 1024;
+  usize correct = 0;
+  for (usize base = 0; base < n; base += kChunk) {
+    const usize len = std::min(kChunk, n - base);
+    std::vector<std::future<sim::FrameResult>> futs = server.submit_batch(
+        key, std::span<const Tensor>(data.images.data() + base, len));
+    for (usize i = 0; i < len; ++i) {
+      if (futs[i].get().predicted == data.labels[base + i]) ++correct;
+    }
+  }
+  if (stats != nullptr) stats->merge(server.take_stats(key));
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace sj::serve

@@ -1,0 +1,198 @@
+// Async serving front-end over sim::Engine (ROADMAP "async serving
+// front-end" + "multi-model engine cache").
+//
+// The batch engine (PR 3) answers "how fast can one caller push a fixed
+// batch"; this subsystem answers the question the paper's energy-per-frame
+// pitch actually poses: a long-lived accelerator serving an *open* request
+// stream from many clients. SpiNNaker-class systems frame their hardware the
+// same way — a standing multi-workload substrate, not a batch job.
+//
+//   Server
+//     models_: ModelKey -> { shared_ptr<Generation>, SimStats }
+//       Generation = owned MappedNetwork + SnnNetwork copies + sim::Engine
+//       (immutable once published; weight swaps publish a NEW generation)
+//     queue_:  FIFO of requests, each bound at submit() time to the
+//              generation it will run against
+//     workers_: long-lived threads, each owning one SimContext per model it
+//              has served (the per-worker context pool)
+//
+// Clients submit() frames (or submit_batch() a span) and receive
+// std::futures to poll or await. Workers pull requests in FIFO order,
+// execute Engine::run_frame on their own context, merge the frame's stats
+// into the model's tally, then fulfil the future.
+//
+// Determinism: every frame starts from a full context reset, so a request's
+// FrameResult is bit-identical to a single-context sim::Simulator run of
+// the same frame no matter which worker ran it or how requests interleaved.
+// Stats merging is integer-additive and therefore order-independent: the
+// model tally equals the serial accumulation bit for bit.
+//
+// Weight swap (without re-lowering): swap_weights() compiles the new
+// network against the current generation as donor — reusing its NocTopology
+// and lowered ExecProgram, rebuilding only the weight-derived dense rows —
+// and atomically publishes the new generation under the same ModelKey.
+// Requests already queued finish on the generation they were bound to;
+// later submissions see the new weights. Worker contexts carry over: the
+// swap-compatibility check guarantees identical state shapes, and the
+// per-frame reset erases all history.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "sim/engine.h"
+
+namespace sj::serve {
+
+/// Content hash identifying a loaded model: structure + weights at load
+/// time. Stable for the lifetime of the served slot — weight swaps change
+/// the generation underneath, not the key.
+using ModelKey = u64;
+
+/// FNV-1a over everything the engine's behaviour depends on: architecture
+/// parameters, grid/placement/masks, the full op stream and slot tables,
+/// weights/thresholds, and the SNN-side simulation inputs (input encoding
+/// scale, timesteps). Deterministic across processes; two structurally
+/// identical trainings hash differently iff their weights differ.
+ModelKey model_key(const map::MappedNetwork& mapped, const snn::SnnNetwork& net);
+
+/// Thrown (through the request future) when shutdown(DrainMode::kCancel)
+/// drops a queued request before any worker picked it up.
+class Cancelled : public Error {
+ public:
+  using Error::Error;
+};
+
+struct ServerOptions {
+  /// Worker threads (long-lived SimContext owners). 0 = one per hardware
+  /// thread, honoring SHENJING_THREADS like ThreadPool::global().
+  usize workers = 0;
+  /// Bound on queued (not yet claimed) requests; submit() blocks until a
+  /// worker frees space. 0 = unbounded.
+  usize max_pending = 0;
+};
+
+/// How shutdown() treats requests still sitting in the queue.
+enum class DrainMode : u8 {
+  kDrain,   // finish everything already submitted, then stop
+  kCancel,  // fail queued-but-unstarted requests with serve::Cancelled
+};
+
+/// A long-lived, thread-safe serving front-end holding many compiled models.
+/// All public methods are safe to call from any thread. The destructor
+/// drains outstanding requests (shutdown(kDrain)); call
+/// shutdown(DrainMode::kCancel) first for a fast exit.
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Compiles `mapped`/`net` (copies are taken — the server is
+  /// self-contained) and caches the engine under its content hash. Loading
+  /// content that is *currently served* is a cache hit: the existing key
+  /// returns and nothing is recompiled. Re-loading content whose key was
+  /// weight-swapped to something else re-publishes that content under its
+  /// key (a donor compile against the served generation — effectively a
+  /// rollback), so the returned key always serves the content passed in.
+  ModelKey load_model(const map::MappedNetwork& mapped, const snn::SnnNetwork& net);
+
+  /// Installs new weights for `key` without re-lowering: `mapped` must be
+  /// structurally identical to the served network (same grid, placement,
+  /// masks, schedule shape; see the sim::Engine donor compile). In-flight
+  /// and already-queued requests finish on the old generation; submissions
+  /// after the call serve the new weights. The model's stats tally carries
+  /// across the swap.
+  void swap_weights(ModelKey key, const map::MappedNetwork& mapped,
+                    const snn::SnnNetwork& net);
+
+  /// Enqueues one frame against `key`'s current generation. The future
+  /// yields the FrameResult (or rethrows the frame's error). Blocks only
+  /// when ServerOptions::max_pending is set and the queue is full.
+  std::future<sim::FrameResult> submit(ModelKey key, Tensor frame);
+
+  /// Enqueues every frame of `frames` in order; futures index like the span.
+  std::vector<std::future<sim::FrameResult>> submit_batch(ModelKey key,
+                                                          std::span<const Tensor> frames);
+
+  /// Stats accrued by completed requests of `key` (copy / drain). A
+  /// request's stats are merged before its future becomes ready, so after
+  /// future.get() the tally includes that frame.
+  sim::SimStats stats(ModelKey key) const;
+  sim::SimStats take_stats(ModelKey key);
+
+  usize num_workers() const { return workers_.size(); }
+  usize num_models() const;
+  /// Requests submitted but not yet claimed by a worker.
+  usize pending() const;
+
+  /// Stops the server: no further submissions are accepted, workers finish
+  /// per `mode`, and every outstanding future becomes ready — with its
+  /// result (kDrain) or a serve::Cancelled error (kCancel; requests a
+  /// worker already claimed still complete normally, and their stats still
+  /// count, so no partial tallies are lost either way). Idempotent; the
+  /// model cache and its stats remain readable afterwards.
+  void shutdown(DrainMode mode = DrainMode::kDrain);
+
+ private:
+  /// One immutable compiled artifact: the server-owned network copies and
+  /// the engine lowered against them. Never mutated after publication —
+  /// weight swaps build a successor and swap the shared_ptr.
+  struct Generation {
+    map::MappedNetwork mapped;
+    snn::SnnNetwork net;
+    std::unique_ptr<sim::Engine> engine;  // points into mapped/net above
+  };
+
+  struct ModelEntry {
+    std::shared_ptr<const Generation> gen;
+    sim::SimStats stats;
+    u64 generation = 0;      // bumped by swap_weights
+    ModelKey content_key = 0;  // hash of the *current* generation's content
+  };
+
+  struct Request {
+    ModelKey key = 0;
+    std::shared_ptr<const Generation> gen;  // bound at submit time
+    Tensor frame;
+    std::promise<sim::FrameResult> promise;
+  };
+
+  static std::shared_ptr<const Generation> make_generation(
+      const map::MappedNetwork& mapped, const snn::SnnNetwork& net,
+      const Generation* donor);
+
+  void worker_loop();
+
+  const usize max_pending_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable space_cv_;  // submitters: bounded queue has room
+  std::deque<Request> queue_;
+  std::unordered_map<ModelKey, ModelEntry> models_;
+  std::vector<std::thread> workers_;
+  bool accepting_ = true;
+  bool stop_ = false;
+};
+
+/// Accuracy of `key`'s model over (a prefix of) a dataset, evaluated
+/// through the serving path: every frame submitted as its own request, all
+/// futures awaited — the serving-side counterpart of
+/// sim::hardware_accuracy, used by evaluators to exercise the server.
+/// `stats`, when given, receives the model's tally drained after the run
+/// (take_stats): exactly this run's stats when no other client used the
+/// model concurrently.
+double serving_accuracy(Server& server, ModelKey key, const nn::Dataset& data,
+                        usize max_frames = 0, sim::SimStats* stats = nullptr);
+
+}  // namespace sj::serve

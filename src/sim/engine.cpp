@@ -35,17 +35,108 @@ void SimStats::merge(const SimStats& o) {
   noc.merge(o.noc);
 }
 
+namespace {
+
+// A donor compile may only be used when the donor's lowered program executes
+// the new network verbatim: identical grid, placement, masks and schedule
+// shape. CoreWeights and thresholds are the swap payload and may differ —
+// the kernels read both live from the new MappedNetwork.
+void require_swap_compatible(const MappedNetwork& donor, const MappedNetwork& next) {
+  // Architecture first: the donor topology bakes in datapath widths and
+  // chip geometry (router-adder saturation, interchip link flags), and the
+  // kernels clamp with the new network's widths — they must agree.
+  const core::ArchParams& da = donor.arch;
+  const core::ArchParams& na = next.arch;
+  SJ_REQUIRE(da.core_axons == na.core_axons && da.core_neurons == na.core_neurons &&
+                 da.sram_banks == na.sram_banks && da.acc_cycles == na.acc_cycles &&
+                 da.weight_bits == na.weight_bits && da.local_ps_bits == na.local_ps_bits &&
+                 da.noc_bits == na.noc_bits && da.potential_bits == na.potential_bits &&
+                 da.chip_rows == na.chip_rows && da.chip_cols == na.chip_cols,
+             "weight swap: architecture parameters changed — remap and recompile instead");
+  SJ_REQUIRE(donor.cores.size() == next.cores.size(),
+             "weight swap: core count changed — remap and recompile instead");
+  SJ_REQUIRE(donor.grid_rows == next.grid_rows && donor.grid_cols == next.grid_cols,
+             "weight swap: grid changed — remap and recompile instead");
+  SJ_REQUIRE(donor.timesteps == next.timesteps &&
+                 donor.output_depth == next.output_depth &&
+                 donor.cycles_per_timestep == next.cycles_per_timestep &&
+                 donor.schedule.size() == next.schedule.size(),
+             "weight swap: schedule shape changed — remap and recompile instead");
+  // The donor's lowered program replays its own TimedOp stream, so the op
+  // streams must match verbatim, not just in length (an equal-length
+  // schedule from a different mapper configuration would silently execute
+  // the wrong program). Element-wise compare is cheap next to the lowering
+  // this path skips.
+  for (usize i = 0; i < donor.schedule.size(); ++i) {
+    const map::TimedOp& a = donor.schedule[i];
+    const map::TimedOp& b = next.schedule[i];
+    SJ_REQUIRE(a.cycle == b.cycle && a.core == b.core && a.mask == b.mask && a.op == b.op,
+               "weight swap: schedule op " + std::to_string(i) +
+                   " changed — remap and recompile instead");
+  }
+  for (usize c = 0; c < donor.cores.size(); ++c) {
+    const map::MappedCore& a = donor.cores[c];
+    const map::MappedCore& b = next.cores[c];
+    SJ_REQUIRE(a.pos.row == b.pos.row && a.pos.col == b.pos.col && a.filler == b.filler &&
+                   a.spiking == b.spiking && a.spike_hold == b.spike_hold &&
+                   a.axon_mask == b.axon_mask && a.neuron_mask == b.neuron_mask &&
+                   a.spike_mask == b.spike_mask,
+               "weight swap: core " + std::to_string(c) +
+                   " structure changed — remap and recompile instead");
+  }
+  // Input injection and readout use the *new* network's slot tables; they
+  // must address the same planes the donor program drives.
+  const auto slots_eq = [](const std::vector<std::vector<Slot>>& x,
+                           const std::vector<std::vector<Slot>>& y) {
+    if (x.size() != y.size()) return false;
+    for (usize i = 0; i < x.size(); ++i) {
+      if (x[i].size() != y[i].size()) return false;
+      for (usize j = 0; j < x[i].size(); ++j) {
+        if (x[i][j].core != y[i][j].core || x[i][j].plane != y[i][j].plane) return false;
+      }
+    }
+    return true;
+  };
+  SJ_REQUIRE(slots_eq(donor.input_taps, next.input_taps),
+             "weight swap: input tap table changed — remap and recompile instead");
+  SJ_REQUIRE(slots_eq(donor.unit_slots, next.unit_slots) && donor.unit_depth == next.unit_depth,
+             "weight swap: unit slot tables changed — remap and recompile instead");
+}
+
+}  // namespace
+
 CompiledModel::CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork& net)
     : mapped_(&mapped),
       net_(&net),
       topo_(map::make_topology(mapped)),
       prog_(map::lower_program(mapped, topo_)) {
+  build_dense_rows();
+  build_touch_sets();
+}
+
+CompiledModel::CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork& net,
+                             const CompiledModel& donor)
+    : mapped_(&mapped),
+      net_(&net),
+      topo_(donor.topo_),
+      prog_(donor.prog_),
+      touched_routers_(donor.touched_routers_),
+      active_cores_(donor.active_cores_),
+      touched_links_(donor.touched_links_) {
+  require_swap_compatible(donor.mapped(), mapped);
+  // Touch sets depend only on the (identical) program and input taps, so
+  // the donor's copies hold; dense rows fold the new weights.
+  build_dense_rows();
+}
+
+void CompiledModel::build_dense_rows() {
+  const MappedNetwork& mapped = *mapped_;
   // Precompile dense weight rows where they pay off. FC cores have ~fully
   // dense synapse rows, so the ACC gather becomes one contiguous 256-lane
   // add per spiking axon (adding the explicit zeros is exact — integer adds
   // of 0 change nothing). Conv cores keep the CSR walk: their rows hold
   // k*k*cin taps, far below the ~64-tap break-even of a full-width add.
-  dense_w_.resize(mapped.cores.size());
+  dense_w_.assign(mapped.cores.size(), {});
   for (usize c = 0; c < mapped.cores.size(); ++c) {
     const map::MappedCore& mc = mapped.cores[c];
     const i64 axons = mc.axon_mask.popcount();
@@ -71,10 +162,14 @@ CompiledModel::CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork&
     });
     if (!fits) dw.clear();
   }
+}
 
+void CompiledModel::build_touch_sets() {
+  const MappedNetwork& mapped = *mapped_;
   // Touch sets: which routers, links and core states the program can write.
   // Everything else is filler pass-through that stays zero for the whole
-  // run, so frame resets and axon rotation skip it.
+  // run, so frame resets and axon rotation skip it — and per-context
+  // NocStates compact their allocation to exactly these sets.
   std::vector<bool> router_touched(mapped.cores.size(), false);
   std::vector<bool> core_active(mapped.cores.size(), false);
   std::vector<bool> link_touched(topo_.num_links(), false);
@@ -106,7 +201,8 @@ i64 CompiledModel::ldwt_neurons() const {
   return n;
 }
 
-SimContext::SimContext(const CompiledModel& model) : noc_(model.topology()) {
+SimContext::SimContext(const CompiledModel& model)
+    : noc_(model.topology(), model.touched_routers(), model.touched_links()) {
   cores_.resize(model.mapped().cores.size());
 }
 
@@ -114,6 +210,16 @@ SimStats SimContext::take_stats() {
   SimStats out = std::move(stats_);
   stats_ = SimStats{};
   return out;
+}
+
+void SimContext::drain_stats(SimStats& into) {
+  into.merge(stats_);
+  // Zero the scalars but keep the per-link table allocated: the next
+  // frame's sends reuse it via ensure() without an allocator round trip.
+  noc::TrafficCounters tc = std::move(stats_.noc);
+  tc.clear();
+  stats_ = SimStats{};
+  stats_.noc = std::move(tc);
 }
 
 Engine::Engine(const MappedNetwork& mapped, const snn::SnnNetwork& net)
@@ -375,10 +481,11 @@ std::vector<FrameResult> Engine::run_batch(std::span<const Tensor> images,
   if (images.empty()) return results;
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
   const usize n = images.size();
-  // From one of the pool's own workers, parallel_for runs inline on a
-  // single thread (see ThreadPool), so one context suffices — don't build
-  // num_threads contexts that would only ever execute sequentially.
-  const usize threads = p.on_worker_thread() ? 1 : std::max<usize>(1, p.num_threads());
+  // One pooled context per potential worker — also for nested calls from
+  // one of the pool's own workers: nested parallel_for chunks enqueue and
+  // idle workers help-drain them (see common/thread_pool.h), so a nested
+  // batch can genuinely run its shards concurrently.
+  const usize threads = std::max<usize>(1, p.num_threads());
   const usize shards = std::min<usize>(n, threads);
   ensure_contexts(shards);
   // Pooled contexts may carry tallies from direct run_frame use; set those

@@ -94,10 +94,26 @@ class CompiledModel {
  public:
   CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork& net);
 
+  /// Weight-swap compile: takes the already-lowered topology, op stream and
+  /// touch sets from `donor` and only rebuilds the weight-derived artifacts
+  /// (dense rows), skipping the expensive lowering. REQUIREs `mapped` to be
+  /// structurally identical to the donor's network — same grid, core
+  /// placement, masks and schedule shape — so the donor's program executes
+  /// `mapped` verbatim; only CoreWeights (and thresholds) may differ.
+  CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork& net,
+                const CompiledModel& donor);
+
   const MappedNetwork& mapped() const { return *mapped_; }
   const snn::SnnNetwork& net() const { return *net_; }
   const noc::NocTopology& topology() const { return topo_; }
   const map::ExecProgram& program() const { return prog_; }
+
+  /// Touch sets (sorted, unique): the routers/links the program can write
+  /// and the cores whose CoreState can change. Per-context state is
+  /// compacted to these — filler tiles allocate nothing.
+  const std::vector<u32>& touched_routers() const { return touched_routers_; }
+  const std::vector<u32>& active_cores() const { return active_cores_; }
+  const std::vector<noc::LinkId>& touched_links() const { return touched_links_; }
 
   /// Energy bookkeeping for the one-off weight-load phase: per-neuron LD_WT
   /// issue count (#cores x neurons); charged once per deployment.
@@ -105,6 +121,9 @@ class CompiledModel {
 
  private:
   friend class Engine;
+
+  void build_dense_rows();
+  void build_touch_sets();
 
   const MappedNetwork* mapped_;
   const snn::SnnNetwork* net_;
@@ -123,17 +142,25 @@ class CompiledModel {
 };
 
 /// The mutable state of one frame stream: neuron-core registers, one
-/// NocState, and the stats the stream has accumulated since the last
+/// NocState compacted to the model's touch sets (filler tiles allocate no
+/// router state), and the stats the stream has accumulated since the last
 /// take_stats(). Not thread-safe; one context per worker.
 class SimContext {
  public:
   explicit SimContext(const CompiledModel& model);
 
   /// Stats accrued by run_frame calls on this context since construction or
-  /// the last take_stats().
+  /// the last take_stats()/drain_stats().
   const SimStats& stats() const { return stats_; }
   /// Returns the accrued stats and zeroes the context's tally.
   SimStats take_stats();
+  /// Merges the accrued tally into `into` and zeroes the tally in place,
+  /// keeping the per-link table's allocation — the allocation-free drain
+  /// for per-frame consumers (the serving workers).
+  void drain_stats(SimStats& into);
+
+  /// The context's router state (compaction introspection / tests).
+  const noc::NocState& noc() const { return noc_; }
 
  private:
   friend class Engine;
@@ -161,6 +188,12 @@ class SimContext {
 class Engine {
  public:
   Engine(const MappedNetwork& mapped, const snn::SnnNetwork& net);
+
+  /// Weight-swap compile: reuses `donor`'s lowered program and topology
+  /// (see the CompiledModel donor constructor) — the cheap way to serve a
+  /// retrained network whose mapping is unchanged.
+  Engine(const MappedNetwork& mapped, const snn::SnnNetwork& net, const Engine& donor)
+      : model_(mapped, net, donor.model_) {}
 
   const CompiledModel& model() const { return model_; }
 

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "common/bitvec.h"
 #include "common/fixed.h"
@@ -224,36 +226,68 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   }
 }
 
-TEST(ThreadPool, NestedParallelForFromWorkerRunsInlineAndCompletes) {
-  // A nested call from one of the pool's own workers runs inline on that
-  // worker instead of round-tripping chunks through the saturated queue.
+TEST(ThreadPool, NestedParallelForFromWorkerCompletesEveryItemOnce) {
+  // A nested call from one of the pool's own workers enqueues its chunks
+  // and help-drains: whatever mix of caller and idle workers retires them,
+  // every index runs exactly once.
   ThreadPool pool(2);
   EXPECT_FALSE(pool.on_worker_thread());
   std::atomic<bool> worker_ran_nested{false};
   std::atomic<i64> sum{0};
   pool.parallel_for(3, [&](usize) {
     if (pool.on_worker_thread()) {
-      // The nested call must run inline: every item on this same worker.
-      const std::thread::id self = std::this_thread::get_id();
-      std::atomic<bool> all_inline{true};
-      pool.parallel_for(32, [&](usize j) {
-        if (std::this_thread::get_id() != self) all_inline.store(false);
-        sum.fetch_add(static_cast<i64>(j));
-      });
-      EXPECT_TRUE(all_inline.load());
+      pool.parallel_for(32, [&](usize j) { sum.fetch_add(static_cast<i64>(j)); });
       worker_ran_nested.store(true);
     } else {
       // Items on the participating caller park until a worker has taken
-      // one, so the caller cannot drain the whole loop before the inline
+      // one, so the caller cannot drain the whole loop before the nested
       // path is exercised. Cannot deadlock: while this thread spins, the
       // queued chunks are only poppable by the (idle) workers.
       while (!worker_ran_nested.load()) std::this_thread::yield();
+      pool.parallel_for(32, [&](usize j) { sum.fetch_add(static_cast<i64>(j)); });
     }
   });
   EXPECT_TRUE(worker_ran_nested.load());
-  // Each worker-run outer item contributed sum(0..31) = 496 exactly once.
-  EXPECT_GT(sum.load(), 0);
-  EXPECT_EQ(sum.load() % 496, 0);
+  // Every outer item ran the 32-element inner loop exactly once.
+  EXPECT_EQ(sum.load(), 3 * 496);
+}
+
+TEST(ThreadPool, NestedParallelForRecruitsIdleWorkers) {
+  // Regression test for the nested-scheduling fix (ROADMAP "smarter nested
+  // scheduling"): when the outer loop under-fills the pool, nested chunks
+  // must be claimable by the idle workers instead of serializing on the
+  // calling worker. Each nested loop rendezvouses two of its own items —
+  // both must be in flight simultaneously on different threads to pass,
+  // which the old always-inline nested schedule can never achieve.
+  ThreadPool pool(4);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  std::atomic<int> failures{0};
+  std::atomic<bool> worker_ran_nested{false};
+  // Outer n=3 < 4 workers: at least one outer item lands on a worker (the
+  // two queued outer chunks are only poppable by workers), and at least two
+  // workers stay idle for the nested chunks.
+  pool.parallel_for(3, [&](usize) {
+    if (pool.on_worker_thread()) {
+      std::atomic<int> arrived{0};
+      pool.parallel_for(2, [&](usize) {
+        arrived.fetch_add(1);
+        while (arrived.load() < 2) {
+          if (std::chrono::steady_clock::now() > deadline) {
+            failures.fetch_add(1);
+            return;  // serialized: the partner item never started
+          }
+          std::this_thread::yield();
+        }
+      });
+      worker_ran_nested.store(true);
+    } else {
+      while (!worker_ran_nested.load() && failures.load() == 0) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  EXPECT_TRUE(worker_ran_nested.load());
+  EXPECT_EQ(failures.load(), 0) << "nested parallel_for serialized on the calling worker";
 }
 
 TEST(ThreadPool, NestedExceptionStillPropagates) {
@@ -265,6 +299,38 @@ TEST(ThreadPool, NestedExceptionStillPropagates) {
                                    });
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, ParseThreadCountAcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(parse_thread_count("1"), 1u);
+  EXPECT_EQ(parse_thread_count("4"), 4u);
+  EXPECT_EQ(parse_thread_count("256"), 256u);
+  // Shell-export artifacts: leading/trailing blanks are tolerated.
+  EXPECT_EQ(parse_thread_count(" 8"), 8u);
+  EXPECT_EQ(parse_thread_count("8 "), 8u);
+  EXPECT_EQ(parse_thread_count("8\n"), 8u);
+}
+
+TEST(ThreadPool, ParseThreadCountFallsBackToHardwareConcurrency) {
+  // 0 means "use hardware concurrency" — the safe fallback for everything
+  // that is not a plain positive integer in range.
+  EXPECT_EQ(parse_thread_count(nullptr), 0u);
+  EXPECT_EQ(parse_thread_count(""), 0u);
+  EXPECT_EQ(parse_thread_count("0"), 0u);
+  // Trailing garbage must not silently truncate to the numeric prefix.
+  EXPECT_EQ(parse_thread_count("4x"), 0u);
+  EXPECT_EQ(parse_thread_count("4.5"), 0u);
+  EXPECT_EQ(parse_thread_count("4 threads"), 0u);
+  EXPECT_EQ(parse_thread_count("abc"), 0u);
+  // Negative values fall back instead of wrapping to a huge unsigned count.
+  EXPECT_EQ(parse_thread_count("-1"), 0u);
+  EXPECT_EQ(parse_thread_count("-999999"), 0u);
+  // Out-of-range and long-overflowing values fall back instead of wrapping.
+  EXPECT_EQ(parse_thread_count("257"), 0u);
+  EXPECT_EQ(parse_thread_count("2147483648"), 0u);
+  EXPECT_EQ(parse_thread_count("99999999999999999999999999"), 0u);
+  EXPECT_EQ(parse_thread_count("-99999999999999999999999999"), 0u);
+  EXPECT_EQ(parse_thread_count("0x10"), 0u);
 }
 
 TEST(ThreadPool, DistinctPoolsComposeWithoutInlining) {

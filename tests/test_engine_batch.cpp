@@ -244,27 +244,39 @@ TEST(EngineBatch, SimulatorShimDiscardsPartialStatsOfThrowingFrame) {
   EXPECT_EQ(st.frames, 1);
 }
 
-TEST(EngineBatch, NestedBatchUsesOneContext) {
-  // Inside a worker of its own pool, run_batch runs inline — it must not
-  // allocate a context per pool thread it can never use concurrently.
+TEST(EngineBatch, NestedBatchShardsAcrossContexts) {
+  // Inside a worker of its own pool, run_batch still shards: the nested
+  // parallel_for enqueues its chunks so idle workers can help-drain them
+  // (ROADMAP "smarter nested scheduling") instead of the inner batch
+  // serializing on the calling worker. Results stay bit-identical to a
+  // top-level batch.
   const Built b = build_fc(67, 4, 3);
-  ThreadPool pool(2);
+  ThreadPool pool(4);
+  Engine reference(b.mapped, b.net);
+  const std::vector<FrameResult> expected =
+      reference.run_batch(batch_of(b), nullptr, &pool);
+
   std::vector<Engine> engines;
   engines.reserve(3);
   for (int i = 0; i < 3; ++i) engines.emplace_back(b.mapped, b.net);
+  std::vector<std::vector<FrameResult>> nested(3);
   std::atomic<bool> worker_ran{false};
   pool.parallel_for(3, [&](usize i) {
     if (pool.on_worker_thread()) {
-      engines[i].run_batch(batch_of(b), nullptr, &pool);
-      EXPECT_EQ(engines[i].num_contexts(), 1u);
+      nested[i] = engines[i].run_batch(batch_of(b), nullptr, &pool);
+      // The nested batch shards over pooled contexts exactly like a
+      // top-level one (3 frames, 4 workers -> 3 shards).
+      EXPECT_EQ(engines[i].num_contexts(), batch_of(b).size());
       worker_ran.store(true);
     } else {
       // Park caller-thread items until a worker demonstrably took one (the
       // idle workers are the only threads that can pop the queued chunks).
       while (!worker_ran.load()) std::this_thread::yield();
+      nested[i] = engines[i].run_batch(batch_of(b), nullptr, &pool);
     }
   });
   EXPECT_TRUE(worker_ran.load());
+  for (usize i = 0; i < nested.size(); ++i) expect_frames_eq(nested[i], expected);
 }
 
 TEST(EngineBatch, NestsInsideOuterParallelForWithoutDeadlock) {
@@ -287,6 +299,58 @@ TEST(EngineBatch, NestsInsideOuterParallelForWithoutDeadlock) {
   for (usize i = 0; i < per_task.size(); ++i) {
     expect_frames_eq(per_task[i], expected);
   }
+}
+
+TEST(EngineBatch, ContextStateIsCompactedToTheTouchSets) {
+  // A mapped grid is mostly filler tiles; per-context NocState allocates
+  // router registers only for the program's touch set.
+  const Built b = build_fc(71, 4, 1);
+  Engine engine(b.mapped, b.net);
+  const CompiledModel& model = engine.model();
+  const SimContext ctx = engine.make_context();
+  EXPECT_EQ(ctx.noc().allocated_routers(), model.touched_routers().size());
+  EXPECT_EQ(ctx.noc().allocated_toggle_links(), model.touched_links().size());
+  EXPECT_LE(model.touched_routers().size(), b.mapped.cores.size());
+  usize fillers = 0;
+  for (const auto& c : b.mapped.cores) fillers += c.filler;
+  if (fillers > 0) {
+    EXPECT_LT(model.touched_routers().size(), b.mapped.cores.size());
+  }
+  EXPECT_LT(model.touched_links().size(), model.topology().num_links());
+}
+
+TEST(EngineBatch, DonorCompileSwapsWeightsWithoutRelowering) {
+  // Two trainings of the same structure map to the same schedule; compiling
+  // the second against the first as donor (weight swap) must be
+  // bit-identical to a fresh compile of the second.
+  const Built b1 = build_fc(17, 6, 4);
+  const Built b2 = build_fc(91, 6, 4);
+  Engine donor(b1.mapped, b1.net);
+  Engine swapped(b2.mapped, b2.net, donor);
+  Engine fresh(b2.mapped, b2.net);
+
+  SimStats ss, fs;
+  const std::vector<FrameResult> rs = swapped.run_batch(batch_of(b2), &ss);
+  const std::vector<FrameResult> rf = fresh.run_batch(batch_of(b2), &fs);
+  expect_frames_eq(rs, rf);
+  expect_stats_eq(ss, fs);
+  // And the swap genuinely changed behaviour relative to the donor weights:
+  // the donor engine on the same frames gives the donor model's outputs.
+  SimStats ds;
+  const std::vector<FrameResult> rd = donor.run_batch(batch_of(b2), &ds);
+  bool any_diff = false;
+  for (usize i = 0; i < rd.size(); ++i) {
+    if (rd[i].spike_counts != rs[i].spike_counts) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EngineBatch, DonorCompileRejectsStructuralChanges) {
+  const Built b1 = build_fc(17, 6, 1);
+  Engine donor(b1.mapped, b1.net);
+  // A different T changes the schedule shape: not a weight swap.
+  const Built b3 = build_fc(17, 8, 1);
+  EXPECT_THROW(Engine(b3.mapped, b3.net, donor), Error);
 }
 
 TEST(EngineBatch, HardwareAccuracyUsesTheBatchPathConsistently) {

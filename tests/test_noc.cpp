@@ -114,6 +114,59 @@ TEST(NocRouterTest, CommitAppliesStagedWritesInOrder) {
   EXPECT_EQ(f.router(1).ps_in(Dir::West, 0), 22);
 }
 
+TEST(NocRouterTest, CompactStateMatchesFullStateOnTheTouchSet) {
+  // A state compacted to a touch set behaves bit-identically to a full
+  // state for every register and counter the set covers, while allocating
+  // only the touched routers / links.
+  core::ArchParams arch;
+  std::vector<Coord> pos;
+  for (i32 r = 0; r < 3; ++r) {
+    for (i32 c = 0; c < 3; ++c) pos.push_back(Coord{r, c});
+  }
+  const NocTopology topo(arch, 3, 3, pos);
+  // Touch set: the top-row pipeline 0 -E-> 1 -E-> 2 (duplicates tolerated).
+  const std::vector<u32> cores = {0, 1, 2, 1};
+  const std::vector<LinkId> links = {topo.link_id(0, Dir::East), topo.link_id(1, Dir::East),
+                                     topo.link_id(0, Dir::East)};
+  NocState full(topo);
+  NocState compact(topo, cores, links);
+  EXPECT_EQ(full.allocated_routers(), topo.num_cores());
+  EXPECT_EQ(compact.allocated_routers(), 3u);
+  EXPECT_EQ(compact.allocated_toggle_links(), 2u);
+
+  TrafficCounters tc_full = topo.make_counters();
+  TrafficCounters tc_compact = topo.make_counters();
+  const auto drive = [&](NocState& st, TrafficCounters& tc) {
+    st.send_ps(topo, 0, Dir::East, 5, 321, tc);
+    st.send_spike(topo, 1, Dir::East, 9, true, tc);
+    st.commit_cycle();
+    st.send_ps(topo, 0, Dir::East, 5, 123, tc);  // toggles against 321
+    st.commit_cycle();
+  };
+  drive(full, tc_full);
+  drive(compact, tc_compact);
+  for (const u32 c : cores) {
+    EXPECT_EQ(compact.router(c).ps_in(Dir::West, 5), full.router(c).ps_in(Dir::West, 5));
+    EXPECT_EQ(compact.router(c).spike_in(Dir::West, 9), full.router(c).spike_in(Dir::West, 9));
+  }
+  ASSERT_EQ(tc_compact.links.size(), tc_full.links.size());
+  for (usize l = 0; l < tc_full.links.size(); ++l) {
+    EXPECT_EQ(tc_compact.links[l].ps_bits, tc_full.links[l].ps_bits) << "link " << l;
+    EXPECT_EQ(tc_compact.links[l].ps_toggles, tc_full.links[l].ps_toggles) << "link " << l;
+    EXPECT_EQ(tc_compact.links[l].spike_flits, tc_full.links[l].spike_flits) << "link " << l;
+    EXPECT_EQ(tc_compact.links[l].spike_toggles, tc_full.links[l].spike_toggles)
+        << "link " << l;
+  }
+  // Selective reset through the same touch set: registers and toggle
+  // history of the touched subset clear; staged writes drop.
+  compact.reset_subset(cores, links);
+  EXPECT_EQ(compact.router(1).ps_in(Dir::West, 5), 0);
+  // Off-set access is a programming error, not a silent corruption.
+  EXPECT_THROW(compact.router(4), InternalError);
+  TrafficCounters tc = topo.make_counters();
+  EXPECT_THROW(compact.send_ps(topo, 1, Dir::South, 0, 1, tc), InternalError);
+}
+
 TEST(NocRouterTest, PsAdderSaturatesAtNocWidth) {
   core::ArchParams arch;
   arch.noc_bits = 8;  // [-128, 127]

@@ -1,0 +1,413 @@
+// Serving front-end tests: the async queue, the multi-model cache and the
+// weight swap must all be invisible in the numbers.
+//
+//  1. Interleaved multi-client submissions are bit-identical to serial
+//     single-context Simulator runs — per frame AND in the merged stats.
+//  2. Weight swap serves the new model's outputs with no stale state, while
+//     requests bound before the swap still serve the old generation.
+//  3. Shutdown with in-flight requests neither deadlocks nor leaks partial
+//     stats: every future becomes ready, and the model tally counts exactly
+//     the frames that completed.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "serve/server.h"
+#include "sim/simulator.h"
+#include "snn/convert.h"
+
+namespace sj::serve {
+namespace {
+
+using sim::FrameResult;
+using sim::SimStats;
+
+struct Built {
+  snn::SnnNetwork net;
+  map::MappedNetwork mapped;
+  nn::Dataset data;
+};
+
+Built build_fc(u64 seed, i32 T, usize frames) {
+  nn::Model m({300}, "serve-fc");
+  m.dense(300, 80);
+  m.relu();
+  m.dense(80, 10);
+  Rng rng(seed);
+  m.init_weights(rng);
+  nn::Dataset d;
+  d.sample_shape = {300};
+  d.num_classes = 10;
+  for (usize i = 0; i < frames; ++i) {
+    Tensor x({300});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    d.images.push_back(std::move(x));
+    d.labels.push_back(static_cast<i32>(rng.uniform_index(10)));
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = T;
+  Built b{snn::convert(m, d, cc), {}, {}};
+  b.mapped = map::map_network(b.net);
+  b.data = std::move(d);
+  return b;
+}
+
+std::span<const Tensor> batch_of(const Built& b) {
+  return {b.data.images.data(), b.data.images.size()};
+}
+
+void expect_frames_eq(const std::vector<FrameResult>& a, const std::vector<FrameResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (usize i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spike_counts, b[i].spike_counts) << "frame " << i;
+    EXPECT_EQ(a[i].final_potentials, b[i].final_potentials) << "frame " << i;
+    EXPECT_EQ(a[i].predicted, b[i].predicted) << "frame " << i;
+  }
+}
+
+void expect_stats_eq(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.cycles, b.cycles);
+  for (usize i = 0; i < a.op_neurons.size(); ++i) {
+    EXPECT_EQ(a.op_neurons[i], b.op_neurons[i]) << "energy op " << i;
+  }
+  EXPECT_EQ(a.saturations, b.saturations);
+  EXPECT_EQ(a.spikes_fired, b.spikes_fired);
+  EXPECT_EQ(a.axon_spikes, b.axon_spikes);
+  EXPECT_EQ(a.axon_slots, b.axon_slots);
+  ASSERT_EQ(a.noc.links.size(), b.noc.links.size());
+  for (usize l = 0; l < a.noc.links.size(); ++l) {
+    EXPECT_EQ(a.noc.links[l].ps_flits, b.noc.links[l].ps_flits) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].ps_bits, b.noc.links[l].ps_bits) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].ps_toggles, b.noc.links[l].ps_toggles) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].spike_flits, b.noc.links[l].spike_flits) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].spike_toggles, b.noc.links[l].spike_toggles) << "link " << l;
+  }
+  EXPECT_EQ(a.noc.interchip_ps_bits, b.noc.interchip_ps_bits);
+  EXPECT_EQ(a.noc.interchip_spike_bits, b.noc.interchip_spike_bits);
+}
+
+/// Serial single-context reference: results + accumulated stats.
+std::pair<std::vector<FrameResult>, SimStats> serial_reference(const Built& b) {
+  sim::Simulator sim(b.mapped, b.net);
+  SimStats st;
+  std::vector<FrameResult> res;
+  for (const Tensor& img : b.data.images) res.push_back(sim.run_frame(img, &st));
+  return {std::move(res), std::move(st)};
+}
+
+TEST(Serve, SingleClientMatchesSerialSimulatorBitExactly) {
+  const Built b = build_fc(101, 8, 6);
+  const auto [want, want_stats] = serial_reference(b);
+
+  Server server({.workers = 4});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  std::vector<std::future<FrameResult>> futs = server.submit_batch(key, batch_of(b));
+  std::vector<FrameResult> got;
+  for (auto& f : futs) got.push_back(f.get());
+
+  expect_frames_eq(got, want);
+  expect_stats_eq(server.stats(key), want_stats);
+}
+
+TEST(Serve, WorkerCountDoesNotChangeResultsOrStats) {
+  const Built b = build_fc(103, 8, 7);
+  Server one({.workers = 1}), four({.workers = 4});
+  const ModelKey k1 = one.load_model(b.mapped, b.net);
+  const ModelKey k4 = four.load_model(b.mapped, b.net);
+  EXPECT_EQ(k1, k4);  // content hash, not server identity
+
+  auto f1 = one.submit_batch(k1, batch_of(b));
+  auto f4 = four.submit_batch(k4, batch_of(b));
+  std::vector<FrameResult> r1, r4;
+  for (auto& f : f1) r1.push_back(f.get());
+  for (auto& f : f4) r4.push_back(f.get());
+  expect_frames_eq(r4, r1);
+  expect_stats_eq(four.take_stats(k4), one.take_stats(k1));
+}
+
+TEST(Serve, InterleavedMultiClientMultiModelStaysBitIdentical) {
+  // Three client threads hammer two models in interleaved order; every
+  // response must equal the serial single-context run of its frame, and
+  // each model's tally must equal its serial accumulation.
+  const Built ba = build_fc(107, 6, 5);
+  const Built bb = build_fc(131, 6, 5);
+  const auto [want_a, stats_a] = serial_reference(ba);
+  const auto [want_b, stats_b] = serial_reference(bb);
+
+  Server server({.workers = 3});
+  const ModelKey ka = server.load_model(ba.mapped, ba.net);
+  const ModelKey kb = server.load_model(bb.mapped, bb.net);
+  ASSERT_NE(ka, kb);
+  EXPECT_EQ(server.num_models(), 2u);
+
+  constexpr int kRounds = 3;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<FrameResult>> got_a(3), got_b(3);
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Interleave the two models within one client.
+        for (usize i = 0; i < ba.data.size(); ++i) {
+          auto fa = server.submit(ka, ba.data.images[i]);
+          auto fb = server.submit(kb, bb.data.images[i]);
+          got_a[static_cast<usize>(t)].push_back(fa.get());
+          got_b[static_cast<usize>(t)].push_back(fb.get());
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  for (int t = 0; t < 3; ++t) {
+    for (int r = 0; r < kRounds; ++r) {
+      for (usize i = 0; i < ba.data.size(); ++i) {
+        const usize at = static_cast<usize>(r) * ba.data.size() + i;
+        const auto& ra = got_a[static_cast<usize>(t)][at];
+        const auto& rb = got_b[static_cast<usize>(t)][at];
+        EXPECT_EQ(ra.spike_counts, want_a[i].spike_counts);
+        EXPECT_EQ(ra.final_potentials, want_a[i].final_potentials);
+        EXPECT_EQ(rb.spike_counts, want_b[i].spike_counts);
+        EXPECT_EQ(rb.final_potentials, want_b[i].final_potentials);
+      }
+    }
+  }
+  // Stats: 3 clients x kRounds x frames, order-independent integer merge.
+  SimStats want_a_total, want_b_total;
+  for (int i = 0; i < 3 * kRounds; ++i) {
+    want_a_total.merge(stats_a);
+    want_b_total.merge(stats_b);
+  }
+  expect_stats_eq(server.take_stats(ka), want_a_total);
+  expect_stats_eq(server.take_stats(kb), want_b_total);
+}
+
+TEST(Serve, LoadModelIsCachedByContent) {
+  const Built b = build_fc(109, 5, 1);
+  Server server({.workers = 1});
+  const ModelKey k1 = server.load_model(b.mapped, b.net);
+  const ModelKey k2 = server.load_model(b.mapped, b.net);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(server.num_models(), 1u);
+}
+
+TEST(Serve, WeightSwapServesNewOutputsWithoutStaleState) {
+  // Same structure, different training: swap must serve the new weights'
+  // exact outputs (no stale state from frames served pre-swap), and the
+  // key stays stable.
+  const Built b1 = build_fc(113, 6, 4);
+  const Built b2 = build_fc(151, 6, 4);
+  const auto [want_old, stats_old] = serial_reference(b1);
+  // The new generation evaluated on b1's frames (what post-swap clients
+  // submitting those frames must see).
+  sim::Simulator new_sim(b2.mapped, b2.net);
+  SimStats stats_new;
+  std::vector<FrameResult> want_new;
+  for (const Tensor& img : b1.data.images) want_new.push_back(new_sim.run_frame(img, &stats_new));
+
+  Server server({.workers = 2});
+  const ModelKey key = server.load_model(b1.mapped, b1.net);
+
+  // Pre-swap traffic serves the old weights.
+  auto futs_old = server.submit_batch(key, batch_of(b1));
+  std::vector<FrameResult> got_old;
+  for (auto& f : futs_old) got_old.push_back(f.get());
+  expect_frames_eq(got_old, want_old);
+
+  server.swap_weights(key, b2.mapped, b2.net);
+
+  // Post-swap traffic (same input frames) serves the new weights.
+  auto futs_new = server.submit_batch(key, batch_of(b1));
+  std::vector<FrameResult> got_new;
+  for (auto& f : futs_new) got_new.push_back(f.get());
+  expect_frames_eq(got_new, want_new);
+
+  // The runs genuinely differ (different weights -> different spikes).
+  bool any_diff = false;
+  for (usize i = 0; i < got_old.size(); ++i) {
+    if (got_old[i].spike_counts != got_new[i].spike_counts) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+
+  // The tally spans both generations: old + new serial accumulations.
+  SimStats want_total = stats_old;
+  want_total.merge(stats_new);
+  expect_stats_eq(server.take_stats(key), want_total);
+}
+
+TEST(Serve, ReloadingSwappedAwayContentRestoresIt) {
+  // load(A) -> swap to B -> load(A) must serve A again (a rollback), not
+  // silently hand back a key that serves B's weights.
+  const Built b1 = build_fc(167, 6, 3);
+  const Built b2 = build_fc(173, 6, 3);
+  const auto [want_a, stats_a] = serial_reference(b1);
+
+  Server server({.workers = 2});
+  const ModelKey key = server.load_model(b1.mapped, b1.net);
+  server.swap_weights(key, b2.mapped, b2.net);
+  const ModelKey key2 = server.load_model(b1.mapped, b1.net);
+  EXPECT_EQ(key2, key);  // content hash: same content, same key
+  EXPECT_EQ(server.num_models(), 1u);
+
+  auto futs = server.submit_batch(key2, batch_of(b1));
+  std::vector<FrameResult> got;
+  for (auto& f : futs) got.push_back(f.get());
+  expect_frames_eq(got, want_a);
+}
+
+TEST(Serve, LoadingSwappedInContentAliasesTheLiveGeneration) {
+  // load(A) -> swap to B: B is live under A's key. load_model(B) must hand
+  // out B's own key without re-lowering (generations are immutable and
+  // shareable), and both keys must serve B's outputs.
+  const Built b1 = build_fc(181, 6, 3);
+  const Built b2 = build_fc(191, 6, 3);
+  const auto [want_b, stats_b] = serial_reference(b2);
+
+  Server server({.workers = 2});
+  const ModelKey ka = server.load_model(b1.mapped, b1.net);
+  server.swap_weights(ka, b2.mapped, b2.net);
+  const ModelKey kb = server.load_model(b2.mapped, b2.net);
+  EXPECT_NE(kb, ka);
+  EXPECT_EQ(server.num_models(), 2u);
+
+  for (const ModelKey k : {ka, kb}) {
+    auto futs = server.submit_batch(k, batch_of(b2));
+    std::vector<FrameResult> got;
+    for (auto& f : futs) got.push_back(f.get());
+    expect_frames_eq(got, want_b);
+  }
+}
+
+TEST(Serve, DifferentMappingsOfSameWeightsGetDistinctKeys) {
+  // The op stream is part of a model's identity: the same structure with a
+  // different timestep count (different schedule) must not alias.
+  const Built b1 = build_fc(179, 6, 1);
+  const Built b2 = build_fc(179, 8, 1);
+  EXPECT_NE(model_key(b1.mapped, b1.net), model_key(b2.mapped, b2.net));
+}
+
+TEST(Serve, WeightSwapRejectsStructuralChanges) {
+  const Built b = build_fc(113, 6, 1);
+  const Built other = build_fc(113, 8, 1);  // different T: different schedule
+  Server server({.workers = 1});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  EXPECT_THROW(server.swap_weights(key, other.mapped, other.net), Error);
+  // The served generation is untouched by the failed swap.
+  const auto [want, want_stats] = serial_reference(b);
+  auto futs = server.submit_batch(key, batch_of(b));
+  std::vector<FrameResult> got;
+  for (auto& f : futs) got.push_back(f.get());
+  expect_frames_eq(got, want);
+}
+
+TEST(Serve, ShutdownDrainCompletesEveryRequest) {
+  const Built b = build_fc(127, 5, 4);
+  const auto [want, want_stats] = serial_reference(b);
+  Server server({.workers = 2});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  // Several batches deep, then shut down while they are in flight.
+  std::vector<std::future<FrameResult>> futs;
+  for (int r = 0; r < 4; ++r) {
+    for (auto& f : server.submit_batch(key, batch_of(b))) futs.push_back(std::move(f));
+  }
+  server.shutdown(DrainMode::kDrain);
+  for (usize i = 0; i < futs.size(); ++i) {
+    const FrameResult r = futs[i].get();  // must not throw or hang
+    EXPECT_EQ(r.spike_counts, want[i % want.size()].spike_counts);
+  }
+  // Drained == every frame's stats counted, none double-counted.
+  SimStats want_total;
+  for (int r = 0; r < 4; ++r) want_total.merge(want_stats);
+  expect_stats_eq(server.stats(key), want_total);
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(Serve, ShutdownCancelFailsPendingWithoutLeakingStats) {
+  const Built b = build_fc(137, 6, 6);
+  Server server({.workers = 1});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  std::vector<std::future<FrameResult>> futs;
+  for (int r = 0; r < 8; ++r) {
+    for (auto& f : server.submit_batch(key, batch_of(b))) futs.push_back(std::move(f));
+  }
+  server.shutdown(DrainMode::kCancel);
+  // Every future is ready: a result for claimed requests, Cancelled for
+  // the rest. No deadlock either way.
+  usize completed = 0, cancelled = 0;
+  for (auto& f : futs) {
+    try {
+      f.get();
+      ++completed;
+    } catch (const Cancelled&) {
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(completed + cancelled, futs.size());
+  EXPECT_GT(cancelled, 0u);  // 48 frames against 1 worker: some must cancel
+  // No partial stats: the tally counts exactly the completed frames.
+  EXPECT_EQ(server.stats(key).frames, static_cast<i64>(completed));
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(Serve, SubmitAndLoadAfterShutdownThrow) {
+  const Built b = build_fc(139, 5, 1);
+  Server server({.workers = 1});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  server.shutdown();
+  server.shutdown();  // idempotent
+  EXPECT_THROW(server.submit(key, b.data.images[0]), Error);
+  EXPECT_THROW(server.load_model(b.mapped, b.net), Error);
+  // The cache and its tallies stay readable for post-mortem accounting.
+  EXPECT_EQ(server.num_models(), 1u);
+  EXPECT_EQ(server.stats(key).frames, 0);
+}
+
+TEST(Serve, BoundedQueueBlocksSubmittersNotCorrectness) {
+  const Built b = build_fc(149, 5, 6);
+  const auto [want, want_stats] = serial_reference(b);
+  Server server({.workers = 2, .max_pending = 2});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  // Submitters block when the queue is full, so this just throttles.
+  std::vector<std::future<FrameResult>> futs = server.submit_batch(key, batch_of(b));
+  std::vector<FrameResult> got;
+  for (auto& f : futs) got.push_back(f.get());
+  expect_frames_eq(got, want);
+  expect_stats_eq(server.take_stats(key), want_stats);
+}
+
+TEST(Serve, ServingAccuracyMatchesHardwareAccuracy) {
+  const Built b = build_fc(157, 6, 5);
+  SimStats hw_stats;
+  const double hw = sim::hardware_accuracy(b.mapped, b.net, b.data, 0, &hw_stats);
+
+  Server server({.workers = 2});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  SimStats sv_stats;
+  const double sv = serving_accuracy(server, key, b.data, 0, &sv_stats);
+  EXPECT_DOUBLE_EQ(sv, hw);
+  expect_stats_eq(sv_stats, hw_stats);
+}
+
+TEST(Serve, BadFramePropagatesThroughTheFutureAndLeavesServerUsable) {
+  const Built b = build_fc(163, 5, 2);
+  Server server({.workers = 2});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  auto bad = server.submit(key, Tensor({4}));  // too few pixels: injection throws
+  EXPECT_THROW(bad.get(), Error);
+  EXPECT_EQ(server.stats(key).frames, 0);  // nothing partial leaked
+  const auto [want, want_stats] = serial_reference(b);
+  auto futs = server.submit_batch(key, batch_of(b));
+  std::vector<FrameResult> got;
+  for (auto& f : futs) got.push_back(f.get());
+  expect_frames_eq(got, want);
+  expect_stats_eq(server.take_stats(key), want_stats);
+}
+
+}  // namespace
+}  // namespace sj::serve
