@@ -1,10 +1,18 @@
 // EXP-T5 — Table V: comparison with existing SNN architectures (MNIST MLP).
 //
 // Literature rows are quoted from the paper's Table V; the two Shenjing rows
-// are the paper's own and this repository's measured pipeline.
+// are the paper's own and this repository's measured pipeline. A simulator-
+// throughput footer reports the host-side single-context and batched
+// (Engine::run_batch) frames/s for the measured network and records both to
+// BENCH_table5.json (ROADMAP "batch-aware benches") — the paper's FPS row is
+// the *hardware's* frame rate; these are the reproduction's.
+#include <span>
+
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "harness/pipeline.h"
 #include "power/comparison.h"
+#include "sim/engine.h"
 
 using namespace sj;
 
@@ -49,5 +57,33 @@ int main() {
               static_cast<long long>(r.cores), fmt_si(r.freq_hz, "Hz").c_str(),
               static_cast<unsigned long long>(r.power.cycles_per_frame),
               r.hw_matches_abstract ? "yes" : "NO");
+
+  // Host-simulator throughput on the measured network, single-context vs
+  // batched over the global pool.
+  const int min_frames = harness::fast_mode() ? 4 : 32;
+  const double min_seconds = harness::fast_mode() ? 0.05 : 0.5;
+  const usize threads = std::max<usize>(1, ThreadPool::global().num_threads());
+  sim::Engine engine(r.mapped, r.snn);
+  const bench::SingleVsBatch fps = bench::measure_single_vs_batch(
+      engine, {r.test_set.images.data(), r.test_set.images.size()}, min_frames,
+      min_seconds, threads);
+  const double single_fps = fps.single_fps;
+  const double batch_fps = fps.batch_fps;
+  std::printf("simulated throughput: %.1f frames/s single-context, %.1f frames/s "
+              "batched (%zu threads) — %.2fx\n",
+              single_fps, batch_fps, threads,
+              single_fps > 0 ? batch_fps / single_fps : 0.0);
+
+  json::Value doc;
+  doc.set("network", r.name);
+  doc.set("accuracy", r.shenjing_accuracy);
+  doc.set("hardware_fps", r.fps);
+  doc.set("power_mw", r.power.total_w * 1e3);
+  doc.set("uj_per_frame", r.power.energy_per_frame_j * 1e6);
+  doc.set("frames_per_sec", single_fps);
+  doc.set("batch_frames_per_sec", batch_fps);
+  doc.set("batch_threads", static_cast<i64>(threads));
+  doc.set("fast_mode", harness::fast_mode());
+  bench::write_bench_json("table5", std::move(doc));
   return 0;
 }

@@ -6,15 +6,65 @@
 // the workloads.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
 #include "json/json.h"
 #include "noc/traffic.h"
+#include "sim/engine.h"
 
 namespace sj::bench {
+
+/// The shared throughput-measurement loop: calls `run` (which simulates and
+/// returns a frame count) until at least `min_frames` frames AND
+/// `min_seconds` of wall time have accumulated, then returns frames/second.
+/// Latency benches derive ms/frame as 1e3 / measure_fps(...).
+template <typename Fn>
+double measure_fps(i64 min_frames, double min_seconds, Fn&& run) {
+  i64 frames = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double secs = 0.0;
+  do {
+    frames += run();
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  } while (frames < min_frames || secs < min_seconds);
+  return static_cast<double>(frames) / secs;
+}
+
+/// The batch-aware benches' shared measurement protocol: one engine, the
+/// same images, single-context frames/s then Engine::run_batch frames/s
+/// over a `threads * 4`-frame batch. Keeping this in one place keeps the
+/// gated metrics comparable across benches.
+struct SingleVsBatch {
+  double single_fps = 0.0;
+  double batch_fps = 0.0;
+};
+
+inline SingleVsBatch measure_single_vs_batch(sim::Engine& engine,
+                                             std::span<const Tensor> images,
+                                             i64 min_frames, double min_seconds,
+                                             usize threads) {
+  SingleVsBatch r;
+  sim::SimContext ctx = engine.make_context();
+  usize i = 0;
+  r.single_fps = measure_fps(min_frames, min_seconds, [&]() -> i64 {
+    engine.run_frame(ctx, images[i++ % images.size()]);
+    return 1;
+  });
+  std::vector<Tensor> batch;
+  const usize batch_frames =
+      std::max<usize>(static_cast<usize>(min_frames), threads * 4);
+  for (usize b = 0; b < batch_frames; ++b) batch.push_back(images[b % images.size()]);
+  r.batch_fps = measure_fps(min_frames, min_seconds, [&]() -> i64 {
+    engine.run_batch(std::span<const Tensor>(batch.data(), batch.size()));
+    return static_cast<i64>(batch.size());
+  });
+  return r;
+}
 
 inline void heading(const std::string& title, const std::string& what) {
   std::printf("\n============================================================\n");

@@ -45,7 +45,23 @@ void ThreadPool::worker_loop() {
   t_worker_of = this;
   for (;;) {
     std::function<void()> task;
-    {
+    // Bounded spin before sleeping: fine-grained fan-outs (the sharded
+    // engine launches one parallel_for per phase, ~100 us apart) would
+    // otherwise pay a condvar wake-up per worker per phase — often more
+    // than the phase itself. A worker that just ran a task polls the queue
+    // for a short while before parking; an idle pool still sleeps.
+    for (int spin = 0; spin < 64 && !task; ++spin) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_ && tasks_.empty()) return;
+        if (!tasks_.empty()) {
+          task = std::move(tasks_.front());
+          tasks_.pop();
+        }
+      }
+      if (!task) std::this_thread::yield();
+    }
+    if (!task) {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;

@@ -43,6 +43,11 @@ struct ExecOp {
   bool sum_or_local = false;   // SpkSpike: potential += ejected sum / local PS
   bool hold = false;           // SpkRecv*: delay axon visibility one timestep
   u8 energy_op = 0;            // core::EnergyOp row the op charges
+  // Set only on the per-shard op copies inside a ShardPlan (shard_plan.h):
+  // the op's pre-resolved link ends on a different chip shard, so its staged
+  // write is deferred to the next phase barrier instead of the local cycle
+  // commit. Always false in the program lower_program returns.
+  bool cross_shard = false;
   u32 core = 0;                // tile index (router + core state)
   noc::LinkId link = noc::kInvalidLink;  // outgoing link of send/bypass/forward
   i32 mask_pop = 0;            // popcount of mask (census weight)

@@ -1,0 +1,151 @@
+#include "mapper/shard_plan.h"
+
+namespace sj::map {
+
+namespace {
+
+/// True for ops whose $SRC operand reads an input-port register. These are
+/// the only cross-tile reads in the ISA, so they are the only points where
+/// deferring a cross-shard commit to a later barrier could be observed.
+bool reads_port(core::OpCode code) {
+  switch (code) {
+    case core::OpCode::PsSum:
+    case core::OpCode::PsBypass:
+    case core::OpCode::SpkBypass:
+    case core::OpCode::SpkRecv:
+    case core::OpCode::SpkRecvForward:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ShardPlan build_shard_plan(const MappedNetwork& m, const noc::NocTopology& topo,
+                           const ExecProgram& prog) {
+  SJ_REQUIRE(m.cores.size() == topo.num_cores(),
+             "build_shard_plan: topology does not match the mapping");
+  const usize n = m.cores.size();
+  const i32 chips_across = (m.grid_cols + m.arch.chip_cols - 1) / m.arch.chip_cols;
+  const i32 chips_down = (m.grid_rows + m.arch.chip_rows - 1) / m.arch.chip_rows;
+  const usize num_chips =
+      static_cast<usize>(chips_across) * static_cast<usize>(chips_down);
+  const auto chip_cell = [&](u32 core) {
+    const Coord p = topo.position(core);
+    return static_cast<usize>(p.row / m.arch.chip_rows) *
+               static_cast<usize>(chips_across) +
+           static_cast<usize>(p.col / m.arch.chip_cols);
+  };
+
+  // Chips the program touches: op cores, send destinations and input-tap
+  // cores. Untouched chips (all-filler) get no shard — there is nothing to
+  // replay or reset on them.
+  std::vector<bool> chip_touched(num_chips, false);
+  std::vector<bool> core_active(n, false);
+  for (const ExecOp& op : prog.ops) {
+    chip_touched[chip_cell(op.core)] = true;
+    core_active[op.core] = true;
+    if (op.link != noc::kInvalidLink) {
+      chip_touched[chip_cell(topo.link(op.link).dst)] = true;
+    }
+  }
+  for (const auto& taps : m.input_taps) {
+    for (const Slot& s : taps) {
+      chip_touched[chip_cell(s.core)] = true;
+      core_active[s.core] = true;
+    }
+  }
+
+  ShardPlan plan;
+  std::vector<u32> chip_shard(num_chips, kNoShard);
+  for (usize ch = 0; ch < num_chips; ++ch) {
+    if (!chip_touched[ch]) continue;
+    chip_shard[ch] = static_cast<u32>(plan.shards.size());
+    plan.shards.emplace_back().chip = static_cast<u32>(ch);
+  }
+  plan.shard_of_core.assign(n, kNoShard);
+  for (u32 c = 0; c < n; ++c) plan.shard_of_core[c] = chip_shard[chip_cell(c)];
+
+  // Each shard's slice of the frame-boundary/iteration prologue state: the
+  // cores it rotates and resets, and the input taps it injects. Together the
+  // slices cover exactly the model's active set (same predicate as
+  // CompiledModel::build_touch_sets), each core in its chip's shard.
+  for (u32 c = 0; c < n; ++c) {
+    if (core_active[c]) plan.shards[plan.shard_of_core[c]].active_cores.push_back(c);
+  }
+  for (u32 g = 0; g < m.input_taps.size(); ++g) {
+    for (const Slot& s : m.input_taps[g]) {
+      plan.shards[plan.shard_of_core[s.core]].input_taps.emplace_back(g, s);
+    }
+  }
+
+  // One ordered walk of the schedule does the rest: place a phase barrier
+  // immediately before any cycle that reads an input-port register fed by a
+  // cross-shard link with an uncommitted ("dirty") send, then deal the
+  // cycle's ops to their chip shards with ExecOp::cross_shard resolved.
+  const usize S = plan.shards.size();
+  std::vector<bool> link_dirty(topo.num_links(), false);
+  std::vector<noc::LinkId> dirtied;
+  // Index into shards[s].cycles where the running phase began.
+  std::vector<u32> phase_begin(S, 0);
+  // Last source-cycle index for which shard s opened a Cycle entry.
+  std::vector<usize> cycle_mark(S, ~usize{0});
+
+  const auto close_phase = [&] {
+    for (usize s = 0; s < S; ++s) {
+      ShardPlan::Shard& sh = plan.shards[s];
+      sh.phases.push_back({phase_begin[s], static_cast<u32>(sh.cycles.size())});
+      phase_begin[s] = static_cast<u32>(sh.cycles.size());
+    }
+  };
+
+  for (usize ci = 0; ci < prog.cycles.size(); ++ci) {
+    const ExecCycle& cyc = prog.cycles[ci];
+    // Two-phase semantics: reads in this cycle see values staged in earlier
+    // cycles, so the barrier check runs before this cycle's sends dirty
+    // anything.
+    bool barrier = false;
+    for (u32 oi = cyc.begin; oi < cyc.end && !barrier; ++oi) {
+      const ExecOp& op = prog.ops[oi];
+      if (!reads_port(op.code)) continue;
+      const u32 nb = topo.neighbor(op.core, op.src);
+      if (nb == noc::kInvalidCore) continue;  // grid-edge port: never written
+      const noc::LinkId feed = topo.link_id(nb, opposite(op.src));
+      if (feed != noc::kInvalidLink && link_dirty[feed]) barrier = true;
+    }
+    if (barrier) {
+      close_phase();
+      for (const noc::LinkId l : dirtied) link_dirty[l] = false;
+      dirtied.clear();
+    }
+
+    for (u32 oi = cyc.begin; oi < cyc.end; ++oi) {
+      ExecOp op = prog.ops[oi];
+      const u32 s = plan.shard_of_core[op.core];
+      if (op.link != noc::kInvalidLink) {
+        op.cross_shard = plan.shard_of_core[topo.link(op.link).dst] != s;
+        if (op.cross_shard) {
+          plan.shards[s].cross_sends += 1;
+          if (!link_dirty[op.link]) {
+            link_dirty[op.link] = true;
+            dirtied.push_back(op.link);
+          }
+        }
+      }
+      ShardPlan::Shard& sh = plan.shards[s];
+      if (cycle_mark[s] != ci) {
+        cycle_mark[s] = ci;
+        sh.cycles.push_back(
+            {static_cast<u32>(sh.ops.size()), static_cast<u32>(sh.ops.size())});
+      }
+      sh.ops.push_back(op);
+      sh.cycles.back().end = static_cast<u32>(sh.ops.size());
+    }
+  }
+  close_phase();  // the final phase always exists, even for an empty program
+  plan.num_phases = S == 0 ? 1 : static_cast<u32>(plan.shards.front().phases.size());
+  return plan;
+}
+
+}  // namespace sj::map

@@ -1,0 +1,97 @@
+// ShardPlan: the chip-level partition of a lowered ExecProgram.
+//
+// Shenjing scales by tiling 28x28-core chips and paying explicit wire energy
+// on the links that cross a chip boundary (paper §III); SpiNNaker-class
+// systems distribute one network across processing elements the same way.
+// This plan cuts a CompiledModel's op stream along those boundaries so one
+// *frame* can fan out over threads — pipeline parallelism within a frame,
+// complementing the batch engine's parallelism across frames.
+//
+// The cut exploits the locality the two-phase NoC already enforces:
+//
+//   * every op reads and writes only the registers of its own tile (core
+//     state, router sum/eject/spike files, input-port registers), plus
+//   * at most one *staged* write onto its pre-resolved outgoing link, which
+//     becomes visible at the next cycle commit.
+//
+// Partitioning ops by the chip of `op.core` therefore leaves exactly one
+// coupling between shards: staged writes whose link crosses a chip boundary
+// (`ExecOp::cross_shard`). Those become the explicit inter-shard exchange —
+// each shard stages them into a private outbox and they are committed, in
+// fixed shard order, at a *phase barrier*.
+//
+// Phases are computed so the deferral is invisible: walking the schedule in
+// cycle order, a barrier is placed immediately before the first cycle that
+// READS an input-port register fed by a cross-shard link with an uncommitted
+// send ("dirty" link). Between barriers, shards only consume their own data,
+// so each shard can replay its cycles back to back with local commits; at a
+// barrier every outbox lands, reproducing the unsharded register timeline at
+// every point where any op can observe it. Executed this way the sharded run
+// is bit-identical to the unsharded one — results, stats, per-link traffic.
+//
+// Per-shard cycle/phase streams share the source program's cycle indexing:
+// phase p of every shard covers the same source-cycle range, so barrier p is
+// one rendezvous across all shards.
+#pragma once
+
+#include <vector>
+
+#include "mapper/exec_program.h"
+
+namespace sj::map {
+
+/// Shard index of cores the program never touches (untouched chips).
+inline constexpr u32 kNoShard = ~u32{0};
+
+/// The per-chip-shard decomposition of one lowered program. Immutable after
+/// build, shared read-only by every execution context (like ExecProgram).
+struct ShardPlan {
+  /// Ops issued in one of a shard's schedule cycles: [begin, end) into
+  /// Shard::ops. Only cycles where the shard issues at least one op appear.
+  struct Cycle {
+    u32 begin = 0;
+    u32 end = 0;
+  };
+  /// One inter-barrier span: [cycle_begin, cycle_end) into Shard::cycles.
+  /// Every shard has the same number of phases; phase p of all shards covers
+  /// the same source-cycle range.
+  struct Phase {
+    u32 cycle_begin = 0;
+    u32 cycle_end = 0;
+  };
+
+  struct Shard {
+    /// Linear chip cell (chip_row * chips_across + chip_col) this shard owns.
+    u32 chip = 0;
+    /// This shard's ops, cycle-major in source schedule order, with
+    /// ExecOp::cross_shard set on ops whose link leaves the shard.
+    std::vector<ExecOp> ops;
+    std::vector<Cycle> cycles;
+    std::vector<Phase> phases;
+    /// Cores whose CoreState this shard mutates (its slice of the model's
+    /// active set): op cores + input-tap cores on this chip. Sorted, unique.
+    std::vector<u32> active_cores;
+    /// This shard's slice of MappedNetwork::input_taps, flattened to
+    /// (flat input index, slot) pairs in ascending input order.
+    std::vector<std::pair<u32, Slot>> input_taps;
+    /// Number of staged sends that leave the shard (per full schedule
+    /// replay) — the exchange volume a scheduler can weigh shards by.
+    i64 cross_sends = 0;
+  };
+
+  std::vector<Shard> shards;
+  /// core -> shard index owning its chip (kNoShard on untouched chips).
+  std::vector<u32> shard_of_core;
+  /// Barrier count per schedule replay == phases per shard (>= 1).
+  u32 num_phases = 1;
+
+  usize num_shards() const { return shards.size(); }
+};
+
+/// Partitions `prog` (lowered from `m` against `topo`, see lower_program)
+/// along chip boundaries. Deterministic: shards are ordered by linear chip
+/// cell and ops keep schedule order, so one plan is shared by every context.
+ShardPlan build_shard_plan(const MappedNetwork& m, const noc::NocTopology& topo,
+                           const ExecProgram& prog);
+
+}  // namespace sj::map

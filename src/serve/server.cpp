@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -26,6 +27,21 @@ usize default_workers() {
   const usize env = parse_thread_count(std::getenv("SHENJING_THREADS"));
   return env != 0 ? env : hardware_thread_count();
 }
+
+/// One turn in the bounded queue's FIFO admission line. Constructed after a
+/// submitter draws its ticket and holds the lock; the destructor passes the
+/// head on — also on the throw paths (shutdown, unknown model), so a dead
+/// ticket can never jam the line. Runs under the caller's lock, including
+/// the notify, which is what keeps head/ticket reads race-free.
+struct TicketTurn {
+  u64& head;
+  std::condition_variable& cv;
+  TicketTurn(u64& h, std::condition_variable& c) : head(h), cv(c) {}
+  ~TicketTurn() {
+    ++head;
+    cv.notify_all();
+  }
+};
 
 }  // namespace
 
@@ -111,7 +127,8 @@ std::shared_ptr<const Server::Generation> Server::make_generation(
   return gen;
 }
 
-Server::Server(ServerOptions options) : max_pending_(options.max_pending) {
+Server::Server(ServerOptions options)
+    : max_pending_(options.max_pending), shard_below_depth_(options.shard_below_depth) {
   const usize n = options.workers == 0 ? default_workers() : options.workers;
   workers_.reserve(n);
   for (usize i = 0; i < n; ++i) {
@@ -203,8 +220,16 @@ std::future<sim::FrameResult> Server::submit(ModelKey key, Tensor frame) {
   std::future<sim::FrameResult> fut = req.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
+    std::optional<TicketTurn> turn;
     if (max_pending_ != 0) {
-      space_cv_.wait(lock, [&] { return !accepting_ || queue_.size() < max_pending_; });
+      // FIFO admission: wait for this ticket's turn AND one free slot, so a
+      // stream of single frames cannot starve a whole-batch waiter ahead in
+      // the line (and vice versa).
+      const u64 ticket = ticket_tail_++;
+      turn.emplace(ticket_head_, space_cv_);
+      space_cv_.wait(lock, [&] {
+        return !accepting_ || (ticket_head_ == ticket && queue_.size() < max_pending_);
+      });
     }
     SJ_REQUIRE(accepting_, "serve: submit after shutdown");
     const auto it = models_.find(key);
@@ -221,14 +246,16 @@ std::vector<std::future<sim::FrameResult>> Server::submit_batch(
   std::vector<std::future<sim::FrameResult>> futures;
   futures.reserve(frames.size());
   if (frames.empty()) return futures;
-  // A bounded queue needs per-frame admission (a batch may exceed
-  // max_pending outright); the unbounded path builds every request —
-  // frame copies, promises — outside the lock, enqueues the whole batch
-  // under one lock with one generation bind, then wakes the workers once.
-  if (max_pending_ != 0) {
-    for (const Tensor& f : frames) futures.push_back(submit(key, f));
-    return futures;
-  }
+  // A batch that can never fit a bounded queue must fail before anything is
+  // queued — blocking forever on space that cannot appear helps nobody.
+  SJ_REQUIRE(max_pending_ == 0 || frames.size() <= max_pending_,
+             "serve: batch of " + std::to_string(frames.size()) +
+                 " exceeds max_pending " + std::to_string(max_pending_));
+  // Build every request — frame copies, promises — outside the lock, then
+  // admit the whole batch in one critical section with one generation bind.
+  // On a bounded queue the admission is transactional: wait until the batch
+  // fits in its entirety, so concurrent submitters can never interleave a
+  // half-admitted batch (ROADMAP "bounded-queue batch admission").
   std::vector<Request> reqs(frames.size());
   for (usize i = 0; i < frames.size(); ++i) {
     reqs[i].key = key;
@@ -236,7 +263,19 @@ std::vector<std::future<sim::FrameResult>> Server::submit_batch(
     futures.push_back(reqs[i].promise.get_future());
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    std::optional<TicketTurn> turn;
+    if (max_pending_ != 0) {
+      // Same FIFO line as submit(): head-of-line waits until the WHOLE
+      // batch fits. Later submitters queue behind it rather than refilling
+      // every slot a worker frees (which would starve the batch forever).
+      const u64 ticket = ticket_tail_++;
+      turn.emplace(ticket_head_, space_cv_);
+      space_cv_.wait(lock, [&] {
+        return !accepting_ ||
+               (ticket_head_ == ticket && queue_.size() + frames.size() <= max_pending_);
+      });
+    }
     SJ_REQUIRE(accepting_, "serve: submit after shutdown");
     const auto it = models_.find(key);
     SJ_REQUIRE(it != models_.end(), "serve: submit to unknown model key");
@@ -288,14 +327,27 @@ void Server::worker_loop() {
   std::unordered_map<ModelKey, std::unique_ptr<sim::SimContext>> contexts;
   for (;;) {
     Request req;
+    usize depth_after_claim = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
       req = std::move(queue_.front());
       queue_.pop_front();
+      depth_after_claim = queue_.size();
     }
-    if (max_pending_ != 0) space_cv_.notify_one();
+    // notify_all, not _one: submitters wait on heterogeneous predicates (a
+    // batch needs room for all of itself, a single frame for one slot), so
+    // a single wake-up could land on a waiter whose predicate still fails
+    // and leave a satisfiable one asleep until the next claim.
+    if (max_pending_ != 0) space_cv_.notify_all();
+    // Latency/throughput policy: a shallow queue means workers are about to
+    // idle — spend them on the claimed frame's chip shards instead. A deep
+    // queue keeps every worker on its own frame (run_frame_sharded is
+    // bit-identical to run_frame, so the policy never shows in results).
+    const bool sharded = shard_below_depth_ != 0 &&
+                         depth_after_claim < shard_below_depth_ &&
+                         req.gen->engine->model().shard_plan().num_shards() > 1;
 
     auto it = contexts.find(req.key);
     if (it == contexts.end()) {
@@ -306,7 +358,9 @@ void Server::worker_loop() {
     }
     sim::SimContext& ctx = *it->second;
     try {
-      sim::FrameResult res = req.gen->engine->run_frame(ctx, req.frame);
+      sim::FrameResult res = sharded
+                                 ? req.gen->engine->run_frame_sharded(ctx, req.frame)
+                                 : req.gen->engine->run_frame(ctx, req.frame);
       {
         const std::lock_guard<std::mutex> lock(mu_);
         const auto mit = models_.find(req.key);
@@ -358,11 +412,15 @@ double serving_accuracy(Server& server, ModelKey key, const nn::Dataset& data,
   SJ_REQUIRE(n > 0, "serving_accuracy: no frames");
   // Bounded in-flight chunks, like sim::hardware_accuracy: only a chunk of
   // futures is ever live, and chunking cannot affect the results (each
-  // request is independent and deterministic).
+  // request is independent and deterministic). A bounded server caps the
+  // chunk at its queue bound — submit_batch admits whole batches or rejects
+  // outright, so an oversized chunk would throw instead of trickling in.
   constexpr usize kChunk = 1024;
+  const usize chunk =
+      server.max_pending() == 0 ? kChunk : std::min(kChunk, server.max_pending());
   usize correct = 0;
-  for (usize base = 0; base < n; base += kChunk) {
-    const usize len = std::min(kChunk, n - base);
+  for (usize base = 0; base < n; base += chunk) {
+    const usize len = std::min(chunk, n - base);
     std::vector<std::future<sim::FrameResult>> futs = server.submit_batch(
         key, std::span<const Tensor>(data.images.data() + base, len));
     for (usize i = 0; i < len; ++i) {

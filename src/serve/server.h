@@ -75,9 +75,20 @@ struct ServerOptions {
   /// Worker threads (long-lived SimContext owners). 0 = one per hardware
   /// thread, honoring SHENJING_THREADS like ThreadPool::global().
   usize workers = 0;
-  /// Bound on queued (not yet claimed) requests; submit() blocks until a
-  /// worker frees space. 0 = unbounded.
+  /// Bound on queued (not yet claimed) requests. submit() blocks until a
+  /// worker frees space; submit_batch() reserves space for the whole batch
+  /// transactionally (and rejects batches larger than the bound outright).
+  /// 0 = unbounded.
   usize max_pending = 0;
+  /// Latency/throughput policy for idle capacity: when the queue depth
+  /// observed at claim time is *below* this, the worker runs its frame
+  /// through Engine::run_frame_sharded, fanning the model's chip shards
+  /// over the global ThreadPool — idle workers speed up the one frame in
+  /// flight. At or above it, frames run whole so workers stay on
+  /// independent frames (throughput). Results are bit-identical either way
+  /// (the sharded path's contract); single-chip models always run whole.
+  /// 0 disables sharded serving.
+  usize shard_below_depth = 0;
 };
 
 /// How shutdown() treats requests still sitting in the queue.
@@ -122,6 +133,11 @@ class Server {
   std::future<sim::FrameResult> submit(ModelKey key, Tensor frame);
 
   /// Enqueues every frame of `frames` in order; futures index like the span.
+  /// On a bounded server the batch is admitted *transactionally*: the call
+  /// blocks until the queue has room for all of it, then enqueues it in one
+  /// critical section (no interleaving with other batches' admission), so a
+  /// batch is never half-admitted. Batches larger than max_pending can
+  /// never fit and are rejected with an Error before anything is queued.
   std::vector<std::future<sim::FrameResult>> submit_batch(ModelKey key,
                                                           std::span<const Tensor> frames);
 
@@ -132,6 +148,8 @@ class Server {
   sim::SimStats take_stats(ModelKey key);
 
   usize num_workers() const { return workers_.size(); }
+  /// The queue bound (0 = unbounded) — batch submitters size chunks to it.
+  usize max_pending() const { return max_pending_; }
   usize num_models() const;
   /// Requests submitted but not yet claimed by a worker.
   usize pending() const;
@@ -175,9 +193,17 @@ class Server {
   void worker_loop();
 
   const usize max_pending_;
+  const usize shard_below_depth_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers: queue non-empty or stopping
   std::condition_variable space_cv_;  // submitters: bounded queue has room
+  // FIFO admission tickets for the bounded queue: a submitter (single frame
+  // or whole batch) enqueues only when it is at the head of the ticket line
+  // AND its whole payload fits. Without the line, a whole-batch waiter
+  // (which needs several slots at once) could starve forever behind a
+  // stream of single submitters each refilling the one slot a worker frees.
+  u64 ticket_tail_ = 0;  // next ticket to hand out
+  u64 ticket_head_ = 0;  // ticket currently allowed to admit
   std::deque<Request> queue_;
   std::unordered_map<ModelKey, ModelEntry> models_;
   std::vector<std::thread> workers_;

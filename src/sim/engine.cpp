@@ -109,7 +109,8 @@ CompiledModel::CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork&
     : mapped_(&mapped),
       net_(&net),
       topo_(map::make_topology(mapped)),
-      prog_(map::lower_program(mapped, topo_)) {
+      prog_(map::lower_program(mapped, topo_)),
+      plan_(map::build_shard_plan(mapped, topo_, prog_)) {
   build_dense_rows();
   build_touch_sets();
 }
@@ -120,12 +121,14 @@ CompiledModel::CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork&
       net_(&net),
       topo_(donor.topo_),
       prog_(donor.prog_),
+      plan_(donor.plan_),
       touched_routers_(donor.touched_routers_),
       active_cores_(donor.active_cores_),
       touched_links_(donor.touched_links_) {
   require_swap_compatible(donor.mapped(), mapped);
-  // Touch sets depend only on the (identical) program and input taps, so
-  // the donor's copies hold; dense rows fold the new weights.
+  // Touch sets and the shard plan depend only on the (identical) program,
+  // chip geometry and input taps, so the donor's copies hold; dense rows
+  // fold the new weights.
   build_dense_rows();
 }
 
@@ -249,13 +252,184 @@ void Engine::reset(SimContext& ctx) const {
   ctx.noc_.reset_subset(model_.touched_routers_, model_.touched_links_);
 }
 
-void Engine::run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats& st) const {
+namespace {
+
+/// Send policy of the unsharded path: staged writes go to the NocState's
+/// shared queue, committed by commit_cycle after every program cycle.
+struct QueueSender {
+  noc::NocState& noc;
+  const noc::NocTopology& topo;
+  noc::TrafficCounters& tc;
+  void ps(const map::ExecOp& op, const i16* values) {
+    noc.send_ps_masked(topo, op.link, op.mask, values, tc);
+  }
+  void spike(const map::ExecOp& op, const noc::Router::Words& bits) {
+    noc.send_spike_masked(topo, op.link, op.mask, bits, tc);
+  }
+};
+
+/// Send policy of the sharded path: staged writes go to this shard's lane —
+/// locally for in-shard links, into the outbox for cross-shard ones — so
+/// concurrent shards never touch the shared staging queue.
+struct LaneSender {
+  noc::NocState& noc;
+  const noc::NocTopology& topo;
+  noc::NocState::ShardLane& lane;
+  noc::TrafficCounters& tc;
+  void ps(const map::ExecOp& op, const i16* values) {
+    noc.send_ps_masked(topo, lane, op.cross_shard, op.link, op.mask, values, tc);
+  }
+  void spike(const map::ExecOp& op, const noc::Router::Words& bits) {
+    noc.send_spike_masked(topo, lane, op.cross_shard, op.link, op.mask, bits, tc);
+  }
+};
+
+}  // namespace
+
+template <typename Sender>
+void Engine::exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 end,
+                      SimStats& st, Sender&& send) const {
   const MappedNetwork& mapped = *model_.mapped_;
-  const noc::NocTopology& topo = model_.topo_;
   const auto& cores = mapped.cores;
   const i32 ps_bits = mapped.arch.noc_bits;
   const i32 lps_bits = mapped.arch.local_ps_bits;
   const i32 pot_bits = mapped.arch.potential_bits;
+  const i64 ps_lo = signed_min(ps_bits), ps_hi = signed_max(ps_bits);
+  const i64 lps_lo = signed_min(lps_bits), lps_hi = signed_max(lps_bits);
+  const i64 pot_lo = signed_min(pot_bits), pot_hi = signed_max(pot_bits);
+
+  // Every op runs as a word-level kernel over its mask's four u64 words:
+  // all-ones words take a contiguous 64-lane strip loop (vectorizable),
+  // partial words walk set bits. Unmasked planes are never touched.
+  for (u32 oi = begin; oi < end; ++oi) {
+    const map::ExecOp& op = ops[oi];
+    const u32 c = op.core;
+    SimContext::CoreState& cs = ctx.cores_[c];
+    noc::Router& rt = ctx.noc_.router(c);
+    st.op_neurons[op.energy_op] += op.mask_pop;
+    switch (op.code) {
+      case core::OpCode::Acc: {
+        const map::MappedCore& mc = cores[c];
+        cs.local_ps.fill(0);
+        auto& acc = cs.acc;
+        acc.fill(0);
+        // Weighted-sum gather over *spiking* axons only: the word AND of
+        // the axon mask with the current axon register prunes the ~94 %
+        // silent slots before the weight walk. Dense cores add their whole
+        // precompiled 256-lane row per spiking axon (vectorizable); sparse
+        // cores walk the CSR taps.
+        const i16* dw = model_.dense_w_[c].empty() ? nullptr : model_.dense_w_[c].data();
+        for (int wi = 0; wi < 4; ++wi) {
+          const u64 slots = mc.axon_mask.w[static_cast<usize>(wi)];
+          st.axon_slots += std::popcount(slots);
+          u64 active = slots & cs.axon_cur[static_cast<usize>(wi)];
+          st.axon_spikes += std::popcount(active);
+          while (active != 0) {
+            const u16 a = static_cast<u16>(wi * 64 + std::countr_zero(active));
+            active &= active - 1;
+            if (dw != nullptr) {
+              const i16* row = dw + static_cast<usize>(a) * 256;
+              for (int j = 0; j < 256; ++j) acc[static_cast<usize>(j)] += row[j];
+            } else {
+              const auto [lo, hi] = mc.weights.row(a);
+              for (u32 t = lo; t < hi; ++t) {
+                acc[mc.weights.taps[t].first] += mc.weights.taps[t].second;
+              }
+            }
+          }
+        }
+        i64 sat = 0;
+        noc::Router::for_each_masked_strip(mc.neuron_mask.w, [&](int p) {
+          cs.local_ps[static_cast<usize>(p)] = static_cast<i16>(
+              clamp_count(acc[static_cast<usize>(p)], lps_lo, lps_hi, sat));
+        });
+        st.saturations += sat;
+        break;
+      }
+      case core::OpCode::PsSum: {
+        // In-router adder: OP1 is the running sum (consecutive add) or the
+        // neuron core's local PS; OP2 arrives on the $SRC port register.
+        i16* sb = rt.sum_buf_data();
+        const i16* in = rt.ps_in_data(op.src);
+        const i16* one = op.consec ? sb : cs.local_ps.data();
+        i64 sat = 0;
+        noc::Router::for_each_masked_strip(op.mask, [&](int p) {
+          sb[p] = static_cast<i16>(clamp_count(
+              static_cast<i64>(one[p]) + in[p], ps_lo, ps_hi, sat));
+        });
+        st.saturations += sat;
+        break;
+      }
+      case core::OpCode::PsSend: {
+        const i16* src = op.from_sum_buf ? rt.sum_buf_data() : cs.local_ps.data();
+        if (op.eject) {
+          rt.set_eject_masked(op.mask, src);
+        } else {
+          send.ps(op, src);
+        }
+        break;
+      }
+      case core::OpCode::PsBypass: {
+        send.ps(op, rt.ps_in_data(op.src));
+        break;
+      }
+      case core::OpCode::SpkSpike: {
+        const map::MappedCore& mc = cores[c];
+        const i16* add = op.sum_or_local ? rt.eject_data() : cs.local_ps.data();
+        i32* pot = cs.potential.data();
+        auto& out = rt.spike_out_words();
+        const i64 thr = mc.threshold;
+        i64 sat = 0, fired = 0;
+        noc::Router::Words fire{};
+        noc::Router::for_each_masked_strip(op.mask, [&](int p) {
+          i64 v = clamp_count(static_cast<i64>(pot[p]) + add[p],
+                              pot_lo, pot_hi, sat);
+          const bool f = v >= thr;
+          v -= f ? thr : 0;
+          fired += f;
+          pot[p] = static_cast<i32>(v);
+          fire[static_cast<usize>(p) >> 6] |= static_cast<u64>(f) << (p & 63);
+        });
+        for (int wi = 0; wi < 4; ++wi) {
+          out[static_cast<usize>(wi)] =
+              (out[static_cast<usize>(wi)] & ~op.mask[static_cast<usize>(wi)]) |
+              fire[static_cast<usize>(wi)];
+        }
+        st.saturations += sat;
+        st.spikes_fired += fired;
+        break;
+      }
+      case core::OpCode::SpkSend: {
+        send.spike(op, rt.spike_out_words());
+        break;
+      }
+      case core::OpCode::SpkBypass: {
+        send.spike(op, rt.spk_in_words(op.src));
+        break;
+      }
+      case core::OpCode::SpkRecv:
+      case core::OpCode::SpkRecvForward: {
+        // Axon delivery OR-accumulates, and the axon buffers are only read
+        // at the next iteration boundary, so the write needs no staging.
+        auto& axon = op.hold ? cs.axon_n2 : cs.axon_n1;
+        const auto& in = rt.spk_in_words(op.src);
+        for (int wi = 0; wi < 4; ++wi) {
+          axon[static_cast<usize>(wi)] |=
+              in[static_cast<usize>(wi)] & op.mask[static_cast<usize>(wi)];
+        }
+        if (op.code == core::OpCode::SpkRecvForward) {
+          send.spike(op, in);
+        }
+        break;
+      }
+      case core::OpCode::LdWt:
+        break;  // weights are preloaded; energy accounted separately
+    }
+  }
+}
+
+void Engine::run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats& st) const {
+  const MappedNetwork& mapped = *model_.mapped_;
 
   // Advance axon double-buffers (filler cores never receive spikes).
   for (const u32 c : model_.active_cores_) {
@@ -275,139 +449,9 @@ void Engine::run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats
     }
   }
 
-  const i64 ps_lo = signed_min(ps_bits), ps_hi = signed_max(ps_bits);
-  const i64 lps_lo = signed_min(lps_bits), lps_hi = signed_max(lps_bits);
-  const i64 pot_lo = signed_min(pot_bits), pot_hi = signed_max(pot_bits);
-
-  // Every op runs as a word-level kernel over its mask's four u64 words:
-  // all-ones words take a contiguous 64-lane strip loop (vectorizable),
-  // partial words walk set bits. Unmasked planes are never touched.
+  QueueSender send{ctx.noc_, model_.topo_, st.noc};
   for (const map::ExecCycle& cyc : model_.prog_.cycles) {
-    for (u32 oi = cyc.begin; oi < cyc.end; ++oi) {
-      const map::ExecOp& op = model_.prog_.ops[oi];
-      const u32 c = op.core;
-      SimContext::CoreState& cs = ctx.cores_[c];
-      noc::Router& rt = ctx.noc_.router(c);
-      st.op_neurons[op.energy_op] += op.mask_pop;
-      switch (op.code) {
-        case core::OpCode::Acc: {
-          const map::MappedCore& mc = cores[c];
-          cs.local_ps.fill(0);
-          auto& acc = cs.acc;
-          acc.fill(0);
-          // Weighted-sum gather over *spiking* axons only: the word AND of
-          // the axon mask with the current axon register prunes the ~94 %
-          // silent slots before the weight walk. Dense cores add their whole
-          // precompiled 256-lane row per spiking axon (vectorizable); sparse
-          // cores walk the CSR taps.
-          const i16* dw = model_.dense_w_[c].empty() ? nullptr : model_.dense_w_[c].data();
-          for (int wi = 0; wi < 4; ++wi) {
-            const u64 slots = mc.axon_mask.w[static_cast<usize>(wi)];
-            st.axon_slots += std::popcount(slots);
-            u64 active = slots & cs.axon_cur[static_cast<usize>(wi)];
-            st.axon_spikes += std::popcount(active);
-            while (active != 0) {
-              const u16 a = static_cast<u16>(wi * 64 + std::countr_zero(active));
-              active &= active - 1;
-              if (dw != nullptr) {
-                const i16* row = dw + static_cast<usize>(a) * 256;
-                for (int j = 0; j < 256; ++j) acc[static_cast<usize>(j)] += row[j];
-              } else {
-                const auto [lo, hi] = mc.weights.row(a);
-                for (u32 t = lo; t < hi; ++t) {
-                  acc[mc.weights.taps[t].first] += mc.weights.taps[t].second;
-                }
-              }
-            }
-          }
-          i64 sat = 0;
-          noc::Router::for_each_masked_strip(mc.neuron_mask.w, [&](int p) {
-            cs.local_ps[static_cast<usize>(p)] = static_cast<i16>(
-                clamp_count(acc[static_cast<usize>(p)], lps_lo, lps_hi, sat));
-          });
-          st.saturations += sat;
-          break;
-        }
-        case core::OpCode::PsSum: {
-          // In-router adder: OP1 is the running sum (consecutive add) or the
-          // neuron core's local PS; OP2 arrives on the $SRC port register.
-          i16* sb = rt.sum_buf_data();
-          const i16* in = rt.ps_in_data(op.src);
-          const i16* one = op.consec ? sb : cs.local_ps.data();
-          i64 sat = 0;
-          noc::Router::for_each_masked_strip(op.mask, [&](int p) {
-            sb[p] = static_cast<i16>(clamp_count(
-                static_cast<i64>(one[p]) + in[p], ps_lo, ps_hi, sat));
-          });
-          st.saturations += sat;
-          break;
-        }
-        case core::OpCode::PsSend: {
-          const i16* src = op.from_sum_buf ? rt.sum_buf_data() : cs.local_ps.data();
-          if (op.eject) {
-            rt.set_eject_masked(op.mask, src);
-          } else {
-            ctx.noc_.send_ps_masked(topo, op.link, op.mask, src, st.noc);
-          }
-          break;
-        }
-        case core::OpCode::PsBypass: {
-          ctx.noc_.send_ps_masked(topo, op.link, op.mask, rt.ps_in_data(op.src), st.noc);
-          break;
-        }
-        case core::OpCode::SpkSpike: {
-          const map::MappedCore& mc = cores[c];
-          const i16* add = op.sum_or_local ? rt.eject_data() : cs.local_ps.data();
-          i32* pot = cs.potential.data();
-          auto& out = rt.spike_out_words();
-          const i64 thr = mc.threshold;
-          i64 sat = 0, fired = 0;
-          noc::Router::Words fire{};
-          noc::Router::for_each_masked_strip(op.mask, [&](int p) {
-            i64 v = clamp_count(static_cast<i64>(pot[p]) + add[p],
-                                pot_lo, pot_hi, sat);
-            const bool f = v >= thr;
-            v -= f ? thr : 0;
-            fired += f;
-            pot[p] = static_cast<i32>(v);
-            fire[static_cast<usize>(p) >> 6] |= static_cast<u64>(f) << (p & 63);
-          });
-          for (int wi = 0; wi < 4; ++wi) {
-            out[static_cast<usize>(wi)] =
-                (out[static_cast<usize>(wi)] & ~op.mask[static_cast<usize>(wi)]) |
-                fire[static_cast<usize>(wi)];
-          }
-          st.saturations += sat;
-          st.spikes_fired += fired;
-          break;
-        }
-        case core::OpCode::SpkSend: {
-          ctx.noc_.send_spike_masked(topo, op.link, op.mask, rt.spike_out_words(), st.noc);
-          break;
-        }
-        case core::OpCode::SpkBypass: {
-          ctx.noc_.send_spike_masked(topo, op.link, op.mask, rt.spk_in_words(op.src), st.noc);
-          break;
-        }
-        case core::OpCode::SpkRecv:
-        case core::OpCode::SpkRecvForward: {
-          // Axon delivery OR-accumulates, and the axon buffers are only read
-          // at the next iteration boundary, so the write needs no staging.
-          auto& axon = op.hold ? cs.axon_n2 : cs.axon_n1;
-          const auto& in = rt.spk_in_words(op.src);
-          for (int wi = 0; wi < 4; ++wi) {
-            axon[static_cast<usize>(wi)] |=
-                in[static_cast<usize>(wi)] & op.mask[static_cast<usize>(wi)];
-          }
-          if (op.code == core::OpCode::SpkRecvForward) {
-            ctx.noc_.send_spike_masked(topo, op.link, op.mask, in, st.noc);
-          }
-          break;
-        }
-        case core::OpCode::LdWt:
-          break;  // weights are preloaded; energy accounted separately
-      }
-    }
+    exec_ops(ctx, model_.prog_.ops.data(), cyc.begin, cyc.end, st, send);
     // Two-phase commit: staged port writes become visible from cycle+1 on.
     // Cycles with no ops need no commit — nothing was staged and nothing
     // reads before the next non-empty cycle.
@@ -417,9 +461,62 @@ void Engine::run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats
   st.cycles += mapped.cycles_per_timestep;
 }
 
-FrameResult Engine::run_frame(SimContext& ctx, const Tensor& image,
-                              HardwareTrace* trace) const {
-  reset(ctx);
+void Engine::run_iteration_sharded(SimContext& ctx, const BitVec* input_spikes,
+                                   ThreadPool& pool) const {
+  const map::ShardPlan& plan = model_.plan_;
+  const usize shards = plan.num_shards();
+
+  const auto run_shard_phase = [&](usize s, u32 phase) {
+    const map::ShardPlan::Shard& sh = plan.shards[s];
+    SimStats& st = ctx.shard_stats_[s];
+    if (phase == 0) {
+      // The shard's slice of the iteration prologue: axon rotation and
+      // testbench injection touch only this shard's cores, so they ride
+      // inside the first parallel section instead of serializing up front.
+      for (const u32 c : sh.active_cores) {
+        SimContext::CoreState& cs = ctx.cores_[c];
+        cs.axon_cur = cs.axon_n1;
+        cs.axon_n1 = cs.axon_n2;
+        cs.axon_n2 = {};
+      }
+      if (input_spikes != nullptr) {
+        for (const auto& [g, slot] : sh.input_taps) {
+          if (!input_spikes->get(g)) continue;
+          bit_set(ctx.cores_[slot.core].axon_n1, slot.plane, true);
+        }
+      }
+    }
+    noc::NocState::ShardLane& lane = ctx.lanes_[s];
+    LaneSender send{ctx.noc_, model_.topo_, lane, st.noc};
+    const map::ShardPlan::Phase& ph = sh.phases[phase];
+    for (u32 cyi = ph.cycle_begin; cyi < ph.cycle_end; ++cyi) {
+      const map::ShardPlan::Cycle& cyc = sh.cycles[cyi];
+      exec_ops(ctx, sh.ops.data(), cyc.begin, cyc.end, st, send);
+      // The shard's own two-phase commit: in-shard staged writes land now,
+      // cross-shard ones wait in the outbox for the phase barrier.
+      ctx.noc_.commit_lane_cycle(lane);
+    }
+  };
+
+  for (u32 phase = 0; phase < plan.num_phases; ++phase) {
+    if (shards > 1 && pool.num_threads() > 1) {
+      pool.parallel_for(shards, [&](usize s) { run_shard_phase(s, phase); });
+    } else {
+      for (usize s = 0; s < shards; ++s) run_shard_phase(s, phase);
+    }
+    // Phase barrier: the explicit inter-shard exchange. Outboxes commit in
+    // fixed shard order (which only matters for determinism of staging
+    // order — a valid schedule writes each port register once per cycle).
+    for (usize s = 0; s < shards; ++s) ctx.noc_.commit_lane_cross(ctx.lanes_[s]);
+  }
+  // Iteration-level counters are charged once, on the coordinating thread.
+  ++ctx.stats_.iterations;
+  ctx.stats_.cycles += model_.mapped_->cycles_per_timestep;
+}
+
+template <typename RunIter>
+FrameResult Engine::run_frame_impl(SimContext& ctx, const Tensor& image,
+                                   HardwareTrace* trace, RunIter&& iter) const {
   const MappedNetwork& mapped = *model_.mapped_;
   const snn::SnnNetwork& net = *model_.net_;
   const i32 T = mapped.timesteps;
@@ -437,13 +534,12 @@ FrameResult Engine::run_frame(SimContext& ctx, const Tensor& image,
     }
   }
 
-  SimStats& st = ctx.stats_;
-  st.frames += 1;
+  ctx.stats_.frames += 1;
   for (i32 k = 0; k < total; ++k) {
     BitVec in;
     const bool have_input = k < T;
     if (have_input) in = enc.step();
-    run_iteration(ctx, have_input ? &in : nullptr, st);
+    iter(ctx, have_input ? &in : nullptr);
 
     // Readout: output-unit spikes within its logical window.
     if (k >= mapped.output_depth) {
@@ -473,6 +569,53 @@ FrameResult Engine::run_frame(SimContext& ctx, const Tensor& image,
   }
   res.predicted = snn::EvalResult::decide(res.spike_counts, res.final_potentials);
   return res;
+}
+
+FrameResult Engine::run_frame(SimContext& ctx, const Tensor& image,
+                              HardwareTrace* trace) const {
+  reset(ctx);
+  return run_frame_impl(ctx, image, trace, [&](SimContext& c, const BitVec* in) {
+    run_iteration(c, in, c.stats_);
+  });
+}
+
+void Engine::drain_shard_stats(SimContext& ctx) const {
+  // Deterministic reduction: shard tallies merge in shard order regardless
+  // of which threads ran the shards. Scalars zero, per-link tables keep
+  // their allocation for the next frame (same trick as drain_stats).
+  for (SimStats& st : ctx.shard_stats_) {
+    ctx.stats_.merge(st);
+    noc::TrafficCounters tc = std::move(st.noc);
+    tc.clear();
+    st = SimStats{};
+    st.noc = std::move(tc);
+  }
+}
+
+FrameResult Engine::run_frame_sharded(SimContext& ctx, const Tensor& image,
+                                      HardwareTrace* trace, ThreadPool* pool) const {
+  reset(ctx);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+  const usize shards = model_.plan_.num_shards();
+  if (ctx.lanes_.size() < shards) ctx.lanes_.resize(shards);
+  if (ctx.shard_stats_.size() < shards) ctx.shard_stats_.resize(shards);
+  // A prior frame that threw mid-iteration may have left writes staged.
+  for (auto& lane : ctx.lanes_) lane.clear();
+  try {
+    FrameResult res =
+        run_frame_impl(ctx, image, trace, [&](SimContext& c, const BitVec* in) {
+          run_iteration_sharded(c, in, p);
+        });
+    drain_shard_stats(ctx);
+    return res;
+  } catch (...) {
+    // Keep the run_frame contract: partial tallies stay visible in
+    // ctx.stats() (callers drain or discard them), nothing hides in the
+    // per-shard scratch, and no staged writes leak into the next frame.
+    drain_shard_stats(ctx);
+    for (auto& lane : ctx.lanes_) lane.clear();
+    throw;
+  }
 }
 
 std::vector<FrameResult> Engine::run_batch(std::span<const Tensor> images,

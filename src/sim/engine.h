@@ -36,6 +36,7 @@
 #include "common/thread_pool.h"
 #include "mapper/exec_program.h"
 #include "mapper/program.h"
+#include "mapper/shard_plan.h"
 #include "noc/fabric.h"
 #include "snn/evaluate.h"
 
@@ -107,6 +108,10 @@ class CompiledModel {
   const snn::SnnNetwork& net() const { return *net_; }
   const noc::NocTopology& topology() const { return topo_; }
   const map::ExecProgram& program() const { return prog_; }
+  /// The chip-level partition of the program (see mapper/shard_plan.h),
+  /// compiled once alongside the lowering and shared read-only; drives
+  /// Engine::run_frame_sharded.
+  const map::ShardPlan& shard_plan() const { return plan_; }
 
   /// Touch sets (sorted, unique): the routers/links the program can write
   /// and the cores whose CoreState can change. Per-context state is
@@ -129,6 +134,7 @@ class CompiledModel {
   const snn::SnnNetwork* net_;
   noc::NocTopology topo_;
   map::ExecProgram prog_;
+  map::ShardPlan plan_;
   // Per-core dense weight rows (axon-major, 256 i16 lanes per row) for
   // cores whose synapse rows are dense enough that a contiguous 256-lane
   // add beats the CSR tap walk; empty for sparse (conv-like) cores.
@@ -178,6 +184,11 @@ class SimContext {
   noc::NocState noc_;
   std::vector<CoreState> cores_;
   SimStats stats_;
+  // Sharded-run scratch (Engine::run_frame_sharded): one staging lane and
+  // one stats tally per chip shard, lazily sized and reused across frames.
+  // Shard tallies merge into stats_ in fixed shard order at frame end.
+  std::vector<noc::NocState::ShardLane> lanes_;
+  std::vector<SimStats> shard_stats_;
 };
 
 /// One compiled model plus a pool of contexts. run_frame is const and
@@ -214,6 +225,19 @@ class Engine {
   FrameResult run_frame(SimContext& ctx, const Tensor& image,
                         HardwareTrace* trace = nullptr) const;
 
+  /// Simulates one frame like run_frame, but fans the model's chip shards
+  /// (model().shard_plan()) out over `pool` (the global ThreadPool when
+  /// null) *within* each iteration: every shard replays its own op stream
+  /// with local cycle commits, and cross-chip staged writes are exchanged at
+  /// the plan's phase barriers in fixed shard order. Results, SimStats and
+  /// per-link traffic counters are bit-identical to run_frame under any
+  /// thread count (tests/test_shard.cpp). Latency-oriented: one frame
+  /// finishes sooner on a multi-chip model; run_batch still wins on
+  /// throughput when independent frames queue deep.
+  FrameResult run_frame_sharded(SimContext& ctx, const Tensor& image,
+                                HardwareTrace* trace = nullptr,
+                                ThreadPool* pool = nullptr) const;
+
   /// Simulates every frame of `images`, fanning contiguous shards out over
   /// `pool` (the global ThreadPool when null), one pooled context per
   /// shard. Results are indexed like `images`. Per-context stats — SimStats
@@ -227,6 +251,22 @@ class Engine {
  private:
   void reset(SimContext& ctx) const;
   void run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats& st) const;
+  void run_iteration_sharded(SimContext& ctx, const BitVec* input_spikes,
+                             ThreadPool& pool) const;
+  // The shared frame driver: encoder, iteration loop, readout and traces.
+  // `iter(ctx, input_spikes)` runs one hardware timestep.
+  template <typename RunIter>
+  FrameResult run_frame_impl(SimContext& ctx, const Tensor& image, HardwareTrace* trace,
+                             RunIter&& iter) const;
+  // The per-opcode word kernels over ops[begin, end); `send` routes staged
+  // writes (shared queue or shard lane — the only difference between the
+  // unsharded and sharded paths).
+  template <typename Sender>
+  void exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 end, SimStats& st,
+                Sender&& send) const;
+  // Merges per-shard tallies into ctx.stats() in shard order and zeroes
+  // them, keeping the per-link tables allocated.
+  void drain_shard_stats(SimContext& ctx) const;
 
   CompiledModel model_;
   std::vector<std::unique_ptr<SimContext>> contexts_;

@@ -10,6 +10,8 @@
 //     the frames that completed.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <deque>
 #include <future>
 #include <span>
 #include <thread>
@@ -33,18 +35,21 @@ struct Built {
   nn::Dataset data;
 };
 
-Built build_fc(u64 seed, i32 T, usize frames) {
-  nn::Model m({300}, "serve-fc");
-  m.dense(300, 80);
+/// `chip` below a unit's extent maps the net across several chips — the
+/// fixture for the sharded-serving policy (cf. tests/test_shard.cpp).
+Built build_fc(u64 seed, i32 T, usize frames, i32 chip = 28, i32 in = 300,
+               i32 hidden = 80) {
+  nn::Model m({in}, "serve-fc");
+  m.dense(in, hidden);
   m.relu();
-  m.dense(80, 10);
+  m.dense(hidden, 10);
   Rng rng(seed);
   m.init_weights(rng);
   nn::Dataset d;
-  d.sample_shape = {300};
+  d.sample_shape = {in};
   d.num_classes = 10;
   for (usize i = 0; i < frames; ++i) {
-    Tensor x({300});
+    Tensor x({in});
     x.fill_uniform(rng, 0.0f, 1.0f);
     d.images.push_back(std::move(x));
     d.labels.push_back(static_cast<i32>(rng.uniform_index(10)));
@@ -52,7 +57,10 @@ Built build_fc(u64 seed, i32 T, usize frames) {
   snn::ConvertConfig cc;
   cc.timesteps = T;
   Built b{snn::convert(m, d, cc), {}, {}};
-  b.mapped = map::map_network(b.net);
+  map::MapperConfig cfg;
+  cfg.arch.chip_rows = chip;
+  cfg.arch.chip_cols = chip;
+  b.mapped = map::map_network(b.net, cfg);
   b.data = std::move(d);
   return b;
 }
@@ -374,6 +382,116 @@ TEST(Serve, BoundedQueueBlocksSubmittersNotCorrectness) {
   Server server({.workers = 2, .max_pending = 2});
   const ModelKey key = server.load_model(b.mapped, b.net);
   // Submitters block when the queue is full, so this just throttles.
+  std::vector<std::future<FrameResult>> futs;
+  for (const Tensor& img : b.data.images) futs.push_back(server.submit(key, img));
+  std::vector<FrameResult> got;
+  for (auto& f : futs) got.push_back(f.get());
+  expect_frames_eq(got, want);
+  expect_stats_eq(server.take_stats(key), want_stats);
+}
+
+TEST(Serve, SubmitBatchAdmitsWholeBatchesOrRejectsCleanly) {
+  const Built b = build_fc(151, 5, 6);
+  Server server({.workers = 1, .max_pending = 3});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  // Larger than the bound: can never fit, rejected before anything queues.
+  EXPECT_THROW(server.submit_batch(key, batch_of(b)), Error);
+  EXPECT_EQ(server.pending(), 0u);
+  // Exactly the bound: admitted transactionally (waiting for room if
+  // needed), results bit-exact against the serial reference.
+  const auto [want, want_stats] = serial_reference(b);
+  std::vector<FrameResult> got;
+  for (usize base = 0; base < b.data.size(); base += 3) {
+    auto futs = server.submit_batch(
+        key, std::span<const Tensor>(b.data.images.data() + base, 3));
+    for (auto& f : futs) got.push_back(f.get());
+  }
+  expect_frames_eq(got, want);
+  expect_stats_eq(server.take_stats(key), want_stats);
+}
+
+TEST(Serve, ConcurrentBatchesOnABoundedQueueAllComplete) {
+  // Two clients pump bound-sized batches through a 1-worker bounded server:
+  // every admission must reserve the whole batch (no half-admitted batch
+  // can deadlock the other client), and every future must come back right.
+  const Built b = build_fc(153, 4, 4);
+  sim::Simulator serial(b.mapped, b.net);
+  std::vector<FrameResult> want;
+  for (const Tensor& img : b.data.images) want.push_back(serial.run_frame(img));
+
+  Server server({.workers = 1, .max_pending = 4});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  const int rounds = 5;
+  auto client = [&](usize /*id*/) {
+    for (int r = 0; r < rounds; ++r) {
+      auto futs = server.submit_batch(key, batch_of(b));
+      for (usize i = 0; i < futs.size(); ++i) {
+        const FrameResult got = futs[i].get();
+        EXPECT_EQ(got.spike_counts, want[i].spike_counts);
+        EXPECT_EQ(got.predicted, want[i].predicted);
+      }
+    }
+  };
+  std::thread t1(client, 0), t2(client, 1);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(server.take_stats(key).frames,
+            static_cast<i64>(2 * rounds * b.data.size()));
+}
+
+TEST(Serve, WholeBatchIsNotStarvedBySingleSubmitters) {
+  // FIFO admission line: a whole-batch waiter (needs every slot at once)
+  // must get its turn even while single submitters keep refilling the slot
+  // each worker frees. Without the ticket line this hangs forever.
+  const Built b = build_fc(159, 4, 2);
+  Server server({.workers = 1, .max_pending = 2});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  std::atomic<bool> stop{false};
+  std::thread hammer([&] {
+    std::deque<std::future<FrameResult>> inflight;
+    while (!stop.load()) {
+      inflight.push_back(server.submit(key, b.data.images[0]));
+      while (inflight.size() > 2) {
+        inflight.front().get();
+        inflight.pop_front();
+      }
+    }
+    for (auto& f : inflight) f.get();
+  });
+  for (int r = 0; r < 5; ++r) {
+    auto futs = server.submit_batch(key, batch_of(b));  // bound-sized batch
+    for (auto& f : futs) f.get();
+  }
+  stop.store(true);
+  hammer.join();
+}
+
+TEST(Serve, ServingAccuracyChunksToTheQueueBound) {
+  // serving_accuracy submits in chunks; on a bounded server the chunk must
+  // shrink to the bound (an oversized submit_batch now rejects instead of
+  // trickling), and the result must not change.
+  const Built b = build_fc(155, 5, 5);
+  Server unbounded({.workers = 2});
+  const ModelKey k1 = unbounded.load_model(b.mapped, b.net);
+  const double want = serving_accuracy(unbounded, k1, b.data);
+
+  Server bounded({.workers = 2, .max_pending = 2});
+  const ModelKey k2 = bounded.load_model(b.mapped, b.net);
+  SimStats st;
+  EXPECT_DOUBLE_EQ(serving_accuracy(bounded, k2, b.data, 0, &st), want);
+  EXPECT_EQ(st.frames, static_cast<i64>(b.data.size()));
+}
+
+TEST(Serve, ShardedServingPolicyIsInvisibleInTheNumbers) {
+  // A multi-chip model served with the latency policy fully on (every claim
+  // sees the queue below the threshold) must be bit-identical to the plain
+  // serial path — the knob only decides where idle cycles go.
+  const Built b = build_fc(157, 6, 5, /*chip=*/3, /*in=*/900, /*hidden=*/300);
+  ASSERT_GT(b.mapped.chips_used, 1);
+  const auto [want, want_stats] = serial_reference(b);
+
+  Server server({.workers = 2, .shard_below_depth = ~usize{0}});
+  const ModelKey key = server.load_model(b.mapped, b.net);
   std::vector<std::future<FrameResult>> futs = server.submit_batch(key, batch_of(b));
   std::vector<FrameResult> got;
   for (auto& f : futs) got.push_back(f.get());

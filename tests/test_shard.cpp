@@ -1,0 +1,276 @@
+// Chip-level sharding tests: the shard plan and the sharded frame path must
+// be invisible in the numbers.
+//
+//  1. Plan invariants: the per-shard op streams are a disjoint cover of the
+//     lowered program in schedule order, phases align across shards, the
+//     active-core slices partition the model's active set, and cross_shard
+//     flags agree with the chip geometry.
+//  2. Fuzz equivalence over multi-chip mappings: run_frame_sharded is
+//     bit-identical to run_frame — FrameResults, HardwareTraces, merged
+//     SimStats and the entire per-link TrafficCounters table — under a
+//     1-thread and an N-thread pool, across random networks and random chip
+//     geometries.
+//  3. Degenerate shapes keep working: a single-chip model collapses to one
+//     shard (and still runs), and sharded/unsharded frames interleave on one
+//     context.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/thread_pool.h"
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "sim/engine.h"
+#include "snn/convert.h"
+
+namespace sj::sim {
+namespace {
+
+struct Built {
+  snn::SnnNetwork net;
+  map::MappedNetwork mapped;
+  nn::Dataset data;
+};
+
+/// An FC stack mapped onto chips of `chip` x `chip` tiles — small chips force
+/// the paper's 28x28 geometry down until one unit spans several chips, which
+/// is exactly the regime the shard plan exists for.
+Built build_fc(u64 seed, i32 T, usize frames, i32 chip, i32 in = 300, i32 hidden = 80) {
+  nn::Model m({in}, "shard-fc");
+  m.dense(in, hidden);
+  m.relu();
+  m.dense(hidden, 10);
+  Rng rng(seed);
+  m.init_weights(rng);
+  nn::Dataset d;
+  d.sample_shape = {in};
+  d.num_classes = 10;
+  for (usize i = 0; i < frames; ++i) {
+    Tensor x({in});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    d.images.push_back(std::move(x));
+    d.labels.push_back(static_cast<i32>(rng.uniform_index(10)));
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = T;
+  Built b{snn::convert(m, d, cc), {}, {}};
+  map::MapperConfig cfg;
+  cfg.arch.chip_rows = chip;
+  cfg.arch.chip_cols = chip;
+  b.mapped = map::map_network(b.net, cfg);
+  b.data = std::move(d);
+  return b;
+}
+
+void expect_frames_eq(const FrameResult& a, const FrameResult& b, const char* what) {
+  EXPECT_EQ(a.spike_counts, b.spike_counts) << what;
+  EXPECT_EQ(a.final_potentials, b.final_potentials) << what;
+  EXPECT_EQ(a.predicted, b.predicted) << what;
+}
+
+void expect_traces_eq(const HardwareTrace& a, const HardwareTrace& b) {
+  ASSERT_EQ(a.units.size(), b.units.size());
+  for (usize u = 0; u < a.units.size(); ++u) {
+    ASSERT_EQ(a.units[u].size(), b.units[u].size()) << "unit " << u;
+    for (usize t = 0; t < a.units[u].size(); ++t) {
+      EXPECT_EQ(a.units[u][t], b.units[u][t]) << "unit " << u << " t " << t;
+    }
+  }
+}
+
+void expect_stats_eq(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.cycles, b.cycles);
+  for (usize i = 0; i < a.op_neurons.size(); ++i) {
+    EXPECT_EQ(a.op_neurons[i], b.op_neurons[i]) << "energy op " << i;
+  }
+  EXPECT_EQ(a.saturations, b.saturations);
+  EXPECT_EQ(a.spikes_fired, b.spikes_fired);
+  EXPECT_EQ(a.axon_spikes, b.axon_spikes);
+  EXPECT_EQ(a.axon_slots, b.axon_slots);
+  ASSERT_EQ(a.noc.links.size(), b.noc.links.size());
+  for (usize l = 0; l < a.noc.links.size(); ++l) {
+    EXPECT_EQ(a.noc.links[l].ps_flits, b.noc.links[l].ps_flits) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].ps_bits, b.noc.links[l].ps_bits) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].ps_toggles, b.noc.links[l].ps_toggles) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].spike_flits, b.noc.links[l].spike_flits) << "link " << l;
+    EXPECT_EQ(a.noc.links[l].spike_toggles, b.noc.links[l].spike_toggles) << "link " << l;
+  }
+  EXPECT_EQ(a.noc.interchip_ps_bits, b.noc.interchip_ps_bits);
+  EXPECT_EQ(a.noc.interchip_spike_bits, b.noc.interchip_spike_bits);
+}
+
+/// Runs every frame through both paths on fresh contexts and compares
+/// everything observable, sharding over `threads` workers.
+void expect_sharded_equivalence(const Built& b, usize threads) {
+  ThreadPool pool(threads);
+  Engine engine(b.mapped, b.net);
+  SimContext plain = engine.make_context();
+  SimContext sharded = engine.make_context();
+  for (usize i = 0; i < b.data.size(); ++i) {
+    HardwareTrace t1, t2;
+    const FrameResult r1 = engine.run_frame(plain, b.data.images[i], &t1);
+    const FrameResult r2 = engine.run_frame_sharded(sharded, b.data.images[i], &t2, &pool);
+    expect_frames_eq(r2, r1, ("frame " + std::to_string(i)).c_str());
+    expect_traces_eq(t2, t1);
+  }
+  expect_stats_eq(sharded.take_stats(), plain.take_stats());
+}
+
+TEST(ShardPlan, MultiChipPlanPartitionsTheProgram) {
+  const Built b = build_fc(11, 6, 1, 3, 900, 300);
+  ASSERT_GT(b.mapped.chips_used, 1) << "fixture no longer spans chips";
+  Engine engine(b.mapped, b.net);
+  const CompiledModel& model = engine.model();
+  const map::ShardPlan& plan = model.shard_plan();
+  const map::ExecProgram& prog = model.program();
+  ASSERT_GT(plan.num_shards(), 1u);
+
+  // The shard streams are a disjoint cover of the program: per-core op
+  // subsequences survive in schedule order, and nothing is dropped or
+  // duplicated (ops are counted, not identity-matched, because the plan
+  // copies them).
+  usize total_ops = 0;
+  const i32 chips_across =
+      (b.mapped.grid_cols + b.mapped.arch.chip_cols - 1) / b.mapped.arch.chip_cols;
+  for (const auto& sh : plan.shards) {
+    total_ops += sh.ops.size();
+    for (const auto& op : sh.ops) {
+      EXPECT_EQ(plan.shard_of_core[op.core], static_cast<u32>(&sh - plan.shards.data()));
+      const Coord pos = model.topology().position(op.core);
+      const u32 cell =
+          static_cast<u32>((pos.row / b.mapped.arch.chip_rows) * chips_across +
+                           pos.col / b.mapped.arch.chip_cols);
+      EXPECT_EQ(cell, sh.chip);
+      if (op.link != noc::kInvalidLink) {
+        const u32 dst = model.topology().link(op.link).dst;
+        EXPECT_EQ(op.cross_shard,
+                  plan.shard_of_core[dst] != plan.shard_of_core[op.core]);
+      } else {
+        EXPECT_FALSE(op.cross_shard);
+      }
+    }
+    // Cycle ranges tile the shard's op array; phase ranges tile its cycles.
+    u32 expect_begin = 0;
+    for (const auto& cyc : sh.cycles) {
+      EXPECT_EQ(cyc.begin, expect_begin);
+      EXPECT_LT(cyc.begin, cyc.end);
+      expect_begin = cyc.end;
+    }
+    EXPECT_EQ(expect_begin, sh.ops.size());
+    ASSERT_EQ(sh.phases.size(), plan.num_phases);
+    u32 expect_cycle = 0;
+    for (const auto& ph : sh.phases) {
+      EXPECT_EQ(ph.cycle_begin, expect_cycle);
+      EXPECT_LE(ph.cycle_begin, ph.cycle_end);
+      expect_cycle = ph.cycle_end;
+    }
+    EXPECT_EQ(expect_cycle, sh.cycles.size());
+  }
+  EXPECT_EQ(total_ops, prog.ops.size());
+
+  // Exchange actually happens on a multi-chip mapping, and barriers were
+  // inserted for it.
+  i64 cross = 0;
+  for (const auto& sh : plan.shards) cross += sh.cross_sends;
+  EXPECT_GT(cross, 0);
+  EXPECT_GT(plan.num_phases, 1u);
+
+  // The active-core slices partition the model's active set.
+  std::set<u32> sliced;
+  for (const auto& sh : plan.shards) {
+    for (const u32 c : sh.active_cores) {
+      EXPECT_TRUE(sliced.insert(c).second) << "core " << c << " in two shards";
+    }
+  }
+  const std::set<u32> active(model.active_cores().begin(), model.active_cores().end());
+  EXPECT_EQ(sliced, active);
+}
+
+TEST(ShardPlan, SingleChipCollapsesToOneShardAndStillRuns) {
+  const Built b = build_fc(13, 5, 2, 28);  // paper chips: everything fits one
+  Engine engine(b.mapped, b.net);
+  EXPECT_EQ(engine.model().shard_plan().num_shards(), 1u);
+  EXPECT_EQ(engine.model().shard_plan().num_phases, 1u);
+  expect_sharded_equivalence(b, 4);
+}
+
+TEST(ShardedFrame, BitIdenticalToUnshardedOnMultiChipMapping) {
+  const Built b = build_fc(17, 8, 4, 3, 900, 300);
+  ASSERT_GT(b.mapped.chips_used, 1);
+  expect_sharded_equivalence(b, 4);
+}
+
+TEST(ShardedFrame, ThreadCountDoesNotChangeAnything) {
+  const Built b = build_fc(19, 6, 3, 3, 900, 300);
+  expect_sharded_equivalence(b, 1);
+  expect_sharded_equivalence(b, 4);
+  expect_sharded_equivalence(b, 7);
+}
+
+TEST(ShardedFrame, InterleavesWithUnshardedFramesOnOneContext) {
+  // The frame-boundary reset must erase the mode as thoroughly as it erases
+  // history: sharded and plain frames alternate on one context and each
+  // frame's numbers match a fresh single-mode run.
+  const Built b = build_fc(23, 6, 4, 2, 700, 280);
+  Engine engine(b.mapped, b.net);
+  SimContext mixed = engine.make_context();
+  SimContext plain = engine.make_context();
+  for (usize i = 0; i < b.data.size(); ++i) {
+    const FrameResult want = engine.run_frame(plain, b.data.images[i]);
+    const FrameResult got = (i % 2 == 0)
+                                ? engine.run_frame_sharded(mixed, b.data.images[i])
+                                : engine.run_frame(mixed, b.data.images[i]);
+    expect_frames_eq(got, want, ("frame " + std::to_string(i)).c_str());
+  }
+  expect_stats_eq(mixed.take_stats(), plain.take_stats());
+}
+
+TEST(ShardedFrame, RunsInsideBatchWorkersWithoutDeadlock) {
+  // A sharded frame launched from a worker of the pool it shards over:
+  // the nested parallel_for help-drains, so this must complete and match.
+  const Built b = build_fc(29, 5, 3, 2, 600, 280);
+  ThreadPool pool(3);
+  Engine engine(b.mapped, b.net);
+  SimContext ref = engine.make_context();
+  std::vector<FrameResult> want;
+  for (const Tensor& img : b.data.images) want.push_back(engine.run_frame(ref, img));
+
+  std::vector<Engine> engines;
+  engines.reserve(b.data.size());
+  for (usize i = 0; i < b.data.size(); ++i) engines.emplace_back(b.mapped, b.net);
+  std::vector<FrameResult> got(b.data.size());
+  pool.parallel_for(b.data.size(), [&](usize i) {
+    SimContext ctx = engines[i].make_context();
+    got[i] = engines[i].run_frame_sharded(ctx, b.data.images[i], nullptr, &pool);
+  });
+  for (usize i = 0; i < got.size(); ++i) {
+    expect_frames_eq(got[i], want[i], ("frame " + std::to_string(i)).c_str());
+  }
+}
+
+/// Randomized equivalence over architectures and chip geometries: every
+/// seed draws an FC stack (dimensions wide enough to straddle chips) and a
+/// chip edge in [3, 8], then requires the sharded path to be bit-identical
+/// under 1 and 4 threads.
+class ShardFuzzTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ShardFuzzTest, RandomMultiChipMappingIsBitExact) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 7);
+  const i32 chip = static_cast<i32>(rng.uniform_int(3, 8));
+  const i32 in = static_cast<i32>(rng.uniform_int(64, 1200));
+  const i32 hidden = static_cast<i32>(rng.uniform_int(16, 500));
+  const i32 T = static_cast<i32>(rng.uniform_int(4, 10));
+  const Built b = build_fc(GetParam() * 131 + 5, T, 2, chip, in, hidden);
+  SCOPED_TRACE("chip=" + std::to_string(chip) + " in=" + std::to_string(in) +
+               " hidden=" + std::to_string(hidden) + " T=" + std::to_string(T) +
+               " chips_used=" + std::to_string(b.mapped.chips_used));
+  expect_sharded_equivalence(b, 1);
+  expect_sharded_equivalence(b, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardFuzzTest, ::testing::Range<u64>(1, 13));
+
+}  // namespace
+}  // namespace sj::sim

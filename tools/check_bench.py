@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_*.json against a committed
+baseline and fail when a throughput metric regresses beyond the tolerance.
+
+Usage:
+  check_bench.py --baseline bench/baselines/BENCH_sim.json \
+                 --current build/BENCH_sim.json \
+                 [--metrics frames_per_sec,batch_frames_per_sec] \
+                 [--max-regress 0.20]
+
+Only named metrics are checked, and only downward moves fail: CI machines
+differ, so a faster run is never an error, and the tolerance absorbs normal
+scheduler noise. The tolerance can also be set via the
+SHENJING_BENCH_MAX_REGRESS environment variable (the flag wins).
+
+Exit codes: 0 pass, 1 regression, 2 bad invocation/missing data.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg: str, code: int = 2) -> None:
+    print(f"check_bench: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: expected a JSON object")
+    return doc
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--current", required=True, help="freshly measured JSON")
+    ap.add_argument(
+        "--metrics",
+        default="frames_per_sec,batch_frames_per_sec",
+        help="comma-separated higher-is-better metrics to gate on",
+    )
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=None,
+        help="allowed fractional drop vs baseline (default 0.20)",
+    )
+    args = ap.parse_args()
+
+    tolerance = args.max_regress
+    if tolerance is None:
+        env = os.environ.get("SHENJING_BENCH_MAX_REGRESS", "")
+        try:
+            tolerance = float(env) if env else 0.20
+        except ValueError:
+            fail(f"SHENJING_BENCH_MAX_REGRESS={env!r} is not a number")
+    if not 0.0 <= tolerance < 1.0:
+        fail(f"--max-regress {tolerance} outside [0, 1)")
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    print(f"check_bench: {args.current} vs {args.baseline} "
+          f"(tolerance {tolerance:.0%})")
+    for metric in [m.strip() for m in args.metrics.split(",") if m.strip()]:
+        base = baseline.get(metric)
+        cur = current.get(metric)
+        if not isinstance(base, (int, float)):
+            fail(f"baseline has no numeric metric {metric!r}")
+        if not isinstance(cur, (int, float)):
+            fail(f"current run has no numeric metric {metric!r}")
+        floor = base * (1.0 - tolerance)
+        verdict = "OK" if cur >= floor else "REGRESSED"
+        print(f"  {metric}: baseline {base:.1f}, current {cur:.1f}, "
+              f"floor {floor:.1f} -> {verdict}")
+        if cur < floor:
+            failures.append(metric)
+
+    if failures:
+        print(f"check_bench: FAILED on {', '.join(failures)} — if the slowdown "
+              "is intended, refresh the baseline under bench/baselines/",
+              file=sys.stderr)
+        return 1
+    print("check_bench: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
