@@ -5,7 +5,10 @@
 //   3. stream interleaved requests from two concurrent clients,
 //   4. hot-swap the weights to the second training — same topology and
 //      schedule, no re-lowering — while the service keeps running,
-//   5. read the per-model stats tally the power model consumes.
+//   5. read the per-model stats tally the power model consumes, plus the
+//      live telemetry: per-request latency histograms and NoC utilization
+//      from Server::metrics_json(). SHENJING_METRICS=<path|stderr> streams
+//      the same document periodically while the demo runs.
 //
 // Build: cmake --build build --target serve_demo
 // Run:   ./build/serve_demo
@@ -14,10 +17,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/string_util.h"
 #include "mapper/mapper.h"
 #include "nn/dataset.h"
 #include "nn/model.h"
 #include "nn/train.h"
+#include "obs/dump.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 #include "snn/convert.h"
 
@@ -57,6 +63,8 @@ int main() {
   const Deployed v2 = build(7, train_set);  // same structure, new weights
 
   serve::Server server({.workers = 2});
+  obs::MetricsDumper dumper(obs::MetricsDumper::env_target(),
+                            [&server] { return server.metrics_json(); });
   const serve::ModelKey key = server.load_model(v1.mapped, v1.net);
   std::printf("loaded model %016llx on %zu workers\n",
               static_cast<unsigned long long>(key), server.num_workers());
@@ -88,6 +96,27 @@ int main() {
   std::printf("served %lld frames, %lld iterations, switching activity %.2f%%\n",
               static_cast<long long>(st.frames), static_cast<long long>(st.iterations),
               st.switching_activity() * 100.0);
+
+  // The live telemetry view: per-request latency split and NoC utilization.
+  const obs::RegistrySnapshot ms = server.registry().snapshot();
+  const std::string hex = strprintf("%016llx", static_cast<unsigned long long>(key));
+  const obs::HistogramSnapshot* e2e = ms.histogram("serve.e2e_us." + hex);
+  const obs::HistogramSnapshot* qwait = ms.histogram("serve.queue_wait_us." + hex);
+  if (e2e != nullptr && qwait != nullptr) {
+    std::printf("telemetry: %lld requests, e2e p50 %.3f ms / p99 %.3f ms "
+                "(queue wait p50 %.3f ms)\n",
+                static_cast<long long>(e2e->count), e2e->quantile(0.50) / 1e3,
+                e2e->quantile(0.99) / 1e3, qwait->quantile(0.50) / 1e3);
+  }
+  const json::Value mj = server.metrics_json();
+  for (const json::Value& model : mj.at("models").as_array()) {
+    const json::Value& noc = model.at("noc");
+    std::printf("model %s: %lld active NoC links, mean utilization %.4f, peak %.4f\n",
+                model.at("key").as_string().c_str(),
+                static_cast<long long>(noc.at("links_active").as_int()),
+                noc.at("mean_utilization").as_number(),
+                noc.at("peak_utilization").as_number());
+  }
   server.shutdown();
   return 0;
 }

@@ -1,10 +1,14 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <iostream>
+#include <ctime>
 #include <mutex>
+
+#include "common/string_util.h"
 
 namespace sj {
 namespace {
@@ -22,6 +26,19 @@ const char* level_name(LogLevel level) {
     case LogLevel::Off: return "OFF";
   }
   return "?";
+}
+
+std::string timestamp_utc() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  const int ms = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch())
+          .count() %
+      1000);
+  return strprintf("%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", tm.tm_year + 1900,
+                   tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec, ms);
 }
 
 }  // namespace
@@ -47,11 +64,26 @@ void init_log_level_from_env() {
   });
 }
 
+u32 thread_ordinal() {
+  static std::atomic<u32> next{0};
+  thread_local const u32 id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& msg) {
+  std::string line = strprintf("[shenjing %s %s t%02u] ", level_name(level),
+                               timestamp_utc().c_str(), thread_ordinal());
+  line += msg;
+  line += '\n';
+  emit_raw_line(line);
+}
+
+void emit_raw_line(const std::string& line) {
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::cerr << "[shenjing " << level_name(level) << "] " << msg << '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace detail

@@ -3,10 +3,18 @@
 // The library is quiet by default (Warn); benches and examples raise the
 // level explicitly or via the SHENJING_LOG environment variable
 // (one of: debug, info, warn, error, off).
+//
+// Each message becomes ONE formatted line —
+//   [shenjing LEVEL 2026-08-07T12:34:56.789Z t03] message
+// (UTC timestamp, small per-thread ordinal) — written to stderr with a
+// single fwrite under a process-wide mutex, so concurrent emits from
+// serving workers and the SHENJING_METRICS dumper never interleave.
 #pragma once
 
 #include <sstream>
 #include <string>
+
+#include "common/types.h"
 
 namespace sj {
 
@@ -19,9 +27,17 @@ void set_log_level(LogLevel level);
 /// Reads SHENJING_LOG from the environment (called once, lazily).
 void init_log_level_from_env();
 
+/// Small stable ordinal of the calling thread, assigned on first use: tags
+/// log lines (the tNN field) and picks obs::Counter shards.
+u32 thread_ordinal();
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);
-}
+/// Writes one pre-formatted line (caller supplies the trailing '\n') to
+/// stderr under the same mutex as log_emit — the SHENJING_METRICS=stderr
+/// dumper uses this so a metrics dump never splits a log line.
+void emit_raw_line(const std::string& line);
+}  // namespace detail
 
 }  // namespace sj
 

@@ -9,6 +9,7 @@
 #include "common/log.h"
 #include "harness/zoo.h"
 #include "nn/serialize.h"
+#include "obs/dump.h"
 #include "serve/server.h"
 #include "sim/engine.h"
 
@@ -203,6 +204,11 @@ AppResult run_app(const AppConfig& cfg) {
   const char* serve_env = std::getenv("SHENJING_SERVE");
   if (serve_env != nullptr && serve_env[0] == '1') {
     serve::Server server;
+    // SHENJING_METRICS export loop: declared after the server so it is
+    // destroyed first, writing one final metrics_json dump after the last
+    // frame (the soak's smoke check reads that file).
+    obs::MetricsDumper metrics_dump(obs::MetricsDumper::env_target(),
+                                    [&server] { return server.metrics_json(); });
     const serve::ModelKey key = server.load_model(res.mapped, res.snn);
     auto futures = server.submit_batch(key, batch);
     hw.reserve(frames);

@@ -123,6 +123,38 @@ json::Value TrafficReport::to_json() const {
   return root;
 }
 
+json::Value TrafficReport::utilization_json() const {
+  json::Value root;
+  root.set("cycles", static_cast<i64>(cycles));
+  root.set("iterations", iterations);
+  root.set("links_total", links.size());
+  root.set("links_active", active_links);
+  root.set("mean_utilization", mean_utilization);
+  root.set("peak_utilization", peak_utilization);
+  root.set("interchip_ps_bits", interchip_ps_bits);
+  root.set("interchip_spike_bits", interchip_spike_bits);
+
+  const double inv_cycles = cycles == 0 ? 0.0 : 1.0 / static_cast<double>(cycles);
+  json::Array arr;
+  for (const LinkUse& u : links) {
+    if (u.traffic.idle()) continue;
+    json::Value l;
+    l.set("src", json::Array{u.link.src_pos.row, u.link.src_pos.col});
+    l.set("dst", json::Array{u.link.dst_pos.row, u.link.dst_pos.col});
+    l.set("dir", dir_name(u.link.dir));
+    l.set("interchip", u.link.interchip);
+    l.set("utilization", u.ps_utilization + u.spike_utilization);
+    l.set("ps_utilization", u.ps_utilization);
+    l.set("spike_utilization", u.spike_utilization);
+    l.set("ps_toggle_rate", static_cast<double>(u.traffic.ps_toggles) * inv_cycles);
+    l.set("spike_toggle_rate",
+          static_cast<double>(u.traffic.spike_toggles) * inv_cycles);
+    arr.push_back(std::move(l));
+  }
+  root.set("links", std::move(arr));
+  return root;
+}
+
 void TrafficReport::save(const std::string& path) const {
   json::write_file(path, to_json(), 2);
 }

@@ -64,6 +64,12 @@ struct TrafficReport {
   /// omitted from the "links" array (the topology is implied by the grid).
   json::Value to_json() const;
 
+  /// Compact live-telemetry view (Server::metrics_json / SHENJING_METRICS
+  /// dumps): the summary roll-ups plus one record per ACTIVE link carrying
+  /// utilization and per-cycle toggle rates — no tile heatmap, no raw flit
+  /// counters. Cheap enough to emit once a second from a dumper thread.
+  json::Value utilization_json() const;
+
   /// Writes to_json() to `path` (pretty-printed).
   void save(const std::string& path) const;
 

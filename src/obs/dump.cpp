@@ -1,0 +1,74 @@
+#include "obs/dump.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "common/log.h"
+#include "common/status.h"
+
+namespace sj::obs {
+
+MetricsDumper::MetricsDumper(std::string target, Source source, double period_s)
+    : target_(std::move(target)), source_(std::move(source)), period_s_(period_s) {
+  if (!active()) return;
+  SJ_REQUIRE(source_ != nullptr, "MetricsDumper needs a source");
+  thread_ = std::thread([this] { loop(); });
+}
+
+MetricsDumper::~MetricsDumper() {
+  if (!thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  dump_now();  // final dump: short runs still leave a complete snapshot
+}
+
+void MetricsDumper::dump_now() {
+  if (!active()) return;
+  try {
+    const json::Value doc = source_();
+    if (target_ == "stderr") {
+      detail::emit_raw_line("[shenjing METRICS] " + doc.dump() + "\n");
+      return;
+    }
+    // Write-then-rename so a concurrent reader (the soak smoke check, an
+    // operator's `watch`) never parses a half-written file.
+    const std::string tmp = target_ + ".tmp";
+    json::write_file(tmp, doc);
+    if (std::rename(tmp.c_str(), target_.c_str()) != 0) {
+      SJ_THROW_IO("rename " + tmp + " -> " + target_ + " failed");
+    }
+  } catch (const std::exception& e) {
+    SJ_WARN("metrics dump to " << target_ << " failed: " << e.what());
+  }
+}
+
+void MetricsDumper::loop() {
+  const auto period = std::chrono::duration<double>(period_s_ <= 0.0 ? 1.0 : period_s_);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, period, [this] { return stop_; })) break;
+    lock.unlock();
+    dump_now();
+    lock.lock();
+  }
+}
+
+std::string MetricsDumper::env_target() {
+  const char* env = std::getenv("SHENJING_METRICS");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+double MetricsDumper::env_period_s() {
+  const char* env = std::getenv("SHENJING_METRICS_PERIOD_MS");
+  if (env == nullptr || *env == '\0') return 1.0;
+  const double ms = std::atof(env);
+  return ms > 0.0 ? ms / 1000.0 : 1.0;
+}
+
+}  // namespace sj::obs

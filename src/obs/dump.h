@@ -1,0 +1,65 @@
+// Periodic metrics export: the SHENJING_METRICS dumper thread.
+//
+// A serving process has no CLI to poll, so the export surface is a tiny
+// background thread that snapshots a JSON source on a period and writes it
+// somewhere an operator (or the CI soak smoke-check) can read:
+//
+//   SHENJING_METRICS=<path>     atomic file replace (write tmp + rename),
+//                               so readers never see a torn dump
+//   SHENJING_METRICS=stderr     one compact JSON line per period, emitted
+//                               through the log mutex so dumps never
+//                               interleave with SJ_LOG lines
+//   SHENJING_METRICS unset      inactive; costs one branch at construction
+//
+// SHENJING_METRICS_PERIOD_MS sets the period (default 1000). The destructor
+// stops the thread and writes one final dump, so short-lived runs (benches,
+// the pipeline harness) always leave a complete dump behind.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "json/json.h"
+
+namespace sj::obs {
+
+class MetricsDumper {
+ public:
+  using Source = std::function<json::Value()>;
+
+  /// Empty `target` = inactive (no thread). `source` is called from the
+  /// dumper thread (and once from the destructor) — it must be safe to call
+  /// concurrently with the instrumented code, which Server::metrics_json and
+  /// Registry::to_json are.
+  MetricsDumper(std::string target, Source source, double period_s = env_period_s());
+  ~MetricsDumper();
+
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+  bool active() const { return !target_.empty(); }
+  /// Snapshots and writes immediately (also used by the final dump).
+  /// Errors are logged, never thrown — telemetry must not kill serving.
+  void dump_now();
+
+  /// SHENJING_METRICS, or "" when unset.
+  static std::string env_target();
+  /// SHENJING_METRICS_PERIOD_MS / 1000, default 1.0.
+  static double env_period_s();
+
+ private:
+  void loop();
+
+  const std::string target_;
+  const Source source_;
+  const double period_s_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sj::obs

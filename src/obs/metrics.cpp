@@ -1,0 +1,215 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace sj::obs {
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  i64 seen = 0;
+  for (usize b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    seen += counts[b];
+    if (static_cast<double>(seen) < rank) continue;
+    const double lo = b == 0 ? 0.0 : static_cast<double>(bounds[b - 1]);
+    // The overflow bucket has no upper edge; report its lower edge (the
+    // last finite bound) as a conservative floor.
+    const double hi = b < bounds.size() ? static_cast<double>(bounds[b]) : lo;
+    const double before = static_cast<double>(seen - counts[b]);
+    const double frac =
+        std::clamp((rank - before) / static_cast<double>(counts[b]), 0.0, 1.0);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& o) {
+  if (o.counts.empty()) return;
+  if (counts.empty()) {
+    bounds = o.bounds;
+    counts = o.counts;
+    count = o.count;
+    sum = o.sum;
+    return;
+  }
+  SJ_REQUIRE(bounds == o.bounds,
+             strprintf("histogram merge with mismatched bounds (%s vs %s)",
+                       name.c_str(), o.name.c_str()));
+  for (usize b = 0; b < counts.size(); ++b) counts[b] += o.counts[b];
+  count += o.count;
+  sum += o.sum;
+}
+
+void HistogramSnapshot::subtract(const HistogramSnapshot& earlier) {
+  if (earlier.counts.empty()) return;
+  SJ_REQUIRE(bounds == earlier.bounds,
+             strprintf("histogram subtract with mismatched bounds (%s vs %s)",
+                       name.c_str(), earlier.name.c_str()));
+  for (usize b = 0; b < counts.size(); ++b) {
+    counts[b] = std::max<i64>(0, counts[b] - earlier.counts[b]);
+  }
+  count = std::max<i64>(0, count - earlier.count);
+  sum = std::max<i64>(0, sum - earlier.sum);
+}
+
+json::Value HistogramSnapshot::to_json() const {
+  json::Value v;
+  json::Array bs, cs;
+  bs.reserve(bounds.size());
+  for (i64 b : bounds) bs.emplace_back(b);
+  cs.reserve(counts.size());
+  for (i64 c : counts) cs.emplace_back(c);
+  v.set("bounds", std::move(bs));
+  v.set("counts", std::move(cs));
+  v.set("count", count);
+  v.set("sum", sum);
+  v.set("p50", quantile(0.50));
+  v.set("p95", quantile(0.95));
+  v.set("p99", quantile(0.99));
+  return v;
+}
+
+HistogramSnapshot HistogramSnapshot::from_json(const std::string& name,
+                                               const json::Value& v) {
+  HistogramSnapshot s;
+  s.name = name;
+  for (const json::Value& b : v.at("bounds").as_array()) s.bounds.push_back(b.as_int());
+  for (const json::Value& c : v.at("counts").as_array()) s.counts.push_back(c.as_int());
+  SJ_REQUIRE(s.counts.size() == s.bounds.size() + 1,
+             strprintf("histogram %s: %zu counts for %zu bounds", name.c_str(),
+                       s.counts.size(), s.bounds.size()));
+  s.count = v.at("count").as_int();
+  s.sum = v.at("sum").as_int();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<i64> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  SJ_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (usize i = 1; i < bounds_.size(); ++i) {
+    SJ_REQUIRE(bounds_[i - 1] < bounds_[i],
+               "histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::record(i64 v) {
+  v = std::max<i64>(0, v);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const usize b = static_cast<usize>(it - bounds_.begin());  // bounds_.size() = overflow
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot(const std::string& name) const {
+  HistogramSnapshot s;
+  s.name = name;
+  s.bounds = bounds_;
+  s.counts.resize(buckets_.size());
+  for (usize b = 0; b < buckets_.size(); ++b) {
+    s.counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// RegistrySnapshot
+
+const HistogramSnapshot* RegistrySnapshot::histogram(const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+i64 RegistrySnapshot::counter_or(const std::string& name, i64 fallback) const {
+  for (const MetricValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
+json::Value RegistrySnapshot::to_json() const {
+  json::Value root;
+  json::Value cs, gs, hs;
+  for (const MetricValue& c : counters) cs.set(c.name, c.value);
+  for (const MetricValue& g : gauges) gs.set(g.name, g.value);
+  for (const HistogramSnapshot& h : histograms) hs.set(h.name, h.to_json());
+  root.set("counters", std::move(cs));
+  root.set("gauges", std::move(gs));
+  root.set("histograms", std::move(hs));
+  return root;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+template <typename T, typename Make>
+T& get_or_create(std::vector<std::pair<std::string, std::unique_ptr<T>>>& table,
+                 const std::string& name, Make&& make) {
+  for (auto& [n, p] : table) {
+    if (n == name) return *p;
+  }
+  table.emplace_back(name, make());
+  return *table.back().second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return get_or_create(counters_, name, [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return get_or_create(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& Registry::histogram(const std::string& name, std::span<const i64> bounds) {
+  if (bounds.empty()) bounds = default_latency_bounds_us();
+  const std::lock_guard<std::mutex> lock(mu_);
+  Histogram& h = get_or_create(histograms_, name, [&] {
+    return std::make_unique<Histogram>(std::vector<i64>(bounds.begin(), bounds.end()));
+  });
+  SJ_REQUIRE(
+      std::equal(h.bounds().begin(), h.bounds().end(), bounds.begin(), bounds.end()),
+      strprintf("histogram %s re-registered with different bounds", name.c_str()));
+  return h;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.push_back({name, c->value()});
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.push_back({name, g->value()});
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) s.histograms.push_back(h->snapshot(name));
+  return s;
+}
+
+std::span<const i64> Registry::default_latency_bounds_us() {
+  static const std::vector<i64> kBounds = {
+      50,     100,     200,     500,     1000,    2000,    5000,     10000,
+      20000,  50000,   100000,  200000,  500000,  1000000, 2000000,  5000000};
+  return kBounds;
+}
+
+}  // namespace sj::obs

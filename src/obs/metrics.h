@@ -1,0 +1,187 @@
+// Runtime telemetry: a low-overhead metrics registry.
+//
+// The ROADMAP's serving tier needs live signals — queue depths, per-model
+// latency histograms, per-link NoC utilization — not just the additive
+// end-of-run SimStats tallies. This module is the primitive layer: named
+// counters, gauges and fixed-bucket histograms whose hot path is one relaxed
+// atomic increment, plus a snapshot() that produces a stable value struct
+// and JSON through src/json. SpiNNaker-class systems treat per-PE monitoring
+// as integral to operating a standing multi-workload substrate; this is that
+// surface for the simulated accelerator.
+//
+// Concurrency model:
+//   - record paths (Counter::inc, Gauge::set/add, Histogram::record) are
+//     lock-free and safe from any thread. Counters shard their cell across
+//     cache-line-padded per-thread slots so concurrent writers do not
+//     contend on one line; histograms use plain relaxed per-bucket atomics
+//     (a serving worker records a few values per ~ms frame — contention is
+//     not the bottleneck there).
+//   - registration (Registry::counter/gauge/histogram) takes a mutex; it is
+//     get-or-create and returns stable references (the registry never
+//     erases), so callers register once and keep the pointer.
+//   - snapshot() reads every cell with relaxed loads: values are monotone
+//     and each cell is internally consistent, but a snapshot taken mid-storm
+//     is not a cross-metric atomic cut — fine for monitoring, by design.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/log.h"  // sj::thread_ordinal — counter shard selection
+#include "json/json.h"
+
+namespace sj::obs {
+
+/// Monotone counter. inc() is one relaxed fetch_add on a per-thread slot;
+/// value() sums the slots.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(i64 n = 1) {
+    slots_[thread_ordinal() & (kShards - 1)].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  i64 value() const {
+    i64 sum = 0;
+    for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  static constexpr usize kShards = 16;  // power of two (mask selection)
+  struct alignas(64) Slot {
+    std::atomic<i64> v{0};
+  };
+  std::array<Slot, kShards> slots_{};
+};
+
+/// Last-write-wins instantaneous value (queue depth, in-flight requests).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(i64 v) { v_.store(v, std::memory_order_relaxed); }
+  void add(i64 n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  i64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<i64> v_{0};
+};
+
+/// Value snapshot of one histogram: the fixed upper bounds (inclusive; one
+/// implicit unbounded overflow bucket follows the last), per-bucket counts,
+/// and the total count/sum. A plain value type: merge/subtract compose
+/// snapshots from different shards or time windows, quantile() interpolates
+/// linearly within a bucket (the overflow bucket reports the last finite
+/// bound — a conservative floor, like Prometheus).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<i64> bounds;  // inclusive upper bounds, strictly increasing
+  std::vector<i64> counts;  // bounds.size() + 1 (last = overflow)
+  i64 count = 0;
+  i64 sum = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  double quantile(double q) const;
+
+  /// Element-wise accumulate; bounds must match (or this side be empty).
+  /// Associative and commutative, so shard merges in any grouping agree —
+  /// tests/test_obs.cpp holds that line.
+  void merge(const HistogramSnapshot& o);
+  /// Removes an earlier snapshot of the same histogram, leaving the delta
+  /// window — how benches derive percentiles for one measurement phase from
+  /// a cumulative histogram.
+  void subtract(const HistogramSnapshot& earlier);
+
+  json::Value to_json() const;
+  static HistogramSnapshot from_json(const std::string& name, const json::Value& v);
+};
+
+/// Fixed-bucket histogram. record() is a binary search over the bounds plus
+/// three relaxed increments; bounds are fixed at registration so snapshots
+/// from any moment merge exactly.
+class Histogram {
+ public:
+  /// `bounds` = inclusive upper bounds, strictly increasing, non-empty; one
+  /// unbounded overflow bucket is appended implicitly.
+  explicit Histogram(std::vector<i64> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(i64 v);
+  const std::vector<i64>& bounds() const { return bounds_; }
+  i64 count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot snapshot(const std::string& name = "") const;
+
+ private:
+  std::vector<i64> bounds_;
+  std::vector<std::atomic<i64>> buckets_;  // bounds_.size() + 1
+  std::atomic<i64> count_{0};
+  std::atomic<i64> sum_{0};
+};
+
+/// One counter/gauge reading in a registry snapshot.
+struct MetricValue {
+  std::string name;
+  i64 value = 0;
+};
+
+/// Stable value snapshot of a whole registry, in registration order.
+struct RegistrySnapshot {
+  std::vector<MetricValue> counters;
+  std::vector<MetricValue> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const HistogramSnapshot* histogram(const std::string& name) const;
+  i64 counter_or(const std::string& name, i64 fallback) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}};
+  /// objects keep registration order so dumps diff cleanly.
+  json::Value to_json() const;
+};
+
+/// Named metric store. Registration is get-or-create under a mutex and the
+/// returned references stay valid for the registry's lifetime; the record
+/// hot paths never touch the registry again.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` empty = default_latency_bounds_us(). Re-registering an
+  /// existing histogram REQUIREs the same bounds (mixed-bound tallies would
+  /// be meaningless).
+  Histogram& histogram(const std::string& name, std::span<const i64> bounds = {});
+
+  RegistrySnapshot snapshot() const;
+  json::Value to_json() const { return snapshot().to_json(); }
+
+  /// The default latency bucket ladder, in microseconds: ~exponential from
+  /// 50 us to 5 s, sized so one simulated frame (~0.5 ms) lands mid-ladder.
+  static std::span<const i64> default_latency_bounds_us();
+
+ private:
+  template <typename T>
+  using Table = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
+
+  mutable std::mutex mu_;
+  Table<Counter> counters_;
+  Table<Gauge> gauges_;
+  Table<Histogram> histograms_;
+};
+
+}  // namespace sj::obs

@@ -1,10 +1,14 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <optional>
 #include <utility>
 
+#include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "noc/traffic.h"
+#include "obs/profile.h"
 
 namespace sj::serve {
 
@@ -128,7 +132,15 @@ std::shared_ptr<const Server::Generation> Server::make_generation(
 }
 
 Server::Server(ServerOptions options)
-    : max_pending_(options.max_pending), shard_below_depth_(options.shard_below_depth) {
+    : max_pending_(options.max_pending),
+      shard_below_depth_(options.shard_below_depth),
+      profile_engine_(options.profile_engine) {
+  submitted_ = &registry_.counter("serve.submitted");
+  completed_ = &registry_.counter("serve.completed");
+  errors_ = &registry_.counter("serve.errors");
+  cancelled_ = &registry_.counter("serve.cancelled");
+  queue_depth_ = &registry_.gauge("serve.queue_depth");
+  in_flight_ = &registry_.gauge("serve.in_flight");
   const usize n = options.workers == 0 ? default_workers() : options.workers;
   workers_.reserve(n);
   for (usize i = 0; i < n; ++i) {
@@ -137,6 +149,15 @@ Server::Server(ServerOptions options)
 }
 
 Server::~Server() { shutdown(DrainMode::kDrain); }
+
+Server::ModelMetrics Server::make_model_metrics(ModelKey key) {
+  const std::string hex = strprintf("%016llx", static_cast<unsigned long long>(key));
+  ModelMetrics m;
+  m.queue_wait_us = &registry_.histogram("serve.queue_wait_us." + hex);
+  m.exec_us = &registry_.histogram("serve.exec_us." + hex);
+  m.e2e_us = &registry_.histogram("serve.e2e_us." + hex);
+  return m;
+}
 
 ModelKey Server::load_model(const map::MappedNetwork& mapped, const snn::SnnNetwork& net) {
   const ModelKey key = model_key(mapped, net);
@@ -169,6 +190,7 @@ ModelKey Server::load_model(const map::MappedNetwork& mapped, const snn::SnnNetw
         ModelEntry& mine = models_[key];
         mine.gen = std::move(alias);
         mine.content_key = key;
+        mine.metrics = make_model_metrics(key);
         return key;
       }
     }
@@ -184,6 +206,7 @@ ModelKey Server::load_model(const map::MappedNetwork& mapped, const snn::SnnNetw
     if (entry.gen != nullptr) ++entry.generation;  // re-publish over a swapped entry
     entry.gen = std::move(gen);
     entry.content_key = key;
+    if (entry.metrics.e2e_us == nullptr) entry.metrics = make_model_metrics(key);
   }
   return key;
 }
@@ -213,10 +236,12 @@ void Server::swap_weights(ModelKey key, const map::MappedNetwork& mapped,
   }
 }
 
-std::future<sim::FrameResult> Server::submit(ModelKey key, Tensor frame) {
+std::future<sim::FrameResult> Server::submit(ModelKey key, Tensor frame,
+                                             RequestTrace* trace) {
   Request req;
   req.key = key;
   req.frame = std::move(frame);
+  req.trace = trace;
   std::future<sim::FrameResult> fut = req.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -235,8 +260,16 @@ std::future<sim::FrameResult> Server::submit(ModelKey key, Tensor frame) {
     const auto it = models_.find(key);
     SJ_REQUIRE(it != models_.end(), "serve: submit to unknown model key");
     req.gen = it->second.gen;  // bind the current generation
+    req.metrics = it->second.metrics;
+    // Stamp after admission: queue wait measures time in the queue, not
+    // time blocked on a full one (that is admission backpressure, visible
+    // as submit-side blocking instead).
+    req.submit_ns = obs::now_ns();
+    if (trace != nullptr) *trace = RequestTrace{.submit_ns = req.submit_ns};
     queue_.push_back(std::move(req));
+    queue_depth_->set(static_cast<i64>(queue_.size()));
   }
+  submitted_->inc();
   work_cv_.notify_one();
   return fut;
 }
@@ -279,11 +312,16 @@ std::vector<std::future<sim::FrameResult>> Server::submit_batch(
     SJ_REQUIRE(accepting_, "serve: submit after shutdown");
     const auto it = models_.find(key);
     SJ_REQUIRE(it != models_.end(), "serve: submit to unknown model key");
+    const u64 now = obs::now_ns();  // one admission instant for the batch
     for (Request& req : reqs) {
       req.gen = it->second.gen;
+      req.metrics = it->second.metrics;
+      req.submit_ns = now;
       queue_.push_back(std::move(req));
     }
+    queue_depth_->set(static_cast<i64>(queue_.size()));
   }
+  submitted_->inc(static_cast<i64>(frames.size()));
   if (frames.size() == 1) {
     work_cv_.notify_one();
   } else {
@@ -303,6 +341,9 @@ sim::SimStats Server::take_stats(ModelKey key) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = models_.find(key);
   SJ_REQUIRE(it != models_.end(), "serve: take_stats for unknown model key");
+  // Fold into the lifetime roll-up first so metrics_json stays monotone
+  // across drains (clients taking their tally must not erase telemetry).
+  it->second.lifetime.merge(it->second.stats);
   sim::SimStats out = std::move(it->second.stats);
   it->second.stats = sim::SimStats{};
   return out;
@@ -335,7 +376,10 @@ void Server::worker_loop() {
       req = std::move(queue_.front());
       queue_.pop_front();
       depth_after_claim = queue_.size();
+      queue_depth_->set(static_cast<i64>(depth_after_claim));
     }
+    const u64 t_claim = obs::now_ns();
+    in_flight_->add(1);
     // notify_all, not _one: submitters wait on heterogeneous predicates (a
     // batch needs room for all of itself, a single frame for one slot), so
     // a single wake-up could land on a waiter whose predicate still fails
@@ -357,10 +401,13 @@ void Server::worker_loop() {
                .first;
     }
     sim::SimContext& ctx = *it->second;
+    ctx.set_profiling(profile_engine_);
     try {
+      const u64 t_exec0 = obs::now_ns();
       sim::FrameResult res = sharded
                                  ? req.gen->engine->run_frame_sharded(ctx, req.frame)
                                  : req.gen->engine->run_frame(ctx, req.frame);
+      const u64 t_exec1 = obs::now_ns();
       {
         const std::lock_guard<std::mutex> lock(mu_);
         const auto mit = models_.find(req.key);
@@ -373,17 +420,48 @@ void Server::worker_loop() {
         // without re-adding a flush handshake at least this expensive).
         if (mit != models_.end()) {
           ctx.drain_stats(mit->second.stats);
+          if (profile_engine_) ctx.drain_profile(mit->second.profile);
         } else {
           ctx.take_stats();
         }
       }
+      // Record telemetry before fulfilling, mirroring the stats guarantee:
+      // a client that awaits the future sees its own request in the
+      // histograms and counters.
+      const u64 t_done = obs::now_ns();
+      if (req.metrics.e2e_us != nullptr) {
+        req.metrics.queue_wait_us->record(
+            static_cast<i64>((t_claim - req.submit_ns) / 1000));
+        req.metrics.exec_us->record(static_cast<i64>((t_exec1 - t_exec0) / 1000));
+        req.metrics.e2e_us->record(static_cast<i64>((t_done - req.submit_ns) / 1000));
+      }
+      completed_->inc();
+      if (req.trace != nullptr) {
+        req.trace->claim_ns = t_claim;
+        req.trace->exec_begin_ns = t_exec0;
+        req.trace->exec_end_ns = t_exec1;
+        req.trace->done_ns = t_done;
+      }
       req.promise.set_value(std::move(res));
     } catch (...) {
       // A throwing frame contributes nothing: discard the partial tally so
-      // later frames on this context report exactly their own work.
+      // later frames on this context report exactly their own work. Failed
+      // frames stay out of the latency histograms too — they would skew
+      // percentiles with times that measured nothing.
       ctx.take_stats();
+      if (profile_engine_) {
+        obs::PhaseProfile scrap;
+        ctx.drain_profile(scrap);
+      }
+      errors_->inc();
+      if (req.trace != nullptr) {
+        req.trace->claim_ns = t_claim;
+        req.trace->exec_begin_ns = req.trace->exec_end_ns = req.trace->done_ns =
+            obs::now_ns();
+      }
       req.promise.set_exception(std::current_exception());
     }
+    in_flight_->add(-1);
   }
 }
 
@@ -394,16 +472,80 @@ void Server::shutdown(DrainMode mode) {
     const std::lock_guard<std::mutex> lock(mu_);
     accepting_ = false;
     stop_ = true;
-    if (mode == DrainMode::kCancel) cancelled.swap(queue_);
+    if (mode == DrainMode::kCancel) {
+      cancelled.swap(queue_);
+      queue_depth_->set(0);
+    }
     workers.swap(workers_);  // claim the join exactly once (idempotence)
   }
   work_cv_.notify_all();
   space_cv_.notify_all();
   for (std::thread& w : workers) w.join();
+  cancelled_->inc(static_cast<i64>(cancelled.size()));
   for (Request& r : cancelled) {
     r.promise.set_exception(std::make_exception_ptr(
         Cancelled("serve: request cancelled by shutdown", __FILE__, __LINE__)));
   }
+}
+
+json::Value Server::metrics_json() const {
+  // Copy everything JSON needs under the lock, build the document outside
+  // it: TrafficReport::build walks every link and must not stall workers.
+  struct ModelView {
+    ModelKey key = 0;
+    u64 generation = 0;
+    sim::SimStats stats;
+    obs::PhaseProfile profile;
+    std::shared_ptr<const Generation> gen;
+  };
+  std::vector<ModelView> views;
+  usize pending = 0;
+  usize workers = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    views.reserve(models_.size());
+    for (const auto& [key, entry] : models_) {
+      ModelView v;
+      v.key = key;
+      v.generation = entry.generation;
+      v.stats = entry.lifetime;        // monotone roll-up ...
+      v.stats.merge(entry.stats);      // ... plus the undrained tally
+      v.profile = entry.profile;
+      v.gen = entry.gen;
+      views.push_back(std::move(v));
+    }
+    pending = queue_.size();
+    workers = workers_.size();
+  }
+  std::sort(views.begin(), views.end(),
+            [](const ModelView& a, const ModelView& b) { return a.key < b.key; });
+
+  json::Value root;
+  root.set("workers", workers);
+  root.set("pending", pending);
+  root.set("num_models", views.size());
+  root.set("metrics", registry_.to_json());
+  json::Array models;
+  for (const ModelView& v : views) {
+    json::Value m;
+    m.set("key", strprintf("%016llx", static_cast<unsigned long long>(v.key)));
+    m.set("generation", static_cast<i64>(v.generation));
+    m.set("frames", v.stats.frames);
+    m.set("iterations", v.stats.iterations);
+    m.set("cycles", static_cast<i64>(v.stats.cycles));
+    m.set("spikes_fired", v.stats.spikes_fired);
+    m.set("switching_activity", v.stats.switching_activity());
+    if (v.gen != nullptr) {
+      const noc::TrafficReport rep =
+          noc::TrafficReport::build(v.gen->engine->model().topology(), v.stats.noc,
+                                    v.stats.cycles, v.stats.iterations);
+      m.set("noc", rep.utilization_json());
+    }
+    if (!v.profile.empty()) m.set("engine_profile", v.profile.to_json());
+    models.push_back(std::move(m));
+  }
+  root.set("models", std::move(models));
+  return root;
 }
 
 double serving_accuracy(Server& server, ModelKey key, const nn::Dataset& data,

@@ -35,6 +35,16 @@
 // later submissions see the new weights. Worker contexts carry over: the
 // swap-compatibility check guarantees identical state shapes, and the
 // per-frame reset erases all history.
+//
+// Telemetry (ISSUE 6 / ROADMAP "Serving QoS + observability"): the server
+// owns an obs::Registry. Every request is stamped at submit/claim/exec
+// start/exec end, so queue-wait, execution and end-to-end latency are
+// separately attributable — recorded into per-model histograms
+// (serve.{queue_wait,exec,e2e}_us.<key>) before the future becomes ready,
+// with queue-depth and in-flight gauges updated at the submit/claim/fulfil
+// transitions. metrics_json() adds per-model lifetime stats and a live
+// TrafficReport-derived per-link NoC utilization snapshot; pair it with
+// obs::MetricsDumper for the SHENJING_METRICS export loop.
 #pragma once
 
 #include <condition_variable>
@@ -48,6 +58,7 @@
 #include <vector>
 
 #include "nn/dataset.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 
 namespace sj::serve {
@@ -71,6 +82,19 @@ class Cancelled : public Error {
   using Error::Error;
 };
 
+/// Per-request trace: steady-clock ns (obs::now_ns) stamped at each
+/// lifecycle transition. Pass one to submit() to observe a single request;
+/// the worker writes claim/exec/done before the future becomes ready, so
+/// after future.get() every field is set and monotone
+/// (submit <= claim <= exec_begin <= exec_end <= done).
+struct RequestTrace {
+  u64 submit_ns = 0;      // enqueued (after admission)
+  u64 claim_ns = 0;       // a worker dequeued it; claim-submit = queue wait
+  u64 exec_begin_ns = 0;  // engine frame started
+  u64 exec_end_ns = 0;    // engine frame finished
+  u64 done_ns = 0;        // stats + metrics recorded; future about to fire
+};
+
 struct ServerOptions {
   /// Worker threads (long-lived SimContext owners). 0 = one per hardware
   /// thread, honoring SHENJING_THREADS like ThreadPool::global().
@@ -89,6 +113,11 @@ struct ServerOptions {
   /// (the sharded path's contract); single-chip models always run whole.
   /// 0 disables sharded serving.
   usize shard_below_depth = 0;
+  /// Enables engine phase profiling on every worker context
+  /// (sim::SimContext::set_profiling): per-model obs::PhaseProfile tallies
+  /// surface in metrics_json() under "engine_profile". Off by default —
+  /// profiled frames pay clock reads around every shard phase.
+  bool profile_engine = false;
 };
 
 /// How shutdown() treats requests still sitting in the queue.
@@ -130,7 +159,10 @@ class Server {
   /// Enqueues one frame against `key`'s current generation. The future
   /// yields the FrameResult (or rethrows the frame's error). Blocks only
   /// when ServerOptions::max_pending is set and the queue is full.
-  std::future<sim::FrameResult> submit(ModelKey key, Tensor frame);
+  /// `trace`, when given, must outlive the future and is fully stamped
+  /// before the future becomes ready (see RequestTrace).
+  std::future<sim::FrameResult> submit(ModelKey key, Tensor frame,
+                                       RequestTrace* trace = nullptr);
 
   /// Enqueues every frame of `frames` in order; futures index like the span.
   /// On a bounded server the batch is admitted *transactionally*: the call
@@ -146,6 +178,19 @@ class Server {
   /// future.get() the tally includes that frame.
   sim::SimStats stats(ModelKey key) const;
   sim::SimStats take_stats(ModelKey key);
+
+  /// The server's metric store: serve.submitted/completed/errors/cancelled
+  /// counters, serve.queue_depth / serve.in_flight gauges, and per-model
+  /// serve.{queue_wait,exec,e2e}_us.<016x-key> latency histograms. Safe to
+  /// snapshot from any thread while serving.
+  const obs::Registry& registry() const { return registry_; }
+
+  /// One self-describing JSON document for dashboards and the
+  /// SHENJING_METRICS dumper: the registry snapshot plus, per model, the
+  /// lifetime SimStats roll-up (monotone across take_stats) and a live
+  /// noc::TrafficReport::utilization_json() per-link utilization snapshot;
+  /// engine phase profiles appear when ServerOptions::profile_engine is on.
+  json::Value metrics_json() const;
 
   usize num_workers() const { return workers_.size(); }
   /// The queue bound (0 = unbounded) — batch submitters size chunks to it.
@@ -172,9 +217,25 @@ class Server {
     std::unique_ptr<sim::Engine> engine;  // points into mapped/net above
   };
 
+  /// A model's latency histograms, registered once at entry creation. The
+  /// pointers are stable (Registry never erases); Requests carry a copy so
+  /// workers record without re-resolving names.
+  struct ModelMetrics {
+    obs::Histogram* queue_wait_us = nullptr;
+    obs::Histogram* exec_us = nullptr;
+    obs::Histogram* e2e_us = nullptr;
+  };
+
   struct ModelEntry {
     std::shared_ptr<const Generation> gen;
     sim::SimStats stats;
+    /// Monotone roll-up: take_stats folds the drained tally in here first,
+    /// so metrics_json (lifetime + stats) never goes backwards even while
+    /// benches drain the additive tally.
+    sim::SimStats lifetime;
+    /// Accrued engine phase profiles (ServerOptions::profile_engine).
+    obs::PhaseProfile profile;
+    ModelMetrics metrics;
     u64 generation = 0;      // bumped by swap_weights
     ModelKey content_key = 0;  // hash of the *current* generation's content
   };
@@ -184,16 +245,34 @@ class Server {
     std::shared_ptr<const Generation> gen;  // bound at submit time
     Tensor frame;
     std::promise<sim::FrameResult> promise;
+    u64 submit_ns = 0;
+    RequestTrace* trace = nullptr;  // optional caller-observed trace
+    ModelMetrics metrics;           // copied from the entry at submit
   };
 
   static std::shared_ptr<const Generation> make_generation(
       const map::MappedNetwork& mapped, const snn::SnnNetwork& net,
       const Generation* donor);
 
+  /// Registers (get-or-create) the per-model histograms for `key`.
+  ModelMetrics make_model_metrics(ModelKey key);
+
   void worker_loop();
 
   const usize max_pending_;
   const usize shard_below_depth_;
+  const bool profile_engine_;
+  // The metric store and the hot-path handles into it. Declared before
+  // workers_ so it outlives the worker threads on destruction. Lock order:
+  // the registry's own mutex is taken either alone (snapshots, record paths
+  // are lock-free) or nested inside mu_ (registration); never mu_ inside it.
+  obs::Registry registry_;
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Counter* cancelled_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* in_flight_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers: queue non-empty or stopping
   std::condition_variable space_cv_;  // submitters: bounded queue has room

@@ -215,6 +215,11 @@ SimStats SimContext::take_stats() {
   return out;
 }
 
+void SimContext::drain_profile(obs::PhaseProfile& into) {
+  into.merge(profile_);
+  profile_.clear();
+}
+
 void SimContext::drain_stats(SimStats& into) {
   into.merge(stats_);
   // Zero the scalars but keep the per-link table allocated: the next
@@ -498,16 +503,42 @@ void Engine::run_iteration_sharded(SimContext& ctx, const BitVec* input_spikes,
     }
   };
 
+  const bool prof = ctx.profile_on_;
   for (u32 phase = 0; phase < plan.num_phases; ++phase) {
+    const u64 p0 = prof ? obs::now_ns() : 0;
+    // When profiling, each shard writes its own phase duration into a
+    // disjoint scratch slot; the pool join publishes them to this thread.
+    const auto timed_shard_phase = [&](usize s) {
+      const u64 t0 = obs::now_ns();
+      run_shard_phase(s, phase);
+      ctx.profile_scratch_[s] = obs::now_ns() - t0;
+    };
     if (shards > 1 && pool.num_threads() > 1) {
-      pool.parallel_for(shards, [&](usize s) { run_shard_phase(s, phase); });
+      if (prof) {
+        pool.parallel_for(shards, [&](usize s) { timed_shard_phase(s); });
+      } else {
+        pool.parallel_for(shards, [&](usize s) { run_shard_phase(s, phase); });
+      }
     } else {
-      for (usize s = 0; s < shards; ++s) run_shard_phase(s, phase);
+      for (usize s = 0; s < shards; ++s) {
+        prof ? timed_shard_phase(s) : run_shard_phase(s, phase);
+      }
     }
+    if (prof) {
+      const u64 wall = obs::now_ns() - p0;
+      ctx.profile_.phase_wall_ns += wall;
+      for (usize s = 0; s < shards; ++s) {
+        const u64 exec = ctx.profile_scratch_[s];
+        ctx.profile_.shard_exec_ns[s] += exec;
+        ctx.profile_.shard_wait_ns[s] += wall > exec ? wall - exec : 0;
+      }
+    }
+    const u64 b0 = prof ? obs::now_ns() : 0;
     // Phase barrier: the explicit inter-shard exchange. Outboxes commit in
     // fixed shard order (which only matters for determinism of staging
     // order — a valid schedule writes each port register once per cycle).
     for (usize s = 0; s < shards; ++s) ctx.noc_.commit_lane_cross(ctx.lanes_[s]);
+    if (prof) ctx.profile_.barrier_commit_ns += obs::now_ns() - b0;
   }
   // Iteration-level counters are charged once, on the coordinating thread.
   ++ctx.stats_.iterations;
@@ -573,10 +604,24 @@ FrameResult Engine::run_frame_impl(SimContext& ctx, const Tensor& image,
 
 FrameResult Engine::run_frame(SimContext& ctx, const Tensor& image,
                               HardwareTrace* trace) const {
+  if (!ctx.profile_on_) {
+    reset(ctx);
+    return run_frame_impl(ctx, image, trace, [&](SimContext& c, const BitVec* in) {
+      run_iteration(c, in, c.stats_);
+    });
+  }
+  const u64 f0 = obs::now_ns();
   reset(ctx);
-  return run_frame_impl(ctx, image, trace, [&](SimContext& c, const BitVec* in) {
-    run_iteration(c, in, c.stats_);
-  });
+  ctx.profile_.reset_ns += obs::now_ns() - f0;
+  FrameResult res =
+      run_frame_impl(ctx, image, trace, [&](SimContext& c, const BitVec* in) {
+        const u64 t0 = obs::now_ns();
+        run_iteration(c, in, c.stats_);
+        c.profile_.exec_ns += obs::now_ns() - t0;
+      });
+  ++ctx.profile_.frames;
+  ctx.profile_.frame_ns += obs::now_ns() - f0;
+  return res;
 }
 
 void Engine::drain_shard_stats(SimContext& ctx) const {
@@ -594,11 +639,21 @@ void Engine::drain_shard_stats(SimContext& ctx) const {
 
 FrameResult Engine::run_frame_sharded(SimContext& ctx, const Tensor& image,
                                       HardwareTrace* trace, ThreadPool* pool) const {
+  const bool prof = ctx.profile_on_;
+  const u64 f0 = prof ? obs::now_ns() : 0;
   reset(ctx);
+  if (prof) ctx.profile_.reset_ns += obs::now_ns() - f0;
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
   const usize shards = model_.plan_.num_shards();
   if (ctx.lanes_.size() < shards) ctx.lanes_.resize(shards);
   if (ctx.shard_stats_.size() < shards) ctx.shard_stats_.resize(shards);
+  if (prof) {
+    if (ctx.profile_.shard_exec_ns.size() < shards) {
+      ctx.profile_.shard_exec_ns.resize(shards, 0);
+      ctx.profile_.shard_wait_ns.resize(shards, 0);
+    }
+    if (ctx.profile_scratch_.size() < shards) ctx.profile_scratch_.resize(shards, 0);
+  }
   // A prior frame that threw mid-iteration may have left writes staged.
   for (auto& lane : ctx.lanes_) lane.clear();
   try {
@@ -607,6 +662,10 @@ FrameResult Engine::run_frame_sharded(SimContext& ctx, const Tensor& image,
           run_iteration_sharded(c, in, p);
         });
     drain_shard_stats(ctx);
+    if (prof) {
+      ++ctx.profile_.sharded_frames;
+      ctx.profile_.frame_ns += obs::now_ns() - f0;
+    }
     return res;
   } catch (...) {
     // Keep the run_frame contract: partial tallies stay visible in

@@ -35,6 +35,7 @@
 
 #include "common/thread_pool.h"
 #include "mapper/exec_program.h"
+#include "obs/profile.h"
 #include "mapper/program.h"
 #include "mapper/shard_plan.h"
 #include "noc/fabric.h"
@@ -168,6 +169,19 @@ class SimContext {
   /// The context's router state (compaction introspection / tests).
   const noc::NocState& noc() const { return noc_; }
 
+  /// Opt-in engine phase profiling (obs::PhaseProfile). When on, run_frame
+  /// accrues reset/exec/frame wall time, and run_frame_sharded additionally
+  /// accrues per-shard exec and barrier-wait per phase — shard imbalance
+  /// measured, not inferred. When off (the default), frames pay one
+  /// predictable branch per frame/phase and zero clock reads, keeping the
+  /// bench-regression gate honest.
+  void set_profiling(bool on) { profile_on_ = on; }
+  bool profiling() const { return profile_on_; }
+  const obs::PhaseProfile& profile() const { return profile_; }
+  /// Merges the accrued profile into `into` and zeroes it in place, keeping
+  /// vector allocations (the serving workers' drain, like drain_stats).
+  void drain_profile(obs::PhaseProfile& into);
+
  private:
   friend class Engine;
 
@@ -189,6 +203,12 @@ class SimContext {
   // Shard tallies merge into stats_ in fixed shard order at frame end.
   std::vector<noc::NocState::ShardLane> lanes_;
   std::vector<SimStats> shard_stats_;
+  // Opt-in phase profiling (set_profiling): the accrual target plus a
+  // per-shard scratch each shard writes its phase duration into (disjoint
+  // slots; the pool join publishes them to the coordinator).
+  obs::PhaseProfile profile_;
+  std::vector<u64> profile_scratch_;
+  bool profile_on_ = false;
 };
 
 /// One compiled model plus a pool of contexts. run_frame is const and

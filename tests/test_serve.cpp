@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/string_util.h"
 #include "mapper/mapper.h"
 #include "nn/dataset.h"
 #include "serve/server.h"
@@ -525,6 +526,147 @@ TEST(Serve, BadFramePropagatesThroughTheFutureAndLeavesServerUsable) {
   for (auto& f : futs) got.push_back(f.get());
   expect_frames_eq(got, want);
   expect_stats_eq(server.take_stats(key), want_stats);
+}
+
+TEST(ServeTelemetry, MetricsJsonCarriesHistogramsCountersGaugesAndNoc) {
+  const Built b = build_fc(211, 5, 6);
+  Server server({.workers = 2});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  auto futs = server.submit_batch(key, batch_of(b));
+  for (auto& f : futs) f.get();
+
+  const std::string hex = strprintf("%016llx", static_cast<unsigned long long>(key));
+  const obs::RegistrySnapshot ms = server.registry().snapshot();
+  EXPECT_EQ(ms.counter_or("serve.submitted", -1), static_cast<i64>(b.data.size()));
+  EXPECT_EQ(ms.counter_or("serve.completed", -1), static_cast<i64>(b.data.size()));
+  EXPECT_EQ(ms.counter_or("serve.errors", -1), 0);
+  for (const char* prefix : {"serve.queue_wait_us.", "serve.exec_us.", "serve.e2e_us."}) {
+    const obs::HistogramSnapshot* h = ms.histogram(prefix + hex);
+    ASSERT_NE(h, nullptr) << prefix;
+    EXPECT_EQ(h->count, static_cast<i64>(b.data.size())) << prefix;
+  }
+  // e2e covers queue wait + exec, so its mean cannot be below exec's.
+  EXPECT_GE(ms.histogram("serve.e2e_us." + hex)->sum,
+            ms.histogram("serve.exec_us." + hex)->sum);
+
+  const json::Value doc = server.metrics_json();
+  EXPECT_EQ(doc.at("pending").as_int(), 0);
+  EXPECT_EQ(doc.at("workers").as_int(), 2);
+  const json::Array& models = doc.at("models").as_array();
+  ASSERT_EQ(models.size(), 1u);
+  const json::Value& m = models[0];
+  EXPECT_EQ(m.at("key").as_string(), hex);
+  EXPECT_EQ(m.at("frames").as_int(), static_cast<i64>(b.data.size()));
+  const json::Value& noc = m.at("noc");
+  EXPECT_GT(noc.at("links_active").as_int(), 0);
+  EXPECT_GT(noc.at("mean_utilization").as_number(), 0.0);
+  bool any_utilized = false;
+  for (const json::Value& link : noc.at("links").as_array()) {
+    if (link.at("utilization").as_number() > 0.0) any_utilized = true;
+  }
+  EXPECT_TRUE(any_utilized);
+  // The whole document survives a JSON round trip through src/json.
+  EXPECT_EQ(doc, json::parse(doc.dump()));
+  server.shutdown();
+}
+
+TEST(ServeTelemetry, RequestTraceTimestampsAreMonotone) {
+  const Built b = build_fc(223, 5, 3);
+  Server server({.workers = 2});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  for (int round = 0; round < 3; ++round) {
+    for (const Tensor& img : b.data.images) {
+      RequestTrace trace;
+      auto fut = server.submit(key, img, &trace);
+      fut.get();
+      // All five stamps are final before the future becomes ready.
+      EXPECT_GT(trace.submit_ns, 0u);
+      EXPECT_LE(trace.submit_ns, trace.claim_ns);
+      EXPECT_LE(trace.claim_ns, trace.exec_begin_ns);
+      EXPECT_LE(trace.exec_begin_ns, trace.exec_end_ns);
+      EXPECT_LE(trace.exec_end_ns, trace.done_ns);
+    }
+  }
+  server.shutdown();
+}
+
+TEST(ServeTelemetry, FailedRequestsCountAsErrorsNotLatencySamples) {
+  const Built b = build_fc(227, 5, 2);
+  Server server({.workers = 1});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  RequestTrace trace;
+  auto bad = server.submit(key, Tensor({4}), &trace);  // injection throws
+  EXPECT_THROW(bad.get(), Error);
+  EXPECT_LE(trace.submit_ns, trace.claim_ns);  // error path still stamps
+  EXPECT_LE(trace.exec_end_ns, trace.done_ns);
+
+  const std::string hex = strprintf("%016llx", static_cast<unsigned long long>(key));
+  const obs::RegistrySnapshot ms = server.registry().snapshot();
+  EXPECT_EQ(ms.counter_or("serve.errors", -1), 1);
+  EXPECT_EQ(ms.counter_or("serve.completed", -1), 0);
+  const obs::HistogramSnapshot* e2e = ms.histogram("serve.e2e_us." + hex);
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count, 0);  // failed frames pollute no latency percentile
+  server.shutdown();
+}
+
+TEST(ServeTelemetry, MetricsJsonStaysMonotoneAcrossTakeStats) {
+  // take_stats drains the SimStats tally for the power model, but the
+  // telemetry view must keep counting lifetime frames or dashboards would
+  // saw-tooth to zero on every drain.
+  const Built b = build_fc(229, 5, 4);
+  Server server({.workers = 2});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  auto futs = server.submit_batch(key, batch_of(b));
+  for (auto& f : futs) f.get();
+  const SimStats drained = server.take_stats(key);
+  EXPECT_EQ(drained.frames, static_cast<i64>(b.data.size()));
+  EXPECT_EQ(server.stats(key).frames, 0);  // the drain itself still works
+
+  const json::Value doc = server.metrics_json();
+  EXPECT_EQ(doc.at("models").as_array()[0].at("frames").as_int(),
+            static_cast<i64>(b.data.size()));
+  server.shutdown();
+}
+
+TEST(ServeTelemetry, EngineProfileCoversPlainAndShardedPaths) {
+  // profile_engine=true on a multi-chip model with the shard policy fully
+  // on: the per-model engine_profile must report sharded frames with
+  // per-shard exec/wait arrays — and stay bit-identical to serial.
+  const Built b = build_fc(233, 6, 4, /*chip=*/3, /*in=*/900, /*hidden=*/300);
+  ASSERT_GT(b.mapped.chips_used, 1);
+  const auto [want, want_stats] = serial_reference(b);
+
+  Server server({.workers = 2, .shard_below_depth = ~usize{0}, .profile_engine = true});
+  const ModelKey key = server.load_model(b.mapped, b.net);
+  auto futs = server.submit_batch(key, batch_of(b));
+  std::vector<FrameResult> got;
+  for (auto& f : futs) got.push_back(f.get());
+  expect_frames_eq(got, want);  // profiling must not perturb the numbers
+  expect_stats_eq(server.take_stats(key), want_stats);
+
+  const json::Value doc = server.metrics_json();
+  const json::Value& prof = doc.at("models").as_array()[0].at("engine_profile");
+  EXPECT_EQ(prof.at("sharded_frames").as_int(), static_cast<i64>(b.data.size()));
+  EXPECT_GT(prof.at("frame_ns").as_int(), 0);
+  const json::Array& shard_exec = prof.at("shard_exec_ns").as_array();
+  ASSERT_GT(shard_exec.size(), 1u);
+  i64 exec_total = 0;
+  for (const json::Value& ns : shard_exec) exec_total += ns.as_int();
+  EXPECT_GT(exec_total, 0);
+  server.shutdown();
+
+  // Plain (unsharded) path: frames counted, no shard arrays.
+  const Built p = build_fc(239, 5, 3);
+  Server plain({.workers = 1, .profile_engine = true});
+  const ModelKey pk = plain.load_model(p.mapped, p.net);
+  auto pf = plain.submit_batch(pk, batch_of(p));
+  for (auto& f : pf) f.get();
+  const json::Value pdoc = plain.metrics_json();
+  const json::Value& pprof = pdoc.at("models").as_array()[0].at("engine_profile");
+  EXPECT_EQ(pprof.at("frames").as_int(), static_cast<i64>(p.data.size()));
+  EXPECT_GT(pprof.at("exec_ns").as_int(), 0);
+  plain.shutdown();
 }
 
 }  // namespace

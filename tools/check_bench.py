@@ -6,12 +6,15 @@ Usage:
   check_bench.py --baseline bench/baselines/BENCH_sim.json \
                  --current build/BENCH_sim.json \
                  [--metrics frames_per_sec,batch_frames_per_sec] \
+                 [--lower-metrics open_loop_p99_ms] \
                  [--max-regress 0.20]
 
-Only named metrics are checked, and only downward moves fail: CI machines
-differ, so a faster run is never an error, and the tolerance absorbs normal
-scheduler noise. The tolerance can also be set via the
-SHENJING_BENCH_MAX_REGRESS environment variable (the flag wins).
+Only named metrics are checked. --metrics are higher-is-better (throughput):
+only downward moves fail. --lower-metrics are lower-is-better (latency
+percentiles): only upward moves fail. CI machines differ, so an improvement
+is never an error, and the tolerance absorbs normal scheduler noise. The
+tolerance can also be set via the SHENJING_BENCH_MAX_REGRESS environment
+variable (the flag wins).
 
 Exit codes: 0 pass, 1 regression, 2 bad invocation/missing data.
 """
@@ -50,6 +53,11 @@ def main() -> int:
         help="comma-separated higher-is-better metrics to gate on",
     )
     ap.add_argument(
+        "--lower-metrics",
+        default="",
+        help="comma-separated lower-is-better metrics (latency percentiles)",
+    )
+    ap.add_argument(
         "--max-regress",
         type=float,
         default=None,
@@ -70,21 +78,32 @@ def main() -> int:
     baseline = load(args.baseline)
     current = load(args.current)
 
+    def numeric(doc: dict, metric: str, which: str) -> float:
+        value = doc.get(metric)
+        if not isinstance(value, (int, float)):
+            fail(f"{which} has no numeric metric {metric!r}")
+        return value
+
     failures = []
     print(f"check_bench: {args.current} vs {args.baseline} "
           f"(tolerance {tolerance:.0%})")
     for metric in [m.strip() for m in args.metrics.split(",") if m.strip()]:
-        base = baseline.get(metric)
-        cur = current.get(metric)
-        if not isinstance(base, (int, float)):
-            fail(f"baseline has no numeric metric {metric!r}")
-        if not isinstance(cur, (int, float)):
-            fail(f"current run has no numeric metric {metric!r}")
+        base = numeric(baseline, metric, "baseline")
+        cur = numeric(current, metric, "current run")
         floor = base * (1.0 - tolerance)
         verdict = "OK" if cur >= floor else "REGRESSED"
         print(f"  {metric}: baseline {base:.1f}, current {cur:.1f}, "
               f"floor {floor:.1f} -> {verdict}")
         if cur < floor:
+            failures.append(metric)
+    for metric in [m.strip() for m in args.lower_metrics.split(",") if m.strip()]:
+        base = numeric(baseline, metric, "baseline")
+        cur = numeric(current, metric, "current run")
+        ceiling = base * (1.0 + tolerance)
+        verdict = "OK" if cur <= ceiling else "REGRESSED"
+        print(f"  {metric}: baseline {base:.3f}, current {cur:.3f}, "
+              f"ceiling {ceiling:.3f} -> {verdict} (lower is better)")
+        if cur > ceiling:
             failures.append(metric)
 
     if failures:
