@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "harness/pipeline.h"
 #include "harness/zoo.h"
@@ -183,6 +184,12 @@ void record_throughput() {
   doc.set("unsharded_frame_ms", plain_ms);
   doc.set("sharded_frames_per_sec", sharded_fps);
   doc.set("sharded_speedup", sharded_ms > 0.0 ? plain_ms / sharded_ms : 0.0);
+  // Host shape and kernel dispatch, so check_bench.py can tell which
+  // numbers are comparable: parallel-speedup metrics (batch_speedup,
+  // sharded_speedup) only gate when both baseline and current ran with
+  // host_cores > 1, and a backend mismatch explains a frames_per_sec jump.
+  doc.set("host_cores", static_cast<i64>(hardware_thread_count()));
+  doc.set("simd_backend", simd::backend_name(simd::active_backend()));
   doc.set("fast_mode", harness::fast_mode());
   bench::write_bench_json("sim", std::move(doc));
 }

@@ -265,6 +265,7 @@ int main() {
   doc.set("run_batch_seconds", total_batch_seconds);
   doc.set("run_batch_frames_per_sec", batch_fps);
   doc.set("serving_vs_batch", ratio);
+  doc.set("host_cores", static_cast<i64>(hardware_thread_count()));
   doc.set("fast_mode", fast);
   bench::write_bench_json("serving", std::move(doc));
   return 0;

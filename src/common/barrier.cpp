@@ -1,0 +1,99 @@
+#include "common/barrier.h"
+
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace sj {
+
+PhaseTeam::PhaseTeam(usize slots) : slots_(slots) {
+  SJ_REQUIRE(slots >= 1, "PhaseTeam: needs at least one slot");
+  exec_tag_ = std::make_unique<std::atomic<u64>[]>(slots);
+  drain_tag_ = std::make_unique<std::atomic<u64>[]>(slots);
+  for (usize s = 0; s < slots; ++s) {
+    exec_tag_[s].store(0, std::memory_order_relaxed);
+    drain_tag_[s].store(0, std::memory_order_relaxed);
+  }
+}
+
+u64 PhaseTeam::open_phase() {
+  const u64 e = epoch_.load(std::memory_order_relaxed) + 1;
+  epoch_.store(e, std::memory_order_release);
+  notify_all_locked();
+  return e;
+}
+
+void PhaseTeam::finish_team() {
+  finished_.store(true, std::memory_order_release);
+  notify_all_locked();
+}
+
+void PhaseTeam::notify_all_locked() {
+  // Taking the mutex before notifying closes the classic lost-wakeup race:
+  // a waiter that checked its predicate and is *about to* park either holds
+  // the mutex (we wait for it, then our notify lands after its wait begins)
+  // or has not checked yet (it will see the new state).
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+  }
+  cv_.notify_all();
+}
+
+template <typename Pred>
+void PhaseTeam::spin_then_wait(Pred&& pred) {
+  const int bound = spin_poll_bound();
+  for (int spin = 0; spin < bound; ++spin) {
+    if (pred()) return;
+    std::this_thread::yield();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, pred);
+}
+
+u64 PhaseTeam::wait_open(u64 last_done) {
+  u64 e = 0;
+  spin_then_wait([&] {
+    if (finished_.load(std::memory_order_acquire)) return true;
+    e = epoch_.load(std::memory_order_acquire);
+    return e > last_done;
+  });
+  // finished_ wins even when a newer epoch is visible: finish_team is only
+  // called with all work drained, so the claims a late helper would attempt
+  // all fail anyway.
+  return finished_.load(std::memory_order_acquire) ? 0 : e;
+}
+
+bool PhaseTeam::claim(std::atomic<u64>& tag, u64 e) {
+  u64 t = tag.load(std::memory_order_relaxed);
+  while (t < e) {
+    if (tag.compare_exchange_weak(t, e, std::memory_order_acq_rel,
+                                  std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PhaseTeam::claim_exec(usize s, u64 e) { return claim(exec_tag_[s], e); }
+bool PhaseTeam::claim_drain(usize s, u64 e) { return claim(drain_tag_[s], e); }
+
+void PhaseTeam::finish_exec(u64 e) {
+  const u64 done = execs_done_.fetch_add(1, std::memory_order_release) + 1;
+  if (done >= e * slots_) notify_all_locked();
+}
+
+void PhaseTeam::finish_drain(u64 e) {
+  const u64 done = drains_done_.fetch_add(1, std::memory_order_release) + 1;
+  if (done >= e * slots_) notify_all_locked();
+}
+
+void PhaseTeam::await_execs(u64 e) {
+  spin_then_wait([&] { return execs_complete(e); });
+}
+
+void PhaseTeam::await_drains(u64 e) {
+  spin_then_wait([&] { return drains_complete(e); });
+}
+
+}  // namespace sj

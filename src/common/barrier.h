@@ -1,0 +1,124 @@
+// PhaseTeam: the synchronization core of the persistent shard team.
+//
+// The sharded engine used to launch one ThreadPool::parallel_for per phase
+// barrier (~100 us apart on real models), paying a fan-out/join — queue
+// mutex, condvar wake-ups, shared_ptr block — per phase. A PhaseTeam keeps
+// one set of participants alive for a whole frame and reduces each barrier
+// to a handful of atomic operations.
+//
+// Model: `slots` units of work (one per shard) run through a sequence of
+// *epochs* (one per phase barrier). Each epoch has two stages:
+//
+//   exec  — every slot's phase work, claimable by any participant;
+//   drain — every slot's cross-shard commit, claimable by any participant
+//           but gated on ALL execs of the epoch finishing first (an op later
+//           in a phase may legally read the old value of a port register a
+//           commit would overwrite).
+//
+// The "cooperative help-draining" of the issue falls out of the claim
+// design: whichever participants go idle first grab the remaining drain
+// slots, so the serial cross-shard commit of the old code becomes parallel
+// and is finished by whoever has nothing better to do.
+//
+// Three properties carry the correctness argument:
+//
+//   * Monotone epoch-tagged claims. Per-slot atomic tags hold the last
+//     epoch that claimed the slot; claiming epoch e is a CAS from a value
+//     < e to e. A straggler holding a stale epoch can never claim work from
+//     a newer epoch by accident, and a claim that succeeds is unique.
+//   * Monotone work counters. execs_done/drains_done only grow; epoch e's
+//     stage is complete when the counter reaches e * slots. The coordinator
+//     opens epoch e+1 only after epoch e fully drains, so the targets are
+//     unambiguous.
+//   * Work-counted (not member-counted) completion. Nothing waits for a
+//     particular *participant* — only for the counters. A helper that never
+//     gets scheduled (saturated pool) costs nothing: the coordinator claims
+//     and finishes every slot itself and never deadlocks.
+//
+// Memory ordering: finish_exec/finish_drain are release increments and the
+// await_* loads are acquires, so one slot's writes happen-before any
+// participant that observed the stage complete; open_phase is a release
+// store the participants acquire, extending the chain across epochs. That
+// chain is what makes the engine's cross-thread shard migration (shard s
+// executed by different workers in consecutive phases) race-free.
+//
+// Waiting is spin-then-park: a bounded poll (sj::spin_poll_bound — the
+// SHENJING_SPIN knob, 0 on 1-CPU hosts) and then a mutex+condvar park.
+// Completion notifies under the mutex, so a parked waiter cannot miss its
+// wake-up.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "common/types.h"
+
+namespace sj {
+
+class PhaseTeam {
+ public:
+  /// A team over `slots` work slots (>= 1). Epoch 0 means "nothing open";
+  /// open_phase() returns 1, 2, ...
+  explicit PhaseTeam(usize slots);
+
+  PhaseTeam(const PhaseTeam&) = delete;
+  PhaseTeam& operator=(const PhaseTeam&) = delete;
+
+  usize slots() const { return slots_; }
+  u64 epoch() const { return epoch_.load(std::memory_order_acquire); }
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  // --- coordinator ---------------------------------------------------------
+  /// Opens the next epoch and wakes parked participants. Must only be called
+  /// after the previous epoch fully drained (await_drains). The release
+  /// store publishes everything the coordinator wrote before the call (the
+  /// per-iteration input, serial readout state) to every participant.
+  u64 open_phase();
+  /// Marks the team done and wakes everyone; helpers return. Must only be
+  /// called after the last epoch fully drained. Idempotent.
+  void finish_team();
+
+  // --- participants --------------------------------------------------------
+  /// Blocks until an epoch > `last_done` is open (returning it) or the team
+  /// finishes (returning 0). Helpers loop on this.
+  u64 wait_open(u64 last_done);
+  /// Claims slot `s` for epoch `e`'s exec stage; true exactly once per
+  /// (s, e) across all participants.
+  bool claim_exec(usize s, u64 e);
+  /// Reports one exec unit of epoch `e` done (after the slot's work).
+  void finish_exec(u64 e);
+  /// Blocks until every slot's exec of epoch `e` is done. After return, all
+  /// exec writes of the epoch are visible (acquire).
+  void await_execs(u64 e);
+  bool claim_drain(usize s, u64 e);
+  void finish_drain(u64 e);
+  void await_drains(u64 e);
+
+ private:
+  bool execs_complete(u64 e) const {
+    return execs_done_.load(std::memory_order_acquire) >= e * slots_;
+  }
+  bool drains_complete(u64 e) const {
+    return drains_done_.load(std::memory_order_acquire) >= e * slots_;
+  }
+  static bool claim(std::atomic<u64>& tag, u64 e);
+  void notify_all_locked();
+  /// Spin on `pred` up to the spin bound, then park on cv_ until it holds.
+  template <typename Pred>
+  void spin_then_wait(Pred&& pred);
+
+  const usize slots_;
+  std::atomic<u64> epoch_{0};
+  std::atomic<u64> execs_done_{0};
+  std::atomic<u64> drains_done_{0};
+  std::atomic<bool> finished_{false};
+  // Last epoch that claimed each slot's exec/drain (monotone).
+  std::unique_ptr<std::atomic<u64>[]> exec_tag_;
+  std::unique_ptr<std::atomic<u64>[]> drain_tag_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace sj

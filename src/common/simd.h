@@ -1,0 +1,113 @@
+// SIMD backends for the plane-parallel word kernels.
+//
+// Shenjing's datapath is 64-plane bitplane arithmetic: every hot kernel in
+// sim::Engine::exec_ops walks a 256-plane register file in four 64-lane
+// strips, and an all-ones mask word turns a strip into a contiguous loop
+// over 64 integer lanes. Those loops are exactly the shape CPU vector units
+// eat — 16 x i16 or 8 x i32 per 256-bit register — but the engine has so
+// far relied on the compiler noticing, which -O2 mostly does not.
+//
+// This header names the strip kernels explicitly and gives each one three
+// bit-exact implementations:
+//
+//   Scalar — the straight per-lane reference loop every backend must match.
+//   AVX2   — x86-64 intrinsics compiled with a per-function target attribute
+//            (no -mavx2 build flag needed) and enabled at runtime only when
+//            the CPU reports AVX2.
+//   NEON   — AArch64 intrinsics (NEON is baseline on AArch64).
+//
+// All kernels are exact integer arithmetic — no rounding, no reassociation
+// of anything but additions of independent lanes — so every backend returns
+// bit-identical results and identical saturation/toggle counts. The golden
+// and fuzz suites run under each compiled backend to enforce that.
+//
+// Selection: the best compiled-and-supported backend wins by default; the
+// SHENJING_SIMD environment variable (scalar|avx2|neon) overrides it, and
+// tests may pin a backend with set_backend(). Dispatch is one relaxed
+// atomic load plus a predictable switch per kernel call, amortized over
+// >= 64 lanes of work.
+#pragma once
+
+#include "common/types.h"
+
+namespace sj::simd {
+
+enum class Backend : u8 { Scalar = 0, AVX2 = 1, NEON = 2 };
+
+/// Stable lowercase name ("scalar", "avx2", "neon") — what SHENJING_SIMD
+/// accepts and what bench JSON records.
+const char* backend_name(Backend b);
+
+/// True when this binary carries code for `b` (Scalar always, AVX2 on
+/// x86-64 builds, NEON on AArch64 builds).
+bool backend_compiled(Backend b);
+
+/// True when `b` is compiled in AND the running CPU supports it.
+bool backend_usable(Backend b);
+
+/// The best usable backend (what runs with no override).
+Backend best_backend();
+
+/// The backend every kernel below dispatches on. First call resolves
+/// SHENJING_SIMD (unknown or unusable values warn and fall back to
+/// best_backend()); later calls return the cached choice.
+Backend active_backend();
+
+/// Pins the dispatch backend (tests compare backends word-for-word).
+/// REQUIREs backend_usable(b).
+void set_backend(Backend b);
+
+/// Parses a SHENJING_SIMD-style override. Returns true and sets *out on a
+/// recognized name; false otherwise (unset/empty/garbage). Exposed for
+/// tests; active_backend() applies it.
+bool parse_backend(const char* text, Backend* out);
+
+// ---------------------------------------------------------------------------
+// Strip kernels. Lane counts are multiples of 16 (the callers pass 64 or
+// 256); pointers need no alignment beyond their element type. Saturation
+// counts are event-exact: one count per lane whose value was clamped.
+// ---------------------------------------------------------------------------
+
+/// acc[i] += row[i] for i in [0, n). The dense-FC inner loop: one
+/// precompiled 256-lane weight row accumulated per spiking axon. Exact in
+/// i32 (|row| <= 2^15, and the engine's accumulators stay far from i32).
+void accumulate_i16(i32* acc, const i16* row, int n);
+
+/// dst[i] = clamp(src[i], lo, hi) narrowed to i16; returns the number of
+/// clamped lanes. [lo, hi] must lie within i16 (the engine's local-PS and
+/// NoC widths are <= 16 bits). The ACC write-back kernel.
+i64 clamp_store_i16(const i32* src, i16* dst, int n, i32 lo, i32 hi);
+
+/// dst[i] = clamp(a[i] + b[i], lo, hi) in i16 lanes, widened through i32 so
+/// the add never wraps; returns the number of clamped lanes. [lo, hi]
+/// within i16. dst may alias a or b (each lane is read before any lane of
+/// its block is written). The in-router PS adder kernel.
+i64 add_clamp_i16(const i16* a, const i16* b, i16* dst, int n, i32 lo, i32 hi);
+
+/// One 64-lane integrate-and-fire strip (the SPIKE kernel):
+///   v       = clamp(pot[l] + add[l], lo, hi)   (counted in *saturations)
+///   fire    = v >= threshold
+///   pot[l]  = fire ? v - threshold : v
+/// Returns the fire bits (bit l set when lane l fired); the caller popcounts
+/// for the spikes_fired tally. Exact only under the gate the engine checks
+/// (integrate_fire_exact below); lanes are the full strip, so the caller
+/// applies its op mask to the returned word.
+u64 integrate_fire_strip(i32* pot, const i16* add, i32 lo, i32 hi,
+                         i32 threshold, i64* saturations);
+
+/// True when integrate_fire_strip's i32 lane arithmetic is exact for this
+/// configuration: potentials no wider than 30 bits (so pot + add and
+/// v - threshold fit i32) and a threshold within 31 signed bits. The paper
+/// datapath (24-bit potentials) passes; exotic ablations fall back to the
+/// engine's scalar per-plane path.
+constexpr bool integrate_fire_exact(i32 potential_bits, i64 threshold) {
+  return potential_bits <= 30 && threshold >= -(i64{1} << 30) &&
+         threshold <= (i64{1} << 30) - 1;
+}
+
+/// Wire-toggle accounting (PS NoC Hamming traffic): returns
+/// sum over i of popcount((last[i] ^ vals[i]) & wire_mask) and updates
+/// last[i] = vals[i]. The per-link toggle kernel of noc::NocState::stage_ps.
+i64 toggle_update_i16(i16* last, const i16* vals, int n, u16 wire_mask);
+
+}  // namespace sj::simd

@@ -49,8 +49,11 @@ void ThreadPool::worker_loop() {
     // engine launches one parallel_for per phase, ~100 us apart) would
     // otherwise pay a condvar wake-up per worker per phase — often more
     // than the phase itself. A worker that just ran a task polls the queue
-    // for a short while before parking; an idle pool still sleeps.
-    for (int spin = 0; spin < 64 && !task; ++spin) {
+    // for a short while before parking; an idle pool still sleeps. The
+    // bound comes from spin_poll_bound(): SHENJING_SPIN override, 0 on
+    // 1-CPU hosts where spinning only delays the producer.
+    const int spin_bound = spin_poll_bound();
+    for (int spin = 0; spin < spin_bound && !task; ++spin) {
       {
         const std::lock_guard<std::mutex> lock(mutex_);
         if (stop_ && tasks_.empty()) return;
@@ -70,6 +73,15 @@ void ThreadPool::worker_loop() {
     }
     task();
   }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SJ_ASSERT(!stop_, "submit on stopped pool");
+    tasks_.emplace(std::move(task));
+  }
+  cv_.notify_one();
 }
 
 void ThreadPool::parallel_for(usize n, const std::function<void(usize)>& fn) {
@@ -158,6 +170,28 @@ usize parse_thread_count(const char* text) {
   constexpr long kMaxThreads = 256;
   if (*end != '\0' || errno == ERANGE || v < 0 || v > kMaxThreads) return 0;
   return static_cast<usize>(v);  // 0 = hardware concurrency
+}
+
+int parse_spin_bound(const char* text, int fallback) {
+  if (text == nullptr || text[0] == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text) return fallback;
+  while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
+  // A ceiling keeps a typo'd value from turning every park into a
+  // multi-second busy loop.
+  constexpr long kMaxSpin = 1'000'000;
+  if (*end != '\0' || errno == ERANGE || v < 0 || v > kMaxSpin) return fallback;
+  return static_cast<int>(v);
+}
+
+int spin_poll_bound() {
+  static const int bound = [] {
+    const int fallback = std::thread::hardware_concurrency() == 1 ? 0 : 64;
+    return parse_spin_bound(std::getenv("SHENJING_SPIN"), fallback);
+  }();
+  return bound;
 }
 
 ThreadPool& ThreadPool::global() {

@@ -52,6 +52,14 @@ class ThreadPool {
   /// comment), so idle workers participate in nested loops.
   void parallel_for(usize n, const std::function<void(usize)>& fn);
 
+  /// Enqueues one task with no completion handshake. The caller owns
+  /// lifetime and error handling: the task must not throw, and anything it
+  /// references must stay alive until it runs (the persistent shard team
+  /// passes a shared_ptr by value for exactly this reason). Tasks may run
+  /// after the submitting call returns; they are drained, not dropped, on
+  /// pool destruction.
+  void submit(std::function<void()> task);
+
   /// Process-wide default pool (lazily constructed). Honors the
   /// SHENJING_THREADS environment variable at first use (see
   /// parse_thread_count): a positive value fixes the worker count (for
@@ -75,6 +83,20 @@ class ThreadPool {
 /// (= hardware concurrency) instead of wrapping or spawning a runaway
 /// thread count. Exposed for tests; ThreadPool::global() applies it.
 usize parse_thread_count(const char* text);
+
+/// Parses a SHENJING_SPIN-style spin-bound override: a plain decimal integer
+/// in [0, 1'000'000] (blanks tolerated) returns that bound; unset/empty or
+/// malformed input returns `fallback`. Exposed for tests; spin_poll_bound()
+/// applies it.
+int parse_spin_bound(const char* text, int fallback);
+
+/// Iterations a pool worker polls the queue before parking on the condvar.
+/// Defaults to 64 — fine-grained fan-outs (the sharded engine synchronizes
+/// every ~100 us) would otherwise pay a condvar wake-up per worker per
+/// phase — but on a 1-CPU host spinning only steals the quantum from the
+/// thread that would produce the work, so the default drops to 0 there.
+/// SHENJING_SPIN overrides either default (read once, cached).
+int spin_poll_bound();
 
 /// The hardware-concurrency fallback every worker-count decision shares
 /// (ThreadPool's 0 case, the serving front-end's default): the detected

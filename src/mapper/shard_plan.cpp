@@ -1,5 +1,7 @@
 #include "mapper/shard_plan.h"
 
+#include <algorithm>
+
 namespace sj::map {
 
 namespace {
@@ -146,6 +148,34 @@ ShardPlan build_shard_plan(const MappedNetwork& m, const noc::NocTopology& topo,
   close_phase();  // the final phase always exists, even for an empty program
   plan.num_phases = S == 0 ? 1 : static_cast<u32>(plan.shards.front().phases.size());
   return plan;
+}
+
+std::vector<u32> ShardPlan::assign_workers(usize workers) const {
+  const usize S = shards.size();
+  std::vector<u32> owner(S, 0);
+  if (S == 0) return owner;
+  workers = std::min(std::max<usize>(workers, 1), S);
+  // LPT greedy: heaviest shard first onto the least-loaded worker. Weight =
+  // op count + cross_sends — the per-phase exec cost plus the shard's share
+  // of the barrier exchange, both schedule-static. Asymmetric chips (one
+  // dense chip, several light ones) land balanced instead of chip-ordered.
+  std::vector<u32> order(S);
+  for (usize s = 0; s < S; ++s) order[s] = static_cast<u32>(s);
+  const auto weight = [&](u32 s) {
+    return static_cast<i64>(shards[s].ops.size()) + shards[s].cross_sends;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](u32 a, u32 b) { return weight(a) > weight(b); });
+  std::vector<i64> load(workers, 0);
+  for (const u32 s : order) {
+    usize best = 0;
+    for (usize w = 1; w < workers; ++w) {
+      if (load[w] < load[best]) best = w;
+    }
+    owner[s] = static_cast<u32>(best);
+    load[best] += weight(s);
+  }
+  return owner;
 }
 
 }  // namespace sj::map

@@ -86,6 +86,15 @@ struct ShardPlan {
   u32 num_phases = 1;
 
   usize num_shards() const { return shards.size(); }
+
+  /// Static shard -> worker assignment for a team of `workers` (>= 1):
+  /// longest-processing-time greedy over a per-shard weight of op count plus
+  /// cross_sends, so on asymmetric chips the busy shards spread across
+  /// workers instead of piling onto one. Returns shard-indexed worker ids in
+  /// [0, min(workers, num_shards())). Deterministic (stable weight ties
+  /// break by shard index). Workers claim their own shards first and steal
+  /// the rest, so the assignment is a locality hint, not a schedule.
+  std::vector<u32> assign_workers(usize workers) const;
 };
 
 /// Partitions `prog` (lowered from `m` against `topo`, see lower_program)

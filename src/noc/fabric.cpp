@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/simd.h"
 #include "common/string_util.h"
 
 namespace sj::noc {
@@ -201,15 +202,29 @@ void NocState::stage_ps(const NocTopology& topo, LinkId lid, const Router::Words
   t.ps_bits += static_cast<i64>(pop) * topo.noc_bits();
   if (ln.interchip) tc.interchip_ps_bits += static_cast<i64>(pop) * topo.noc_bits();
   if (track_toggles_) {
+    // Wire-toggle Hamming accounting: full mask words take the word-packed
+    // SIMD kernel, partial words walk set bits. Identical counts either way.
     std::vector<i16>& last = ps_last_[link_slot(lid)];
     const u16 wire_mask = static_cast<u16>((u32{1} << topo.noc_bits()) - 1);
     i64 toggles = 0;
-    Router::for_each_masked_strip(mask, [&](int p) {
-      toggles += std::popcount(static_cast<u32>(
-          (static_cast<u16>(last[static_cast<usize>(p)]) ^
-           static_cast<u16>(values[p])) & wire_mask));
-      last[static_cast<usize>(p)] = values[p];
-    });
+    for (int wi = 0; wi < Router::kWords; ++wi) {
+      u64 word = mask[static_cast<usize>(wi)];
+      if (word == 0) continue;
+      const int base = wi * 64;
+      if (word == ~u64{0}) {
+        toggles += simd::toggle_update_i16(last.data() + base, values + base, 64,
+                                           wire_mask);
+      } else {
+        while (word != 0) {
+          const int p = base + std::countr_zero(word);
+          word &= word - 1;
+          toggles += std::popcount(static_cast<u32>(
+              (static_cast<u16>(last[static_cast<usize>(p)]) ^
+               static_cast<u16>(values[p])) & wire_mask));
+          last[static_cast<usize>(p)] = values[p];
+        }
+      }
+    }
     t.ps_toggles += toggles;
   }
 }

@@ -226,8 +226,11 @@ class NocState {
   /// cycle commits (disjoint routers).
   void commit_lane_cycle(ShardLane& lane);
   /// Applies and clears `lane`'s cross-shard outbox — the inter-shard
-  /// exchange. Must run at a phase barrier (no lane executing), one lane at
-  /// a time, in fixed shard order.
+  /// exchange. Must run at a phase barrier (no lane executing). Distinct
+  /// lanes may drain concurrently and in any order: a link is sent on only
+  /// by its source shard's lane and (dst, port) identifies the link, so two
+  /// lanes never touch the same destination register; within one lane the
+  /// single draining thread preserves staging order.
   void commit_lane_cross(ShardLane& lane);
 
   /// Zeroes router registers, staged writes, and toggle-tracking state

@@ -36,7 +36,7 @@ struct PhaseProfile {
   u64 frame_ns = 0;        // whole frames, end to end
   // Sharded path, accrued per phase across all iterations:
   u64 phase_wall_ns = 0;      // wall time of the parallel section
-  u64 barrier_commit_ns = 0;  // serial cross-shard commit at each barrier
+  u64 barrier_commit_ns = 0;  // cross-shard commit (drain) at each barrier
   std::vector<u64> shard_exec_ns;  // [shard] time inside run_shard_phase
   std::vector<u64> shard_wait_ns;  // [shard] phase wall minus own exec
 

@@ -1,6 +1,8 @@
 #include "sim/engine.h"
 
+#include "common/barrier.h"
 #include "common/fixed.h"
+#include "common/simd.h"
 
 namespace sj::sim {
 
@@ -19,6 +21,58 @@ inline i64 clamp_count(i64 v, i64 lo, i64 hi, i64& sat) {
   const i64 c = v < lo ? lo : (v > hi ? hi : v);
   sat += (c != v);
   return c;
+}
+
+// Masked clamp-narrow over the four 64-lane strips: full mask words take the
+// SIMD kernel, partial words walk set bits with the scalar clamp. Returns
+// the clamped-lane count. Exact twin of the for_each_masked_strip +
+// clamp_count loop it replaces ([lo, hi] within i16 is the caller's gate).
+inline i64 masked_clamp_store(const noc::Router::Words& mask, const i32* src, i16* dst,
+                              i32 lo, i32 hi) {
+  i64 sat = 0;
+  for (int wi = 0; wi < noc::Router::kWords; ++wi) {
+    u64 word = mask[static_cast<usize>(wi)];
+    if (word == 0) continue;
+    const int base = wi * 64;
+    if (word == ~u64{0}) {
+      sat += simd::clamp_store_i16(src + base, dst + base, 64, lo, hi);
+    } else {
+      while (word != 0) {
+        const int p = base + std::countr_zero(word);
+        word &= word - 1;
+        const i32 v = src[p];
+        const i32 c = v < lo ? lo : (v > hi ? hi : v);
+        sat += (c != v);
+        dst[p] = static_cast<i16>(c);
+      }
+    }
+  }
+  return sat;
+}
+
+// Masked widen-add-clamp (the in-router PS adder). dst may alias a (the
+// consecutive-add case reads and rewrites sum_buf).
+inline i64 masked_add_clamp(const noc::Router::Words& mask, const i16* a, const i16* b,
+                            i16* dst, i32 lo, i32 hi) {
+  i64 sat = 0;
+  for (int wi = 0; wi < noc::Router::kWords; ++wi) {
+    u64 word = mask[static_cast<usize>(wi)];
+    if (word == 0) continue;
+    const int base = wi * 64;
+    if (word == ~u64{0}) {
+      sat += simd::add_clamp_i16(a + base, b + base, dst + base, 64, lo, hi);
+    } else {
+      while (word != 0) {
+        const int p = base + std::countr_zero(word);
+        word &= word - 1;
+        const i32 v = static_cast<i32>(a[p]) + b[p];
+        const i32 c = v < lo ? lo : (v > hi ? hi : v);
+        sat += (c != v);
+        dst[p] = static_cast<i16>(c);
+      }
+    }
+  }
+  return sat;
 }
 
 }  // namespace
@@ -302,6 +356,13 @@ void Engine::exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 en
   const i64 ps_lo = signed_min(ps_bits), ps_hi = signed_max(ps_bits);
   const i64 lps_lo = signed_min(lps_bits), lps_hi = signed_max(lps_bits);
   const i64 pot_lo = signed_min(pot_bits), pot_hi = signed_max(pot_bits);
+  // Vector-strip eligibility. The i16-output kernels need their clamp range
+  // inside i16; integrate/fire additionally needs i32 lane arithmetic to be
+  // exact (simd::integrate_fire_exact, checked per core below since the
+  // threshold is a core parameter). Exotic ablations outside these bounds
+  // keep the original scalar strip walks.
+  const bool ps_vec = ps_bits <= 16;
+  const bool lps_vec = lps_bits <= 16;
 
   // Every op runs as a word-level kernel over its mask's four u64 words:
   // all-ones words take a contiguous 64-lane strip loop (vectorizable),
@@ -333,8 +394,7 @@ void Engine::exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 en
             const u16 a = static_cast<u16>(wi * 64 + std::countr_zero(active));
             active &= active - 1;
             if (dw != nullptr) {
-              const i16* row = dw + static_cast<usize>(a) * 256;
-              for (int j = 0; j < 256; ++j) acc[static_cast<usize>(j)] += row[j];
+              simd::accumulate_i16(acc.data(), dw + static_cast<usize>(a) * 256, 256);
             } else {
               const auto [lo, hi] = mc.weights.row(a);
               for (u32 t = lo; t < hi; ++t) {
@@ -343,12 +403,19 @@ void Engine::exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 en
             }
           }
         }
-        i64 sat = 0;
-        noc::Router::for_each_masked_strip(mc.neuron_mask.w, [&](int p) {
-          cs.local_ps[static_cast<usize>(p)] = static_cast<i16>(
-              clamp_count(acc[static_cast<usize>(p)], lps_lo, lps_hi, sat));
-        });
-        st.saturations += sat;
+        if (lps_vec) {
+          st.saturations += masked_clamp_store(mc.neuron_mask.w, acc.data(),
+                                               cs.local_ps.data(),
+                                               static_cast<i32>(lps_lo),
+                                               static_cast<i32>(lps_hi));
+        } else {
+          i64 sat = 0;
+          noc::Router::for_each_masked_strip(mc.neuron_mask.w, [&](int p) {
+            cs.local_ps[static_cast<usize>(p)] = static_cast<i16>(
+                clamp_count(acc[static_cast<usize>(p)], lps_lo, lps_hi, sat));
+          });
+          st.saturations += sat;
+        }
         break;
       }
       case core::OpCode::PsSum: {
@@ -357,12 +424,18 @@ void Engine::exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 en
         i16* sb = rt.sum_buf_data();
         const i16* in = rt.ps_in_data(op.src);
         const i16* one = op.consec ? sb : cs.local_ps.data();
-        i64 sat = 0;
-        noc::Router::for_each_masked_strip(op.mask, [&](int p) {
-          sb[p] = static_cast<i16>(clamp_count(
-              static_cast<i64>(one[p]) + in[p], ps_lo, ps_hi, sat));
-        });
-        st.saturations += sat;
+        if (ps_vec) {
+          st.saturations += masked_add_clamp(op.mask, one, in, sb,
+                                             static_cast<i32>(ps_lo),
+                                             static_cast<i32>(ps_hi));
+        } else {
+          i64 sat = 0;
+          noc::Router::for_each_masked_strip(op.mask, [&](int p) {
+            sb[p] = static_cast<i16>(clamp_count(
+                static_cast<i64>(one[p]) + in[p], ps_lo, ps_hi, sat));
+          });
+          st.saturations += sat;
+        }
         break;
       }
       case core::OpCode::PsSend: {
@@ -386,15 +459,31 @@ void Engine::exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 en
         const i64 thr = mc.threshold;
         i64 sat = 0, fired = 0;
         noc::Router::Words fire{};
-        noc::Router::for_each_masked_strip(op.mask, [&](int p) {
-          i64 v = clamp_count(static_cast<i64>(pot[p]) + add[p],
-                              pot_lo, pot_hi, sat);
-          const bool f = v >= thr;
-          v -= f ? thr : 0;
-          fired += f;
-          pot[p] = static_cast<i32>(v);
-          fire[static_cast<usize>(p) >> 6] |= static_cast<u64>(f) << (p & 63);
-        });
+        const bool if_vec = simd::integrate_fire_exact(pot_bits, thr);
+        for (int wi = 0; wi < noc::Router::kWords; ++wi) {
+          u64 word = op.mask[static_cast<usize>(wi)];
+          if (word == 0) continue;
+          const int base = wi * 64;
+          if (word == ~u64{0} && if_vec) {
+            const u64 f = simd::integrate_fire_strip(
+                pot + base, add + base, static_cast<i32>(pot_lo),
+                static_cast<i32>(pot_hi), static_cast<i32>(thr), &sat);
+            fired += std::popcount(f);
+            fire[static_cast<usize>(wi)] = f;
+          } else {
+            while (word != 0) {
+              const int p = base + std::countr_zero(word);
+              word &= word - 1;
+              i64 v = clamp_count(static_cast<i64>(pot[p]) + add[p],
+                                  pot_lo, pot_hi, sat);
+              const bool f = v >= thr;
+              v -= f ? thr : 0;
+              fired += f;
+              pot[p] = static_cast<i32>(v);
+              fire[static_cast<usize>(p) >> 6] |= static_cast<u64>(f) << (p & 63);
+            }
+          }
+        }
         for (int wi = 0; wi < 4; ++wi) {
           out[static_cast<usize>(wi)] =
               (out[static_cast<usize>(wi)] & ~op.mask[static_cast<usize>(wi)]) |
@@ -466,79 +555,195 @@ void Engine::run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats
   st.cycles += mapped.cycles_per_timestep;
 }
 
+void Engine::exec_shard_phase(SimContext& ctx, usize s, u32 phase,
+                              const BitVec* input_spikes) const {
+  const map::ShardPlan::Shard& sh = model_.plan_.shards[s];
+  SimStats& st = ctx.shard_stats_[s];
+  if (phase == 0) {
+    // The shard's slice of the iteration prologue: axon rotation and
+    // testbench injection touch only this shard's cores, so they ride
+    // inside the first parallel section instead of serializing up front.
+    for (const u32 c : sh.active_cores) {
+      SimContext::CoreState& cs = ctx.cores_[c];
+      cs.axon_cur = cs.axon_n1;
+      cs.axon_n1 = cs.axon_n2;
+      cs.axon_n2 = {};
+    }
+    if (input_spikes != nullptr) {
+      for (const auto& [g, slot] : sh.input_taps) {
+        if (!input_spikes->get(g)) continue;
+        bit_set(ctx.cores_[slot.core].axon_n1, slot.plane, true);
+      }
+    }
+  }
+  noc::NocState::ShardLane& lane = ctx.lanes_[s];
+  LaneSender send{ctx.noc_, model_.topo_, lane, st.noc};
+  const map::ShardPlan::Phase& ph = sh.phases[phase];
+  for (u32 cyi = ph.cycle_begin; cyi < ph.cycle_end; ++cyi) {
+    const map::ShardPlan::Cycle& cyc = sh.cycles[cyi];
+    exec_ops(ctx, sh.ops.data(), cyc.begin, cyc.end, st, send);
+    // The shard's own two-phase commit: in-shard staged writes land now,
+    // cross-shard ones wait in the outbox for the phase barrier.
+    ctx.noc_.commit_lane_cycle(lane);
+  }
+}
+
+/// Per-frame shared state of the persistent shard team. Heap-allocated and
+/// shared_ptr-held by every helper task: a helper the pool schedules late —
+/// even after the frame returned — only ever touches this block's atomics
+/// (its claims all fail once the work is done), never the context or engine
+/// behind the raw pointers.
+struct Engine::Team {
+  explicit Team(usize num_shards) : barrier(num_shards) {}
+
+  PhaseTeam barrier;
+  const Engine* eng = nullptr;
+  SimContext* ctx = nullptr;
+  // The current iteration's input spikes; written by the coordinator before
+  // the iteration's first open_phase (whose release store publishes it) and
+  // only read by phase-0 claim winners.
+  const BitVec* input = nullptr;
+  u32 num_phases = 1;
+  bool prof = false;
+  // Per-runner shard preference: own (ShardPlan::assign_workers) shards
+  // first, the rest as steal targets in index order.
+  std::vector<std::vector<u32>> order;
+  // First shard exception; later claims skip their work body (the frame is
+  // doomed) but still count, so the barrier always completes and the
+  // coordinator can rethrow at the iteration boundary.
+  std::atomic<bool> failed{false};
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  void fail() noexcept {
+    const std::lock_guard<std::mutex> lock(err_mutex);
+    if (!first_error) first_error = std::current_exception();
+    failed.store(true, std::memory_order_release);
+  }
+};
+
+void Engine::team_exec_epoch(const Engine* eng, Team& w, u64 e, usize runner) {
+  const u32 phase = static_cast<u32>((e - 1) % w.num_phases);
+  for (const u32 s : w.order[runner]) {
+    if (!w.barrier.claim_exec(s, e)) continue;
+    // A successful claim implies the coordinator is still inside this
+    // frame's run_frame_sharded, so eng/ctx are alive.
+    if (!w.failed.load(std::memory_order_acquire)) {
+      try {
+        SimContext& ctx = *w.ctx;
+        const BitVec* input = phase == 0 ? w.input : nullptr;
+        if (w.prof) {
+          const u64 t0 = obs::now_ns();
+          eng->exec_shard_phase(ctx, s, phase, input);
+          ctx.profile_scratch_[s] = obs::now_ns() - t0;
+        } else {
+          eng->exec_shard_phase(ctx, s, phase, input);
+        }
+      } catch (...) {
+        w.fail();
+      }
+    }
+    w.barrier.finish_exec(e);
+  }
+}
+
+void Engine::team_drain_epoch(Team& w, u64 e, usize runner) {
+  // Cooperative help-draining: whoever is idle commits the remaining
+  // outboxes. Lanes touch pairwise-disjoint destination registers (one link
+  // has one sending lane, and (dst, port) identifies the link), so
+  // concurrent unordered drains land the same registers as the old serial
+  // fixed-order loop.
+  for (const u32 s : w.order[runner]) {
+    if (!w.barrier.claim_drain(s, e)) continue;
+    if (!w.failed.load(std::memory_order_acquire)) {
+      try {
+        w.ctx->noc_.commit_lane_cross(w.ctx->lanes_[s]);
+      } catch (...) {
+        w.fail();
+      }
+    }
+    w.barrier.finish_drain(e);
+  }
+}
+
+void Engine::team_helper_loop(const std::shared_ptr<Team>& w, usize runner) {
+  u64 done = 0;
+  for (;;) {
+    const u64 e = w->barrier.wait_open(done);
+    if (e == 0) return;
+    team_exec_epoch(w->eng, *w, e, runner);
+    w->barrier.await_execs(e);
+    team_drain_epoch(*w, e, runner);
+    done = e;
+  }
+}
+
 void Engine::run_iteration_sharded(SimContext& ctx, const BitVec* input_spikes,
-                                   ThreadPool& pool) const {
+                                   Team* team) const {
   const map::ShardPlan& plan = model_.plan_;
   const usize shards = plan.num_shards();
+  const bool prof = ctx.profile_on_;
 
-  const auto run_shard_phase = [&](usize s, u32 phase) {
-    const map::ShardPlan::Shard& sh = plan.shards[s];
-    SimStats& st = ctx.shard_stats_[s];
-    if (phase == 0) {
-      // The shard's slice of the iteration prologue: axon rotation and
-      // testbench injection touch only this shard's cores, so they ride
-      // inside the first parallel section instead of serializing up front.
-      for (const u32 c : sh.active_cores) {
-        SimContext::CoreState& cs = ctx.cores_[c];
-        cs.axon_cur = cs.axon_n1;
-        cs.axon_n1 = cs.axon_n2;
-        cs.axon_n2 = {};
-      }
-      if (input_spikes != nullptr) {
-        for (const auto& [g, slot] : sh.input_taps) {
-          if (!input_spikes->get(g)) continue;
-          bit_set(ctx.cores_[slot.core].axon_n1, slot.plane, true);
+  if (team == nullptr) {
+    // Degenerate pools (or a single shard): run every shard on this thread.
+    for (u32 phase = 0; phase < plan.num_phases; ++phase) {
+      const u64 p0 = prof ? obs::now_ns() : 0;
+      for (usize s = 0; s < shards; ++s) {
+        if (prof) {
+          const u64 t0 = obs::now_ns();
+          exec_shard_phase(ctx, s, phase, input_spikes);
+          ctx.profile_scratch_[s] = obs::now_ns() - t0;
+        } else {
+          exec_shard_phase(ctx, s, phase, input_spikes);
         }
       }
-    }
-    noc::NocState::ShardLane& lane = ctx.lanes_[s];
-    LaneSender send{ctx.noc_, model_.topo_, lane, st.noc};
-    const map::ShardPlan::Phase& ph = sh.phases[phase];
-    for (u32 cyi = ph.cycle_begin; cyi < ph.cycle_end; ++cyi) {
-      const map::ShardPlan::Cycle& cyc = sh.cycles[cyi];
-      exec_ops(ctx, sh.ops.data(), cyc.begin, cyc.end, st, send);
-      // The shard's own two-phase commit: in-shard staged writes land now,
-      // cross-shard ones wait in the outbox for the phase barrier.
-      ctx.noc_.commit_lane_cycle(lane);
-    }
-  };
-
-  const bool prof = ctx.profile_on_;
-  for (u32 phase = 0; phase < plan.num_phases; ++phase) {
-    const u64 p0 = prof ? obs::now_ns() : 0;
-    // When profiling, each shard writes its own phase duration into a
-    // disjoint scratch slot; the pool join publishes them to this thread.
-    const auto timed_shard_phase = [&](usize s) {
-      const u64 t0 = obs::now_ns();
-      run_shard_phase(s, phase);
-      ctx.profile_scratch_[s] = obs::now_ns() - t0;
-    };
-    if (shards > 1 && pool.num_threads() > 1) {
       if (prof) {
-        pool.parallel_for(shards, [&](usize s) { timed_shard_phase(s); });
-      } else {
-        pool.parallel_for(shards, [&](usize s) { run_shard_phase(s, phase); });
+        const u64 wall = obs::now_ns() - p0;
+        ctx.profile_.phase_wall_ns += wall;
+        for (usize s = 0; s < shards; ++s) {
+          const u64 exec = ctx.profile_scratch_[s];
+          ctx.profile_.shard_exec_ns[s] += exec;
+          ctx.profile_.shard_wait_ns[s] += wall > exec ? wall - exec : 0;
+        }
       }
-    } else {
-      for (usize s = 0; s < shards; ++s) {
-        prof ? timed_shard_phase(s) : run_shard_phase(s, phase);
-      }
+      const u64 b0 = prof ? obs::now_ns() : 0;
+      for (usize s = 0; s < shards; ++s) ctx.noc_.commit_lane_cross(ctx.lanes_[s]);
+      if (prof) ctx.profile_.barrier_commit_ns += obs::now_ns() - b0;
     }
-    if (prof) {
-      const u64 wall = obs::now_ns() - p0;
-      ctx.profile_.phase_wall_ns += wall;
-      for (usize s = 0; s < shards; ++s) {
-        const u64 exec = ctx.profile_scratch_[s];
-        ctx.profile_.shard_exec_ns[s] += exec;
-        ctx.profile_.shard_wait_ns[s] += wall > exec ? wall - exec : 0;
+  } else {
+    // Persistent-team path: this thread coordinates and participates as
+    // runner 0. Opening a phase epoch wakes the helpers; everyone claims
+    // exec slots, the epoch's drains are gated on every exec finishing (a
+    // later op in the phase may legally read a port value the commit would
+    // overwrite), and idle runners help drain.
+    Team& w = *team;
+    w.input = input_spikes;
+    for (u32 phase = 0; phase < plan.num_phases; ++phase) {
+      const u64 p0 = prof ? obs::now_ns() : 0;
+      const u64 e = w.barrier.open_phase();
+      team_exec_epoch(this, w, e, 0);
+      w.barrier.await_execs(e);
+      if (prof) {
+        // Same accrual semantics as the parallel_for path: phase_wall is
+        // the exec-stage wall on the coordinator, shard wait is its slack
+        // against the shard's own exec time.
+        const u64 wall = obs::now_ns() - p0;
+        ctx.profile_.phase_wall_ns += wall;
+        for (usize s = 0; s < shards; ++s) {
+          const u64 exec = ctx.profile_scratch_[s];
+          ctx.profile_.shard_exec_ns[s] += exec;
+          ctx.profile_.shard_wait_ns[s] += wall > exec ? wall - exec : 0;
+        }
       }
+      const u64 b0 = prof ? obs::now_ns() : 0;
+      team_drain_epoch(w, e, 0);
+      w.barrier.await_drains(e);
+      if (prof) ctx.profile_.barrier_commit_ns += obs::now_ns() - b0;
     }
-    const u64 b0 = prof ? obs::now_ns() : 0;
-    // Phase barrier: the explicit inter-shard exchange. Outboxes commit in
-    // fixed shard order (which only matters for determinism of staging
-    // order — a valid schedule writes each port register once per cycle).
-    for (usize s = 0; s < shards; ++s) ctx.noc_.commit_lane_cross(ctx.lanes_[s]);
-    if (prof) ctx.profile_.barrier_commit_ns += obs::now_ns() - b0;
+    if (w.failed.load(std::memory_order_acquire)) {
+      const std::lock_guard<std::mutex> lock(w.err_mutex);
+      std::rethrow_exception(w.first_error);
+    }
   }
   // Iteration-level counters are charged once, on the coordinating thread.
   ++ctx.stats_.iterations;
@@ -656,11 +861,47 @@ FrameResult Engine::run_frame_sharded(SimContext& ctx, const Tensor& image,
   }
   // A prior frame that threw mid-iteration may have left writes staged.
   for (auto& lane : ctx.lanes_) lane.clear();
+
+  // Persistent shard team: one coordinator (this thread) plus up to
+  // runners-1 pool helpers, pinned to the frame. Helpers are plain
+  // submitted tasks parked on the team barrier between epochs; the barrier
+  // is work-counted, so a helper the pool never schedules costs nothing —
+  // the coordinator finishes every slot alone. Degenerate setups (one
+  // shard, one thread) skip the team entirely.
+  std::shared_ptr<Team> team;
+  const usize runners = std::min(shards, std::max<usize>(p.num_threads(), 1));
+  if (runners > 1) {
+    team = std::make_shared<Team>(shards);
+    team->eng = this;
+    team->ctx = &ctx;
+    team->num_phases = model_.plan_.num_phases;
+    team->prof = prof;
+    // Shard -> runner locality from the plan's static weights; every runner
+    // prefers its own shards and steals the rest in index order.
+    const std::vector<u32> owner = model_.plan_.assign_workers(runners);
+    team->order.assign(runners, {});
+    for (usize r = 0; r < runners; ++r) {
+      team->order[r].reserve(shards);
+      for (u32 s = 0; s < shards; ++s) {
+        if (owner[s] == r) team->order[r].push_back(s);
+      }
+      for (u32 s = 0; s < shards; ++s) {
+        if (owner[s] != r) team->order[r].push_back(s);
+      }
+    }
+    for (usize r = 1; r < runners; ++r) {
+      p.submit([team, r] { team_helper_loop(team, r); });
+    }
+  }
+
   try {
     FrameResult res =
         run_frame_impl(ctx, image, trace, [&](SimContext& c, const BitVec* in) {
-          run_iteration_sharded(c, in, p);
+          run_iteration_sharded(c, in, team.get());
         });
+    // Every epoch is fully drained here (run_iteration_sharded awaits the
+    // last drain), so releasing the helpers is safe.
+    if (team) team->barrier.finish_team();
     drain_shard_stats(ctx);
     if (prof) {
       ++ctx.profile_.sharded_frames;
@@ -671,6 +912,10 @@ FrameResult Engine::run_frame_sharded(SimContext& ctx, const Tensor& image,
     // Keep the run_frame contract: partial tallies stay visible in
     // ctx.stats() (callers drain or discard them), nothing hides in the
     // per-shard scratch, and no staged writes leak into the next frame.
+    // Coordinator-side throws only happen at epoch boundaries (shard
+    // exceptions are captured and rethrown after the awaited drain), so
+    // the helpers are idle and finish_team is safe here too.
+    if (team) team->barrier.finish_team();
     drain_shard_stats(ctx);
     for (auto& lane : ctx.lanes_) lane.clear();
     throw;

@@ -247,13 +247,17 @@ class Engine {
 
   /// Simulates one frame like run_frame, but fans the model's chip shards
   /// (model().shard_plan()) out over `pool` (the global ThreadPool when
-  /// null) *within* each iteration: every shard replays its own op stream
-  /// with local cycle commits, and cross-chip staged writes are exchanged at
-  /// the plan's phase barriers in fixed shard order. Results, SimStats and
-  /// per-link traffic counters are bit-identical to run_frame under any
-  /// thread count (tests/test_shard.cpp). Latency-oriented: one frame
-  /// finishes sooner on a multi-chip model; run_batch still wins on
-  /// throughput when independent frames queue deep.
+  /// null) *within* each iteration. A persistent shard team is pinned to
+  /// the frame: this thread plus up to num_shards-1 pool helpers stay
+  /// resident for every phase of every iteration, synchronizing at the
+  /// plan's phase barriers through a cooperative claim-based barrier
+  /// (common/barrier.h) instead of a parallel_for launch per phase. Shards
+  /// prefer the runner ShardPlan::assign_workers gave them and steal the
+  /// rest; idle runners help drain the cross-shard commit at each barrier.
+  /// Results, SimStats and per-link traffic counters are bit-identical to
+  /// run_frame under any thread count (tests/test_shard.cpp).
+  /// Latency-oriented: one frame finishes sooner on a multi-chip model;
+  /// run_batch still wins on throughput when independent frames queue deep.
   FrameResult run_frame_sharded(SimContext& ctx, const Tensor& image,
                                 HardwareTrace* trace = nullptr,
                                 ThreadPool* pool = nullptr) const;
@@ -269,10 +273,31 @@ class Engine {
                                      ThreadPool* pool = nullptr);
 
  private:
+  // Per-frame state of the persistent shard team (defined in engine.cpp):
+  // one PhaseTeam barrier plus shard->runner preference orders. Heap-shared
+  // with the pool helpers so a late-scheduled helper can never touch freed
+  // state.
+  struct Team;
+
   void reset(SimContext& ctx) const;
   void run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats& st) const;
+  // One hardware timestep of the sharded path. With `team` null, shards run
+  // serially on this thread (degenerate pools); otherwise this thread
+  // coordinates the persistent team: open each phase epoch, participate as
+  // runner 0, and time the exec/drain stages when profiling.
   void run_iteration_sharded(SimContext& ctx, const BitVec* input_spikes,
-                             ThreadPool& pool) const;
+                             Team* team) const;
+  // One shard's slice of one phase: axon rotation + input injection (phase
+  // 0 only), then the phase's cycles with local lane commits.
+  void exec_shard_phase(SimContext& ctx, usize s, u32 phase,
+                        const BitVec* input_spikes) const;
+  // Team runner bodies (static: helpers may outlive the frame, and must not
+  // invoke anything through a possibly-dead `this`; the engine pointer in
+  // `Team` is only dereferenced behind a successful claim, which can only
+  // happen while run_frame_sharded is still on the coordinator's stack).
+  static void team_exec_epoch(const Engine* eng, Team& w, u64 e, usize runner);
+  static void team_drain_epoch(Team& w, u64 e, usize runner);
+  static void team_helper_loop(const std::shared_ptr<Team>& w, usize runner);
   // The shared frame driver: encoder, iteration loop, readout and traces.
   // `iter(ctx, input_spikes)` runs one hardware timestep.
   template <typename RunIter>

@@ -1,0 +1,178 @@
+// PhaseTeam stress tests.
+//
+// The persistent shard team's barrier must stay correct under the nastiest
+// schedule: many epochs of tiny (1-op) phases, helpers racing the
+// coordinator for every claim, helpers that show up late or never, and
+// teardown with stragglers still parked in wait_open. The tests hammer
+// exactly those shapes and assert the claim-uniqueness and completion
+// invariants with per-slot counters; run under TSan they also check the
+// exec-write -> drain-read -> next-epoch publication chain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.h"
+
+namespace sj {
+namespace {
+
+TEST(PhaseTeamTest, CoordinatorAloneCompletesEveryEpoch) {
+  // The saturated-pool case: helpers never scheduled, the coordinator claims
+  // and finishes every slot itself and must never block.
+  constexpr usize kSlots = 5;
+  constexpr u64 kEpochs = 200;
+  PhaseTeam team(kSlots);
+  std::vector<u64> exec_count(kSlots, 0), drain_count(kSlots, 0);
+  for (u64 i = 0; i < kEpochs; ++i) {
+    const u64 e = team.open_phase();
+    EXPECT_EQ(e, i + 1);
+    for (usize s = 0; s < kSlots; ++s) {
+      ASSERT_TRUE(team.claim_exec(s, e));
+      EXPECT_FALSE(team.claim_exec(s, e));  // unique per (s, e)
+      ++exec_count[s];
+      team.finish_exec(e);
+    }
+    team.await_execs(e);
+    for (usize s = 0; s < kSlots; ++s) {
+      ASSERT_TRUE(team.claim_drain(s, e));
+      ++drain_count[s];
+      team.finish_drain(e);
+    }
+    team.await_drains(e);
+  }
+  team.finish_team();
+  for (usize s = 0; s < kSlots; ++s) {
+    EXPECT_EQ(exec_count[s], kEpochs);
+    EXPECT_EQ(drain_count[s], kEpochs);
+  }
+}
+
+TEST(PhaseTeamTest, WaitOpenReturnsZeroAfterFinish) {
+  PhaseTeam team(1);
+  team.finish_team();
+  EXPECT_EQ(team.wait_open(0), 0u);
+  team.finish_team();  // idempotent
+  EXPECT_TRUE(team.finished());
+}
+
+// The real shape: a coordinator driving epochs of 1-op phases while helper
+// threads race it for every exec and drain claim. Each slot carries a value
+// cell; the epoch-e exec writes e into its cell and the drain verifies it,
+// so TSan sees the full cross-thread publication chain (exec release ->
+// await_execs acquire -> drain) and a plain counter catches double-claims.
+struct StressState {
+  explicit StressState(usize slots)
+      : team(slots), cells(slots), exec_claims(0), drain_claims(0),
+        value_errors(0) {}
+  PhaseTeam team;
+  std::vector<u64> cells;  // written only behind a successful claim
+  std::atomic<u64> exec_claims;
+  std::atomic<u64> drain_claims;
+  std::atomic<u64> value_errors;
+};
+
+void run_epoch(StressState& st, u64 e) {
+  const usize slots = st.team.slots();
+  for (usize s = 0; s < slots; ++s) {
+    if (st.team.claim_exec(s, e)) {
+      st.cells[s] = e;
+      st.exec_claims.fetch_add(1, std::memory_order_relaxed);
+      st.team.finish_exec(e);
+    }
+  }
+  st.team.await_execs(e);
+  for (usize s = 0; s < slots; ++s) {
+    if (st.team.claim_drain(s, e)) {
+      if (st.cells[s] != e) {
+        st.value_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      st.drain_claims.fetch_add(1, std::memory_order_relaxed);
+      st.team.finish_drain(e);
+    }
+  }
+}
+
+void helper_loop(StressState& st) {
+  u64 done = 0;
+  for (;;) {
+    const u64 e = st.team.wait_open(done);
+    if (e == 0) return;
+    run_epoch(st, e);
+    done = e;
+  }
+}
+
+TEST(PhaseTeamStress, HelpersRaceCoordinatorOverManyTinyEpochs) {
+  constexpr usize kSlots = 4;
+  constexpr u64 kEpochs = 2000;
+  constexpr int kHelpers = 3;
+  StressState st(kSlots);
+  std::vector<std::thread> helpers;
+  for (int h = 0; h < kHelpers; ++h) {
+    helpers.emplace_back([&st] { helper_loop(st); });
+  }
+  for (u64 i = 0; i < kEpochs; ++i) {
+    const u64 e = st.team.open_phase();
+    run_epoch(st, e);
+    st.team.await_drains(e);
+  }
+  st.team.finish_team();
+  for (std::thread& t : helpers) t.join();
+  // Claim uniqueness: exactly slots x epochs units of each stage ran, no
+  // matter how claims interleaved.
+  EXPECT_EQ(st.exec_claims.load(), kSlots * kEpochs);
+  EXPECT_EQ(st.drain_claims.load(), kSlots * kEpochs);
+  EXPECT_EQ(st.value_errors.load(), 0u);
+}
+
+TEST(PhaseTeamStress, LateHelpersSeeOnlyFreshEpochs) {
+  // Helpers that start mid-run (or get descheduled for whole epochs) must
+  // never claim work from an epoch the coordinator already completed.
+  constexpr usize kSlots = 2;
+  constexpr u64 kEpochs = 500;
+  StressState st(kSlots);
+  // Coordinator sprints ahead solo for the first half...
+  for (u64 i = 0; i < kEpochs / 2; ++i) {
+    const u64 e = st.team.open_phase();
+    run_epoch(st, e);
+    st.team.await_drains(e);
+  }
+  // ...then two late helpers join for the second half.
+  std::vector<std::thread> helpers;
+  for (int h = 0; h < 2; ++h) helpers.emplace_back([&st] { helper_loop(st); });
+  for (u64 i = kEpochs / 2; i < kEpochs; ++i) {
+    const u64 e = st.team.open_phase();
+    run_epoch(st, e);
+    st.team.await_drains(e);
+  }
+  st.team.finish_team();
+  for (std::thread& t : helpers) t.join();
+  EXPECT_EQ(st.exec_claims.load(), kSlots * kEpochs);
+  EXPECT_EQ(st.drain_claims.load(), kSlots * kEpochs);
+  EXPECT_EQ(st.value_errors.load(), 0u);
+}
+
+TEST(PhaseTeamStress, FinishTeamWakesParkedHelpers) {
+  // Helpers parked in wait_open with no epoch ever opened must all exit on
+  // finish_team — the teardown path of a zero-iteration frame.
+  PhaseTeam team(3);
+  std::atomic<int> exited{0};
+  std::vector<std::thread> helpers;
+  for (int h = 0; h < 3; ++h) {
+    helpers.emplace_back([&team, &exited] {
+      EXPECT_EQ(team.wait_open(0), 0u);
+      exited.fetch_add(1);
+    });
+  }
+  // Give the helpers a moment to actually park before finishing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  team.finish_team();
+  for (std::thread& t : helpers) t.join();
+  EXPECT_EQ(exited.load(), 3);
+}
+
+}  // namespace
+}  // namespace sj

@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "common/simd.h"
 #include "mapper/exec_program.h"
 #include "mapper/mapper.h"
 #include "nn/dataset.h"
@@ -414,18 +416,36 @@ Built build(nn::Model& m, const Shape& in_shape, u64 seed, i32 T) {
   return b;
 }
 
-void expect_engine_matches_reference(const Built& b, usize frames) {
-  sim::Simulator engine(b.mapped, b.net);
-  ScalarReferenceSimulator ref(b.mapped, b.net);
-  sim::SimStats st_engine, st_ref;
-  for (usize f = 0; f < frames; ++f) {
-    const sim::FrameResult re = engine.run_frame(b.data.images[f], &st_engine);
-    const sim::FrameResult rr = ref.run_frame(b.data.images[f], &st_ref);
-    ASSERT_EQ(re.spike_counts, rr.spike_counts) << "frame " << f;
-    ASSERT_EQ(re.final_potentials, rr.final_potentials) << "frame " << f;
-    ASSERT_EQ(re.predicted, rr.predicted) << "frame " << f;
+/// Every SIMD backend this binary can run, scalar first. The golden tests
+/// loop over these so the vector word kernels are held to the same per-plane
+/// reference as the scalar engine — results, SimStats and the whole
+/// per-link traffic table.
+std::vector<simd::Backend> usable_simd_backends() {
+  std::vector<simd::Backend> bs{simd::Backend::Scalar};
+  for (const simd::Backend b : {simd::Backend::AVX2, simd::Backend::NEON}) {
+    if (simd::backend_usable(b)) bs.push_back(b);
   }
-  expect_stats_eq(st_engine, st_ref);
+  return bs;
+}
+
+void expect_engine_matches_reference(const Built& b, usize frames) {
+  const simd::Backend saved = simd::active_backend();
+  for (const simd::Backend backend : usable_simd_backends()) {
+    simd::set_backend(backend);
+    SCOPED_TRACE(std::string("simd backend ") + simd::backend_name(backend));
+    sim::Simulator engine(b.mapped, b.net);
+    ScalarReferenceSimulator ref(b.mapped, b.net);
+    sim::SimStats st_engine, st_ref;
+    for (usize f = 0; f < frames; ++f) {
+      const sim::FrameResult re = engine.run_frame(b.data.images[f], &st_engine);
+      const sim::FrameResult rr = ref.run_frame(b.data.images[f], &st_ref);
+      ASSERT_EQ(re.spike_counts, rr.spike_counts) << "frame " << f;
+      ASSERT_EQ(re.final_potentials, rr.final_potentials) << "frame " << f;
+      ASSERT_EQ(re.predicted, rr.predicted) << "frame " << f;
+    }
+    expect_stats_eq(st_engine, st_ref);
+  }
+  simd::set_backend(saved);
 }
 
 /// Opcodes occurring in a mapped schedule (coverage guard).
@@ -493,15 +513,21 @@ TEST(EngineGolden, SaturatingConfigMatchesScalarReference) {
   cfg.arch.noc_bits = 9;
   const map::MappedNetwork mapped = map::map_network(net, cfg);
 
-  sim::Simulator engine(mapped, net);
-  ScalarReferenceSimulator ref(mapped, net);
-  sim::SimStats st_engine, st_ref;
-  const sim::FrameResult re = engine.run_frame(d.images[0], &st_engine);
-  const sim::FrameResult rr = ref.run_frame(d.images[0], &st_ref);
-  EXPECT_EQ(re.spike_counts, rr.spike_counts);
-  EXPECT_EQ(re.final_potentials, rr.final_potentials);
-  EXPECT_GT(st_ref.saturations, 0);
-  expect_stats_eq(st_engine, st_ref);
+  const simd::Backend saved = simd::active_backend();
+  for (const simd::Backend backend : usable_simd_backends()) {
+    simd::set_backend(backend);
+    SCOPED_TRACE(std::string("simd backend ") + simd::backend_name(backend));
+    sim::Simulator engine(mapped, net);
+    ScalarReferenceSimulator ref(mapped, net);
+    sim::SimStats st_engine, st_ref;
+    const sim::FrameResult re = engine.run_frame(d.images[0], &st_engine);
+    const sim::FrameResult rr = ref.run_frame(d.images[0], &st_ref);
+    EXPECT_EQ(re.spike_counts, rr.spike_counts);
+    EXPECT_EQ(re.final_potentials, rr.final_potentials);
+    EXPECT_GT(st_ref.saturations, 0);
+    expect_stats_eq(st_engine, st_ref);
+  }
+  simd::set_backend(saved);
 }
 
 // ---------------------------------------------------------------------------

@@ -7,14 +7,20 @@ Usage:
                  --current build/BENCH_sim.json \
                  [--metrics frames_per_sec,batch_frames_per_sec] \
                  [--lower-metrics open_loop_p99_ms] \
+                 [--parallel-metrics batch_speedup,sharded_speedup] \
                  [--max-regress 0.20]
 
 Only named metrics are checked. --metrics are higher-is-better (throughput):
 only downward moves fail. --lower-metrics are lower-is-better (latency
-percentiles): only upward moves fail. CI machines differ, so an improvement
-is never an error, and the tolerance absorbs normal scheduler noise. The
-tolerance can also be set via the SHENJING_BENCH_MAX_REGRESS environment
-variable (the flag wins).
+percentiles): only upward moves fail. --parallel-metrics are higher-is-better
+metrics that only mean anything on a multi-core host (thread-fan-out
+speedups): they gate exactly like --metrics, but are skipped with a notice
+unless BOTH documents record host_cores > 1 — a 1-CPU runner measures ~1.0x
+for every parallel speedup no matter how good the code is, and a baseline
+recorded on a 1-CPU host has nothing meaningful to hold a beefy runner to.
+CI machines differ, so an improvement is never an error, and the tolerance
+absorbs normal scheduler noise. The tolerance can also be set via the
+SHENJING_BENCH_MAX_REGRESS environment variable (the flag wins).
 
 Exit codes: 0 pass, 1 regression, 2 bad invocation/missing data.
 """
@@ -58,6 +64,12 @@ def main() -> int:
         help="comma-separated lower-is-better metrics (latency percentiles)",
     )
     ap.add_argument(
+        "--parallel-metrics",
+        default="",
+        help="comma-separated higher-is-better metrics gated only when both "
+        "baseline and current report host_cores > 1",
+    )
+    ap.add_argument(
         "--max-regress",
         type=float,
         default=None,
@@ -87,7 +99,8 @@ def main() -> int:
     failures = []
     print(f"check_bench: {args.current} vs {args.baseline} "
           f"(tolerance {tolerance:.0%})")
-    for metric in [m.strip() for m in args.metrics.split(",") if m.strip()]:
+
+    def gate_higher(metric: str) -> None:
         base = numeric(baseline, metric, "baseline")
         cur = numeric(current, metric, "current run")
         floor = base * (1.0 - tolerance)
@@ -96,6 +109,23 @@ def main() -> int:
               f"floor {floor:.1f} -> {verdict}")
         if cur < floor:
             failures.append(metric)
+
+    for metric in [m.strip() for m in args.metrics.split(",") if m.strip()]:
+        gate_higher(metric)
+
+    parallel = [m.strip() for m in args.parallel_metrics.split(",") if m.strip()]
+    if parallel:
+        base_cores = baseline.get("host_cores")
+        cur_cores = current.get("host_cores")
+        multi = (isinstance(base_cores, (int, float)) and base_cores > 1 and
+                 isinstance(cur_cores, (int, float)) and cur_cores > 1)
+        if multi:
+            for metric in parallel:
+                gate_higher(metric)
+        else:
+            print(f"  skipping parallel metrics {', '.join(parallel)}: "
+                  f"host_cores baseline={base_cores} current={cur_cores} "
+                  "(need > 1 on both to measure thread fan-out)")
     for metric in [m.strip() for m in args.lower_metrics.split(",") if m.strip()]:
         base = numeric(baseline, metric, "baseline")
         cur = numeric(current, metric, "current run")
