@@ -12,8 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "json/json.h"
+#include "mapper/opt/opt.h"
 #include "noc/traffic.h"
 #include "sim/engine.h"
 
@@ -86,6 +89,19 @@ inline std::string na() { return "n.a."; }
 /// numbers; the helper stamps the bench name in.
 inline void write_bench_json(const std::string& tag, json::Value doc) {
   doc.set("bench", "BENCH_" + tag);
+  // Environment stamp: numbers are only comparable across runs when the
+  // host parallelism, SIMD backend and mapper opt level match. Benches that
+  // measured a specific configuration set these explicitly; the defaults
+  // record the session-wide values.
+  if (!doc.contains("host_cores")) {
+    doc.set("host_cores", static_cast<i64>(hardware_thread_count()));
+  }
+  if (!doc.contains("simd_backend")) {
+    doc.set("simd_backend", simd::backend_name(simd::active_backend()));
+  }
+  if (!doc.contains("opt_level")) {
+    doc.set("opt_level", static_cast<i64>(map::opt::resolve_opt_level(-1)));
+  }
   const std::string path = "BENCH_" + tag + ".json";
   json::write_file(path, doc);
   std::printf("wrote %s\n", path.c_str());

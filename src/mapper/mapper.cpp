@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <set>
 #include <unordered_map>
 
 #include "common/log.h"
+#include "mapper/opt/opt.h"
 #include "mapper/schedule.h"
 
 namespace sj::map {
@@ -495,98 +497,26 @@ UnitLayout build_pool(const SnnNetwork& net, i32 ui, const SlotTable& slots,
   return lay;
 }
 
-}  // namespace
-
-std::vector<UnitCoreCount> core_census(const MappedNetwork& m, const SnnNetwork& net) {
-  std::vector<UnitCoreCount> census(net.units.size());
-  for (usize u = 0; u < net.units.size(); ++u) census[u].unit_name = net.units[u].name;
-  for (const auto& c : m.cores) {
-    if (c.filler || c.unit < 0) continue;
-    ++census[static_cast<usize>(c.unit)].cores;
-  }
-  return census;
-}
-
-MappedNetwork map_network(const SnnNetwork& net, const MapperConfig& cfg) {
-  const auto t_start = std::chrono::steady_clock::now();
-  cfg.arch.validate();
-  SJ_REQUIRE(!net.units.empty(), "map_network: empty network");
-  SJ_REQUIRE(net.weight_bits <= cfg.arch.weight_bits,
-             "map_network: network weights wider than hardware synapses");
-
-  // Unit pipeline depths (Diag edges span two stages: source -> norm -> add).
-  std::vector<i32> depth(net.units.size(), 0);
-  for (usize u = 0; u < net.units.size(); ++u) {
-    i32 d = 1;
-    for (const auto& e : net.units[u].in) {
-      const i32 sd = e.source < 0 ? 0 : depth[static_cast<usize>(e.source)];
-      d = std::max(d, sd + (e.op.kind == OpKind::Diag ? 2 : 1));
-    }
-    depth[u] = d;
-  }
-
-  // --- logical mapping ----------------------------------------------------
-  SlotTable slots(net);
-  std::vector<UnitLayout> layouts;
-  layouts.reserve(net.units.size());
-  for (usize u = 0; u < net.units.size(); ++u) {
-    const SnnUnit& unit = net.units[u];
-    SJ_REQUIRE(!unit.in.empty(), "unit without inputs: " + unit.name);
-    const OpKind kind = unit.in[0].op.kind;
-    UnitLayout lay;
-    switch (kind) {
-      case OpKind::Dense:
-        lay = build_dense(net, static_cast<i32>(u), slots, cfg.arch);
-        break;
-      case OpKind::Conv:
-        lay = build_conv(net, static_cast<i32>(u), slots, cfg.arch, depth);
-        break;
-      case OpKind::Pool:
-        lay = build_pool(net, static_cast<i32>(u), slots, cfg.arch);
-        break;
-      case OpKind::Diag:
-        SJ_THROW_MAPPING("standalone diag unit unsupported: " + unit.name);
-    }
-    layouts.push_back(std::move(lay));
-    slots.add_unit(layouts.back());
-  }
-
-  // --- physical mapping: shelf placement ----------------------------------
+/// Materializes one placement candidate into a full MappedNetwork: cores
+/// (real tiles then fillers), slot tables, input taps and the greedy
+/// schedule. Pure function of its inputs — the level-2 placement search
+/// calls it per candidate; bad candidates (overlap, off-grid) throw.
+MappedNetwork materialize_placement(const SnnNetwork& net, const MapperConfig& cfg,
+                                    const std::vector<i32>& depth,
+                                    const std::vector<UnitLayout>& layouts, i32 width,
+                                    const std::vector<opt::PlaceAnchor>& place) {
   MappedNetwork out;
   out.arch = cfg.arch;
   out.name = net.name;
   out.timesteps = net.timesteps;
   out.unit_depth = depth;
   out.output_depth = depth.back();
-
-  i32 width = cfg.grid_width;
-  if (width == 0) {
-    i32 max_cols = 1;
-    for (const auto& l : layouts) max_cols = std::max(max_cols, l.cols);
-    width = ((max_cols + cfg.arch.chip_cols - 1) / cfg.arch.chip_cols) * cfg.arch.chip_cols;
-  }
-  for (const auto& l : layouts) {
-    SJ_REQUIRE(l.cols <= width, "unit wider than grid");
-  }
-
-  struct Placement {
-    i32 row0 = 0, col0 = 0;
-  };
-  std::vector<Placement> place(layouts.size());
-  {
-    i32 x = 0, y = 0, band = 0;
-    for (usize u = 0; u < layouts.size(); ++u) {
-      if (x + layouts[u].cols > width) {
-        x = 0;
-        y += band;
-        band = 0;
-      }
-      place[u] = {y, x};
-      x += layouts[u].cols;
-      band = std::max(band, layouts[u].rows);
-    }
-    out.grid_rows = y + band;
-    out.grid_cols = width;
+  out.grid_cols = width;
+  for (usize u = 0; u < layouts.size(); ++u) {
+    SJ_REQUIRE(place[u].row0 >= 0 && place[u].col0 >= 0 &&
+                   place[u].col0 + layouts[u].cols <= width,
+               "placement out of grid for unit " + net.units[u].name);
+    out.grid_rows = std::max(out.grid_rows, place[u].row0 + layouts[u].rows);
   }
 
   // Materialize cores: real tiles first (unit order), then fillers for every
@@ -600,7 +530,7 @@ MappedNetwork map_network(const SnnNetwork& net, const MapperConfig& cfg) {
       for (i32 c = 0; c < layouts[u].cols; ++c) {
         const usize li = static_cast<usize>(r) * static_cast<usize>(layouts[u].cols) +
                          static_cast<usize>(c);
-        LCore& lc = layouts[u].cores[li];
+        const LCore& lc = layouts[u].cores[li];
         MappedCore mc;
         mc.pos = Coord{place[u].row0 + r, place[u].col0 + c};
         mc.unit = static_cast<i32>(u);
@@ -628,8 +558,10 @@ MappedNetwork map_network(const SnnNetwork& net, const MapperConfig& cfg) {
         }
         mc.is_output = (u + 1 == layouts.size()) && lc.spiking;
         unit_core_index[u][li] = static_cast<u32>(out.cores.size());
-        grid[static_cast<usize>(mc.pos.row)][static_cast<usize>(mc.pos.col)] =
-            static_cast<i32>(out.cores.size());
+        i32& cell = grid[static_cast<usize>(mc.pos.row)][static_cast<usize>(mc.pos.col)];
+        SJ_REQUIRE(cell < 0, "placement overlap at tile (" + std::to_string(mc.pos.row) +
+                                 ", " + std::to_string(mc.pos.col) + ")");
+        cell = static_cast<i32>(out.cores.size());
         out.cores.push_back(std::move(mc));
       }
     }
@@ -718,6 +650,172 @@ MappedNetwork map_network(const SnnNetwork& net, const MapperConfig& cfg) {
   std::stable_sort(out.schedule.begin(), out.schedule.end(),
                    [](const TimedOp& a, const TimedOp& b) { return a.cycle < b.cycle; });
   out.cycles_per_timestep = sched.horizon();
+  return out;
+}
+
+}  // namespace
+
+std::vector<UnitCoreCount> core_census(const MappedNetwork& m, const SnnNetwork& net) {
+  std::vector<UnitCoreCount> census(net.units.size());
+  for (usize u = 0; u < net.units.size(); ++u) census[u].unit_name = net.units[u].name;
+  for (const auto& c : m.cores) {
+    if (c.filler || c.unit < 0) continue;
+    ++census[static_cast<usize>(c.unit)].cores;
+  }
+  return census;
+}
+
+MappedNetwork map_network(const SnnNetwork& net, const MapperConfig& cfg) {
+  const auto t_start = std::chrono::steady_clock::now();
+  cfg.arch.validate();
+  SJ_REQUIRE(!net.units.empty(), "map_network: empty network");
+  SJ_REQUIRE(net.weight_bits <= cfg.arch.weight_bits,
+             "map_network: network weights wider than hardware synapses");
+
+  // Unit pipeline depths (Diag edges span two stages: source -> norm -> add).
+  std::vector<i32> depth(net.units.size(), 0);
+  for (usize u = 0; u < net.units.size(); ++u) {
+    i32 d = 1;
+    for (const auto& e : net.units[u].in) {
+      const i32 sd = e.source < 0 ? 0 : depth[static_cast<usize>(e.source)];
+      d = std::max(d, sd + (e.op.kind == OpKind::Diag ? 2 : 1));
+    }
+    depth[u] = d;
+  }
+
+  // --- logical mapping ----------------------------------------------------
+  SlotTable slots(net);
+  std::vector<UnitLayout> layouts;
+  layouts.reserve(net.units.size());
+  for (usize u = 0; u < net.units.size(); ++u) {
+    const SnnUnit& unit = net.units[u];
+    SJ_REQUIRE(!unit.in.empty(), "unit without inputs: " + unit.name);
+    const OpKind kind = unit.in[0].op.kind;
+    UnitLayout lay;
+    switch (kind) {
+      case OpKind::Dense:
+        lay = build_dense(net, static_cast<i32>(u), slots, cfg.arch);
+        break;
+      case OpKind::Conv:
+        lay = build_conv(net, static_cast<i32>(u), slots, cfg.arch, depth);
+        break;
+      case OpKind::Pool:
+        lay = build_pool(net, static_cast<i32>(u), slots, cfg.arch);
+        break;
+      case OpKind::Diag:
+        SJ_THROW_MAPPING("standalone diag unit unsupported: " + unit.name);
+    }
+    layouts.push_back(std::move(lay));
+    slots.add_unit(layouts.back());
+  }
+
+  // --- physical mapping: shelf placement ----------------------------------
+  i32 width = cfg.grid_width;
+  if (width == 0) {
+    i32 max_cols = 1;
+    for (const auto& l : layouts) max_cols = std::max(max_cols, l.cols);
+    width = ((max_cols + cfg.arch.chip_cols - 1) / cfg.arch.chip_cols) * cfg.arch.chip_cols;
+  }
+  for (const auto& l : layouts) {
+    SJ_REQUIRE(l.cols <= width, "unit wider than grid");
+  }
+
+  // Seed: greedy shelf placement in unit declaration order.
+  std::vector<opt::PlaceAnchor> place(layouts.size());
+  {
+    i32 x = 0, y = 0, band = 0;
+    for (usize u = 0; u < layouts.size(); ++u) {
+      if (x + layouts[u].cols > width) {
+        x = 0;
+        y += band;
+        band = 0;
+      }
+      place[u] = opt::PlaceAnchor{y, x};
+      x += layouts[u].cols;
+      band = std::max(band, layouts[u].rows);
+    }
+  }
+
+  const i32 level = opt::resolve_opt_level(cfg.opt_level);
+  MappedNetwork out = materialize_placement(net, cfg, depth, layouts, width, place);
+
+  // --- opt level 2: placement search over unit anchors ---------------------
+  if (level >= 2) {
+    const auto t_place = std::chrono::steady_clock::now();
+    const opt::ProgramMetrics seed_metrics = opt::measure(out);
+    i32 budget = cfg.placement_evals;
+    if (budget <= 0) {
+      // Each evaluation re-materializes and re-schedules the whole net, so
+      // scale the budget inversely with schedule size.
+      budget = static_cast<i32>(
+          std::clamp<i64>(2'000'000 / std::max<i64>(seed_metrics.ops, 1), 6, 48));
+      if (const char* fast = std::getenv("SHENJING_FAST"); fast != nullptr && fast[0] == '1') {
+        budget = std::max(3, budget / 2);
+      }
+    }
+    opt::PlacementProblem prob;
+    prob.width = width;
+    prob.chip_rows = cfg.arch.chip_rows;
+    prob.chip_cols = cfg.arch.chip_cols;
+    // Candidates may use up to the seed's rows, rounded up to whole chips.
+    prob.max_rows = ((out.grid_rows + cfg.arch.chip_rows - 1) / cfg.arch.chip_rows) *
+                    cfg.arch.chip_rows;
+    prob.max_evals = budget;
+    // Never trade timetable length for crossings: the seed's own cycle count
+    // is the budget every candidate must stay within.
+    prob.max_cycles = seed_metrics.cycles_per_timestep;
+    prob.units.reserve(layouts.size());
+    for (const auto& l : layouts) prob.units.push_back(opt::PlaceRect{l.rows, l.cols});
+    prob.evaluate = [&](const std::vector<opt::PlaceAnchor>& cand) {
+      opt::PlacementCost cost;
+      try {
+        const opt::ProgramMetrics pm =
+            opt::measure(materialize_placement(net, cfg, depth, layouts, width, cand));
+        cost.valid = true;
+        cost.crossings = pm.cross_chip_crossings;
+        cost.phases = pm.shard_phases;
+        cost.cycles = pm.cycles_per_timestep;
+      } catch (const std::exception&) {
+        cost.valid = false;  // overlap / off-grid / unroutable candidate
+      }
+      return cost;
+    };
+    opt::PlacementCost best;
+    i32 evals = 0;
+    const std::vector<opt::PlaceAnchor> refined =
+        opt::refine_placement(prob, place, &best, &evals);
+    bool moved = false;
+    for (usize u = 0; u < place.size(); ++u) {
+      moved |= refined[u].row0 != place[u].row0 || refined[u].col0 != place[u].col0;
+    }
+    if (moved && best.valid) {
+      place = refined;
+      out = materialize_placement(net, cfg, depth, layouts, width, place);
+    }
+    const opt::ProgramMetrics placed_metrics = moved ? opt::measure(out) : seed_metrics;
+    OptPassStat stat;
+    stat.pass = "placement";
+    stat.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t_place)
+                       .count();
+    stat.cycles_before = seed_metrics.cycles_per_timestep;
+    stat.cycles_after = placed_metrics.cycles_per_timestep;
+    stat.ops_before = seed_metrics.ops;
+    stat.ops_after = placed_metrics.ops;
+    stat.crossings_before = seed_metrics.cross_chip_crossings;
+    stat.crossings_after = placed_metrics.cross_chip_crossings;
+    stat.phases_before = seed_metrics.shard_phases;
+    stat.phases_after = placed_metrics.shard_phases;
+    out.opt_passes.push_back(std::move(stat));
+    SJ_INFO("placement search: " << evals << " evals, crossings "
+                                 << seed_metrics.cross_chip_crossings << " -> "
+                                 << placed_metrics.cross_chip_crossings << ", phases "
+                                 << seed_metrics.shard_phases << " -> "
+                                 << placed_metrics.shard_phases);
+  }
+
+  // --- opt level >= 1: schedule passes -------------------------------------
+  opt::optimize_schedule(out, level);
 
   // Chips touched by real cores.
   {
@@ -735,7 +833,7 @@ MappedNetwork map_network(const SnnNetwork& net, const MapperConfig& cfg) {
                     << std::count_if(out.cores.begin(), out.cores.end(),
                                      [](const MappedCore& c) { return !c.filler; })
                     << " cores, " << out.cycles_per_timestep << " cycles/timestep, "
-                    << out.chips_used << " chips");
+                    << out.chips_used << " chips, opt level " << out.opt_level);
   return out;
 }
 

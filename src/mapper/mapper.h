@@ -38,6 +38,13 @@ struct MapperConfig {
   /// Physical grid width in tiles; 0 = choose automatically (a multiple of
   /// the chip width that fits the widest unit).
   i32 grid_width = 0;
+  /// Optimizer level (mapper/opt): 0 greedy only, 1 schedule passes
+  /// (dead-ops, coalesce, repack), 2 adds placement search. -1 = read the
+  /// SHENJING_OPT environment variable (default 1).
+  i32 opt_level = -1;
+  /// Evaluation budget for the level-2 placement search; 0 = automatic
+  /// (scales down with schedule size, and with SHENJING_FAST).
+  i32 placement_evals = 0;
 };
 
 /// Maps a converted SNN onto Shenjing hardware. Throws MappingError when the

@@ -1,0 +1,113 @@
+#include "mapper/opt/dataflow.h"
+
+namespace sj::map::opt {
+
+namespace {
+
+using core::OpCode;
+
+RegFile ps_in(Dir port) {
+  return static_cast<RegFile>(static_cast<u8>(RegFile::PsInN) + static_cast<u8>(port));
+}
+RegFile spk_in(Dir port) {
+  return static_cast<RegFile>(static_cast<u8>(RegFile::SpkInN) + static_cast<u8>(port));
+}
+
+}  // namespace
+
+GridIndex::GridIndex(const MappedNetwork& m)
+    : rows_(m.grid_rows), cols_(m.grid_cols) {
+  pos_.reserve(m.cores.size());
+  at_.assign(static_cast<usize>(rows_) * static_cast<usize>(cols_), noc::kInvalidCore);
+  for (usize c = 0; c < m.cores.size(); ++c) {
+    const Coord p = m.cores[c].pos;
+    SJ_REQUIRE(p.row >= 0 && p.row < rows_ && p.col >= 0 && p.col < cols_,
+               "GridIndex: core off grid");
+    pos_.push_back(p);
+    at_[static_cast<usize>(p.row) * static_cast<usize>(cols_) +
+        static_cast<usize>(p.col)] = static_cast<u32>(c);
+  }
+}
+
+u32 GridIndex::neighbor(u32 core, Dir d) const {
+  SJ_REQUIRE(core < pos_.size(), "GridIndex: bad core index");
+  Coord p = pos_[core];
+  switch (d) {
+    case Dir::North: --p.row; break;
+    case Dir::South: ++p.row; break;
+    case Dir::East: ++p.col; break;
+    case Dir::West: --p.col; break;
+  }
+  SJ_REQUIRE(p.row >= 0 && p.row < rows_ && p.col >= 0 && p.col < cols_,
+             "off-grid route in schedule (core " + std::to_string(core) + ")");
+  const u32 nb = at_[static_cast<usize>(p.row) * static_cast<usize>(cols_) +
+                     static_cast<usize>(p.col)];
+  SJ_REQUIRE(nb != noc::kInvalidCore, "GridIndex: hole in mapped grid");
+  return nb;
+}
+
+OpModel op_model(const MappedNetwork& m, const GridIndex& grid, const TimedOp& t) {
+  (void)m;
+  OpModel om;
+  om.block = core::block_of(t.op.code);
+  const u32 c = t.core;
+  const auto read = [&](u32 cc, RegFile r, const PlaneMask& mask) {
+    om.reads[static_cast<usize>(om.num_reads++)] = Access{cc, r, mask};
+  };
+  const auto write = [&](u32 cc, RegFile r, const PlaneMask& mask) {
+    om.writes[static_cast<usize>(om.num_writes++)] = Access{cc, r, mask};
+  };
+  switch (t.op.code) {
+    case OpCode::Acc:
+      // ACC re-derives the whole local PS file (clears every plane, then
+      // accumulates the axon-driven ones) regardless of its op mask.
+      om.acc = true;
+      write(c, RegFile::LocalPs, PlaneMask::all());
+      break;
+    case OpCode::PsSum:
+      read(c, ps_in(t.op.src), t.mask);
+      read(c, t.op.consec ? RegFile::PsSumBuf : RegFile::LocalPs, t.mask);
+      write(c, RegFile::PsSumBuf, t.mask);
+      break;
+    case OpCode::PsSend:
+      read(c, t.op.from_sum_buf ? RegFile::PsSumBuf : RegFile::LocalPs, t.mask);
+      if (t.op.eject) {
+        write(c, RegFile::PsEject, t.mask);
+      } else {
+        write(grid.neighbor(c, t.op.dst), ps_in(opposite(t.op.dst)), t.mask);
+      }
+      break;
+    case OpCode::PsBypass:
+      read(c, ps_in(t.op.src), t.mask);
+      write(grid.neighbor(c, t.op.dst), ps_in(opposite(t.op.dst)), t.mask);
+      break;
+    case OpCode::SpkSpike:
+      read(c, t.op.sum_or_local ? RegFile::PsEject : RegFile::LocalPs, t.mask);
+      read(c, RegFile::Potential, t.mask);
+      write(c, RegFile::Potential, t.mask);
+      write(c, RegFile::SpikeOut, t.mask);
+      break;
+    case OpCode::SpkSend:
+      read(c, RegFile::SpikeOut, t.mask);
+      write(grid.neighbor(c, t.op.dst), spk_in(opposite(t.op.dst)), t.mask);
+      break;
+    case OpCode::SpkBypass:
+      read(c, spk_in(t.op.src), t.mask);
+      write(grid.neighbor(c, t.op.dst), spk_in(opposite(t.op.dst)), t.mask);
+      break;
+    case OpCode::SpkRecv:
+      // Axon delivery OR-accumulates into the iteration-boundary buffers;
+      // no tracked register is written (matches the dry run's exemption).
+      read(c, spk_in(t.op.src), t.mask);
+      break;
+    case OpCode::SpkRecvForward:
+      read(c, spk_in(t.op.src), t.mask);
+      write(grid.neighbor(c, t.op.dst), spk_in(opposite(t.op.dst)), t.mask);
+      break;
+    case OpCode::LdWt:
+      break;  // weight load: no router or PS-file dataflow
+  }
+  return om;
+}
+
+}  // namespace sj::map::opt

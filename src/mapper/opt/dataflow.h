@@ -1,0 +1,164 @@
+// Internal dataflow model shared by the optimizer passes (mapper/opt).
+//
+// Every pass reasons about the same two facts per scheduled op:
+//
+//   * which (core, register-file, plane) cells it reads and writes — a
+//     superset of the dry run's conflict domains (noc/dryrun.cpp) extended
+//     with the neuron-core registers the dry run does not track (the local
+//     partial-sum file ACC writes, the membrane potential SPIKE
+//     read-modify-writes), because dependence edges need them even though
+//     same-cycle conflicts on them cannot arise;
+//   * the architectural read-after-write latency: `arch.acc_cycles` behind
+//     an ACC (the neuron core streams 256 accumulations before the PS file
+//     is stable — the same floor the greedy scheduler's `ps_ready` models),
+//     one cycle behind everything else (two-phase commit: a staged or
+//     latched write is readable the next cycle).
+//
+// $DST operands are resolved against the mapped grid directly (GridIndex)
+// so passes need no NocTopology; the resolution matches
+// NocTopology::neighbor by construction (same coordinate arithmetic).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "mapper/program.h"
+
+namespace sj::map::opt {
+
+/// Register files of one tile, per plane. The first eleven mirror noc::Reg
+/// (same order); the last two are the neuron-core registers.
+enum class RegFile : u8 {
+  PsInN = 0, PsInS, PsInE, PsInW,
+  PsSumBuf, PsEject,
+  SpkInN, SpkInS, SpkInE, SpkInW,
+  SpikeOut,
+  LocalPs,    // neuron-core partial-sum file (ACC writes, PS router reads)
+  Potential,  // membrane potential (SPIKE read-modify-write)
+  kRegFiles,
+};
+
+inline constexpr u32 kNumRegFiles = static_cast<u32>(RegFile::kRegFiles);
+
+/// One register access: `mask` planes of `reg` on tile `core`.
+struct Access {
+  u32 core = 0;
+  RegFile reg = RegFile::LocalPs;
+  PlaneMask mask;
+};
+
+/// Dataflow shape of one scheduled op.
+struct OpModel {
+  core::Block block = core::Block::NeuronCore;  // issue-conflict domain
+  bool acc = false;  // readers of this op's write wait acc_cycles, not 1
+  std::array<Access, 2> reads{};
+  std::array<Access, 2> writes{};
+  int num_reads = 0;
+  int num_writes = 0;
+};
+
+/// Coord -> core lookup over a mapped grid, for $DST resolution without a
+/// NocTopology. Throws InternalError on an off-grid hop (the condition
+/// check_routes() reports as a Status).
+class GridIndex {
+ public:
+  explicit GridIndex(const MappedNetwork& m);
+  u32 neighbor(u32 core, Dir d) const;
+
+ private:
+  i32 rows_ = 0, cols_ = 0;
+  std::vector<Coord> pos_;  // core -> coordinate
+  std::vector<u32> at_;     // row-major coord -> core index
+};
+
+/// The dataflow model of `t` (reads/writes with $DST pre-resolved).
+OpModel op_model(const MappedNetwork& m, const GridIndex& grid, const TimedOp& t);
+
+/// Packed (core, register-file) key for per-register tables.
+inline u64 reg_key(u32 core, RegFile reg) {
+  return (static_cast<u64>(core) << 8) | static_cast<u64>(reg);
+}
+
+/// Packed (cycle, core, slot) key for per-cycle occupancy tables — same
+/// shape as the dry run's conflict keys.
+inline u64 cell_key(u32 cycle, u32 core, u8 slot) {
+  return (static_cast<u64>(cycle) << 40) | (static_cast<u64>(core) << 8) | slot;
+}
+
+/// Tracks, per register file, which op last wrote each plane and who has
+/// read it since — the state needed to emit RAW/WAR/WAW edges in one forward
+/// walk. Planes sharing (writer, readers-since) are kept as segments, so the
+/// common whole-mask access stays O(1).
+class RegTracker {
+ public:
+  /// Records a read by op `idx` of `mask` planes; calls `raw(writer)` once
+  /// per distinct last-writer op covering any of the planes.
+  template <typename RawFn>
+  void read(u32 idx, const PlaneMask& mask, RawFn&& raw) {
+    PlaneMask rest = mask;
+    const usize n = segs_.size();
+    for (usize s = 0; s < n && !rest.empty(); ++s) {
+      const PlaneMask inter = segs_[s].mask & rest;
+      if (inter.empty()) continue;
+      rest &= ~inter;
+      if (segs_[s].writer >= 0) raw(static_cast<u32>(segs_[s].writer));
+      if (inter == segs_[s].mask) {
+        note_reader(segs_[s], idx);
+      } else {
+        Seg split = segs_[s];
+        split.mask = inter;
+        note_reader(split, idx);
+        segs_[s].mask &= ~inter;
+        segs_.push_back(std::move(split));
+      }
+    }
+    if (!rest.empty()) {
+      // Never-written planes: remember the reader for future WAR edges.
+      Seg fresh;
+      fresh.mask = rest;
+      fresh.readers.push_back(idx);
+      segs_.push_back(std::move(fresh));
+    }
+  }
+
+  /// Records a write by op `idx` of `mask` planes; calls `war(reader)` for
+  /// every reader-since-last-write and `waw(writer)` per displaced writer.
+  template <typename WarFn, typename WawFn>
+  void write(u32 idx, const PlaneMask& mask, WarFn&& war, WawFn&& waw) {
+    for (usize s = 0; s < segs_.size();) {
+      const PlaneMask inter = segs_[s].mask & mask;
+      if (inter.empty()) {
+        ++s;
+        continue;
+      }
+      if (segs_[s].writer >= 0) waw(static_cast<u32>(segs_[s].writer));
+      for (const u32 r : segs_[s].readers) war(r);
+      segs_[s].mask &= ~inter;
+      if (segs_[s].mask.empty()) {
+        if (s + 1 != segs_.size()) segs_[s] = std::move(segs_.back());
+        segs_.pop_back();
+      } else {
+        ++s;
+      }
+    }
+    Seg fresh;
+    fresh.mask = mask;
+    fresh.writer = static_cast<i64>(idx);
+    segs_.push_back(std::move(fresh));
+  }
+
+ private:
+  struct Seg {
+    PlaneMask mask;
+    i64 writer = -1;  // op index, -1 for never-written
+    std::vector<u32> readers;  // since `writer`, ascending (dup-free)
+  };
+
+  static void note_reader(Seg& s, u32 idx) {
+    if (s.readers.empty() || s.readers.back() != idx) s.readers.push_back(idx);
+  }
+
+  std::vector<Seg> segs_;
+};
+
+}  // namespace sj::map::opt

@@ -1,0 +1,59 @@
+// Dead-op elimination (opt pass 1).
+//
+// An op whose plane mask is empty moves no data, stages no write, and adds
+// no census weight (OpCensus and SimStats::op_neurons are popcount-weighted,
+// per-link flits are popcounts) — removing it is observationally invisible
+// to results, stats and traffic alike. Two opcodes are not mask-gated and
+// need extra care:
+//
+//   ACC   charges axon statistics from the core's axon mask and rewrites the
+//         whole local PS file regardless of its op mask, so an empty-mask
+//         ACC is only dead when its core has no axons AND no other ACC
+//         (a second ACC would re-clear the PS file — that clear is the
+//         observable effect the lone ACC also has, so removing one of a
+//         pair would double-count nothing but removing the only one on a
+//         core with a non-empty PS file is not provably neutral; fillers
+//         and unused-slot cores have empty axon masks and all-zero PS, and
+//         they are exactly where empty-mask ACCs arise).
+//   LDWT  loads all SRAM banks; treated like ACC's statistic side: it has
+//         no mask-scaled effect, but it also has no data effect — an
+//         empty-mask LDWT is removable (its census row is popcount-weighted
+//         too, so the estimate does not move).
+#include "mapper/opt/opt.h"
+
+namespace sj::map::opt {
+
+i64 eliminate_dead_ops(MappedNetwork& m) {
+  if (m.schedule.empty()) return 0;
+  // Count ACCs per core once: the "only ACC on its core" condition.
+  std::vector<u32> accs(m.cores.size(), 0);
+  for (const TimedOp& t : m.schedule) {
+    if (t.op.code == core::OpCode::Acc) ++accs[t.core];
+  }
+  u32 old_max = 0;
+  for (const TimedOp& t : m.schedule) old_max = std::max(old_max, t.cycle);
+
+  const auto dead = [&](const TimedOp& t) {
+    if (!t.mask.empty()) return false;
+    if (t.op.code == core::OpCode::Acc) {
+      const MappedCore& c = m.cores[t.core];
+      return c.axon_mask.empty() && accs[t.core] == 1;
+    }
+    return true;
+  };
+
+  const usize before = m.schedule.size();
+  std::erase_if(m.schedule, dead);
+  const i64 removed = static_cast<i64>(before - m.schedule.size());
+  if (removed > 0 && !m.schedule.empty()) {
+    // Preserve the greedy horizon's tail slack beyond the last op (the
+    // schedule convention other passes rely on), shrinking only by however
+    // much the last occupied cycle moved up.
+    u32 new_max = 0;
+    for (const TimedOp& t : m.schedule) new_max = std::max(new_max, t.cycle);
+    m.cycles_per_timestep -= old_max - new_max;
+  }
+  return removed;
+}
+
+}  // namespace sj::map::opt

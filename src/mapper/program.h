@@ -67,6 +67,18 @@ struct Slot {
   u16 plane = 0;
 };
 
+/// Before/after record of one optimizer pass (mapper/opt). Kept on the
+/// MappedNetwork so benches and reports can show exactly what each pass
+/// bought without re-running the optimizer.
+struct OptPassStat {
+  std::string pass;
+  double wall_ms = 0.0;
+  u32 cycles_before = 0, cycles_after = 0;
+  i64 ops_before = 0, ops_after = 0;
+  i64 crossings_before = 0, crossings_after = 0;
+  u32 phases_before = 0, phases_after = 0;
+};
+
 /// The complete compiled system.
 struct MappedNetwork {
   ArchParams arch;
@@ -91,6 +103,12 @@ struct MappedNetwork {
   i32 grid_rows = 0, grid_cols = 0;
   i32 chips_used = 0;
   double mapping_seconds = 0.0;
+
+  // Optimizer provenance: the level the schedule was compiled at (part of
+  // the served-model identity — see serve::model_key and the engine's
+  // weight-swap compatibility check) and the per-pass before/after record.
+  i32 opt_level = 0;
+  std::vector<OptPassStat> opt_passes;
 
   usize num_cores() const { return cores.size(); }
   const std::vector<Slot>& output_slots() const {

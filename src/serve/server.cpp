@@ -80,6 +80,11 @@ ModelKey model_key(const map::MappedNetwork& mapped, const snn::SnnNetwork& net)
   f.mix_i(mapped.grid_rows);
   f.mix_i(mapped.grid_cols);
   f.mix(mapped.cycles_per_timestep);
+  // The optimizer level is identity even when two levels happen to emit the
+  // same op stream today: a cached ExecProgram must never be mistaken for
+  // the artifact of a different optimization pipeline (hot weight-swaps key
+  // on this hash to decide structural compatibility).
+  f.mix_i(mapped.opt_level);
   // The op stream and the slot tables are part of the identity: two
   // mappings of the same weights under different mapper configurations are
   // different served artifacts (they route differently), and must not
@@ -134,7 +139,8 @@ std::shared_ptr<const Server::Generation> Server::make_generation(
 Server::Server(ServerOptions options)
     : max_pending_(options.max_pending),
       shard_below_depth_(options.shard_below_depth),
-      profile_engine_(options.profile_engine) {
+      profile_engine_(options.profile_engine),
+      opt_level_(options.opt_level) {
   submitted_ = &registry_.counter("serve.submitted");
   completed_ = &registry_.counter("serve.completed");
   errors_ = &registry_.counter("serve.errors");
@@ -160,6 +166,10 @@ Server::ModelMetrics Server::make_model_metrics(ModelKey key) {
 }
 
 ModelKey Server::load_model(const map::MappedNetwork& mapped, const snn::SnnNetwork& net) {
+  SJ_REQUIRE(opt_level_ < 0 || mapped.opt_level == opt_level_,
+             "serve: load_model at mapper opt level " +
+                 std::to_string(mapped.opt_level) + " but the server admits only level " +
+                 std::to_string(opt_level_));
   const ModelKey key = model_key(mapped, net);
   std::shared_ptr<const Generation> donor;
   {
@@ -213,6 +223,10 @@ ModelKey Server::load_model(const map::MappedNetwork& mapped, const snn::SnnNetw
 
 void Server::swap_weights(ModelKey key, const map::MappedNetwork& mapped,
                           const snn::SnnNetwork& net) {
+  SJ_REQUIRE(opt_level_ < 0 || mapped.opt_level == opt_level_,
+             "serve: swap_weights at mapper opt level " +
+                 std::to_string(mapped.opt_level) + " but the server admits only level " +
+                 std::to_string(opt_level_));
   std::shared_ptr<const Generation> donor;
   {
     const std::lock_guard<std::mutex> lock(mu_);

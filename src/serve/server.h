@@ -118,6 +118,13 @@ struct ServerOptions {
   /// surface in metrics_json() under "engine_profile". Off by default —
   /// profiled frames pay clock reads around every shard phase.
   bool profile_engine = false;
+  /// Admission policy for the mapper optimization level: when >= 0,
+  /// load_model() and swap_weights() reject MappedNetworks whose
+  /// `opt_level` differs — a fleet that pins its serving artifacts to one
+  /// optimization pipeline fails fast on a stray compile instead of
+  /// hosting mixed programs. -1 (default) admits any level; cache entries
+  /// still never alias across levels (model_key hashes the level).
+  i32 opt_level = -1;
 };
 
 /// How shutdown() treats requests still sitting in the queue.
@@ -262,6 +269,7 @@ class Server {
   const usize max_pending_;
   const usize shard_below_depth_;
   const bool profile_engine_;
+  const i32 opt_level_;  // admission policy; -1 admits any level
   // The metric store and the hot-path handles into it. Declared before
   // workers_ so it outlives the worker threads on destruction. Lock order:
   // the registry's own mutex is taken either alone (snapshots, record paths

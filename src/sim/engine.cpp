@@ -116,6 +116,14 @@ void require_swap_compatible(const MappedNetwork& donor, const MappedNetwork& ne
                  donor.cycles_per_timestep == next.cycles_per_timestep &&
                  donor.schedule.size() == next.schedule.size(),
              "weight swap: schedule shape changed — remap and recompile instead");
+  // Same mapper optimization level, even when the op streams happen to
+  // coincide: the opt level is part of the served artifact's identity
+  // (serve::model_key mixes it), and letting a swap cross levels would
+  // alias two pipelines the caches treat as distinct.
+  SJ_REQUIRE(donor.opt_level == next.opt_level,
+             "weight swap: mapper opt level changed (" +
+                 std::to_string(donor.opt_level) + " -> " +
+                 std::to_string(next.opt_level) + ") — remap and recompile instead");
   // The donor's lowered program replays its own TimedOp stream, so the op
   // streams must match verbatim, not just in length (an equal-length
   // schedule from a different mapper configuration would silently execute

@@ -396,7 +396,7 @@ struct Built {
   nn::Dataset data;
 };
 
-Built build(nn::Model& m, const Shape& in_shape, u64 seed, i32 T) {
+Built build(nn::Model& m, const Shape& in_shape, u64 seed, i32 T, i32 opt_level = -1) {
   Rng rng(seed);
   m.init_weights(rng);
   nn::Dataset d;
@@ -411,7 +411,9 @@ Built build(nn::Model& m, const Shape& in_shape, u64 seed, i32 T) {
   snn::ConvertConfig cc;
   cc.timesteps = T;
   Built b{snn::convert(m, d, cc), {}, {}};
-  b.mapped = map::map_network(b.net);
+  map::MapperConfig mcfg;
+  mcfg.opt_level = opt_level;
+  b.mapped = map::map_network(b.net, mcfg);
   b.data = std::move(d);
   return b;
 }
@@ -457,35 +459,44 @@ std::set<OpCode> opcodes_of(const map::MappedNetwork& m) {
 
 TEST(EngineGolden, DenseStackMatchesScalarReference) {
   // Multi-core dense net: Acc, in-router summing, sends, ejects, spiking,
-  // receive chains.
-  nn::Model m({300}, "golden-fc");
-  m.dense(300, 80);
-  m.relu();
-  m.dense(80, 10);
-  const Built b = build(m, {300}, 21, 8);
-  const auto ops = opcodes_of(b.mapped);
-  EXPECT_TRUE(ops.count(OpCode::Acc));
-  EXPECT_TRUE(ops.count(OpCode::PsSum));
-  EXPECT_TRUE(ops.count(OpCode::PsSend));
-  EXPECT_TRUE(ops.count(OpCode::SpkSpike));
-  expect_engine_matches_reference(b, 3);
+  // receive chains. Looped over every optimizer level — the scalar
+  // reference replays whatever TimedOp schedule the mapper emitted, so a
+  // pass that changed semantics would diverge from the word engine here.
+  for (i32 level = 0; level <= 2; ++level) {
+    SCOPED_TRACE("opt level " + std::to_string(level));
+    nn::Model m({300}, "golden-fc");
+    m.dense(300, 80);
+    m.relu();
+    m.dense(80, 10);
+    const Built b = build(m, {300}, 21, 8, level);
+    const auto ops = opcodes_of(b.mapped);
+    EXPECT_TRUE(ops.count(OpCode::Acc));
+    EXPECT_TRUE(ops.count(OpCode::PsSum));
+    EXPECT_TRUE(ops.count(OpCode::PsSend));
+    EXPECT_TRUE(ops.count(OpCode::SpkSpike));
+    expect_engine_matches_reference(b, 3);
+  }
 }
 
 TEST(EngineGolden, ConvResidualMatchesScalarReference) {
   // Conv + residual: sparse (CSR) ACC path, bypasses, holds, multicast
-  // forwards — the opcodes the dense stack doesn't reach.
-  nn::Model m({12, 12, 2}, "golden-res");
-  m.conv2d(3, 2, 4);
-  const nn::NodeId sc = m.relu();
-  m.conv2d(3, 4, 4);
-  m.relu();
-  const nn::NodeId c3 = m.conv2d(3, 4, 4);
-  const nn::NodeId join = m.add_join(c3, sc);
-  m.relu(join);
-  m.flatten();
-  m.dense(12 * 12 * 4, 10);
-  const Built b = build(m, {12, 12, 2}, 31, 8);
-  expect_engine_matches_reference(b, 2);
+  // forwards — the opcodes the dense stack doesn't reach. Also looped over
+  // the optimizer levels (coalesce and repack both fire on this net).
+  for (i32 level = 0; level <= 2; ++level) {
+    SCOPED_TRACE("opt level " + std::to_string(level));
+    nn::Model m({12, 12, 2}, "golden-res");
+    m.conv2d(3, 2, 4);
+    const nn::NodeId sc = m.relu();
+    m.conv2d(3, 4, 4);
+    m.relu();
+    const nn::NodeId c3 = m.conv2d(3, 4, 4);
+    const nn::NodeId join = m.add_join(c3, sc);
+    m.relu(join);
+    m.flatten();
+    m.dense(12 * 12 * 4, 10);
+    const Built b = build(m, {12, 12, 2}, 31, 8, level);
+    expect_engine_matches_reference(b, 2);
+  }
 }
 
 TEST(EngineGolden, SaturatingConfigMatchesScalarReference) {

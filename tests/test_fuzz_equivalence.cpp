@@ -109,26 +109,48 @@ TEST_P(EquivalenceFuzzTest, RandomArchitectureIsBitExact) {
   snn::ConvertConfig cc;
   cc.timesteps = static_cast<i32>(rng.uniform_int(4, 12));
   const snn::SnnNetwork net = snn::convert(g.model, data, cc);
-  const map::MappedNetwork mapped = map::map_network(net);
 
+  // Every optimizer level must reproduce the abstract SNN bit-exactly, and
+  // the semantic statistics must agree ACROSS levels (levels 0/1 replay the
+  // exact same dataflow; level 2 may re-place units, changing routes and
+  // therefore per-link NoC counters and cycle totals, but never what any
+  // neuron computes).
   const snn::AbstractEvaluator ev(net);
-  sim::Simulator sim(mapped, net);
-  sim::SimStats st;
-  for (int f = 0; f < 2; ++f) {
-    snn::Trace tr;
-    const snn::EvalResult abs = ev.run(data.images[static_cast<usize>(f)], nullptr, &tr);
-    sim::HardwareTrace ht;
-    const sim::FrameResult hw =
-        sim.run_frame(data.images[static_cast<usize>(f)], &st, &ht);
-    ASSERT_EQ(hw.spike_counts, abs.spike_counts) << "frame " << f;
-    for (usize u = 0; u < net.units.size(); ++u) {
-      for (usize t = 0; t < ht.units[u].size(); ++t) {
-        ASSERT_EQ(ht.units[u][t], tr.units[u][t])
-            << "frame " << f << " unit " << u << " t " << t;
+  sim::SimStats level_stats[3];
+  for (i32 level = 0; level <= 2; ++level) {
+    SCOPED_TRACE("opt level " + std::to_string(level));
+    map::MapperConfig mc;
+    mc.opt_level = level;
+    const map::MappedNetwork mapped = map::map_network(net, mc);
+    ASSERT_EQ(mapped.opt_level, level);
+
+    sim::Simulator sim(mapped, net);
+    sim::SimStats st;
+    for (int f = 0; f < 2; ++f) {
+      snn::Trace tr;
+      const snn::EvalResult abs = ev.run(data.images[static_cast<usize>(f)], nullptr, &tr);
+      sim::HardwareTrace ht;
+      const sim::FrameResult hw =
+          sim.run_frame(data.images[static_cast<usize>(f)], &st, &ht);
+      ASSERT_EQ(hw.spike_counts, abs.spike_counts) << "frame " << f;
+      for (usize u = 0; u < net.units.size(); ++u) {
+        for (usize t = 0; t < ht.units[u].size(); ++t) {
+          ASSERT_EQ(ht.units[u][t], tr.units[u][t])
+              << "frame " << f << " unit " << u << " t " << t;
+        }
       }
     }
+    EXPECT_EQ(st.saturations, 0);
+    level_stats[level] = st;
   }
-  EXPECT_EQ(st.saturations, 0);
+  for (i32 level = 1; level <= 2; ++level) {
+    EXPECT_EQ(level_stats[level].spikes_fired, level_stats[0].spikes_fired)
+        << "opt level " << level;
+    EXPECT_EQ(level_stats[level].axon_spikes, level_stats[0].axon_spikes)
+        << "opt level " << level;
+    EXPECT_EQ(level_stats[level].axon_slots, level_stats[0].axon_slots)
+        << "opt level " << level;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceFuzzTest, ::testing::Range<u64>(1, 33));

@@ -70,7 +70,12 @@ TEST(MapperFc, Fig1MlpLayoutIsTenCores) {
   m.relu();
   m.dense(512, 10);
   const snn::SnnNetwork net = make_snn(m, {28, 28, 1}, 42, 4);
-  const MappedNetwork mapped = map_network(net);
+  // This test documents the paper's greedy shelf layout; pin the optimizer
+  // to schedule-only passes so the level-2 placement search (which may
+  // legally move fc2) cannot disturb the Fig. 1 geometry.
+  MapperConfig mc;
+  mc.opt_level = 1;
+  const MappedNetwork mapped = map_network(net, mc);
   EXPECT_EQ(real_cores(mapped), 10);  // Fig. 1 / Table IV
   EXPECT_EQ(mapped.chips_used, 1);
   // Layer 1: 4 rows x 2 cols; layer 2: 2 rows x 1 col at column 2 (Fig. 1).

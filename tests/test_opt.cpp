@@ -1,0 +1,310 @@
+// Unit tests for the mapping-time optimizer (src/mapper/opt).
+//
+// Each schedule pass is exercised directly on programs with a hand-planted
+// opportunity (an injected dead op, a hand-split send, known greedy slack),
+// asserting both the structural effect (the pass found exactly the planted
+// opportunity) and the semantic contract (the optimized program simulates
+// bit-identically). The level-2 placement search is pinned against the
+// bench_micro_sim 2x2-chip MLP fixture, and the serving-side identity rules
+// (model_key, weight-swap compatibility, ServerOptions admission) get their
+// own coverage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/isa.h"
+#include "harness/zoo.h"
+#include "mapper/mapper.h"
+#include "mapper/opt/opt.h"
+#include "nn/dataset.h"
+#include "serve/server.h"
+#include "sim/simulator.h"
+#include "snn/convert.h"
+
+namespace sj {
+namespace {
+
+using core::OpCode;
+using core::PlaneMask;
+
+struct Built {
+  snn::SnnNetwork net;
+  nn::Dataset data;
+};
+
+/// Small dense stack: enough cores for real sends and receive chains.
+Built build_dense(u64 seed = 11, i32 timesteps = 6) {
+  nn::Model m({300}, "opt-fc");
+  m.dense(300, 80);
+  m.relu();
+  m.dense(80, 10);
+  Rng rng(seed);
+  m.init_weights(rng);
+  Built b;
+  b.data.sample_shape = {300};
+  b.data.num_classes = 10;
+  for (int i = 0; i < 2; ++i) {
+    Tensor x({300});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    b.data.images.push_back(std::move(x));
+    b.data.labels.push_back(0);
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = timesteps;
+  b.net = snn::convert(m, b.data, cc);
+  return b;
+}
+
+/// The MNIST MLP the paper's Table IV maps (random weights — the optimizer
+/// only looks at structure).
+Built build_mlp() {
+  nn::Model m = harness::make_mnist_mlp();
+  Rng rng(77);
+  m.init_weights(rng);
+  Built b;
+  b.data.sample_shape = m.input_shape();
+  b.data.num_classes = 10;
+  for (int i = 0; i < 2; ++i) {
+    Tensor x(m.input_shape());
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    b.data.images.push_back(std::move(x));
+    b.data.labels.push_back(0);
+  }
+  snn::ConvertConfig cc;
+  cc.timesteps = 20;
+  b.net = snn::convert(m, b.data, cc);
+  return b;
+}
+
+map::MappedNetwork map_at(const Built& b, i32 level,
+                          const map::MapperConfig& base = {}) {
+  map::MapperConfig cfg = base;
+  cfg.opt_level = level;
+  return map::map_network(b.net, cfg);
+}
+
+/// Schedule as a canonical multiset, order within a cycle ignored.
+std::vector<std::tuple<u32, u32, u16, std::array<u64, 4>>> canonical(
+    const std::vector<map::TimedOp>& s) {
+  std::vector<std::tuple<u32, u32, u16, std::array<u64, 4>>> v;
+  v.reserve(s.size());
+  for (const map::TimedOp& t : s) {
+    v.emplace_back(t.cycle, t.core, core::encode(t.op), t.mask.w);
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void expect_same_results(const map::MappedNetwork& a, const map::MappedNetwork& b,
+                         const Built& built) {
+  sim::Simulator sa(a, built.net);
+  sim::Simulator sb(b, built.net);
+  sim::SimStats st_a, st_b;
+  for (const Tensor& img : built.data.images) {
+    const sim::FrameResult ra = sa.run_frame(img, &st_a);
+    const sim::FrameResult rb = sb.run_frame(img, &st_b);
+    ASSERT_EQ(ra.spike_counts, rb.spike_counts);
+    ASSERT_EQ(ra.final_potentials, rb.final_potentials);
+    ASSERT_EQ(ra.predicted, rb.predicted);
+  }
+  EXPECT_EQ(st_a.spikes_fired, st_b.spikes_fired);
+  EXPECT_EQ(st_a.saturations, st_b.saturations);
+  EXPECT_EQ(st_a.axon_spikes, st_b.axon_spikes);
+  EXPECT_EQ(st_a.axon_slots, st_b.axon_slots);
+}
+
+/// Full per-link traffic table equality (the opt-level-0/1 contract; level 2
+/// re-routes, so only levels that keep placement may use this).
+void expect_same_traffic(const sim::SimStats& a, const sim::SimStats& b) {
+  ASSERT_EQ(a.noc.links.size(), b.noc.links.size());
+  for (usize i = 0; i < a.noc.links.size(); ++i) {
+    const noc::LinkTraffic& la = a.noc.links[i];
+    const noc::LinkTraffic& lb = b.noc.links[i];
+    EXPECT_EQ(la.ps_flits, lb.ps_flits) << "link " << i;
+    EXPECT_EQ(la.ps_bits, lb.ps_bits) << "link " << i;
+    EXPECT_EQ(la.ps_toggles, lb.ps_toggles) << "link " << i;
+    EXPECT_EQ(la.spike_flits, lb.spike_flits) << "link " << i;
+    EXPECT_EQ(la.spike_toggles, lb.spike_toggles) << "link " << i;
+  }
+  EXPECT_EQ(a.noc.interchip_ps_bits, b.noc.interchip_ps_bits);
+  EXPECT_EQ(a.noc.interchip_spike_bits, b.noc.interchip_spike_bits);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: dead-op elimination.
+// ---------------------------------------------------------------------------
+
+TEST(OptDeadOps, RemovesInjectedEmptyMaskOp) {
+  const Built b = build_dense();
+  const map::MappedNetwork original = map_at(b, 0);
+
+  map::MappedNetwork mutated = original;
+  // Plant a no-op: an existing send with its plane mask cleared moves no
+  // data and charges no statistic. Insert right next to the victim so the
+  // schedule stays cycle-sorted.
+  const auto victim = std::find_if(
+      mutated.schedule.begin(), mutated.schedule.end(),
+      [](const map::TimedOp& t) { return t.op.code == OpCode::PsSend; });
+  ASSERT_NE(victim, mutated.schedule.end());
+  map::TimedOp dead = *victim;
+  dead.mask = PlaneMask::none();
+  mutated.schedule.insert(victim, dead);
+  ASSERT_TRUE(map::check_routes(mutated).is_ok());
+
+  const i64 removed = map::opt::eliminate_dead_ops(mutated);
+  EXPECT_EQ(removed, 1);
+  EXPECT_TRUE(map::check_routes(mutated).is_ok());
+  EXPECT_EQ(canonical(mutated.schedule), canonical(original.schedule));
+}
+
+TEST(OptDeadOps, LeavesCleanScheduleAlone) {
+  const Built b = build_dense();
+  map::MappedNetwork m = map_at(b, 0);
+  const auto before = canonical(m.schedule);
+  EXPECT_EQ(map::opt::eliminate_dead_ops(m), 0);
+  EXPECT_EQ(canonical(m.schedule), before);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: send coalescing.
+// ---------------------------------------------------------------------------
+
+TEST(OptCoalesce, RemergesHandSplitSend) {
+  const Built b = build_dense();
+  const map::MappedNetwork original = map_at(b, 0);
+
+  map::MappedNetwork mutated = original;
+  // Split one multi-plane send into two disjoint-mask halves at the same
+  // cycle (legal: same core+block ops may share a cycle on disjoint
+  // planes). Coalescing must merge them back into the original op.
+  const auto victim = std::find_if(
+      mutated.schedule.begin(), mutated.schedule.end(), [](const map::TimedOp& t) {
+        return t.op.code == OpCode::PsSend && !t.op.eject && t.mask.popcount() >= 2;
+      });
+  ASSERT_NE(victim, mutated.schedule.end());
+  PlaneMask lo = PlaneMask::none();
+  for (usize w = 0; w < 4; ++w) {
+    if (victim->mask.w[w] != 0) {
+      lo.w[w] = victim->mask.w[w] & (~victim->mask.w[w] + 1);  // lowest set bit
+      break;
+    }
+  }
+  map::TimedOp rest = *victim;
+  rest.mask &= ~lo;
+  victim->mask = lo;
+  mutated.schedule.insert(std::next(victim), rest);
+  ASSERT_TRUE(map::check_routes(mutated).is_ok());
+
+  const i64 merged = map::opt::coalesce_sends(mutated);
+  EXPECT_EQ(merged, 1);
+  EXPECT_TRUE(map::check_routes(mutated).is_ok());
+  EXPECT_EQ(canonical(mutated.schedule), canonical(original.schedule));
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: cycle re-packing.
+// ---------------------------------------------------------------------------
+
+TEST(OptRepack, CompactsMlpScheduleBitExactly) {
+  const Built b = build_mlp();
+  const map::MappedNetwork greedy = map_at(b, 0);
+
+  map::MappedNetwork packed = greedy;
+  const i64 saved = map::opt::repack_cycles(packed);
+  // The Table-IV MLP greedy schedule is known to carry slack the list
+  // scheduler recovers (its floor is the acc_cycles=131 accumulate window).
+  EXPECT_GE(saved, 1);
+  EXPECT_EQ(packed.cycles_per_timestep + static_cast<u32>(saved),
+            greedy.cycles_per_timestep);
+  EXPECT_TRUE(map::check_routes(packed).is_ok());
+  EXPECT_EQ(packed.schedule.size(), greedy.schedule.size());
+  expect_same_results(greedy, packed, b);
+}
+
+TEST(OptLevels, Level1KeepsPerLinkTrafficIdentical) {
+  const Built b = build_dense();
+  const map::MappedNetwork o0 = map_at(b, 0);
+  const map::MappedNetwork o1 = map_at(b, 1);
+  EXPECT_LE(o1.cycles_per_timestep, o0.cycles_per_timestep);
+
+  sim::Simulator s0(o0, b.net);
+  sim::Simulator s1(o1, b.net);
+  sim::SimStats st0, st1;
+  for (const Tensor& img : b.data.images) {
+    const sim::FrameResult r0 = s0.run_frame(img, &st0);
+    const sim::FrameResult r1 = s1.run_frame(img, &st1);
+    ASSERT_EQ(r0.spike_counts, r1.spike_counts);
+    ASSERT_EQ(r0.final_potentials, r1.final_potentials);
+  }
+  // Levels 0 and 1 replay the identical dataflow on the identical
+  // placement: the whole per-link traffic table must match, not just the
+  // results.
+  expect_same_traffic(st0, st1);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: placement search (level 2).
+// ---------------------------------------------------------------------------
+
+TEST(OptPlacement, ShardedMlpCrossesChipsStrictlyLess) {
+  const Built b = build_mlp();
+  // The bench_micro_sim sharding fixture: 2x2-tile chips, so the MLP's ten
+  // cores straddle chips and every seam hop pays SerDes crossings.
+  map::MapperConfig cfg;
+  cfg.arch.chip_rows = 2;
+  cfg.arch.chip_cols = 2;
+  cfg.placement_evals = 48;  // pinned: independent of SHENJING_FAST
+  const map::MappedNetwork o0 = map_at(b, 0, cfg);
+  const map::MappedNetwork o2 = map_at(b, 2, cfg);
+
+  const map::opt::ProgramMetrics m0 = map::opt::measure(o0);
+  const map::opt::ProgramMetrics m2 = map::opt::measure(o2);
+  EXPECT_LT(m2.cross_chip_crossings, m0.cross_chip_crossings);
+  EXPECT_LE(m2.shard_phases, m0.shard_phases);
+  // The placement search hard-rejects candidates over the seed's cycle
+  // count, so level 2 can never serve a slower timetable than greedy.
+  EXPECT_LE(m2.cycles_per_timestep, m0.cycles_per_timestep);
+  expect_same_results(o0, o2, b);
+}
+
+// ---------------------------------------------------------------------------
+// Serving identity: opt level is part of the served artifact.
+// ---------------------------------------------------------------------------
+
+TEST(OptServe, ModelKeyMixesOptLevel) {
+  const Built b = build_dense();
+  const map::MappedNetwork o0 = map_at(b, 0);
+  map::MappedNetwork relabeled = o0;
+  relabeled.opt_level = 1;  // identical program, different pipeline identity
+  EXPECT_NE(serve::model_key(o0, b.net), serve::model_key(relabeled, b.net));
+  const map::MappedNetwork o1 = map_at(b, 1);
+  EXPECT_NE(serve::model_key(o0, b.net), serve::model_key(o1, b.net));
+}
+
+TEST(OptServe, WeightSwapAcrossOptLevelsIsRejected) {
+  const Built b = build_dense();
+  const map::MappedNetwork o0 = map_at(b, 0);
+  const sim::Engine donor(o0, b.net);
+  map::MappedNetwork relabeled = o0;
+  relabeled.opt_level = 2;
+  // Structurally identical program, but the opt level is identity: the
+  // donor-compile path must refuse rather than alias the two pipelines.
+  EXPECT_THROW(sim::Engine(relabeled, b.net, donor), InvalidArgument);
+}
+
+TEST(OptServe, ServerAdmissionPinsOptLevel) {
+  const Built b = build_dense();
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.opt_level = 1;
+  serve::Server server(opts);
+  const map::MappedNetwork o1 = map_at(b, 1);
+  const serve::ModelKey key = server.load_model(o1, b.net);
+  EXPECT_NE(key, 0u);
+  const map::MappedNetwork o0 = map_at(b, 0);
+  EXPECT_THROW(server.load_model(o0, b.net), InvalidArgument);
+  EXPECT_THROW(server.swap_weights(key, o0, b.net), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sj
