@@ -1,6 +1,8 @@
 // Architecture parameters of a Shenjing system (paper §II and §IV).
 #pragma once
 
+#include <array>
+
 #include "common/status.h"
 #include "common/types.h"
 
@@ -29,6 +31,17 @@ struct ArchParams {
   double max_freq_hz = 243e6;  // synthesis critical path (§IV)
 
   i32 chip_capacity() const { return chip_rows * chip_cols; }
+
+  /// Every parameter that affects compiled-program semantics, as one
+  /// comparable/hashable tuple. The engine's weight-swap compatibility check
+  /// and serve::model_key both consume this — a new field added here is
+  /// automatically part of both, so the two can't silently drift apart.
+  /// max_freq_hz is deliberately absent: it scales timing reports, never the
+  /// simulated results.
+  std::array<i32, 10> identity() const {
+    return {core_axons, core_neurons, sram_banks, acc_cycles, weight_bits,
+            local_ps_bits, noc_bits, potential_bits, chip_rows, chip_cols};
+  }
 
   /// The paper's configuration.
   static ArchParams paper() { return ArchParams{}; }

@@ -64,6 +64,16 @@ struct ExecCycle {
 struct ExecProgram {
   std::vector<ExecOp> ops;        // cycle-major, schedule order preserved
   std::vector<ExecCycle> cycles;  // non-empty cycles only, ascending
+
+  // Cross-timestep pipeline analysis (mapper/pipeline.h), stamped by
+  // CompiledModel when the mapping was compiled with pipelining on and a
+  // feasible initiation interval exists. pipeline_slack[i] is op i's slack
+  // against the serial timestep boundary (depth - delay; negative = the op
+  // is delayed past its serial slot); pipeline_depth is the number of
+  // cycles of timestep t+1 overlapped with timestep t. Empty/0 when the
+  // engine runs the serial loop.
+  std::vector<i32> pipeline_slack;
+  i32 pipeline_depth = 0;
 };
 
 /// Lowers `m.schedule` against `topo` (which must be the topology built from

@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "mapper/opt/opt.h"
+#include "mapper/pipeline.h"
 #include "mapper/schedule.h"
 
 namespace sj::map {
@@ -816,6 +817,11 @@ MappedNetwork map_network(const SnnNetwork& net, const MapperConfig& cfg) {
 
   // --- opt level >= 1: schedule passes -------------------------------------
   opt::optimize_schedule(out, level);
+
+  // Cross-timestep engine pipelining: the flag is part of the compiled
+  // artifact's identity (like opt_level); the analysis itself runs at engine
+  // compile time (CompiledModel), keeping placement-search evals cheap.
+  out.pipeline = resolve_pipeline(cfg.pipeline);
 
   // Chips touched by real cores.
   {

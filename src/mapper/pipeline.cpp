@@ -1,0 +1,334 @@
+#include "mapper/pipeline.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "mapper/opt/dataflow.h"
+
+namespace sj::map {
+
+namespace {
+
+using opt::RegFile;
+
+// Cell files: the optimizer's thirteen register files plus the neuron core's
+// axon double-buffer chain, which op_model deliberately leaves untracked
+// (same-cycle conflicts on it cannot arise) but inter-timestep edges need:
+// rotation reads n1/n2 and rewrites all three, SPK_RECV* OR-writes n1 (n2
+// when held), ACC reads cur at gather time.
+constexpr u32 kAxCur = opt::kNumRegFiles + 0;
+constexpr u32 kAxN1 = opt::kNumRegFiles + 1;
+constexpr u32 kAxN2 = opt::kNumRegFiles + 2;
+
+bool is_port_file(u32 f) {
+  return f <= static_cast<u32>(RegFile::PsInW) ||
+         (f >= static_cast<u32>(RegFile::SpkInN) && f <= static_cast<u32>(RegFile::SpkInW));
+}
+
+u64 cell_of(u32 core, u32 file) { return (static_cast<u64>(core) << 8) | file; }
+
+struct Entry {
+  u32 node = 0;
+  bool write = false;
+};
+
+// One hazard edge: d[to] >= d[from] + b[from] + w - b[to] (- II when the
+// edge crosses to the next iteration). Weights are the *minimal* hazard
+// distances, not schedule-gap-preserving ones — within one absolute cycle
+// the engine executes [rotations, injections, ACC commits, ops in schedule
+// order, readout] with the older iteration's slice first, so order-only
+// hazards take w = 0 and the base schedule's slack is free to collapse.
+struct Edge {
+  u32 from = 0;
+  u32 to = 0;
+  i32 w = 0;
+  bool cross = false;
+};
+
+struct Analysis {
+  usize n = 0;           // op count; rotate nodes follow, readout node last
+  u32 readout_node = 0;
+  std::vector<i32> b;    // node -> base cycle
+  std::vector<i32> cd;   // node -> commit delay (acc_cycles behind ACC)
+  std::vector<u8> block; // op -> issue-slot domain (core::Block)
+  std::vector<Edge> edges;
+  std::vector<u32> rot_cores;
+};
+
+void build_cell_edges(Analysis& an, const std::vector<Entry>& list, bool port) {
+  const auto add = [&](u32 from, u32 to, i32 w, bool cross) {
+    if (from == to && !cross) return;
+    an.edges.push_back({from, to, w, cross});
+  };
+  i64 cw = -1, fw = -1;  // current and first writer
+  std::vector<u32> readers;       // since the last write
+  std::vector<u32> head_readers;  // before the first write
+  for (const Entry& e : list) {
+    if (!e.write) {
+      if (cw >= 0) {
+        // RAW: ports are readable the cycle after the staged commit; direct
+        // registers the same cycle (index order within the slice), except
+        // the ACC result which lands commit-delay cycles after issue.
+        const u32 w = static_cast<u32>(cw);
+        add(w, e.node, port ? 1 : an.cd[w], false);
+        readers.push_back(e.node);
+      } else {
+        head_readers.push_back(e.node);
+      }
+    } else {
+      for (const u32 r : readers) {
+        // WAR: a staged port write commits after the cycle's reads land
+        // (w = 0); a direct write clobbers at issue + commit delay, which
+        // must fall strictly after the reader's cycle.
+        add(r, e.node, port ? 0 : (an.cd[e.node] > 0 ? 1 - an.cd[e.node] : 0), false);
+      }
+      if (cw >= 0) {
+        // WAW: landing order. Same-cycle direct double-writes resolve in
+        // schedule-index order (later op wins, as serially); consecutive
+        // ACCs additionally serialize on the per-parity pending buffer.
+        const u32 w = static_cast<u32>(cw);
+        i32 ww = std::max<i32>(0, an.cd[w] - an.cd[e.node] + ((an.cd[w] | an.cd[e.node]) ? 1 : 0));
+        if (an.cd[w] > 0 && an.cd[e.node] > 0) ww = std::max(ww, an.cd[w]);
+        add(w, e.node, ww, false);
+      }
+      if (fw < 0) fw = e.node;
+      cw = e.node;
+      readers.clear();
+    }
+  }
+  if (fw < 0) return;  // read-only cell: constant across iterations
+  const u32 lw = static_cast<u32>(cw), f = static_cast<u32>(fw);
+  // Cross-iteration edges (distance 1): the last writer of iteration k
+  // against iteration k+1's first accesses. All strict except the port WAR
+  // (a staged write commits end-of-cycle, after the older slice's reads).
+  for (const u32 r : head_readers) {
+    an.edges.push_back({lw, r, port ? 1 : std::max<i32>(an.cd[lw], 1), true});
+  }
+  for (const u32 r : readers) {
+    an.edges.push_back({r, f, port ? 0 : 1 - an.cd[f], true});
+  }
+  an.edges.push_back({lw, f, an.cd[lw] - an.cd[f] + 1, true});
+}
+
+// Bellman-style relaxation of the delay vector to a fixpoint; false when the
+// system diverges (a positive-weight cycle) or any delay exceeds the 2*II
+// window bound. `d` entries only ever grow, so callers may pre-seed floors.
+bool relax(const Analysis& an, i32 ii, std::vector<i32>& d) {
+  const i32 dmax = 2 * ii;
+  const usize nodes = an.b.size();
+  for (usize pass = 0; pass < nodes + 2; ++pass) {
+    bool changed = false;
+    for (const Edge& e : an.edges) {
+      const i32 need = d[e.from] + an.b[e.from] + e.w - an.b[e.to] - (e.cross ? ii : 0);
+      if (need > d[e.to]) {
+        if (need > dmax) return false;
+        d[e.to] = need;
+        changed = true;
+      }
+    }
+    if (!changed) return true;
+  }
+  return false;
+}
+
+// Issue cycles must stay conflict-free per (core, block), both within an
+// iteration (equal s) and across the II offset (s_i == s_j + II lands two
+// iterations on one absolute cycle). Virtual nodes occupy no issue slot.
+bool fix_collisions(const Analysis& an, const MappedNetwork& m, i32 ii, std::vector<i32>& d) {
+  std::unordered_map<u64, std::vector<u32>> slots;
+  for (u32 i = 0; i < an.n; ++i) {
+    slots[(static_cast<u64>(m.schedule[i].core) << 2) | an.block[i]].push_back(i);
+  }
+  for (int round = 0; round < 64; ++round) {
+    bool bumped = false;
+    for (auto& [key, ops] : slots) {
+      if (ops.size() < 2) continue;
+      std::sort(ops.begin(), ops.end(), [&](u32 a, u32 c) {
+        const i32 sa = an.b[a] + d[a], sc = an.b[c] + d[c];
+        return sa != sc ? sa < sc : a < c;
+      });
+      for (usize i = 0; i + 1 < ops.size(); ++i) {
+        for (usize j = i + 1; j < ops.size(); ++j) {
+          const i32 si = an.b[ops[i]] + d[ops[i]], sj = an.b[ops[j]] + d[ops[j]];
+          if (sj - si > ii) break;
+          if (sj == si || sj == si + ii) {
+            d[ops[j]] += 1;
+            bumped = true;
+          }
+        }
+      }
+    }
+    if (!bumped) return true;
+    if (!relax(an, ii, d)) return false;
+  }
+  return false;
+}
+
+bool feasible(const Analysis& an, const MappedNetwork& m, i32 ii, std::vector<i32>& d) {
+  d.assign(an.b.size(), 0);
+  if (!relax(an, ii, d)) return false;
+  if (!fix_collisions(an, m, ii, d)) return false;
+  // Every entry — op issues, ACC commits, rotations, the readout — must fall
+  // inside the two-iteration window [0, 2*II).
+  for (usize i = 0; i < an.b.size(); ++i) {
+    if (an.b[i] + d[i] + an.cd[i] >= 2 * ii) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+i32 resolve_pipeline(i32 configured) {
+  i32 flag = configured;
+  if (flag < 0) {
+    flag = 1;
+    if (const char* env = std::getenv("SHENJING_PIPELINE"); env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0') flag = static_cast<i32>(v);
+    }
+  }
+  return std::clamp(flag, 0, 1);
+}
+
+PipelineSchedule build_pipeline(const MappedNetwork& m) {
+  PipelineSchedule out;
+  out.rotate_cycle.assign(m.cores.size(), -1);
+  const i32 C = static_cast<i32>(m.cycles_per_timestep);
+  const usize n = m.schedule.size();
+  if (C < 2 || n == 0 || m.timesteps + m.output_depth < 2) return out;
+
+  const opt::GridIndex grid(m);
+  Analysis an;
+  an.n = n;
+
+  // Node table: ops first, then one rotation node per active core (the same
+  // predicate as the engine's active set: op cores plus input-tap cores),
+  // then the readout node that samples SpikeOut at iteration end.
+  std::vector<u32> rot_node(m.cores.size(), 0);
+  std::vector<bool> active(m.cores.size(), false);
+  for (const TimedOp& t : m.schedule) active[t.core] = true;
+  for (const auto& taps : m.input_taps) {
+    for (const Slot& s : taps) active[s.core] = true;
+  }
+  for (u32 c = 0; c < m.cores.size(); ++c) {
+    if (!active[c]) continue;
+    rot_node[c] = static_cast<u32>(n + an.rot_cores.size());
+    an.rot_cores.push_back(c);
+  }
+  an.readout_node = static_cast<u32>(n + an.rot_cores.size());
+  const usize nodes = an.readout_node + 1;
+  an.b.assign(nodes, 0);
+  an.cd.assign(nodes, 0);
+  an.block.assign(n, 0);
+  an.b[an.readout_node] = C - 1;
+
+  // One walk in execution order fills the per-cell access lists: rotation
+  // (+ injection, which rides the rotation cycle and only OR-writes n1)
+  // first, ops in schedule order, readout last. Cells are whole registers —
+  // plane masks are ignored, which can only add edges, never miss one.
+  std::unordered_map<u64, std::vector<Entry>> cells;
+  for (const u32 c : an.rot_cores) {
+    const u32 r = rot_node[c];
+    cells[cell_of(c, kAxN1)].push_back({r, false});
+    cells[cell_of(c, kAxN2)].push_back({r, false});
+    cells[cell_of(c, kAxCur)].push_back({r, true});
+    cells[cell_of(c, kAxN1)].push_back({r, true});
+    cells[cell_of(c, kAxN2)].push_back({r, true});
+  }
+  for (u32 i = 0; i < n; ++i) {
+    const TimedOp& t = m.schedule[i];
+    an.b[i] = static_cast<i32>(t.cycle);
+    const opt::OpModel om = opt::op_model(m, grid, t);
+    an.block[i] = static_cast<u8>(om.block);
+    if (om.acc) an.cd[i] = m.arch.acc_cycles;
+    for (int r = 0; r < om.num_reads; ++r) {
+      const opt::Access& a = om.reads[static_cast<usize>(r)];
+      cells[cell_of(a.core, static_cast<u32>(a.reg))].push_back({i, false});
+    }
+    if (om.acc) cells[cell_of(t.core, kAxCur)].push_back({i, false});
+    for (int w = 0; w < om.num_writes; ++w) {
+      const opt::Access& a = om.writes[static_cast<usize>(w)];
+      cells[cell_of(a.core, static_cast<u32>(a.reg))].push_back({i, true});
+    }
+    if (t.op.code == core::OpCode::SpkRecv || t.op.code == core::OpCode::SpkRecvForward) {
+      cells[cell_of(t.core, t.op.hold ? kAxN2 : kAxN1)].push_back({i, true});
+    }
+  }
+  {
+    // The readout samples every unit root's SpikeOut (spike counts from the
+    // output unit, traces from all of them); final potentials are only read
+    // after the full drain and need no per-iteration node.
+    std::vector<bool> seen(m.cores.size(), false);
+    for (const auto& slots : m.unit_slots) {
+      for (const Slot& s : slots) {
+        if (seen[s.core]) continue;
+        seen[s.core] = true;
+        cells[cell_of(s.core, static_cast<u32>(RegFile::SpikeOut))].push_back(
+            {an.readout_node, false});
+      }
+    }
+  }
+  for (auto& [key, list] : cells) {
+    const bool port = is_port_file(static_cast<u32>(key & 0xff));
+    if (port) {
+      // Two-phase semantics: a port read at cycle x sees state as of the end
+      // of x-1, while a same-cycle staged write only commits at the end of
+      // x. Schedule-index order would misread that pair as read-after-write;
+      // re-rank port accesses by effective time (reads before writes within
+      // a cycle) so the hazard walk prices it as the WAR it serially is.
+      std::stable_sort(list.begin(), list.end(), [&](const Entry& x, const Entry& y) {
+        if (an.b[x.node] != an.b[y.node]) return an.b[x.node] < an.b[y.node];
+        return x.write < y.write;
+      });
+    }
+    build_cell_edges(an, list, port);
+  }
+
+  // Smallest feasible II. The window bound (every entry < 2*II, and the
+  // readout sits at C-1 or later) floors the search at ceil((C+1)/2);
+  // II == C is the serial schedule and gains nothing. Feasibility is
+  // monotone in II for the relaxation (larger II only loosens cross edges
+  // and the window), so a binary search applies; the accepted candidate is
+  // re-validated in full below.
+  const i32 hi0 = C - 1;
+  i32 lo = (C + 2) / 2, hi = hi0, best = -1;
+  std::vector<i32> d;
+  while (lo <= hi) {
+    const i32 mid = lo + (hi - lo) / 2;
+    if (feasible(an, m, mid, d)) {
+      best = mid;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (best < 0) return out;
+  if (!feasible(an, m, best, d)) return out;
+
+  i32 span = 0;
+  for (usize i = 0; i < nodes; ++i) span = std::max(span, an.b[i] + d[i] + an.cd[i] + 1);
+
+  // A feasible II is only worth taking when the overlapped frame beats the
+  // serial one. A near-serial II whose delays stretch the span well past C
+  // can make (total-1)*II + span exceed total*C — the pipelined frame would
+  // finish *later* than the serial loop. Keep the serial loop then.
+  const i64 total = static_cast<i64>(m.timesteps) + m.output_depth;
+  if ((total - 1) * best + span >= total * static_cast<i64>(C)) return out;
+
+  out.ii = best;
+  out.depth = C - best;
+  out.op_cycle.resize(n);
+  out.slack.resize(n);
+  out.span = span;
+  for (usize i = 0; i < n; ++i) {
+    out.op_cycle[i] = an.b[i] + d[i];
+    out.slack[i] = out.depth - d[i];
+  }
+  for (const u32 c : an.rot_cores) out.rotate_cycle[c] = d[rot_node[c]];
+  out.readout_cycle = an.b[an.readout_node] + d[an.readout_node];
+  return out;
+}
+
+}  // namespace sj::map

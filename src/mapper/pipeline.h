@@ -1,0 +1,70 @@
+// Cross-timestep pipeline analysis (modulo scheduling over the timestep
+// schedule).
+//
+// The schedule is replayed every hardware timestep, and the ACC window
+// (`arch.acc_cycles`) floors `cycles_per_timestep` on every fixture — the
+// remaining cycle win is overlap *between* timesteps. build_pipeline()
+// computes, from the same register model the optimizer passes use
+// (mapper/opt/dataflow.h) extended with the axon double-buffer chain and the
+// iteration-boundary virtual nodes (per-core axon rotation + input
+// injection, end-of-iteration readout), the smallest initiation interval II
+// at which timestep t+1 may begin issuing while timestep t drains:
+//
+//   * every op i gets a pipelined local issue cycle s_i = b_i + d_i (b_i its
+//     schedule cycle, d_i >= 0 a delay) such that all RAW/WAR/WAW hazards on
+//     router registers (two-phase port semantics), neuron-core files and the
+//     axon cur/n1/n2 buffers hold between iteration k at k*II and iteration
+//     k+1 at (k+1)*II, with at most two iterations live (all entries fall in
+//     [0, 2*II));
+//   * the accumulate datapath is modeled as pipelined — initiation 1 cycle,
+//     result latency acc_cycles (SpiNNaker2-style overlapped PEs): ACC
+//     *gathers* its axon inputs at issue and *commits* the local PS file
+//     acc_cycles later, so the next timestep's rotation may proceed as soon
+//     as the gather has read the old axon buffer;
+//   * per-(core, block) issue slots stay conflict-free both within an
+//     iteration and across the II offset.
+//
+// The result feeds the engine's pipelined frame loop (sim/engine.cpp) and is
+// surfaced as ExecProgram::pipeline_slack / pipeline_depth. ii == 0 means
+// pipelining is disabled or infeasible and the engine keeps the serial loop.
+#pragma once
+
+#include <vector>
+
+#include "mapper/program.h"
+
+namespace sj::map {
+
+struct PipelineSchedule {
+  i32 ii = 0;     // initiation interval; 0 = serial (disabled or infeasible)
+  i32 span = 0;   // one iteration's local window [0, span); span <= 2*ii
+  i32 depth = 0;  // cycles_per_timestep - ii: cycles of t+1 overlapped with t
+
+  // Per schedule op (index-aligned with MappedNetwork::schedule and, by the
+  // 1:1 lowering, with ExecProgram::ops): the pipelined local issue cycle
+  // b + d, and the slack depth - d — how many cycles earlier than its serial
+  // slot the op issues in the next timestep (negative = delayed past it).
+  std::vector<i32> op_cycle;
+  std::vector<i32> slack;
+
+  // Virtual-node placement: per-core axon rotation cycle (-1 for cores the
+  // program never touches; input injection rides the same cycle) and the
+  // end-of-iteration readout/trace sample cycle.
+  std::vector<i32> rotate_cycle;
+  i32 readout_cycle = 0;
+
+  bool enabled() const { return ii > 0; }
+};
+
+/// Resolves a configured pipeline flag: negative means "read the
+/// SHENJING_PIPELINE environment variable" (default 1); the result is
+/// clamped to {0, 1}. Mirrors opt::resolve_opt_level.
+i32 resolve_pipeline(i32 configured);
+
+/// Runs the inter-timestep dependence analysis on `m.schedule` and searches
+/// the smallest feasible II in [ceil((C+1)/2), C-1]. Returns a disabled
+/// schedule (ii == 0) when the program is empty, the frame has fewer than
+/// two iterations, or no II in range is feasible.
+PipelineSchedule build_pipeline(const MappedNetwork& m);
+
+}  // namespace sj::map

@@ -110,6 +110,13 @@ struct MappedNetwork {
   i32 opt_level = 0;
   std::vector<OptPassStat> opt_passes;
 
+  // Cross-timestep pipelining flag (mapper/pipeline.h): 1 lets the engine
+  // overlap adjacent timesteps' accumulate windows, 0 keeps the serial
+  // frame loop. Part of the served-model identity like opt_level. Raw
+  // (hand-built) networks default to 0; map_network stamps
+  // resolve_pipeline(cfg.pipeline).
+  i32 pipeline = 0;
+
   usize num_cores() const { return cores.size(); }
   const std::vector<Slot>& output_slots() const {
     SJ_REQUIRE(!unit_slots.empty(), "unmapped network");

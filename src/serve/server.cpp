@@ -63,17 +63,9 @@ ModelKey model_key(const map::MappedNetwork& mapped, const snn::SnnNetwork& net)
   // The architecture parameters are part of the identity: the same net
   // mapped under different datapath widths or chip geometry simulates
   // differently even when placement, schedule and weights coincide.
-  const core::ArchParams& a = mapped.arch;
-  f.mix_i(a.core_axons);
-  f.mix_i(a.core_neurons);
-  f.mix_i(a.sram_banks);
-  f.mix_i(a.acc_cycles);
-  f.mix_i(a.weight_bits);
-  f.mix_i(a.local_ps_bits);
-  f.mix_i(a.noc_bits);
-  f.mix_i(a.potential_bits);
-  f.mix_i(a.chip_rows);
-  f.mix_i(a.chip_cols);
+  // ArchParams::identity() is the single source of truth for which fields
+  // are semantic — the engine's weight-swap gate consumes the same tuple.
+  for (const i32 v : mapped.arch.identity()) f.mix_i(v);
   f.mix(mapped.cores.size());
   f.mix_i(mapped.timesteps);
   f.mix_i(mapped.output_depth);
@@ -85,6 +77,10 @@ ModelKey model_key(const map::MappedNetwork& mapped, const snn::SnnNetwork& net)
   // the artifact of a different optimization pipeline (hot weight-swaps key
   // on this hash to decide structural compatibility).
   f.mix_i(mapped.opt_level);
+  // So is the pipeline flag: the cross-timestep engine changes latency
+  // accounting (effective cycles) without changing results, and a swap
+  // between pipelined and serial compilations must re-publish, not alias.
+  f.mix_i(mapped.pipeline);
   // The op stream and the slot tables are part of the identity: two
   // mappings of the same weights under different mapper configurations are
   // different served artifacts (they route differently), and must not
@@ -140,7 +136,8 @@ Server::Server(ServerOptions options)
     : max_pending_(options.max_pending),
       shard_below_depth_(options.shard_below_depth),
       profile_engine_(options.profile_engine),
-      opt_level_(options.opt_level) {
+      opt_level_(options.opt_level),
+      pipeline_(options.pipeline) {
   submitted_ = &registry_.counter("serve.submitted");
   completed_ = &registry_.counter("serve.completed");
   errors_ = &registry_.counter("serve.errors");
@@ -170,6 +167,9 @@ ModelKey Server::load_model(const map::MappedNetwork& mapped, const snn::SnnNetw
              "serve: load_model at mapper opt level " +
                  std::to_string(mapped.opt_level) + " but the server admits only level " +
                  std::to_string(opt_level_));
+  SJ_REQUIRE(pipeline_ < 0 || mapped.pipeline == pipeline_,
+             "serve: load_model with pipeline=" + std::to_string(mapped.pipeline) +
+                 " but the server admits only pipeline=" + std::to_string(pipeline_));
   const ModelKey key = model_key(mapped, net);
   std::shared_ptr<const Generation> donor;
   {
@@ -227,6 +227,9 @@ void Server::swap_weights(ModelKey key, const map::MappedNetwork& mapped,
              "serve: swap_weights at mapper opt level " +
                  std::to_string(mapped.opt_level) + " but the server admits only level " +
                  std::to_string(opt_level_));
+  SJ_REQUIRE(pipeline_ < 0 || mapped.pipeline == pipeline_,
+             "serve: swap_weights with pipeline=" + std::to_string(mapped.pipeline) +
+                 " but the server admits only pipeline=" + std::to_string(pipeline_));
   std::shared_ptr<const Generation> donor;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -547,6 +550,7 @@ json::Value Server::metrics_json() const {
     m.set("frames", v.stats.frames);
     m.set("iterations", v.stats.iterations);
     m.set("cycles", static_cast<i64>(v.stats.cycles));
+    m.set("effective_cycles", static_cast<i64>(v.stats.effective_cycles));
     m.set("spikes_fired", v.stats.spikes_fired);
     m.set("switching_activity", v.stats.switching_activity());
     if (v.gen != nullptr) {

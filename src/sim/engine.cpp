@@ -1,5 +1,7 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+
 #include "common/barrier.h"
 #include "common/fixed.h"
 #include "common/simd.h"
@@ -81,6 +83,7 @@ void SimStats::merge(const SimStats& o) {
   frames += o.frames;
   iterations += o.iterations;
   cycles += o.cycles;
+  effective_cycles += o.effective_cycles;
   for (usize i = 0; i < op_neurons.size(); ++i) op_neurons[i] += o.op_neurons[i];
   saturations += o.saturations;
   spikes_fired += o.spikes_fired;
@@ -99,13 +102,7 @@ void require_swap_compatible(const MappedNetwork& donor, const MappedNetwork& ne
   // Architecture first: the donor topology bakes in datapath widths and
   // chip geometry (router-adder saturation, interchip link flags), and the
   // kernels clamp with the new network's widths — they must agree.
-  const core::ArchParams& da = donor.arch;
-  const core::ArchParams& na = next.arch;
-  SJ_REQUIRE(da.core_axons == na.core_axons && da.core_neurons == na.core_neurons &&
-                 da.sram_banks == na.sram_banks && da.acc_cycles == na.acc_cycles &&
-                 da.weight_bits == na.weight_bits && da.local_ps_bits == na.local_ps_bits &&
-                 da.noc_bits == na.noc_bits && da.potential_bits == na.potential_bits &&
-                 da.chip_rows == na.chip_rows && da.chip_cols == na.chip_cols,
+  SJ_REQUIRE(donor.arch.identity() == next.arch.identity(),
              "weight swap: architecture parameters changed — remap and recompile instead");
   SJ_REQUIRE(donor.cores.size() == next.cores.size(),
              "weight swap: core count changed — remap and recompile instead");
@@ -124,6 +121,12 @@ void require_swap_compatible(const MappedNetwork& donor, const MappedNetwork& ne
              "weight swap: mapper opt level changed (" +
                  std::to_string(donor.opt_level) + " -> " +
                  std::to_string(next.opt_level) + ") — remap and recompile instead");
+  // Same story for the pipeline flag: the donor's pipelined execution tables
+  // are reused verbatim, and the flag is part of the served identity.
+  SJ_REQUIRE(donor.pipeline == next.pipeline,
+             "weight swap: pipeline flag changed (" +
+                 std::to_string(donor.pipeline) + " -> " +
+                 std::to_string(next.pipeline) + ") — remap and recompile instead");
   // The donor's lowered program replays its own TimedOp stream, so the op
   // streams must match verbatim, not just in length (an equal-length
   // schedule from a different mapper configuration would silently execute
@@ -175,6 +178,7 @@ CompiledModel::CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork&
       plan_(map::build_shard_plan(mapped, topo_, prog_)) {
   build_dense_rows();
   build_touch_sets();
+  build_pipeline_exec();
 }
 
 CompiledModel::CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork& net,
@@ -186,7 +190,13 @@ CompiledModel::CompiledModel(const MappedNetwork& mapped, const snn::SnnNetwork&
       plan_(donor.plan_),
       touched_routers_(donor.touched_routers_),
       active_cores_(donor.active_cores_),
-      touched_links_(donor.touched_links_) {
+      touched_links_(donor.touched_links_),
+      pipe_(donor.pipe_),
+      pipe_plain_(donor.pipe_plain_),
+      pipe_shards_(donor.pipe_shards_),
+      pipe_ranges_(donor.pipe_ranges_),
+      pend_slot_(donor.pend_slot_),
+      pend_count_(donor.pend_count_) {
   require_swap_compatible(donor.mapped(), mapped);
   // Touch sets and the shard plan depend only on the (identical) program,
   // chip geometry and input taps, so the donor's copies hold; dense rows
@@ -256,6 +266,183 @@ void CompiledModel::build_touch_sets() {
   for (u32 l = 0; l < topo_.num_links(); ++l) {
     if (link_touched[l]) touched_links_.push_back(l);
   }
+}
+
+void CompiledModel::build_pipeline_exec() {
+  const MappedNetwork& m = *mapped_;
+  if (m.pipeline > 0) pipe_ = map::build_pipeline(m);
+  prog_.pipeline_slack = pipe_.slack;
+  prog_.pipeline_depth = pipe_.depth;
+  if (!pipe_.enabled()) return;
+
+  // Pending-buffer slots for in-flight ACC gathers: one (core, parity) pair
+  // of i32[256] accumulators per ACC-issuing core (SimContext::acc_pend_).
+  pend_slot_.assign(m.cores.size(), -1);
+  pend_count_ = 0;
+  for (const map::ExecOp& op : prog_.ops) {
+    if (op.code == core::OpCode::Acc && pend_slot_[op.core] < 0) {
+      pend_slot_[op.core] = pend_count_++;
+    }
+  }
+
+  const i32 span = pipe_.span;
+  const i32 acc = m.arch.acc_cycles;
+
+  // One PipeTables per execution domain from the domain's op list (schedule
+  // order) and per-op pipelined issue cycles. Within one cycle the engine
+  // runs [rotations, injections, ACC commits, ops in schedule order] — the
+  // exact order the analysis priced its w = 0 edges against.
+  const auto build_tables = [&](const std::vector<map::ExecOp>& ops,
+                                const std::vector<i32>& cyc, const std::vector<u32>& rot,
+                                const std::vector<std::pair<u32, map::Slot>>& taps) {
+    PipeTables pt;
+    pt.rows.resize(static_cast<usize>(span));
+    std::vector<u32> perm(ops.size());
+    for (u32 i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](u32 a, u32 b) { return cyc[a] < cyc[b]; });
+    pt.ops.reserve(ops.size());
+    std::vector<i32> op_cyc;
+    op_cyc.reserve(ops.size());
+    std::vector<std::pair<i32, u32>> commit_at;  // (commit cycle, pt.ops index)
+    for (const u32 i : perm) {
+      if (ops[i].code == core::OpCode::Acc) {
+        commit_at.emplace_back(cyc[i] + acc, static_cast<u32>(pt.ops.size()));
+      }
+      op_cyc.push_back(cyc[i]);
+      pt.ops.push_back(ops[i]);
+    }
+    std::stable_sort(commit_at.begin(), commit_at.end());
+    pt.rot_cores.assign(rot.begin(), rot.end());
+    std::stable_sort(pt.rot_cores.begin(), pt.rot_cores.end(), [&](u32 a, u32 b) {
+      return pipe_.rotate_cycle[a] < pipe_.rotate_cycle[b];
+    });
+    pt.taps.assign(taps.begin(), taps.end());
+    std::stable_sort(pt.taps.begin(), pt.taps.end(), [&](const auto& a, const auto& b) {
+      return pipe_.rotate_cycle[a.second.core] < pipe_.rotate_cycle[b.second.core];
+    });
+    pt.commits.reserve(commit_at.size());
+    for (const auto& [cy, idx] : commit_at) pt.commits.push_back(idx);
+    // Bucket each sorted list into contiguous per-row [b, e) slices.
+    const auto slice = [&](usize count, auto&& cycle_of, auto&& set) {
+      usize i = 0;
+      for (i32 r = 0; r < span; ++r) {
+        const u32 b = static_cast<u32>(i);
+        while (i < count && cycle_of(i) == r) ++i;
+        set(pt.rows[static_cast<usize>(r)], b, static_cast<u32>(i));
+      }
+      SJ_ASSERT(i == count, "pipeline: entry outside the schedule span");
+    };
+    slice(pt.rot_cores.size(),
+          [&](usize i) { return pipe_.rotate_cycle[pt.rot_cores[i]]; },
+          [](PipeTables::Row& row, u32 b, u32 e) { row.rot_b = b; row.rot_e = e; });
+    slice(pt.taps.size(),
+          [&](usize i) { return pipe_.rotate_cycle[pt.taps[i].second.core]; },
+          [](PipeTables::Row& row, u32 b, u32 e) { row.tap_b = b; row.tap_e = e; });
+    slice(pt.commits.size(), [&](usize i) { return commit_at[i].first; },
+          [](PipeTables::Row& row, u32 b, u32 e) { row.com_b = b; row.com_e = e; });
+    slice(pt.ops.size(), [&](usize i) { return op_cyc[i]; },
+          [](PipeTables::Row& row, u32 b, u32 e) { row.op_b = b; row.op_e = e; });
+    return pt;
+  };
+
+  {
+    std::vector<std::pair<u32, map::Slot>> taps;
+    for (u32 g = 0; g < m.input_taps.size(); ++g) {
+      for (const map::Slot& s : m.input_taps[g]) taps.emplace_back(g, s);
+    }
+    pipe_plain_ = build_tables(prog_.ops, pipe_.op_cycle, active_cores_, taps);
+  }
+
+  // Per-shard tables: shard ops are an order-preserving deal of prog_.ops by
+  // chip (see build_shard_plan), so one walk recovers each shard op's global
+  // index and with it its pipelined cycle.
+  const usize S = plan_.num_shards();
+  std::vector<std::vector<i32>> shard_cyc(S);
+  for (usize s = 0; s < S; ++s) shard_cyc[s].reserve(plan_.shards[s].ops.size());
+  for (u32 i = 0; i < prog_.ops.size(); ++i) {
+    shard_cyc[plan_.shard_of_core[prog_.ops[i].core]].push_back(pipe_.op_cycle[i]);
+  }
+  pipe_shards_.clear();
+  pipe_shards_.reserve(S);
+  for (usize s = 0; s < S; ++s) {
+    const map::ShardPlan::Shard& sh = plan_.shards[s];
+    SJ_ASSERT(shard_cyc[s].size() == sh.ops.size(), "pipeline: shard op deal mismatch");
+    pipe_shards_.push_back(build_tables(sh.ops, shard_cyc[s], sh.active_cores, sh.input_taps));
+  }
+
+  // Coordinator ranges of the sharded path. Split points: every iteration
+  // boundary k*II (input staging), after every readout cycle, and before
+  // every cycle that reads a port a cross-shard send can ever feed — the
+  // static (dirty-tracking-free, hence conservative) analogue of the shard
+  // plan's dynamic barriers. Cross-shard outboxes drain at every boundary.
+  const i32 T = m.timesteps;
+  const i32 total = T + m.output_depth;
+  const u64 ii = static_cast<u64>(pipe_.ii);
+  const u64 A = static_cast<u64>(total - 1) * ii + static_cast<u64>(span);
+  std::vector<u64> pts;
+  for (u64 p = ii; p < A; p += ii) pts.push_back(p);
+  for (i32 k = 0; k < total; ++k) {
+    const u64 p = static_cast<u64>(k) * ii + static_cast<u64>(pipe_.readout_cycle) + 1;
+    if (p < A) pts.push_back(p);
+  }
+  std::vector<bool> cross_written(topo_.num_links(), false);
+  for (const map::ShardPlan::Shard& sh : plan_.shards) {
+    for (const map::ExecOp& op : sh.ops) {
+      if (op.cross_shard && op.link != noc::kInvalidLink) cross_written[op.link] = true;
+    }
+  }
+  const auto reads_port = [](core::OpCode code) {
+    switch (code) {
+      case core::OpCode::PsSum:
+      case core::OpCode::PsBypass:
+      case core::OpCode::SpkBypass:
+      case core::OpCode::SpkRecv:
+      case core::OpCode::SpkRecvForward:
+        return true;
+      default:
+        return false;
+    }
+  };
+  std::vector<bool> hazard(static_cast<usize>(span), false);
+  for (u32 i = 0; i < prog_.ops.size(); ++i) {
+    const map::ExecOp& op = prog_.ops[i];
+    if (!reads_port(op.code)) continue;
+    const u32 nb = topo_.neighbor(op.core, op.src);
+    if (nb == noc::kInvalidCore) continue;  // grid-edge port: never written
+    const noc::LinkId feed = topo_.link_id(nb, opposite(op.src));
+    if (feed != noc::kInvalidLink && cross_written[feed]) {
+      hazard[static_cast<usize>(pipe_.op_cycle[i])] = true;
+    }
+  }
+  for (i32 r = 0; r < span; ++r) {
+    if (!hazard[static_cast<usize>(r)]) continue;
+    for (i32 k = 0; k < total; ++k) {
+      const u64 p = static_cast<u64>(k) * ii + static_cast<u64>(r);
+      if (p > 0 && p < A) pts.push_back(p);
+    }
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  pipe_ranges_.clear();
+  pipe_ranges_.reserve(pts.size() + 1);
+  u64 prev = 0;
+  const auto flush = [&](u64 e) {
+    PipeRange rg;
+    rg.b = prev;
+    rg.e = e;
+    if (prev % ii == 0 && prev / ii < static_cast<u64>(T)) {
+      rg.stage_k = static_cast<i32>(prev / ii);
+    }
+    const u64 ro = static_cast<u64>(pipe_.readout_cycle) + 1;
+    if (e >= ro && (e - ro) % ii == 0 && (e - ro) / ii < static_cast<u64>(total)) {
+      rg.readout_k = static_cast<i32>((e - ro) / ii);
+    }
+    pipe_ranges_.push_back(rg);
+    prev = e;
+  };
+  for (const u64 p : pts) flush(p);
+  flush(A);
 }
 
 i64 CompiledModel::ldwt_neurons() const {
@@ -355,7 +542,7 @@ struct LaneSender {
 
 template <typename Sender>
 void Engine::exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 end,
-                      SimStats& st, Sender&& send) const {
+                      SimStats& st, Sender&& send, i32 acc_parity) const {
   const MappedNetwork& mapped = *model_.mapped_;
   const auto& cores = mapped.cores;
   const i32 ps_bits = mapped.arch.noc_bits;
@@ -384,8 +571,16 @@ void Engine::exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 en
     switch (op.code) {
       case core::OpCode::Acc: {
         const map::MappedCore& mc = cores[c];
-        cs.local_ps.fill(0);
-        auto& acc = cs.acc;
+        // Pipelined issue (acc_parity >= 0): gather into the core's pending
+        // buffer for this iteration parity and let acc_commit land the local
+        // PS file acc_cycles later. Serial: gather into the reusable scratch
+        // and commit immediately, as the hardware's blocking ACC would.
+        const bool pipelined = acc_parity >= 0;
+        std::array<i32, 256>& acc =
+            pipelined ? ctx.acc_pend_[static_cast<usize>(model_.pend_slot_[c]) * 2 +
+                                      static_cast<usize>(acc_parity)]
+                      : cs.acc;
+        if (!pipelined) cs.local_ps.fill(0);
         acc.fill(0);
         // Weighted-sum gather over *spiking* axons only: the word AND of
         // the axon mask with the current axon register prunes the ~94 %
@@ -411,6 +606,7 @@ void Engine::exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 en
             }
           }
         }
+        if (pipelined) break;  // acc_commit finishes this acc_cycles later
         if (lps_vec) {
           st.saturations += masked_clamp_store(mc.neuron_mask.w, acc.data(),
                                                cs.local_ps.data(),
@@ -530,6 +726,60 @@ void Engine::exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 en
   }
 }
 
+void Engine::acc_commit(SimContext& ctx, const map::ExecOp& op, i32 parity,
+                        SimStats& st) const {
+  // The write half of the pipelined ACC: clear the local PS file and land the
+  // pending gather's clamp — the exact twin of the serial Acc kernel's tail,
+  // so saturation tallies and results match bit for bit.
+  const map::MappedCore& mc = model_.mapped_->cores[op.core];
+  SimContext::CoreState& cs = ctx.cores_[op.core];
+  const std::array<i32, 256>& acc =
+      ctx.acc_pend_[static_cast<usize>(model_.pend_slot_[op.core]) * 2 +
+                    static_cast<usize>(parity)];
+  const i32 lps_bits = model_.mapped_->arch.local_ps_bits;
+  const i64 lps_lo = signed_min(lps_bits), lps_hi = signed_max(lps_bits);
+  cs.local_ps.fill(0);
+  if (lps_bits <= 16) {
+    st.saturations += masked_clamp_store(mc.neuron_mask.w, acc.data(), cs.local_ps.data(),
+                                         static_cast<i32>(lps_lo),
+                                         static_cast<i32>(lps_hi));
+  } else {
+    i64 sat = 0;
+    noc::Router::for_each_masked_strip(mc.neuron_mask.w, [&](int p) {
+      cs.local_ps[static_cast<usize>(p)] = static_cast<i16>(
+          clamp_count(acc[static_cast<usize>(p)], lps_lo, lps_hi, sat));
+    });
+    st.saturations += sat;
+  }
+}
+
+template <typename Sender>
+void Engine::exec_pipe_cycle(SimContext& ctx, const PipeTables& pt, u32 r, i32 k,
+                             SimStats& st, Sender&& send) const {
+  const PipeTables::Row& row = pt.rows[r];
+  // In-cycle order matches the analysis' w = 0 pricing: rotations, then
+  // injections, then ACC commits, then the issue slice in schedule order.
+  for (u32 i = row.rot_b; i < row.rot_e; ++i) {
+    SimContext::CoreState& cs = ctx.cores_[pt.rot_cores[i]];
+    cs.axon_cur = cs.axon_n1;
+    cs.axon_n1 = cs.axon_n2;
+    cs.axon_n2 = {};
+  }
+  if (row.tap_b != row.tap_e && k < model_.mapped_->timesteps) {
+    const BitVec& in = ctx.pipe_input_[static_cast<usize>(k) & 1];
+    for (u32 i = row.tap_b; i < row.tap_e; ++i) {
+      const auto& [g, slot] = pt.taps[i];
+      if (!in.get(g)) continue;
+      bit_set(ctx.cores_[slot.core].axon_n1, slot.plane, true);
+    }
+  }
+  const i32 parity = k & 1;
+  for (u32 i = row.com_b; i < row.com_e; ++i) {
+    acc_commit(ctx, pt.ops[pt.commits[i]], parity, st);
+  }
+  exec_ops(ctx, pt.ops.data(), row.op_b, row.op_e, st, send, parity);
+}
+
 void Engine::run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats& st) const {
   const MappedNetwork& mapped = *model_.mapped_;
 
@@ -561,6 +811,7 @@ void Engine::run_iteration(SimContext& ctx, const BitVec* input_spikes, SimStats
   }
   ++st.iterations;
   st.cycles += mapped.cycles_per_timestep;
+  st.effective_cycles += mapped.cycles_per_timestep;  // serial: no overlap
 }
 
 void Engine::exec_shard_phase(SimContext& ctx, usize s, u32 phase,
@@ -596,6 +847,29 @@ void Engine::exec_shard_phase(SimContext& ctx, usize s, u32 phase,
   }
 }
 
+void Engine::exec_shard_pipe_range(SimContext& ctx, usize s, u64 b, u64 e) const {
+  const PipeTables& pt = model_.pipe_shards_[s];
+  const u64 ii = static_cast<u64>(model_.pipe_.ii);
+  const u64 span = static_cast<u64>(model_.pipe_.span);
+  const i64 total = model_.mapped_->timesteps + model_.mapped_->output_depth;
+  SimStats& st = ctx.shard_stats_[s];
+  noc::NocState::ShardLane& lane = ctx.lanes_[s];
+  LaneSender send{ctx.noc_, model_.topo_, lane, st.noc};
+  for (u64 a = b; a < e; ++a) {
+    // At most two iterations are live per absolute cycle (span <= 2*II);
+    // the older slice executes first, as the cross-edge weights require.
+    const i64 kn = static_cast<i64>(a / ii);
+    for (i64 k = kn - 1; k <= kn; ++k) {
+      if (k < 0 || k >= total) continue;
+      const u64 r = a - static_cast<u64>(k) * ii;
+      if (r >= span) continue;
+      exec_pipe_cycle(ctx, pt, static_cast<u32>(r), static_cast<i32>(k), st, send);
+    }
+    // Per-cycle local commit; cross-shard outboxes wait for the range drain.
+    ctx.noc_.commit_lane_cycle(lane);
+  }
+}
+
 /// Per-frame shared state of the persistent shard team. Heap-allocated and
 /// shared_ptr-held by every helper task: a helper the pool schedules late —
 /// even after the frame returned — only ever touches this block's atomics
@@ -613,6 +887,10 @@ struct Engine::Team {
   const BitVec* input = nullptr;
   u32 num_phases = 1;
   bool prof = false;
+  // Pipelined-frame mode: epochs map to coordinator ranges (epoch e runs
+  // pipe_ranges[e - 1]) instead of cycling through the plan's phases.
+  bool pipelined = false;
+  const std::vector<PipeRange>* ranges = nullptr;
   // Per-runner shard preference: own (ShardPlan::assign_workers) shards
   // first, the rest as steal targets in index order.
   std::vector<std::vector<u32>> order;
@@ -631,7 +909,7 @@ struct Engine::Team {
 };
 
 void Engine::team_exec_epoch(const Engine* eng, Team& w, u64 e, usize runner) {
-  const u32 phase = static_cast<u32>((e - 1) % w.num_phases);
+  const u32 phase = w.pipelined ? 0 : static_cast<u32>((e - 1) % w.num_phases);
   for (const u32 s : w.order[runner]) {
     if (!w.barrier.claim_exec(s, e)) continue;
     // A successful claim implies the coordinator is still inside this
@@ -639,13 +917,24 @@ void Engine::team_exec_epoch(const Engine* eng, Team& w, u64 e, usize runner) {
     if (!w.failed.load(std::memory_order_acquire)) {
       try {
         SimContext& ctx = *w.ctx;
-        const BitVec* input = phase == 0 ? w.input : nullptr;
-        if (w.prof) {
-          const u64 t0 = obs::now_ns();
-          eng->exec_shard_phase(ctx, s, phase, input);
-          ctx.profile_scratch_[s] = obs::now_ns() - t0;
+        if (w.pipelined) {
+          const PipeRange& rg = (*w.ranges)[static_cast<usize>(e - 1)];
+          if (w.prof) {
+            const u64 t0 = obs::now_ns();
+            eng->exec_shard_pipe_range(ctx, s, rg.b, rg.e);
+            ctx.profile_scratch_[s] = obs::now_ns() - t0;
+          } else {
+            eng->exec_shard_pipe_range(ctx, s, rg.b, rg.e);
+          }
         } else {
-          eng->exec_shard_phase(ctx, s, phase, input);
+          const BitVec* input = phase == 0 ? w.input : nullptr;
+          if (w.prof) {
+            const u64 t0 = obs::now_ns();
+            eng->exec_shard_phase(ctx, s, phase, input);
+            ctx.profile_scratch_[s] = obs::now_ns() - t0;
+          } else {
+            eng->exec_shard_phase(ctx, s, phase, input);
+          }
         }
       } catch (...) {
         w.fail();
@@ -756,6 +1045,7 @@ void Engine::run_iteration_sharded(SimContext& ctx, const BitVec* input_spikes,
   // Iteration-level counters are charged once, on the coordinating thread.
   ++ctx.stats_.iterations;
   ctx.stats_.cycles += model_.mapped_->cycles_per_timestep;
+  ctx.stats_.effective_cycles += model_.mapped_->cycles_per_timestep;
 }
 
 template <typename RunIter>
@@ -815,8 +1105,107 @@ FrameResult Engine::run_frame_impl(SimContext& ctx, const Tensor& image,
   return res;
 }
 
+void Engine::pipe_sample(SimContext& ctx, i32 k, FrameResult& res,
+                         HardwareTrace* trace) const {
+  const MappedNetwork& mapped = *model_.mapped_;
+  const snn::SnnNetwork& net = *model_.net_;
+  const i32 T = mapped.timesteps;
+  const auto& out_slots = mapped.output_slots();
+  if (k >= mapped.output_depth) {
+    for (usize j = 0; j < out_slots.size(); ++j) {
+      if (ctx.noc_.router(out_slots[j].core).spike_out(out_slots[j].plane)) {
+        ++res.spike_counts[j];
+      }
+    }
+  }
+  if (trace != nullptr) {
+    for (usize u = 0; u < net.units.size(); ++u) {
+      const i32 d = mapped.unit_depth[u];
+      if (k >= d && k < d + T) {
+        const auto& slots = mapped.unit_slots[u];
+        BitVec bv(slots.size());
+        for (usize j = 0; j < slots.size(); ++j) {
+          bv.set(j, ctx.noc_.router(slots[j].core).spike_out(slots[j].plane));
+        }
+        trace->units[u].push_back(std::move(bv));
+      }
+    }
+  }
+}
+
+FrameResult Engine::run_frame_pipelined(SimContext& ctx, const Tensor& image,
+                                        HardwareTrace* trace) const {
+  const bool prof = ctx.profile_on_;
+  const u64 f0 = prof ? obs::now_ns() : 0;
+  reset(ctx);
+  if (prof) ctx.profile_.reset_ns += obs::now_ns() - f0;
+  const MappedNetwork& mapped = *model_.mapped_;
+  const snn::SnnNetwork& net = *model_.net_;
+  const i32 T = mapped.timesteps;
+  const i32 total = T + mapped.output_depth;
+  const u64 ii = static_cast<u64>(model_.pipe_.ii);
+  const u64 span = static_cast<u64>(model_.pipe_.span);
+  const u64 readout = static_cast<u64>(model_.pipe_.readout_cycle);
+  const u64 A = static_cast<u64>(total - 1) * ii + span;
+  snn::InputEncoder enc(image, net.input_scale);
+
+  const auto& out_slots = mapped.output_slots();
+  FrameResult res;
+  res.spike_counts.assign(out_slots.size(), 0);
+  res.final_potentials.assign(out_slots.size(), 0);
+  if (trace != nullptr) {
+    trace->units.assign(net.units.size(), {});
+    for (usize u = 0; u < net.units.size(); ++u) {
+      trace->units[u].reserve(static_cast<usize>(T));
+    }
+  }
+  if (ctx.acc_pend_.size() < static_cast<usize>(model_.pend_count_) * 2) {
+    ctx.acc_pend_.resize(static_cast<usize>(model_.pend_count_) * 2);
+  }
+
+  ctx.stats_.frames += 1;
+  const u64 e0 = prof ? obs::now_ns() : 0;
+  QueueSender send{ctx.noc_, model_.topo_, ctx.stats_.noc};
+  for (u64 a = 0; a < A; ++a) {
+    const i64 kn = static_cast<i64>(a / ii);
+    // Stage iteration kn's input at its first cycle. Its earliest reader is
+    // its own injection; the buffer it replaces belonged to kn - 2, whose
+    // injections retired before (kn - 1)*II + span <= a + span.
+    if (a % ii == 0 && kn < T) ctx.pipe_input_[static_cast<usize>(kn) & 1] = enc.step();
+    for (i64 k = kn - 1; k <= kn; ++k) {  // older slice first
+      if (k < 0 || k >= total) continue;
+      const u64 r = a - static_cast<u64>(k) * ii;
+      if (r >= span) continue;
+      exec_pipe_cycle(ctx, model_.pipe_plain_, static_cast<u32>(r), static_cast<i32>(k),
+                      ctx.stats_, send);
+    }
+    ctx.noc_.commit_cycle();
+    for (i64 k = kn - 1; k <= kn; ++k) {
+      if (k < 0 || k >= total) continue;
+      if (a - static_cast<u64>(k) * ii == readout) pipe_sample(ctx, static_cast<i32>(k), res, trace);
+    }
+  }
+  // Iteration/schedule-cycle counters match the serial loop exactly (same
+  // ops ran); effective_cycles records the overlapped wall clock.
+  ctx.stats_.iterations += total;
+  ctx.stats_.cycles += static_cast<u64>(total) * mapped.cycles_per_timestep;
+  ctx.stats_.effective_cycles += A;
+  if (prof) ctx.profile_.exec_ns += obs::now_ns() - e0;
+
+  for (usize j = 0; j < out_slots.size(); ++j) {
+    res.final_potentials[j] = ctx.cores_[out_slots[j].core].potential[out_slots[j].plane];
+  }
+  res.predicted = snn::EvalResult::decide(res.spike_counts, res.final_potentials);
+  if (prof) {
+    ++ctx.profile_.frames;
+    ctx.profile_.frame_ns += obs::now_ns() - f0;
+  }
+  return res;
+}
+
 FrameResult Engine::run_frame(SimContext& ctx, const Tensor& image,
                               HardwareTrace* trace) const {
+  if (model_.pipe_.enabled()) return run_frame_pipelined(ctx, image, trace);
   if (!ctx.profile_on_) {
     reset(ctx);
     return run_frame_impl(ctx, image, trace, [&](SimContext& c, const BitVec* in) {
@@ -850,8 +1239,158 @@ void Engine::drain_shard_stats(SimContext& ctx) const {
   }
 }
 
+FrameResult Engine::run_frame_sharded_pipelined(SimContext& ctx, const Tensor& image,
+                                                HardwareTrace* trace, ThreadPool* pool) const {
+  const bool prof = ctx.profile_on_;
+  const u64 f0 = prof ? obs::now_ns() : 0;
+  reset(ctx);
+  if (prof) ctx.profile_.reset_ns += obs::now_ns() - f0;
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+  const MappedNetwork& mapped = *model_.mapped_;
+  const snn::SnnNetwork& net = *model_.net_;
+  const usize shards = model_.plan_.num_shards();
+  if (ctx.lanes_.size() < shards) ctx.lanes_.resize(shards);
+  if (ctx.shard_stats_.size() < shards) ctx.shard_stats_.resize(shards);
+  if (prof) {
+    if (ctx.profile_.shard_exec_ns.size() < shards) {
+      ctx.profile_.shard_exec_ns.resize(shards, 0);
+      ctx.profile_.shard_wait_ns.resize(shards, 0);
+    }
+    if (ctx.profile_scratch_.size() < shards) ctx.profile_scratch_.resize(shards, 0);
+  }
+  for (auto& lane : ctx.lanes_) lane.clear();
+  if (ctx.acc_pend_.size() < static_cast<usize>(model_.pend_count_) * 2) {
+    ctx.acc_pend_.resize(static_cast<usize>(model_.pend_count_) * 2);
+  }
+
+  const i32 T = mapped.timesteps;
+  const i32 total = T + mapped.output_depth;
+  const u64 A = static_cast<u64>(total - 1) * static_cast<u64>(model_.pipe_.ii) +
+                static_cast<u64>(model_.pipe_.span);
+  snn::InputEncoder enc(image, net.input_scale);
+  const auto& out_slots = mapped.output_slots();
+  FrameResult res;
+  res.spike_counts.assign(out_slots.size(), 0);
+  res.final_potentials.assign(out_slots.size(), 0);
+  if (trace != nullptr) {
+    trace->units.assign(net.units.size(), {});
+    for (usize u = 0; u < net.units.size(); ++u) {
+      trace->units[u].reserve(static_cast<usize>(T));
+    }
+  }
+
+  // Same persistent team as the serial sharded path, but epochs are the
+  // precompiled coordinator ranges instead of plan phases.
+  std::shared_ptr<Team> team;
+  const usize runners = std::min(shards, std::max<usize>(p.num_threads(), 1));
+  if (runners > 1) {
+    team = std::make_shared<Team>(shards);
+    team->eng = this;
+    team->ctx = &ctx;
+    team->prof = prof;
+    team->pipelined = true;
+    team->ranges = &model_.pipe_ranges_;
+    const std::vector<u32> owner = model_.plan_.assign_workers(runners);
+    team->order.assign(runners, {});
+    for (usize r = 0; r < runners; ++r) {
+      team->order[r].reserve(shards);
+      for (u32 s = 0; s < shards; ++s) {
+        if (owner[s] == r) team->order[r].push_back(s);
+      }
+      for (u32 s = 0; s < shards; ++s) {
+        if (owner[s] != r) team->order[r].push_back(s);
+      }
+    }
+    for (usize r = 1; r < runners; ++r) {
+      p.submit([team, r] { team_helper_loop(team, r); });
+    }
+  }
+
+  ctx.stats_.frames += 1;
+  try {
+    for (const PipeRange& rg : model_.pipe_ranges_) {
+      // Staged before the epoch opens; the open's release store publishes
+      // the new buffer to the helpers (like Team::input on the serial path).
+      if (rg.stage_k >= 0) {
+        ctx.pipe_input_[static_cast<usize>(rg.stage_k) & 1] = enc.step();
+      }
+      if (team == nullptr) {
+        const u64 p0 = prof ? obs::now_ns() : 0;
+        for (usize s = 0; s < shards; ++s) {
+          if (prof) {
+            const u64 t0 = obs::now_ns();
+            exec_shard_pipe_range(ctx, s, rg.b, rg.e);
+            ctx.profile_scratch_[s] = obs::now_ns() - t0;
+          } else {
+            exec_shard_pipe_range(ctx, s, rg.b, rg.e);
+          }
+        }
+        if (prof) {
+          const u64 wall = obs::now_ns() - p0;
+          ctx.profile_.phase_wall_ns += wall;
+          for (usize s = 0; s < shards; ++s) {
+            const u64 exec = ctx.profile_scratch_[s];
+            ctx.profile_.shard_exec_ns[s] += exec;
+            ctx.profile_.shard_wait_ns[s] += wall > exec ? wall - exec : 0;
+          }
+        }
+        const u64 b0 = prof ? obs::now_ns() : 0;
+        for (usize s = 0; s < shards; ++s) ctx.noc_.commit_lane_cross(ctx.lanes_[s]);
+        if (prof) ctx.profile_.barrier_commit_ns += obs::now_ns() - b0;
+      } else {
+        Team& w = *team;
+        const u64 p0 = prof ? obs::now_ns() : 0;
+        const u64 e = w.barrier.open_phase();
+        team_exec_epoch(this, w, e, 0);
+        w.barrier.await_execs(e);
+        if (prof) {
+          const u64 wall = obs::now_ns() - p0;
+          ctx.profile_.phase_wall_ns += wall;
+          for (usize s = 0; s < shards; ++s) {
+            const u64 exec = ctx.profile_scratch_[s];
+            ctx.profile_.shard_exec_ns[s] += exec;
+            ctx.profile_.shard_wait_ns[s] += wall > exec ? wall - exec : 0;
+          }
+        }
+        const u64 b0 = prof ? obs::now_ns() : 0;
+        team_drain_epoch(w, e, 0);
+        w.barrier.await_drains(e);
+        if (prof) ctx.profile_.barrier_commit_ns += obs::now_ns() - b0;
+        if (w.failed.load(std::memory_order_acquire)) {
+          const std::lock_guard<std::mutex> lock(w.err_mutex);
+          std::rethrow_exception(w.first_error);
+        }
+      }
+      if (rg.readout_k >= 0) pipe_sample(ctx, rg.readout_k, res, trace);
+    }
+    ctx.stats_.iterations += total;
+    ctx.stats_.cycles += static_cast<u64>(total) * mapped.cycles_per_timestep;
+    ctx.stats_.effective_cycles += A;
+    if (team) team->barrier.finish_team();
+    drain_shard_stats(ctx);
+    for (usize j = 0; j < out_slots.size(); ++j) {
+      res.final_potentials[j] = ctx.cores_[out_slots[j].core].potential[out_slots[j].plane];
+    }
+    res.predicted = snn::EvalResult::decide(res.spike_counts, res.final_potentials);
+    if (prof) {
+      ++ctx.profile_.sharded_frames;
+      ctx.profile_.frame_ns += obs::now_ns() - f0;
+    }
+    return res;
+  } catch (...) {
+    // Same contract as run_frame_sharded's failure path: coordinator-side
+    // throws only happen at range boundaries (after awaited drains), so the
+    // helpers are idle and finish_team is safe.
+    if (team) team->barrier.finish_team();
+    drain_shard_stats(ctx);
+    for (auto& lane : ctx.lanes_) lane.clear();
+    throw;
+  }
+}
+
 FrameResult Engine::run_frame_sharded(SimContext& ctx, const Tensor& image,
                                       HardwareTrace* trace, ThreadPool* pool) const {
+  if (model_.pipe_.enabled()) return run_frame_sharded_pipelined(ctx, image, trace, pool);
   const bool prof = ctx.profile_on_;
   const u64 f0 = prof ? obs::now_ns() : 0;
   reset(ctx);

@@ -36,6 +36,7 @@
 #include "common/thread_pool.h"
 #include "mapper/exec_program.h"
 #include "obs/profile.h"
+#include "mapper/pipeline.h"
 #include "mapper/program.h"
 #include "mapper/shard_plan.h"
 #include "noc/fabric.h"
@@ -51,7 +52,13 @@ using map::Slot;
 struct SimStats {
   i64 frames = 0;
   i64 iterations = 0;      // hardware timesteps executed
-  u64 cycles = 0;          // iterations * cycles_per_timestep
+  u64 cycles = 0;          // schedule cycles: iterations * cycles_per_timestep
+  // Wall-clock hardware cycles actually occupied: with the pipelined engine
+  // (SHENJING_PIPELINE=1 and a feasible II) adjacent timesteps overlap and
+  // a frame takes (total-1)*II + span < total*cycles_per_timestep cycles;
+  // serially it equals `cycles`. Energy derives from the op census and is
+  // unaffected — this is the latency/throughput side of the split.
+  u64 effective_cycles = 0;
   // Per-neuron atomic-op issue counts, indexed by core::EnergyOp.
   std::array<i64, 8> op_neurons{};
   i64 saturations = 0;     // adder/potential saturation events (expect 0)
@@ -72,6 +79,38 @@ struct SimStats {
                            : static_cast<double>(axon_spikes) / static_cast<double>(axon_slots);
   }
   void merge(const SimStats& o);
+};
+
+/// Precompiled execution tables for the pipelined frame loop, one per
+/// execution domain (the whole program for the plain path, one per chip
+/// shard for the sharded path). Ops are re-sorted by pipelined issue cycle
+/// so every per-cycle slice is a contiguous range; ACC commits land
+/// acc_cycles after issue via `commits`.
+struct PipeTables {
+  struct Row {
+    u32 rot_b = 0, rot_e = 0;  // [b, e) into rot_cores: axon rotations
+    u32 tap_b = 0, tap_e = 0;  // [b, e) into taps: input injections
+    u32 com_b = 0, com_e = 0;  // [b, e) into commits: ACC local-PS commits
+    u32 op_b = 0, op_e = 0;    // [b, e) into ops: issue slice
+  };
+  std::vector<map::ExecOp> ops;  // re-sorted by (pipelined cycle, op index)
+  std::vector<u32> commits;      // indices into ops (ACCs), by commit cycle
+  std::vector<u32> rot_cores;
+  std::vector<std::pair<u32, map::Slot>> taps;  // (flat input bit, slot)
+  std::vector<Row> rows;                        // size = PipelineSchedule::span
+};
+
+/// One coordinator-driven slice of the pipelined sharded frame: absolute
+/// cycles [b, e). Ranges split wherever the shards must agree on global
+/// state: every iteration boundary k*II (input staging may overwrite a
+/// buffer a still-draining iteration no longer reads), after every readout
+/// cycle (the coordinator samples outputs between ranges), and before any
+/// cycle whose ops read a router port that a cross-shard send can feed —
+/// the static analogue of ShardPlan's dynamic link-dirty barriers.
+struct PipeRange {
+  u64 b = 0, e = 0;
+  i32 stage_k = -1;    // stage encoder output for iteration k at range start
+  i32 readout_k = -1;  // sample outputs/traces for iteration k at range end
 };
 
 /// Spike trains observed at unit roots, re-aligned to logical timesteps
@@ -125,11 +164,17 @@ class CompiledModel {
   /// issue count (#cores x neurons); charged once per deployment.
   i64 ldwt_neurons() const;
 
+  /// The cross-timestep modulo schedule (mapper/pipeline.h). enabled() is
+  /// false when the network is compiled with pipeline=0 or the analysis
+  /// found no feasible II — the engine then runs the serial frame loop.
+  const map::PipelineSchedule& pipeline() const { return pipe_; }
+
  private:
   friend class Engine;
 
   void build_dense_rows();
   void build_touch_sets();
+  void build_pipeline_exec();
 
   const MappedNetwork* mapped_;
   const snn::SnnNetwork* net_;
@@ -146,6 +191,16 @@ class CompiledModel {
   std::vector<u32> touched_routers_;   // op cores + send destinations
   std::vector<u32> active_cores_;      // cores whose CoreState can change
   std::vector<noc::LinkId> touched_links_;
+  // Pipelined execution artifacts (build_pipeline_exec; empty when pipe_ is
+  // disabled): the schedule itself, per-cycle tables for the plain path and
+  // for each chip shard, the coordinator ranges of the sharded path, and the
+  // core -> pending-buffer slot map for in-flight ACC gathers.
+  map::PipelineSchedule pipe_;
+  PipeTables pipe_plain_;
+  std::vector<PipeTables> pipe_shards_;
+  std::vector<PipeRange> pipe_ranges_;
+  std::vector<i32> pend_slot_;  // core -> acc_pend_ pair index, -1 if no ACC
+  i32 pend_count_ = 0;
 };
 
 /// The mutable state of one frame stream: neuron-core registers, one
@@ -209,6 +264,13 @@ class SimContext {
   obs::PhaseProfile profile_;
   std::vector<u64> profile_scratch_;
   bool profile_on_ = false;
+  // Pipelined-run scratch: double-buffered encoder output (iteration k's
+  // input lives in pipe_input_[k & 1]; with at most two live iterations the
+  // older one never reads a buffer being restaged) and the per-(ACC core,
+  // iteration parity) pending partial-sum gathers awaiting their commit
+  // acc_cycles later (2 * CompiledModel::pend_count_ entries).
+  std::array<BitVec, 2> pipe_input_;
+  std::vector<std::array<i32, 256>> acc_pend_;
 };
 
 /// One compiled model plus a pool of contexts. run_frame is const and
@@ -303,12 +365,40 @@ class Engine {
   template <typename RunIter>
   FrameResult run_frame_impl(SimContext& ctx, const Tensor& image, HardwareTrace* trace,
                              RunIter&& iter) const;
+  // The pipelined frame drivers (dispatched to by run_frame /
+  // run_frame_sharded when model().pipeline().enabled()): the modulo
+  // schedule interleaves the tail of iteration k-1 with the head of k,
+  // executing the same ops in a valid linearization of the dependence
+  // order — results, op census and per-link counters stay bit-identical to
+  // the serial loop; only cycle accounting (effective_cycles) improves.
+  FrameResult run_frame_pipelined(SimContext& ctx, const Tensor& image,
+                                  HardwareTrace* trace) const;
+  FrameResult run_frame_sharded_pipelined(SimContext& ctx, const Tensor& image,
+                                          HardwareTrace* trace, ThreadPool* pool) const;
+  // One shard's slice of absolute cycles [b, e) of the pipelined frame
+  // (lane commits per cycle; cross-shard traffic drains at range barriers).
+  void exec_shard_pipe_range(SimContext& ctx, usize s, u64 b, u64 e) const;
+  // Samples iteration k's readout (output spike counts past output_depth,
+  // per-unit traces within their logical windows) when its readout cycle
+  // retires; called in increasing-k order by both pipelined drivers.
+  void pipe_sample(SimContext& ctx, i32 k, FrameResult& res, HardwareTrace* trace) const;
+  // One iteration-slice of one absolute pipelined cycle: row r = a - k*II of
+  // `pt` executed for iteration k (rotations, injections while k < T,
+  // pending-ACC commits, then the issue slice).
+  template <typename Sender>
+  void exec_pipe_cycle(SimContext& ctx, const PipeTables& pt, u32 r, i32 k, SimStats& st,
+                       Sender&& send) const;
+  // Commits a pending pipelined ACC gather into local PS (the write half of
+  // the issue/commit split), acc_cycles after exec_ops gathered it.
+  void acc_commit(SimContext& ctx, const map::ExecOp& op, i32 parity, SimStats& st) const;
   // The per-opcode word kernels over ops[begin, end); `send` routes staged
   // writes (shared queue or shard lane — the only difference between the
-  // unsharded and sharded paths).
+  // unsharded and sharded paths). `acc_parity` < 0 runs ACC serially
+  // (gather + immediate local-PS commit); otherwise ACC only gathers into
+  // the (core, parity) pending buffer and acc_commit finishes it later.
   template <typename Sender>
   void exec_ops(SimContext& ctx, const map::ExecOp* ops, u32 begin, u32 end, SimStats& st,
-                Sender&& send) const;
+                Sender&& send, i32 acc_parity = -1) const;
   // Merges per-shard tallies into ctx.stats() in shard order and zeroes
   // them, keeping the per-link tables allocated.
   void drain_shard_stats(SimContext& ctx) const;

@@ -114,41 +114,73 @@ TEST_P(EquivalenceFuzzTest, RandomArchitectureIsBitExact) {
   // the semantic statistics must agree ACROSS levels (levels 0/1 replay the
   // exact same dataflow; level 2 may re-place units, changing routes and
   // therefore per-link NoC counters and cycle totals, but never what any
-  // neuron computes).
+  // neuron computes). The cross-timestep pipelined frame loop adds a second
+  // axis: at every level, pipeline 0 and 1 must agree on everything down to
+  // per-link NoC counters — only the wall-clock (effective_cycles) may move.
   const snn::AbstractEvaluator ev(net);
-  sim::SimStats level_stats[3];
+  sim::SimStats stats[3][2];
   for (i32 level = 0; level <= 2; ++level) {
-    SCOPED_TRACE("opt level " + std::to_string(level));
-    map::MapperConfig mc;
-    mc.opt_level = level;
-    const map::MappedNetwork mapped = map::map_network(net, mc);
-    ASSERT_EQ(mapped.opt_level, level);
+    for (i32 pipe = 0; pipe <= 1; ++pipe) {
+      SCOPED_TRACE("opt level " + std::to_string(level) + " pipeline " +
+                   std::to_string(pipe));
+      map::MapperConfig mc;
+      mc.opt_level = level;
+      mc.pipeline = pipe;
+      const map::MappedNetwork mapped = map::map_network(net, mc);
+      ASSERT_EQ(mapped.opt_level, level);
+      ASSERT_EQ(mapped.pipeline, pipe);
 
-    sim::Simulator sim(mapped, net);
-    sim::SimStats st;
-    for (int f = 0; f < 2; ++f) {
-      snn::Trace tr;
-      const snn::EvalResult abs = ev.run(data.images[static_cast<usize>(f)], nullptr, &tr);
-      sim::HardwareTrace ht;
-      const sim::FrameResult hw =
-          sim.run_frame(data.images[static_cast<usize>(f)], &st, &ht);
-      ASSERT_EQ(hw.spike_counts, abs.spike_counts) << "frame " << f;
-      for (usize u = 0; u < net.units.size(); ++u) {
-        for (usize t = 0; t < ht.units[u].size(); ++t) {
-          ASSERT_EQ(ht.units[u][t], tr.units[u][t])
-              << "frame " << f << " unit " << u << " t " << t;
+      sim::Simulator sim(mapped, net);
+      sim::SimStats st;
+      for (int f = 0; f < 2; ++f) {
+        snn::Trace tr;
+        const snn::EvalResult abs = ev.run(data.images[static_cast<usize>(f)], nullptr, &tr);
+        sim::HardwareTrace ht;
+        const sim::FrameResult hw =
+            sim.run_frame(data.images[static_cast<usize>(f)], &st, &ht);
+        ASSERT_EQ(hw.spike_counts, abs.spike_counts) << "frame " << f;
+        for (usize u = 0; u < net.units.size(); ++u) {
+          for (usize t = 0; t < ht.units[u].size(); ++t) {
+            ASSERT_EQ(ht.units[u][t], tr.units[u][t])
+                << "frame " << f << " unit " << u << " t " << t;
+          }
         }
       }
+      EXPECT_EQ(st.saturations, 0);
+      stats[level][pipe] = st;
     }
-    EXPECT_EQ(st.saturations, 0);
-    level_stats[level] = st;
+
+    // Pipelined vs serial at the same level: identical dataflow, identical
+    // op census, identical per-link traffic. Only effective_cycles shrinks.
+    SCOPED_TRACE("opt level " + std::to_string(level) + " pipeline 0 vs 1");
+    const sim::SimStats& s0 = stats[level][0];
+    const sim::SimStats& s1 = stats[level][1];
+    EXPECT_EQ(s1.op_neurons, s0.op_neurons);
+    EXPECT_EQ(s1.spikes_fired, s0.spikes_fired);
+    EXPECT_EQ(s1.axon_spikes, s0.axon_spikes);
+    EXPECT_EQ(s1.axon_slots, s0.axon_slots);
+    EXPECT_EQ(s1.iterations, s0.iterations);
+    EXPECT_EQ(s1.cycles, s0.cycles);
+    EXPECT_EQ(s0.effective_cycles, s0.cycles);  // serial: no overlap charged
+    EXPECT_LE(s1.effective_cycles, s1.cycles);
+    EXPECT_EQ(s1.noc.interchip_ps_bits, s0.noc.interchip_ps_bits);
+    EXPECT_EQ(s1.noc.interchip_spike_bits, s0.noc.interchip_spike_bits);
+    ASSERT_EQ(s1.noc.links.size(), s0.noc.links.size());
+    for (usize l = 0; l < s0.noc.links.size(); ++l) {
+      const noc::LinkTraffic& a = s0.noc.links[l];
+      const noc::LinkTraffic& b = s1.noc.links[l];
+      ASSERT_TRUE(b.ps_flits == a.ps_flits && b.ps_bits == a.ps_bits &&
+                  b.ps_toggles == a.ps_toggles && b.spike_flits == a.spike_flits &&
+                  b.spike_toggles == a.spike_toggles)
+          << "link " << l;
+    }
   }
   for (i32 level = 1; level <= 2; ++level) {
-    EXPECT_EQ(level_stats[level].spikes_fired, level_stats[0].spikes_fired)
+    EXPECT_EQ(stats[level][0].spikes_fired, stats[0][0].spikes_fired)
         << "opt level " << level;
-    EXPECT_EQ(level_stats[level].axon_spikes, level_stats[0].axon_spikes)
+    EXPECT_EQ(stats[level][0].axon_spikes, stats[0][0].axon_spikes)
         << "opt level " << level;
-    EXPECT_EQ(level_stats[level].axon_slots, level_stats[0].axon_slots)
+    EXPECT_EQ(stats[level][0].axon_slots, stats[0][0].axon_slots)
         << "opt level " << level;
   }
 }

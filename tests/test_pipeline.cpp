@@ -1,0 +1,165 @@
+// Cross-timestep pipeline analysis (mapper/pipeline.h) unit tests.
+//
+// The hand-built cases pin build_pipeline()'s arithmetic — II floor, depth,
+// span, per-op slack — on programs small enough to verify on paper; the
+// mapped case checks the analysis flows through lowering onto
+// ExecProgram::pipeline_slack / pipeline_depth exactly when the mapping was
+// compiled with pipelining on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "mapper/mapper.h"
+#include "mapper/pipeline.h"
+#include "nn/dataset.h"
+#include "sim/simulator.h"
+#include "snn/convert.h"
+
+namespace sj {
+namespace {
+
+using core::AtomicOp;
+using core::PlaneMask;
+
+/// One core on a 1x1 grid with a hand-written schedule: the smallest
+/// MappedNetwork build_pipeline() accepts. acc_cycles stays the paper's 131
+/// so the ACC-window arithmetic below matches the real floor.
+map::MappedNetwork tiny(u32 cycles_per_timestep, i32 timesteps) {
+  map::MappedNetwork m;
+  m.name = "hand-built";
+  m.timesteps = timesteps;
+  m.cycles_per_timestep = cycles_per_timestep;
+  m.grid_rows = 1;
+  m.grid_cols = 1;
+  map::MappedCore c;
+  c.pos = {0, 0};
+  m.cores.push_back(c);
+  return m;
+}
+
+void push(map::MappedNetwork& m, u32 cycle, AtomicOp op) {
+  m.schedule.push_back({cycle, 0, PlaneMask::all(), op});
+}
+
+TEST(PipelineAnalysisTest, SingleAccHandComputed) {
+  // One ACC at cycle 0, C = 140, T = 2. Nothing depends on the ACC result,
+  // so every hazard is satisfied at the window floor: the readout node sits
+  // at C-1 = 139 and must fall inside [0, 2*II), flooring the search at
+  // II = ceil((C+1)/2) = 71. Depth is the overlap C - II = 69, the ACC keeps
+  // its serial slot (full slack), and the span stays one serial timestep
+  // (readout at 139 + 1).
+  map::MappedNetwork m = tiny(140, 2);
+  push(m, 0, AtomicOp::acc());
+  const map::PipelineSchedule ps = map::build_pipeline(m);
+  ASSERT_TRUE(ps.enabled());
+  EXPECT_EQ(ps.ii, 71);
+  EXPECT_EQ(ps.depth, 69);
+  EXPECT_EQ(ps.span, 140);
+  ASSERT_EQ(ps.op_cycle.size(), 1u);
+  EXPECT_EQ(ps.op_cycle[0], 0);
+  ASSERT_EQ(ps.slack.size(), 1u);
+  EXPECT_EQ(ps.slack[0], ps.depth);
+  ASSERT_EQ(ps.rotate_cycle.size(), 1u);
+  EXPECT_EQ(ps.rotate_cycle[0], 0);
+  EXPECT_EQ(ps.readout_cycle, 139);
+}
+
+TEST(PipelineAnalysisTest, AccConsumerDelayedPastSerialSlot) {
+  // Same program plus a PS eject at cycle 1 reading the local PS file the
+  // ACC commits 131 cycles after issue. The serial schedule is invalid as a
+  // pipelined one (the read would see a half-written file), so the analysis
+  // must delay the eject to the commit: d = 0 + 131 - 1 = 130, issue cycle
+  // 1 + 130 = 131, slack = depth - d = 69 - 130 = -61 — negative slack
+  // meaning the op runs past its serial slot. II and depth are unchanged:
+  // the delayed eject (cycle 131, +0 commit delay) still fits the window.
+  map::MappedNetwork m = tiny(140, 2);
+  push(m, 0, AtomicOp::acc());
+  push(m, 1, AtomicOp::ps_eject(/*fromSumBuf=*/false));
+  const map::PipelineSchedule ps = map::build_pipeline(m);
+  ASSERT_TRUE(ps.enabled());
+  EXPECT_EQ(ps.ii, 71);
+  EXPECT_EQ(ps.depth, 69);
+  EXPECT_EQ(ps.span, 140);
+  ASSERT_EQ(ps.op_cycle.size(), 2u);
+  EXPECT_EQ(ps.op_cycle[0], 0);
+  EXPECT_EQ(ps.op_cycle[1], 131);
+  EXPECT_EQ(ps.slack[0], 69);
+  EXPECT_EQ(ps.slack[1], -61);
+}
+
+TEST(PipelineAnalysisTest, SingleTimestepFrameStaysSerial) {
+  // With one timestep and no layer-pipelining drain there is no adjacent
+  // iteration to overlap with; the analysis reports serial.
+  map::MappedNetwork m = tiny(140, 1);
+  push(m, 0, AtomicOp::acc());
+  const map::PipelineSchedule ps = map::build_pipeline(m);
+  EXPECT_FALSE(ps.enabled());
+  EXPECT_EQ(ps.ii, 0);
+}
+
+TEST(PipelineResolveTest, ClampsAndReadsEnv) {
+  EXPECT_EQ(map::resolve_pipeline(0), 0);
+  EXPECT_EQ(map::resolve_pipeline(1), 1);
+  EXPECT_EQ(map::resolve_pipeline(7), 1);  // clamped, not env-resolved
+  const char* prev = std::getenv("SHENJING_PIPELINE");
+  const std::string saved = prev != nullptr ? prev : "";
+  ::setenv("SHENJING_PIPELINE", "0", 1);
+  EXPECT_EQ(map::resolve_pipeline(-1), 0);
+  ::setenv("SHENJING_PIPELINE", "1", 1);
+  EXPECT_EQ(map::resolve_pipeline(-1), 1);
+  ::unsetenv("SHENJING_PIPELINE");
+  EXPECT_EQ(map::resolve_pipeline(-1), 1);  // default on
+  if (prev != nullptr) ::setenv("SHENJING_PIPELINE", saved.c_str(), 1);
+}
+
+TEST(PipelineProgramTest, SlackFlowsToExecProgram) {
+  // End to end on a real mapping: the lowered ExecProgram carries the
+  // analysis (slack per op, overlap depth) iff the mapping was compiled
+  // with pipelining on.
+  nn::Model model({64}, "pipe-prog");
+  model.dense(64, 24);
+  model.relu();
+  model.dense(24, 10);
+  Rng rng(11);
+  model.init_weights(rng);
+  nn::Dataset d;
+  d.sample_shape = {64};
+  d.num_classes = 10;
+  Tensor x({64});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  d.images.push_back(std::move(x));
+  d.labels.push_back(0);
+  snn::ConvertConfig cc;
+  cc.timesteps = 4;
+  const snn::SnnNetwork net = snn::convert(model, d, cc);
+
+  for (i32 pipe = 0; pipe <= 1; ++pipe) {
+    SCOPED_TRACE("pipeline " + std::to_string(pipe));
+    map::MapperConfig mc;
+    mc.pipeline = pipe;
+    const map::MappedNetwork mapped = map::map_network(net, mc);
+    ASSERT_EQ(mapped.pipeline, pipe);
+    sim::Simulator sim(mapped, net);
+    const map::ExecProgram& prog = sim.program();
+    if (pipe == 0) {
+      EXPECT_TRUE(prog.pipeline_slack.empty());
+      EXPECT_EQ(prog.pipeline_depth, 0);
+      continue;
+    }
+    const map::PipelineSchedule ps = map::build_pipeline(mapped);
+    ASSERT_TRUE(ps.enabled());
+    EXPECT_EQ(prog.pipeline_depth, ps.depth);
+    ASSERT_EQ(prog.pipeline_slack.size(), mapped.schedule.size());
+    EXPECT_EQ(prog.pipeline_slack, ps.slack);
+    // Slack is bounded by the overlap depth, and by the window: an op never
+    // issues at or past the end of the two-iteration window.
+    for (usize i = 0; i < ps.slack.size(); ++i) {
+      EXPECT_LE(ps.slack[i], ps.depth) << "op " << i;
+      EXPECT_LT(ps.op_cycle[i], 2 * ps.ii) << "op " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sj

@@ -123,9 +123,16 @@ def main() -> int:
             for metric in parallel:
                 gate_higher(metric)
         else:
-            print(f"  skipping parallel metrics {', '.join(parallel)}: "
-                  f"host_cores baseline={base_cores} current={cur_cores} "
-                  "(need > 1 on both to measure thread fan-out)")
+            # One explicit line per metric so a log grep for a metric name
+            # always finds its verdict — OK, REGRESSED, or SKIPPED.
+            hosts = []
+            if not (isinstance(base_cores, (int, float)) and base_cores > 1):
+                hosts.append("baseline")
+            if not (isinstance(cur_cores, (int, float)) and cur_cores > 1):
+                hosts.append("current")
+            reason = f"host_cores<=1 on {'/'.join(hosts)}"
+            for metric in parallel:
+                print(f"  SKIPPED: {metric} ({reason})")
     for metric in [m.strip() for m in args.lower_metrics.split(",") if m.strip()]:
         base = numeric(baseline, metric, "baseline")
         cur = numeric(current, metric, "current run")
