@@ -1,0 +1,287 @@
+// EXP-N1 — wire-level serving: the loadgen client of the net tier.
+//
+// Measures the FULL network path — socket, frame codec, epoll loop, eventfd
+// completion handoff — against a shenjing_serverd (or shenjing_router), in
+// three phases:
+//
+//   1. Verify: every fixture frame submitted over the wire must be
+//      bit-identical (predicted, spike_counts, final_potentials) to an
+//      in-process serve::Server::submit of the same model — the tensor codec
+//      round-trips f32 through u32 bit_cast, so any mismatch is a real bug,
+//      not float noise. Mismatches or wire errors fail the run (exit 1).
+//   2. Calibrate: a closed loop with a fixed pipeline depth measures
+//      capacity requests/s through the wire.
+//   3. Open loop: Poisson arrivals (fixed seed, precomputed ABSOLUTE release
+//      times) at 60 % of the measured capacity — or --rps R. Each response
+//      carries the server's own queue-wait/exec microseconds (WireTiming),
+//      so the wire-level p50/p95/p99 splits into queue-wait vs exec vs
+//      network overhead without a second metrics channel.
+//
+// Headline numbers land in BENCH_net.json; tools/check_bench.py gates
+// capacity_rps (higher is better) and wire_p99_ms (lower is better) against
+// bench/baselines/BENCH_net.json.
+//
+//   bench_net_loadgen [--port N]      target server/router port; without it
+//                                     the bench self-hosts a net::Frontend
+//                                     in-process (still a real TCP socket)
+//                     [--requests N]  open-loop request count
+//                     [--rps R]       offered rate (0 = 0.6 x capacity)
+//                     [--seed N]      fixture weight seed (must match the
+//                                     server's --seed; default 55)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "harness/pipeline.h"
+#include "harness/serve_fixture.h"
+#include "net/client.h"
+#include "net/frontend.h"
+#include "serve/server.h"
+
+using namespace sj;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+u64 arg_u64(int argc, char** argv, const char* name, u64 fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  return fallback;
+}
+
+double arg_f64(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::strtod(argv[i + 1], nullptr);
+  }
+  return fallback;
+}
+
+double quantile_ms(std::vector<double>& us, double q) {
+  if (us.empty()) return 0.0;
+  std::sort(us.begin(), us.end());
+  const usize idx = std::min(us.size() - 1,
+                             static_cast<usize>(q * static_cast<double>(us.size())));
+  return us[idx] / 1e3;
+}
+
+bool same_result(const sim::FrameResult& a, const sim::FrameResult& b) {
+  return a.predicted == b.predicted && a.spike_counts == b.spike_counts &&
+         a.final_potentials == b.final_potentials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = harness::fast_mode();
+  const u16 target_port = static_cast<u16>(arg_u64(argc, argv, "--port", 0));
+  const usize open_requests = static_cast<usize>(
+      arg_u64(argc, argv, "--requests", fast ? 256 : 2048));
+  const double forced_rps = arg_f64(argc, argv, "--rps", 0.0);
+  const u64 seed = arg_u64(argc, argv, "--seed", 55);
+
+  bench::heading("EXP-N1 — wire-level serving (net::Frontend over TCP)",
+                 target_port != 0 ? "external server/router"
+                                  : "self-hosted loopback frontend");
+
+  const harness::ServeFixture fix = harness::make_serve_fixture(seed);
+
+  // In-process reference: the same model behind serve::Server::submit. The
+  // wire results must match this bit for bit.
+  serve::Server reference({.workers = 1});
+  const serve::ModelKey key = reference.load_model(fix.mapped, fix.net);
+  std::vector<sim::FrameResult> expect;
+  for (const Tensor& frame : fix.data.images) {
+    expect.push_back(reference.submit(key, frame).get());
+  }
+
+  // Self-host when no --port: a real TCP frontend in this process.
+  std::unique_ptr<serve::Server> self_server;
+  std::unique_ptr<net::Frontend> self_front;
+  std::thread self_thread;
+  u16 port = target_port;
+  if (port == 0) {
+    self_server = std::make_unique<serve::Server>(
+        serve::ServerOptions{.workers = 0, .max_pending = 256});
+    const serve::ModelKey k2 = self_server->load_model(fix.mapped, fix.net);
+    SJ_REQUIRE(k2 == key, "fixture key mismatch across processes");
+    self_front = std::make_unique<net::Frontend>(*self_server);
+    self_front->register_model(key, "wire-fc", fix.data.sample_shape);
+    port = self_front->port();
+    self_thread = std::thread([&] { self_front->run(); });
+  }
+
+  net::Client client(port);
+
+  // ---- Phase 1: bit-exactness through the wire. --------------------------
+  usize mismatches = 0;
+  for (usize i = 0; i < fix.data.images.size(); ++i) {
+    const net::ResultMsg r = [&] {
+      const auto t0 = Clock::now();
+      for (;;) {
+        try {
+          return client.submit(key, fix.data.images[i]);
+        } catch (const net::ServerRejected&) {
+          // A freshly booted router answers kNoBackend until its first health
+          // round discovers the backends; give the topology a moment to form
+          // before treating the rejection as real.
+          if (i != 0 || seconds_since(t0) > 10.0) throw;
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    }();
+    if (!same_result(r.result, expect[i])) {
+      std::fprintf(stderr, "loadgen: frame %zu differs over the wire\n", i);
+      ++mismatches;
+    }
+  }
+  std::printf("verify: %zu frames over the wire, %zu mismatches\n",
+              fix.data.images.size(), mismatches);
+
+  // ---- Phase 2: closed-loop capacity. ------------------------------------
+  const double calib_seconds = fast ? 0.3 : 1.0;
+  const usize depth = 16;
+  u64 done = 0;
+  const auto ct0 = Clock::now();
+  {
+    u64 sent = 0;
+    for (; sent < depth; ++sent) {
+      client.send_frame(net::MsgType::kSubmit,
+                        net::encode_submit(key, fix.data.images[sent % fix.data.images.size()]));
+    }
+    while (seconds_since(ct0) < calib_seconds) {
+      (void)client.recv_frame();
+      ++done;
+      client.send_frame(net::MsgType::kSubmit,
+                        net::encode_submit(key, fix.data.images[sent++ % fix.data.images.size()]));
+    }
+    for (u64 i = 0; i < depth; ++i) (void)client.recv_frame();  // drain pipeline
+  }
+  const double capacity_rps = static_cast<double>(done) / seconds_since(ct0);
+  std::printf("capacity: %.1f req/s (closed loop, depth %zu)\n", capacity_rps, depth);
+
+  // ---- Phase 3: open-loop Poisson arrivals. ------------------------------
+  const double offered_rps =
+      forced_rps > 0.0 ? forced_rps : std::max(1.0, 0.6 * capacity_rps);
+  Rng arrivals(0xa11f1e1d);
+  std::vector<double> offsets_s(open_requests);
+  double at = 0.0;
+  for (usize i = 0; i < open_requests; ++i) {
+    at += -std::log(1.0 - arrivals.uniform()) / offered_rps;
+    offsets_s[i] = at;
+  }
+
+  // Sender and receiver split one Client: the sender only writes frames
+  // (send_frame_as), the receiver only reads (recv_frame) — disjoint state
+  // on one socket, which is what lets the load stay open-loop.
+  const u64 kIdBase = 1u << 20;
+  std::vector<Clock::time_point> sent_at(open_requests);
+  std::vector<double> wire_us, queue_us, exec_us;
+  wire_us.reserve(open_requests);
+  queue_us.reserve(open_requests);
+  exec_us.reserve(open_requests);
+  usize errors = 0;
+
+  const auto ot0 = Clock::now();
+  std::thread sender([&] {
+    for (usize i = 0; i < open_requests; ++i) {
+      std::this_thread::sleep_until(
+          ot0 + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(offsets_s[i])));
+      sent_at[i] = Clock::now();
+      client.send_frame_as(
+          net::MsgType::kSubmit, kIdBase + i,
+          net::encode_submit(key, fix.data.images[i % fix.data.images.size()]));
+    }
+  });
+  for (usize received = 0; received < open_requests; ++received) {
+    const net::Frame f = client.recv_frame();
+    const usize i = static_cast<usize>(f.header.request_id - kIdBase);
+    SJ_REQUIRE(i < open_requests, "response id outside the open-loop window");
+    const double wall_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - sent_at[i]).count();
+    if (f.type() == net::MsgType::kResult) {
+      const net::ResultMsg r = net::decode_result(f);
+      wire_us.push_back(wall_us);
+      queue_us.push_back(static_cast<double>(r.timing.queue_wait_us));
+      exec_us.push_back(static_cast<double>(r.timing.exec_us));
+    } else {
+      ++errors;  // kBusy under overload counts as a loadgen error: the open
+                 // rate is deliberately below capacity, so none are expected
+    }
+  }
+  sender.join();
+  const double open_seconds = seconds_since(ot0);
+  const double achieved_rps = static_cast<double>(open_requests) / open_seconds;
+
+  const double wire_p50 = quantile_ms(wire_us, 0.50);
+  const double wire_p95 = quantile_ms(wire_us, 0.95);
+  const double wire_p99 = quantile_ms(wire_us, 0.99);
+  const double queue_p50 = quantile_ms(queue_us, 0.50);
+  const double queue_p95 = quantile_ms(queue_us, 0.95);
+  const double queue_p99 = quantile_ms(queue_us, 0.99);
+  const double exec_p50 = quantile_ms(exec_us, 0.50);
+  const double exec_p95 = quantile_ms(exec_us, 0.95);
+  const double exec_p99 = quantile_ms(exec_us, 0.99);
+
+  bench::print_table({
+      {"path", "rate", "p50", "p95", "p99"},
+      {"wire e2e (open loop)", bench::num(achieved_rps, 1) + " req/s",
+       bench::num(wire_p50, 3) + " ms", bench::num(wire_p95, 3) + " ms",
+       bench::num(wire_p99, 3) + " ms"},
+      {"  queue wait (server)", bench::na(), bench::num(queue_p50, 3) + " ms",
+       bench::num(queue_p95, 3) + " ms", bench::num(queue_p99, 3) + " ms"},
+      {"  exec (server)", bench::na(), bench::num(exec_p50, 3) + " ms",
+       bench::num(exec_p95, 3) + " ms", bench::num(exec_p99, 3) + " ms"},
+  });
+  std::printf("open loop: %zu requests offered at %.0f req/s (Poisson, fixed seed), "
+              "%zu errors; capacity %.1f req/s\n",
+              open_requests, offered_rps, errors, capacity_rps);
+
+  // Tear down the self-hosted frontend before writing the record.
+  if (self_front != nullptr) {
+    self_front->begin_drain();
+    self_thread.join();
+    self_server->shutdown(serve::DrainMode::kDrain);
+  }
+
+  json::Value doc;
+  doc.set("target", target_port != 0 ? "external" : "self-hosted");
+  doc.set("requests", static_cast<i64>(open_requests));
+  doc.set("errors", static_cast<i64>(errors));
+  doc.set("mismatches", static_cast<i64>(mismatches));
+  doc.set("capacity_rps", capacity_rps);
+  doc.set("offered_rps", offered_rps);
+  doc.set("achieved_rps", achieved_rps);
+  doc.set("wire_p50_ms", wire_p50);
+  doc.set("wire_p95_ms", wire_p95);
+  doc.set("wire_p99_ms", wire_p99);
+  doc.set("queue_wait_p50_ms", queue_p50);
+  doc.set("queue_wait_p95_ms", queue_p95);
+  doc.set("queue_wait_p99_ms", queue_p99);
+  doc.set("exec_p50_ms", exec_p50);
+  doc.set("exec_p95_ms", exec_p95);
+  doc.set("exec_p99_ms", exec_p99);
+  doc.set("host_cores", static_cast<i64>(hardware_thread_count()));
+  doc.set("fast_mode", fast);
+  bench::write_bench_json("net", std::move(doc));
+
+  if (mismatches != 0 || errors != 0) {
+    std::fprintf(stderr, "loadgen: FAILED (%zu mismatches, %zu errors)\n",
+                 mismatches, errors);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Network serving quickstart: boot the wire-level serving tier in one
+// process — serve::Server behind the epoll net::Frontend on an ephemeral
+// loopback port — then talk to it through net::Client exactly as an external
+// process would: submit a frame, read the timing split the server piggybacks
+// on every result, hot swap the weights over the wire, and drain.
+//
+// The multi-process version of this (shenjing_serverd + shenjing_router +
+// bench_net_loadgen) is wired up in tools/net_smoke.sh.
+#include <cstdio>
+#include <thread>
+
+#include "harness/serve_fixture.h"
+#include "net/client.h"
+#include "net/frontend.h"
+#include "serve/server.h"
+
+using namespace sj;
+
+int main() {
+  // The deterministic fixture: any process building make_serve_fixture(55)
+  // holds this exact model and can compute its key locally.
+  const harness::ServeFixture fix = harness::make_serve_fixture(55);
+
+  serve::Server server({.workers = 2, .max_pending = 64});
+  const serve::ModelKey key = server.load_model(fix.mapped, fix.net);
+
+  net::FrontendOptions opts;
+  opts.swap_fn = [&](serve::ModelKey k, u64 seed) {
+    const harness::ServeFixture next = harness::make_serve_fixture(seed);
+    server.swap_weights(k, next.mapped, next.net);
+  };
+  net::Frontend frontend(server, opts);
+  frontend.register_model(key, "wire-fc", fix.data.sample_shape);
+  std::thread net_thread([&] { frontend.run(); });
+  std::printf("serving model %016llx on 127.0.0.1:%u\n",
+              static_cast<unsigned long long>(key), frontend.port());
+
+  {
+    net::Client client(frontend.port());
+
+    const net::PongInfo pong = client.ping();
+    std::printf("ping: accepting=%d models=%u\n", pong.accepting ? 1 : 0, pong.models);
+    std::printf("info: %s\n", client.info_json().c_str());
+
+    const net::ResultMsg before = client.submit(key, fix.data.images[0]);
+    std::printf("frame 0 -> class %d (queue %u us, exec %u us)\n",
+                before.result.predicted, before.timing.queue_wait_us,
+                before.timing.exec_us);
+
+    // Hot weight swap over the wire: the server rebuilds the fixture at the
+    // new seed and publishes it under the same key, without re-lowering.
+    client.swap_weights(key, 99);
+    const net::ResultMsg after = client.submit(key, fix.data.images[0]);
+    std::printf("after swap(seed 99): frame 0 -> class %d\n", after.result.predicted);
+  }
+
+  frontend.begin_drain();
+  net_thread.join();
+  server.shutdown(serve::DrainMode::kDrain);
+  std::printf("drained cleanly\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "harness/serve_fixture.h"
+
+#include "common/rng.h"
+#include "nn/model.h"
+
+namespace sj::harness {
+
+ServeFixture make_serve_fixture(u64 weight_seed, i32 in, i32 hidden, i32 timesteps,
+                                usize frames) {
+  nn::Model m({in}, "wire-fc");
+  m.dense(in, hidden);
+  m.relu();
+  m.dense(hidden, 10);
+  Rng rng(weight_seed);
+  m.init_weights(rng);
+
+  // Input frames come from a FIXED stream seeded independently of the
+  // weights: swapping weights must not change the offered traffic.
+  Rng frame_rng(0x5eedf00d);
+  nn::Dataset d;
+  d.sample_shape = {in};
+  d.num_classes = 10;
+  for (usize i = 0; i < frames; ++i) {
+    Tensor x({in});
+    x.fill_uniform(frame_rng, 0.0f, 1.0f);
+    d.images.push_back(std::move(x));
+    d.labels.push_back(static_cast<i32>(frame_rng.uniform_index(10)));
+  }
+
+  snn::ConvertConfig cc;
+  cc.timesteps = timesteps;
+  ServeFixture f{snn::convert(m, d, cc), {}, {}};
+  f.mapped = map::map_network(f.net);
+  f.data = std::move(d);
+  return f;
+}
+
+}  // namespace sj::harness

@@ -1,0 +1,34 @@
+// The deterministic serving fixture shared by both ends of the wire:
+// shenjing_serverd, the loadgen bench, the loopback tests and the
+// net_quickstart example all build the SAME network from the same seed, so
+// client and server agree on the model key (a content hash) without any
+// out-of-band exchange, and the client can verify wire results bit-exactly
+// against a local in-process run of the identical model.
+//
+// `weight_seed` parameterizes only the weights: the structure (and therefore
+// swap compatibility) is fixed, which is exactly what the kSwapWeights wire
+// op needs — the server rebuilds this fixture at the requested seed and hot
+// swaps it under the same serving key.
+#pragma once
+
+#include "mapper/mapper.h"
+#include "nn/dataset.h"
+#include "snn/convert.h"
+
+namespace sj::harness {
+
+struct ServeFixture {
+  snn::SnnNetwork net;
+  map::MappedNetwork mapped;
+  nn::Dataset data;
+};
+
+/// Builds the wire-serving fixture: a dense in->hidden->10 net (the
+/// test_serve shape — small enough that a CI runner pushes >1k requests
+/// through it in seconds) with `frames` synthetic input frames. Deterministic
+/// in all arguments; two processes calling this with equal arguments hold
+/// bit-identical networks.
+ServeFixture make_serve_fixture(u64 weight_seed, i32 in = 300, i32 hidden = 80,
+                                i32 timesteps = 8, usize frames = 16);
+
+}  // namespace sj::harness

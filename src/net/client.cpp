@@ -1,0 +1,76 @@
+#include "net/client.h"
+
+#include <sys/socket.h>
+
+namespace sj::net {
+
+Client::Client(u16 port, const std::string& host) : fd_(connect_tcp(host, port)) {
+  set_nodelay(fd_.get());
+}
+
+u64 Client::send_frame(MsgType type, const std::vector<u8>& payload) {
+  const u64 id = next_id_++;
+  send_frame_as(type, id, payload);
+  return id;
+}
+
+void Client::send_frame_as(MsgType type, u64 request_id,
+                           const std::vector<u8>& payload) {
+  const std::vector<u8> frame = encode_frame(type, request_id, payload);
+  write_all(fd_.get(), frame.data(), frame.size());
+}
+
+Frame Client::recv_frame() {
+  for (;;) {
+    if (auto f = reader_.next()) return std::move(*f);
+    // recv blocks only until *some* bytes arrive (not the full buffer), so
+    // one call per loop is enough to make progress at any frame size.
+    u8 buf[64 * 1024];
+    const i64 n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n == 0) SJ_THROW_IO("net: server closed the connection");
+    if (n < 0) SJ_THROW_IO("net: recv failed");
+    reader_.feed(buf, static_cast<usize>(n));
+  }
+}
+
+Frame Client::wait_for(u64 request_id) {
+  for (;;) {
+    Frame f = recv_frame();
+    if (f.header.request_id != request_id) continue;  // stale pipelined answer
+    if (f.type() == MsgType::kError) {
+      ErrorMsg e = decode_error(f);
+      throw ServerRejected(e.code, e.message);
+    }
+    return f;
+  }
+}
+
+ResultMsg Client::submit(u64 model_key, const Tensor& frame) {
+  const u64 id = send_frame(MsgType::kSubmit, encode_submit(model_key, frame));
+  return decode_result(wait_for(id));
+}
+
+PongInfo Client::ping() {
+  const u64 id = send_frame(MsgType::kPing, {});
+  return decode_pong(wait_for(id));
+}
+
+std::string Client::metrics_json() {
+  const u64 id = send_frame(MsgType::kMetrics, {});
+  return decode_string(wait_for(id));
+}
+
+std::string Client::info_json() {
+  const u64 id = send_frame(MsgType::kInfo, {});
+  return decode_string(wait_for(id));
+}
+
+void Client::swap_weights(u64 model_key, u64 seed) {
+  const u64 id = send_frame(MsgType::kSwapWeights, encode_swap(model_key, seed));
+  const StatusMsg s = decode_status(wait_for(id));
+  if (s.code != 0) {
+    throw ServerRejected(static_cast<ErrCode>(s.code), s.message);
+  }
+}
+
+}  // namespace sj::net

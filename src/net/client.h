@@ -1,0 +1,72 @@
+// Blocking wire client: the simple side of the protocol, for tools
+// (shenjing_ctl-style one-shots), the loadgen bench and the loopback tests.
+// One socket, caller-chosen request ids, two layers:
+//
+//   - raw: send_frame() / recv_frame() — pipelining clients (the loadgen's
+//     open-loop generator) keep many requests in flight on one socket and
+//     match responses by the echoed request id.
+//   - convenience: submit()/ping()/metrics_json()/info_json()/swap_weights()
+//     — strict request/response, throws ServerRejected on kError answers.
+//
+// Not thread-safe: one Client per thread (the loadgen splits send and
+// receive across two threads over two Clients' worth of state — it uses the
+// raw layer on a single Client but serializes sends itself).
+#pragma once
+
+#include <string>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace sj::net {
+
+/// A server answered with a kError frame (code + message preserved).
+class ServerRejected : public Error {
+ public:
+  ServerRejected(ErrCode code, const std::string& message)
+      : Error(message, __FILE__, __LINE__), code(code) {}
+  ErrCode code;
+};
+
+class Client {
+ public:
+  /// Blocking connect to 127.0.0.1 (the serving tier is loopback-only).
+  /// Throws IoError when nothing listens — callers that probe a booting
+  /// server catch and retry.
+  explicit Client(u16 port, const std::string& host = "127.0.0.1");
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  int fd() const { return fd_.get(); }
+
+  // Raw layer -------------------------------------------------------------
+  /// Writes one frame (blocking until the kernel takes all of it) under a
+  /// fresh auto-incremented request id, returned for matching.
+  u64 send_frame(MsgType type, const std::vector<u8>& payload);
+  /// Same, under a caller-chosen id (the router's rewritten ids).
+  void send_frame_as(MsgType type, u64 request_id, const std::vector<u8>& payload);
+  /// Blocking read of the next complete frame. Throws IoError on EOF —
+  /// for a request/response client a vanished server is an error.
+  Frame recv_frame();
+
+  // Convenience layer (request → matching response or ServerRejected) -----
+  ResultMsg submit(u64 model_key, const Tensor& frame);
+  PongInfo ping();
+  std::string metrics_json();
+  std::string info_json();
+  /// Asks the server to rebuild `model_key`'s weights from `seed` and hot
+  /// swap them in. Throws ServerRejected when the server refuses.
+  void swap_weights(u64 model_key, u64 seed);
+
+ private:
+  /// Reads frames until one echoes `request_id` (skipping stale pipelined
+  /// responses); converts kError into ServerRejected.
+  Frame wait_for(u64 request_id);
+
+  Fd fd_;
+  FrameReader reader_;
+  u64 next_id_ = 1;
+};
+
+}  // namespace sj::net

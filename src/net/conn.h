@@ -1,0 +1,70 @@
+// Shared per-connection bookkeeping for the event-loop servers (Frontend
+// and Router): a nonblocking socket, the incremental FrameReader, and a
+// flush-aware write queue. The owning server decides policy — when to pause
+// reads (backpressure), when to close — and calls update_events() after any
+// state change so the epoll registration always mirrors intent.
+#pragma once
+
+#include <sys/epoll.h>
+
+#include <deque>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace sj::net {
+
+struct WireConn {
+  u64 id = 0;
+  Fd fd;
+  FrameReader reader;
+  std::deque<std::vector<u8>> outq;  // pending writes, front partially sent
+  usize out_off = 0;                 // bytes of outq.front() already written
+  usize inflight = 0;                // requests admitted, response not yet queued
+  bool reading = true;               // EPOLLIN armed (false = backpressure)
+  bool want_write = false;           // EPOLLOUT armed (outq non-empty)
+  bool closing = false;              // close once outq flushes
+  u32 armed = 0;                     // events currently registered with epoll
+};
+
+/// Writes as much of the queue as the socket accepts. Returns bytes written
+/// this call; sets want_write while data remains. Throws IoError on a dead
+/// socket — callers close the connection.
+inline usize flush_writes(WireConn& c) {
+  usize written = 0;
+  while (!c.outq.empty()) {
+    const std::vector<u8>& buf = c.outq.front();
+    const i64 n = write_some(c.fd.get(), buf.data() + c.out_off, buf.size() - c.out_off);
+    if (n < 0) break;  // would block; EPOLLOUT will resume
+    written += static_cast<usize>(n);
+    c.out_off += static_cast<usize>(n);
+    if (c.out_off == buf.size()) {
+      c.outq.pop_front();
+      c.out_off = 0;
+    }
+  }
+  c.want_write = !c.outq.empty();
+  return written;
+}
+
+/// Re-arms epoll to match the connection's intent (reading/want_write).
+inline void update_events(EventLoop& loop, WireConn& c) {
+  const u32 want = (c.reading && !c.closing ? EPOLLIN : 0u) |
+                   (c.want_write ? EPOLLOUT : 0u) | EPOLLRDHUP;
+  if (want == c.armed || !loop.watching(c.fd.get())) return;
+  loop.mod_fd(c.fd.get(), want);
+  c.armed = want;
+}
+
+/// Queues an encoded frame and flushes opportunistically. Returns bytes
+/// written synchronously (callers feed their bytes-out counter).
+inline usize queue_frame(EventLoop& loop, WireConn& c, std::vector<u8> bytes) {
+  c.outq.push_back(std::move(bytes));
+  const usize written = flush_writes(c);
+  update_events(loop, c);
+  return written;
+}
+
+}  // namespace sj::net

@@ -1,0 +1,165 @@
+#include "net/event_loop.h"
+
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+
+#include "common/status.h"
+
+namespace sj::net {
+
+namespace {
+
+[[noreturn]] void loop_fail(const char* what) {
+  throw_io_error(std::string("event_loop: ") + what + ": " + strerror(errno),
+                 __FILE__, __LINE__);
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) loop_fail("epoll_create1");
+  wake_ = Fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_.valid()) loop_fail("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_.get(), &ev) < 0) {
+    loop_fail("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::add_fd(int fd, u32 events, IoCallback cb) {
+  SJ_REQUIRE(callbacks_.count(fd) == 0, "event_loop: fd already registered");
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) loop_fail("epoll_ctl(add)");
+  callbacks_[fd] = std::make_shared<IoCallback>(std::move(cb));
+}
+
+void EventLoop::mod_fd(int fd, u32 events) {
+  SJ_REQUIRE(callbacks_.count(fd) != 0, "event_loop: mod_fd on unknown fd");
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) loop_fail("epoll_ctl(mod)");
+}
+
+void EventLoop::del_fd(int fd) {
+  if (callbacks_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);  // best-effort
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    posted_.push_back(std::move(fn));
+  }
+  const u64 one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t r = ::write(wake_.get(), &one, sizeof(one));
+}
+
+u64 EventLoop::add_timer(double period_s, std::function<void()> fn) {
+  SJ_REQUIRE(period_s > 0.0, "event_loop: non-positive timer period");
+  Timer t;
+  t.id = next_timer_id_++;
+  t.period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(period_s));
+  t.deadline = Clock::now() + t.period;
+  t.fn = std::move(fn);
+  timers_.push_back(std::move(t));
+  return timers_.back().id;
+}
+
+void EventLoop::cancel_timer(u64 id) {
+  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
+                               [id](const Timer& t) { return t.id == id; }),
+                timers_.end());
+}
+
+void EventLoop::drain_posted() {
+  // Swap out under the lock, run outside it: a posted closure may post.
+  std::vector<std::function<void()>> run_now;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    run_now.swap(posted_);
+  }
+  for (auto& fn : run_now) fn();
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timers_.empty()) return 1000;  // idle wakeup cap; wakes are eventfd-driven
+  Clock::time_point next = timers_.front().deadline;
+  for (const Timer& t : timers_) next = std::min(next, t.deadline);
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next - Clock::now());
+  return static_cast<int>(std::clamp<i64>(ms.count(), 0, 1000));
+}
+
+void EventLoop::fire_due_timers() {
+  const Clock::time_point now = Clock::now();
+  // Index loop: a timer callback may add/cancel timers.
+  for (usize i = 0; i < timers_.size(); ++i) {
+    if (timers_[i].deadline > now) continue;
+    timers_[i].deadline = now + timers_[i].period;
+    timers_[i].fn();
+  }
+}
+
+void EventLoop::run() {
+  SJ_REQUIRE(!running_, "event_loop: run() re-entered");
+  running_ = true;
+  std::array<epoll_event, 64> events;
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ && posted_.empty()) break;
+    }
+    drain_posted();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ && posted_.empty()) break;
+    }
+    const int n = ::epoll_wait(epoll_.get(), events.data(),
+                               static_cast<int>(events.size()), next_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      loop_fail("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_.get()) {
+        u64 junk;
+        while (::read(wake_.get(), &junk, sizeof(junk)) > 0) {
+        }
+        continue;  // posted closures drain at the top of the loop
+      }
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;  // deleted earlier this batch
+      const std::shared_ptr<IoCallback> cb = it->second;  // survive self-del
+      (*cb)(events[i].events);
+    }
+    fire_due_timers();
+  }
+  running_ = false;
+}
+
+void EventLoop::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  const u64 one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(wake_.get(), &one, sizeof(one));
+}
+
+}  // namespace sj::net

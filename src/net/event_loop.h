@@ -1,0 +1,90 @@
+// Single-threaded epoll event loop, the async heart of the serving tier
+// (ROADMAP "wire-level serving tier"; shaped after the aiopp exemplar's
+// ioqueue/eventfd pattern named there).
+//
+// One thread runs run(): it multiplexes socket readiness (epoll), deadline
+// timers (computed into the epoll timeout), and cross-thread work handoff —
+// post() enqueues a closure from ANY thread and wakes the loop through an
+// eventfd. That eventfd bridge is how engine worker threads hand completed
+// requests back to the network thread without the hot path ever blocking on
+// a socket: serve::Server's completion hook simply posts, and the loop
+// serializes + writes the response on its own schedule.
+//
+// Contract:
+//   - add_fd/mod_fd/del_fd/add_timer are loop-thread-only (call them from
+//     callbacks or from post()ed closures); post()/stop() are thread-safe.
+//   - callbacks may del_fd any fd (including their own) — dispatch holds a
+//     shared_ptr to the callback it is running, and events for an fd deleted
+//     earlier in the same epoll batch are skipped.
+//   - run() exits after stop(); posted closures still queued at that point
+//     are run before it returns (a completion must not be dropped because
+//     drain won the race).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/socket.h"
+
+namespace sj::net {
+
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(u32 epoll_events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). The loop does not
+  /// own the fd; close it only after del_fd.
+  void add_fd(int fd, u32 events, IoCallback cb);
+  void mod_fd(int fd, u32 events);
+  void del_fd(int fd);
+  bool watching(int fd) const { return callbacks_.count(fd) != 0; }
+
+  /// Thread-safe: enqueue a closure for the loop thread and wake it.
+  void post(std::function<void()> fn);
+
+  /// Periodic timer (loop-thread-only); first fires one period from now.
+  /// Returns an id for cancel_timer.
+  u64 add_timer(double period_s, std::function<void()> fn);
+  void cancel_timer(u64 id);
+
+  /// Runs until stop(). Re-entrant run() is a bug (REQUIREd against).
+  void run();
+  /// Thread-safe: makes run() return after the current dispatch round.
+  void stop();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Timer {
+    u64 id = 0;
+    Clock::time_point deadline;
+    Clock::duration period{};
+    std::function<void()> fn;
+  };
+
+  void drain_posted();
+  int next_timeout_ms() const;
+  void fire_due_timers();
+
+  Fd epoll_;
+  Fd wake_;  // eventfd: post()/stop() wakeups
+  std::unordered_map<int, std::shared_ptr<IoCallback>> callbacks_;
+  std::vector<Timer> timers_;  // few timers; linear scan beats a heap here
+  u64 next_timer_id_ = 1;
+  bool running_ = false;
+
+  std::mutex mu_;  // guards posted_ and stop_ for cross-thread access
+  std::vector<std::function<void()>> posted_;
+  bool stop_ = false;
+};
+
+}  // namespace sj::net

@@ -1,0 +1,153 @@
+// TCP front-end for serve::Server (ISSUE 10 tentpole / ROADMAP "wire-level
+// serving tier"): the piece that turns the in-process async server into a
+// network service a real client can reach.
+//
+//   client sockets ──► epoll EventLoop (one thread) ──► Server::try_submit
+//                                 ▲                            │
+//                                 │ eventfd (EventLoop::post)  │ worker threads
+//                                 └──── completion hook ◄──────┘
+//
+// Threading: ONE network thread runs the loop; engine workers never touch a
+// socket. A worker that finishes a request fires the serve::Server
+// completion hook, which posts the cookie to the loop through the eventfd;
+// the loop then reads the (ready) future, serializes the kResult/kError
+// frame and writes it out. Admission uses Server::try_submit — nonblocking,
+// so a full serve queue answers kBusy instead of stalling the loop.
+//
+// Connection-level backpressure: a connection whose in-flight request count
+// reaches FrontendOptions::conn_pending_limit stops being read (EPOLLIN
+// dropped) until completions drain it below the bound — the kernel socket
+// buffer then pushes back on the client, which is the wire-level analogue of
+// the server's bounded queue.
+//
+// Drain (SIGTERM in shenjing_serverd, begin_drain() here): stop accepting
+// new connections, answer pings with accepting=false (the router's drain
+// awareness), reject new submits with kDraining, finish every in-flight
+// request and flush every response, then run() returns. No request that was
+// admitted is ever dropped.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "json/json.h"
+#include "net/conn.h"
+#include "net/event_loop.h"
+#include "net/wire.h"
+#include "serve/server.h"
+
+namespace sj::net {
+
+struct FrontendOptions {
+  /// 127.0.0.1 listen port; 0 = ephemeral (read the bound port from port()).
+  u16 port = 0;
+  /// Per-connection in-flight bound: reads pause at this many admitted
+  /// requests without a queued response (wire backpressure).
+  usize conn_pending_limit = 64;
+  /// Handler for kSwapWeights frames: rebuild the model's weights for
+  /// (key, seed) and call Server::swap_weights. Runs on the loop thread (a
+  /// control-plane op; the donor compile skips lowering). Unset = swap
+  /// requests answered with an error status.
+  std::function<void(serve::ModelKey key, u64 seed)> swap_fn;
+};
+
+class Frontend {
+ public:
+  /// The server must outlive the frontend. Binds and listens immediately
+  /// (port() is valid after construction); serving starts with run().
+  Frontend(serve::Server& server, FrontendOptions options = {});
+  ~Frontend();
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Adds a model to the kInfo directory (name + input shape). The key must
+  /// already be loaded into the server.
+  void register_model(serve::ModelKey key, std::string name, Shape input_shape);
+
+  u16 port() const { return port_; }
+
+  /// Serves until a drain completes. Call from the thread that owns the
+  /// network (shenjing_serverd's main; a std::thread in tests).
+  void run();
+
+  /// Thread- and signal-context-safe: starts the graceful drain. run()
+  /// returns once every admitted request has been answered and flushed.
+  void begin_drain();
+
+ private:
+  struct PendingBatch {
+    u64 conn_id = 0;
+    u64 request_id = 0;
+    usize remaining = 0;
+    std::vector<std::vector<u8>> entries;  // per-slot encoded results/errors
+  };
+
+  /// One admitted request awaiting its completion hook. Heap-allocated so
+  /// `trace` stays put while the worker writes it (the map may rehash).
+  struct Pending {
+    u64 conn_id = 0;
+    u64 request_id = 0;
+    std::future<sim::FrameResult> future;
+    serve::RequestTrace trace;
+    std::shared_ptr<PendingBatch> batch;  // null for single submits
+    u32 slot = 0;
+  };
+
+  struct ModelDir {
+    std::string name;
+    Shape input;
+  };
+
+  void on_accept();
+  void on_conn_event(u64 conn_id, u32 events);
+  void dispatch(WireConn& c, const Frame& f);
+  void handle_submit(WireConn& c, const Frame& f);
+  void handle_submit_batch(WireConn& c, const Frame& f);
+  void handle_swap(WireConn& c, const Frame& f);
+  /// Admits one frame; returns the error to answer with, or nullopt on
+  /// success. On success the Pending is registered under a fresh cookie.
+  std::optional<ErrCode> admit(WireConn& c, serve::ModelKey key, Tensor frame,
+                               u64 request_id, std::shared_ptr<PendingBatch> batch,
+                               u32 slot, u64 t_frame_done_ns);
+  void finish(u64 cookie);
+  void send(WireConn& c, MsgType type, u64 request_id, const std::vector<u8>& payload);
+  void send_error(WireConn& c, u64 request_id, ErrCode code, const std::string& msg);
+  void close_conn(u64 conn_id);
+  void apply_backpressure(WireConn& c);
+  json::Value info_json() const;
+  void start_drain();
+  void maybe_finish_drain();
+
+  serve::Server& server_;
+  const FrontendOptions options_;
+  EventLoop loop_;
+  Fd listener_;
+  u16 port_ = 0;
+  u64 next_conn_id_ = 1;
+  u64 next_cookie_ = 1;
+  std::unordered_map<u64, std::unique_ptr<WireConn>> conns_;
+  std::unordered_map<u64, std::unique_ptr<Pending>> pending_;
+  std::vector<std::pair<serve::ModelKey, ModelDir>> models_;  // kInfo directory
+  bool draining_ = false;
+
+  // net.* telemetry, registered in the server's registry so one
+  // metrics_json() document covers process + wire (the router's load poll
+  // reads serve.queue_depth and net.connections from the same place).
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* closed_ = nullptr;
+  obs::Counter* frames_in_ = nullptr;
+  obs::Counter* frames_out_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
+  obs::Counter* protocol_errors_ = nullptr;
+  obs::Counter* busy_rejects_ = nullptr;
+  obs::Counter* backpressure_pauses_ = nullptr;
+  obs::Gauge* connections_ = nullptr;
+  obs::Gauge* net_inflight_ = nullptr;
+  obs::Histogram* accept_to_admit_us_ = nullptr;
+};
+
+}  // namespace sj::net

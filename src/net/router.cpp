@@ -1,0 +1,606 @@
+#include "net/router.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace sj::net {
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {
+  SJ_REQUIRE(!options_.backend_ports.empty(), "router needs at least one backend");
+  routed_ = &registry_.counter("router.routed");
+  answered_ = &registry_.counter("router.answered");
+  no_backend_ = &registry_.counter("router.no_backend");
+  lost_ = &registry_.counter("router.backend_lost");
+  reconnects_ = &registry_.counter("router.reconnects");
+  clients_gauge_ = &registry_.gauge("router.clients");
+  routes_gauge_ = &registry_.gauge("router.routes");
+  healthy_gauge_ = &registry_.gauge("router.backends_healthy");
+
+  backends_.resize(options_.backend_ports.size());
+  for (usize i = 0; i < backends_.size(); ++i) {
+    backends_[i].index = i;
+    backends_[i].backend_port = options_.backend_ports[i];
+  }
+
+  auto [fd, port] = listen_tcp(options_.port);
+  listener_ = std::move(fd);
+  port_ = port;
+  loop_.add_fd(listener_.get(), EPOLLIN, [this](u32) { on_accept(); });
+
+  // First connect attempts happen on the first timer tick; fire an initial
+  // round immediately so a co-started fleet links up without waiting.
+  loop_.post([this] { poll_health(); });
+  loop_.add_timer(options_.health_period_s, [this] { poll_health(); });
+}
+
+Router::~Router() = default;
+
+void Router::run() { loop_.run(); }
+
+void Router::begin_drain() {
+  loop_.post([this] { start_drain(); });
+}
+
+// ---------------------------------------------------------------------------
+// Client side.
+
+void Router::on_accept() {
+  for (;;) {
+    const int fd = ::accept4(listener_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;
+    set_nodelay(fd);
+    auto conn = std::make_unique<WireConn>();
+    conn->id = next_conn_id_++;
+    conn->fd = Fd(fd);
+    conn->armed = EPOLLIN | EPOLLRDHUP;
+    const u64 id = conn->id;
+    loop_.add_fd(fd, conn->armed, [this, id](u32 ev) { on_client_event(id, ev); });
+    clients_.emplace(id, std::move(conn));
+    clients_gauge_->set(static_cast<i64>(clients_.size()));
+  }
+}
+
+void Router::on_client_event(u64 conn_id, u32 events) {
+  const auto it = clients_.find(conn_id);
+  if (it == clients_.end()) return;
+  WireConn& c = *it->second;
+  try {
+    if (events & (EPOLLERR | EPOLLHUP)) {
+      close_client(conn_id);
+      return;
+    }
+    if (events & EPOLLOUT) {
+      flush_writes(c);
+      if (c.outq.empty() && c.closing) {
+        close_client(conn_id);
+        return;
+      }
+      update_events(loop_, c);
+      maybe_finish_drain();
+    }
+    if ((events & (EPOLLIN | EPOLLRDHUP)) && c.reading && !c.closing) {
+      u8 buf[64 * 1024];
+      for (;;) {
+        const i64 n = read_some(c.fd.get(), buf, sizeof(buf));
+        if (n < 0) break;
+        if (n == 0) {
+          close_client(conn_id);
+          return;
+        }
+        c.reader.feed(buf, static_cast<usize>(n));
+        while (auto f = c.reader.next()) {
+          dispatch_client(c, *f);
+          if (c.closing || !c.reading) break;
+        }
+        if (c.closing || !c.reading) break;
+      }
+      update_events(loop_, c);
+    }
+  } catch (const WireError& e) {
+    send_error(c, 0, ErrCode::kBadFrame, e.what());
+    c.closing = true;
+    if (c.outq.empty()) {
+      close_client(conn_id);
+    } else {
+      update_events(loop_, c);
+    }
+  } catch (const Error& e) {
+    SJ_WARN("router: client " << conn_id << " dropped: " << e.what());
+    close_client(conn_id);
+  }
+}
+
+void Router::dispatch_client(WireConn& c, const Frame& f) {
+  switch (f.type()) {
+    case MsgType::kSubmit:
+    case MsgType::kSubmitBatch:
+      route_submit(c, f);
+      return;
+    case MsgType::kSwapWeights:
+      route_swap(c, f);
+      return;
+    case MsgType::kPing:
+      answer_ping(c, f.header.request_id);
+      return;
+    case MsgType::kMetrics:
+      send(c, MsgType::kMetricsResult, f.header.request_id,
+           encode_string(metrics_json().dump()));
+      return;
+    case MsgType::kInfo:
+      send(c, MsgType::kInfoResult, f.header.request_id,
+           encode_string(info_json().dump()));
+      return;
+    default:
+      send_error(c, f.header.request_id, ErrCode::kUnknownType,
+                 strprintf("router does not handle type %u", f.header.type));
+      return;
+  }
+}
+
+void Router::route_submit(WireConn& c, const Frame& f) {
+  if (draining_) {
+    send_error(c, f.header.request_id, ErrCode::kDraining, "router draining");
+    return;
+  }
+  if (f.payload.size() < 8) {
+    throw WireError("submit payload shorter than a model key", __FILE__, __LINE__);
+  }
+  WireReader r(f.payload.data(), 8);
+  const u64 key = r.u64v();
+  const int pick = pick_backend(key);
+  if (pick < 0) {
+    no_backend_->inc();
+    send_error(c, f.header.request_id, ErrCode::kNoBackend,
+               strprintf("no healthy backend serves model %016llx",
+                         static_cast<unsigned long long>(key)));
+    return;
+  }
+  forward(backends_[static_cast<usize>(pick)], c, f);
+}
+
+void Router::route_swap(WireConn& c, const Frame& f) {
+  if (draining_) {
+    send_error(c, f.header.request_id, ErrCode::kDraining, "router draining");
+    return;
+  }
+  if (f.payload.size() < 8) {
+    throw WireError("swap payload shorter than a model key", __FILE__, __LINE__);
+  }
+  WireReader r(f.payload.data(), 8);
+  const u64 key = r.u64v();
+  std::vector<usize> targets;
+  for (const Backend& b : backends_) {
+    // Weight consistency beats drain politeness here: every backend with
+    // the key gets the swap, draining or not (conn != null is the only gate).
+    if (b.conn != nullptr && b.saw_pong && b.model_keys.count(key) != 0) {
+      targets.push_back(b.index);
+    }
+  }
+  if (targets.empty()) {
+    no_backend_->inc();
+    send_error(c, f.header.request_id, ErrCode::kNoBackend,
+               strprintf("no backend serves model %016llx",
+                         static_cast<unsigned long long>(key)));
+    return;
+  }
+  auto fanout = std::make_shared<SwapFanout>();
+  fanout->client_conn = c.id;
+  fanout->orig_id = f.header.request_id;
+  fanout->remaining = targets.size();
+  for (const usize t : targets) {
+    Backend& b = backends_[t];
+    const u64 rid = next_rid_++;
+    routes_.emplace(rid, Route{c.id, f.header.request_id, t, fanout});
+    b.inflight += 1;
+    std::vector<u8> out(kHeaderSize + f.payload.size());
+    encode_header(f.type(), rid, static_cast<u32>(f.payload.size()), out.data());
+    std::memcpy(out.data() + kHeaderSize, f.payload.data(), f.payload.size());
+    try {
+      queue_frame(loop_, *b.conn, std::move(out));
+    } catch (const Error& e) {
+      backend_lost(b, e.what());  // settles this target's fanout slot
+    }
+  }
+  routes_gauge_->set(static_cast<i64>(routes_.size()));
+  apply_client_backpressure(c);
+}
+
+int Router::pick_backend(u64 key) const {
+  int best = -1;
+  i64 best_score = 0;
+  for (const Backend& b : backends_) {
+    if (!b.routable() || b.model_keys.count(key) == 0) continue;
+    // Last-poll load plus the routes this router put there since: the poll
+    // is a lagging view, the live inflight count is the correction term.
+    const i64 score = b.load + static_cast<i64>(b.inflight);
+    if (best < 0 || score < best_score) {
+      best = static_cast<int>(b.index);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void Router::forward(Backend& b, WireConn& client, const Frame& f) {
+  const u64 rid = next_rid_++;
+  routes_.emplace(rid, Route{client.id, f.header.request_id, b.index, nullptr});
+  b.inflight += 1;
+  routed_->inc();
+  routes_gauge_->set(static_cast<i64>(routes_.size()));
+  std::vector<u8> out(kHeaderSize + f.payload.size());
+  encode_header(f.type(), rid, static_cast<u32>(f.payload.size()), out.data());
+  std::memcpy(out.data() + kHeaderSize, f.payload.data(), f.payload.size());
+  try {
+    queue_frame(loop_, *b.conn, std::move(out));
+  } catch (const Error& e) {
+    backend_lost(b, e.what());  // settles the just-registered route too
+    return;
+  }
+  apply_client_backpressure(client);
+}
+
+void Router::settle_fanout(const Route& r, u32 code, const std::string& message) {
+  SwapFanout& fo = *r.fanout;
+  if (code != 0 && fo.worst_code == 0) {
+    fo.worst_code = code;
+    fo.message = message;
+  }
+  fo.remaining -= 1;
+  if (fo.remaining != 0) return;
+  const auto it = clients_.find(fo.client_conn);
+  if (it != clients_.end()) {
+    try {
+      send(*it->second, MsgType::kSwapResult, fo.orig_id,
+           encode_status(fo.worst_code, fo.message));
+    } catch (const Error&) {
+      close_client(fo.client_conn);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend side.
+
+void Router::start_connect(Backend& b) {
+  try {
+    b.connecting = connect_tcp_nonblocking("127.0.0.1", b.backend_port);
+  } catch (const IoError&) {
+    return;  // next health tick retries
+  }
+  const usize index = b.index;
+  loop_.add_fd(b.connecting.get(), EPOLLOUT,
+               [this, index](u32 ev) { on_connecting(index, ev); });
+}
+
+void Router::on_connecting(usize index, u32 events) {
+  Backend& b = backends_[index];
+  if (!b.connecting.valid()) return;
+  loop_.del_fd(b.connecting.get());
+  if ((events & (EPOLLERR | EPOLLHUP)) || connect_result(b.connecting.get()) != 0) {
+    b.connecting.reset();  // refused (backend not up yet); retry on the timer
+    return;
+  }
+  set_nodelay(b.connecting.get());
+  b.conn = std::make_unique<WireConn>();
+  b.conn->id = b.index;
+  b.conn->fd = std::move(b.connecting);
+  b.conn->armed = EPOLLIN | EPOLLRDHUP;
+  loop_.add_fd(b.conn->fd.get(), b.conn->armed,
+               [this, index](u32 ev) { on_backend_event(index, ev); });
+  reconnects_->inc();
+  SJ_INFO("router: backend " << index << " connected (port " << b.backend_port << ")");
+  // Learn the model directory and health before routing anything there.
+  send_control(b, MsgType::kInfo);
+  send_control(b, MsgType::kPing);
+  send_control(b, MsgType::kMetrics);
+}
+
+void Router::on_backend_event(usize index, u32 events) {
+  Backend& b = backends_[index];
+  if (b.conn == nullptr) return;
+  WireConn& c = *b.conn;
+  try {
+    if (events & (EPOLLERR | EPOLLHUP)) {
+      backend_lost(b, "socket error");
+      return;
+    }
+    if (events & EPOLLOUT) {
+      flush_writes(c);
+      update_events(loop_, c);
+    }
+    if (events & (EPOLLIN | EPOLLRDHUP)) {
+      u8 buf[64 * 1024];
+      for (;;) {
+        const i64 n = read_some(c.fd.get(), buf, sizeof(buf));
+        if (n < 0) break;
+        if (n == 0) {
+          backend_lost(b, "closed the connection");
+          return;
+        }
+        c.reader.feed(buf, static_cast<usize>(n));
+        while (auto f = c.reader.next()) {
+          dispatch_backend(b, *f);
+          if (b.conn == nullptr) return;  // lost while dispatching
+        }
+      }
+      update_events(loop_, c);
+    }
+  } catch (const Error& e) {
+    backend_lost(b, e.what());
+  }
+}
+
+void Router::dispatch_backend(Backend& b, const Frame& f) {
+  const u64 id = f.header.request_id;
+  if ((id & kControlBit) != 0) {
+    const auto cit = control_.find(id);
+    if (cit == control_.end()) return;  // stale (pre-reconnect) control answer
+    control_.erase(cit);
+    switch (f.type()) {
+      case MsgType::kPong: {
+        const PongInfo p = decode_pong(f);
+        b.saw_pong = true;
+        b.accepting = p.accepting;
+        break;
+      }
+      case MsgType::kInfoResult: {
+        const json::Value info = json::parse(decode_string(f));
+        b.model_keys.clear();
+        for (const json::Value& m : info.at("models").as_array()) {
+          b.model_keys.insert(
+              std::strtoull(m.at("key").as_string().c_str(), nullptr, 16));
+        }
+        break;
+      }
+      case MsgType::kMetricsResult: {
+        const json::Value doc = json::parse(decode_string(f));
+        const json::Value& gauges = doc.at("metrics").at("gauges");
+        i64 load = 0;
+        if (gauges.contains("serve.queue_depth")) {
+          load += gauges.at("serve.queue_depth").as_int();
+        }
+        if (gauges.contains("serve.in_flight")) {
+          load += gauges.at("serve.in_flight").as_int();
+        }
+        b.load = load;
+        break;
+      }
+      default:
+        break;
+    }
+    i64 healthy = 0;
+    for (const Backend& be : backends_) healthy += be.routable() ? 1 : 0;
+    healthy_gauge_->set(healthy);
+    return;
+  }
+
+  const auto rit = routes_.find(id);
+  if (rit == routes_.end()) return;  // client vanished and route was reaped
+  const Route route = rit->second;
+  routes_.erase(rit);
+  b.inflight -= 1;
+  routes_gauge_->set(static_cast<i64>(routes_.size()));
+
+  if (route.fanout != nullptr) {
+    u32 code = 0;
+    std::string message = "ok";
+    if (f.type() == MsgType::kSwapResult) {
+      const StatusMsg s = decode_status(f);
+      code = s.code;
+      message = s.message;
+    } else if (f.type() == MsgType::kError) {
+      const ErrorMsg e = decode_error(f);
+      code = static_cast<u32>(e.code);
+      message = e.message;
+    }
+    settle_fanout(route, code, message);
+  } else {
+    const auto cit = clients_.find(route.client_conn);
+    if (cit != clients_.end()) {
+      WireConn& client = *cit->second;
+      answered_->inc();
+      try {
+        // Forward the backend's payload verbatim under the original id.
+        std::vector<u8> out(kHeaderSize + f.payload.size());
+        encode_header(f.type(), route.orig_id, static_cast<u32>(f.payload.size()),
+                      out.data());
+        std::memcpy(out.data() + kHeaderSize, f.payload.data(), f.payload.size());
+        queue_frame(loop_, client, std::move(out));
+        if (!client.reading && !client.closing && !draining_ &&
+            client_routes(client.id) < options_.conn_pending_limit) {
+          client.reading = true;
+          update_events(loop_, client);
+        }
+      } catch (const Error&) {
+        // A dead CLIENT must not be mistaken for a dead backend (we are in
+        // the backend's dispatch context here).
+        close_client(route.client_conn);
+      }
+    }
+  }
+  maybe_finish_drain();
+}
+
+void Router::backend_lost(Backend& b, const std::string& why) {
+  SJ_WARN("router: backend " << b.index << " lost: " << why);
+  if (b.conn != nullptr) {
+    loop_.del_fd(b.conn->fd.get());
+    b.conn.reset();
+  }
+  b.saw_pong = false;
+  b.accepting = false;
+  b.load = 0;
+  b.inflight = 0;
+  // Drop this backend's outstanding control requests.
+  for (auto it = control_.begin(); it != control_.end();) {
+    it = it->second == b.index ? control_.erase(it) : std::next(it);
+  }
+  // Every route on this backend fails back to its client: the frame may or
+  // may not have executed, so the only honest answer is kBackendLost.
+  std::vector<u64> dead;
+  for (const auto& [rid, route] : routes_) {
+    if (route.backend == b.index) dead.push_back(rid);
+  }
+  for (const u64 rid : dead) {
+    const Route route = routes_[rid];
+    routes_.erase(rid);
+    lost_->inc();
+    if (route.fanout != nullptr) {
+      settle_fanout(route, static_cast<u32>(ErrCode::kBackendLost), why);
+    } else {
+      const auto cit = clients_.find(route.client_conn);
+      if (cit != clients_.end()) {
+        try {
+          send_error(*cit->second, route.orig_id, ErrCode::kBackendLost,
+                     "backend lost with request in flight");
+        } catch (const Error&) {
+          close_client(route.client_conn);
+        }
+      }
+    }
+  }
+  routes_gauge_->set(static_cast<i64>(routes_.size()));
+  i64 healthy = 0;
+  for (const Backend& be : backends_) healthy += be.routable() ? 1 : 0;
+  healthy_gauge_->set(healthy);
+  maybe_finish_drain();
+}
+
+void Router::poll_health() {
+  for (Backend& b : backends_) {
+    if (b.conn == nullptr) {
+      if (!b.connecting.valid() && !draining_) start_connect(b);
+      continue;
+    }
+    try {
+      send_control(b, MsgType::kPing);
+      send_control(b, MsgType::kMetrics);
+      // Models can appear (load_model) or swap at runtime; refresh the
+      // directory at health cadence too — it is a tiny JSON document.
+      send_control(b, MsgType::kInfo);
+    } catch (const Error& e) {
+      backend_lost(b, e.what());  // the health write IS the liveness probe
+    }
+  }
+}
+
+void Router::send_control(Backend& b, MsgType type) {
+  const u64 id = kControlBit | next_control_id_++;
+  control_.emplace(id, b.index);
+  queue_frame(loop_, *b.conn, encode_frame(type, id, {}));
+}
+
+// ---------------------------------------------------------------------------
+// Local answers + shared plumbing.
+
+void Router::answer_ping(WireConn& c, u64 request_id) {
+  PongInfo p;
+  p.accepting = !draining_;
+  p.pending = static_cast<u32>(routes_.size());
+  std::unordered_set<u64> keys;
+  for (const Backend& b : backends_) {
+    for (const u64 k : b.model_keys) keys.insert(k);
+  }
+  p.models = static_cast<u32>(keys.size());
+  send(c, MsgType::kPong, request_id, encode_pong(p));
+}
+
+json::Value Router::info_json() const {
+  // Union of the backends' directories, deduped by key.
+  json::Value root;
+  root.set("version", static_cast<i64>(kWireVersion));
+  root.set("accepting", !draining_);
+  root.set("router", true);
+  json::Array models;
+  std::unordered_set<u64> seen;
+  for (const Backend& b : backends_) {
+    for (const u64 k : b.model_keys) {
+      if (!seen.insert(k).second) continue;
+      json::Value m;
+      m.set("key", strprintf("%016llx", static_cast<unsigned long long>(k)));
+      models.push_back(std::move(m));
+    }
+  }
+  root.set("models", std::move(models));
+  return root;
+}
+
+json::Value Router::metrics_json() const {
+  json::Value root;
+  root.set("metrics", registry_.to_json());
+  json::Array bs;
+  for (const Backend& b : backends_) {
+    json::Value v;
+    v.set("port", static_cast<i64>(b.backend_port));
+    v.set("connected", b.conn != nullptr);
+    v.set("accepting", b.accepting);
+    v.set("load", b.load);
+    v.set("inflight", static_cast<i64>(b.inflight));
+    v.set("models", static_cast<i64>(b.model_keys.size()));
+    bs.push_back(std::move(v));
+  }
+  root.set("backends", std::move(bs));
+  return root;
+}
+
+void Router::send(WireConn& c, MsgType type, u64 request_id,
+                  const std::vector<u8>& payload) {
+  queue_frame(loop_, c, encode_frame(type, request_id, payload));
+}
+
+void Router::send_error(WireConn& c, u64 request_id, ErrCode code,
+                        const std::string& msg) {
+  send(c, MsgType::kError, request_id, encode_error(code, msg));
+}
+
+void Router::close_client(u64 conn_id) {
+  const auto it = clients_.find(conn_id);
+  if (it == clients_.end()) return;
+  loop_.del_fd(it->second->fd.get());
+  clients_.erase(it);
+  clients_gauge_->set(static_cast<i64>(clients_.size()));
+  // Routes for this client stay until the backend answers (the backend is
+  // executing them regardless); the answer is then dropped on the floor.
+  maybe_finish_drain();
+}
+
+void Router::apply_client_backpressure(WireConn& c) {
+  if (c.reading && client_routes(c.id) >= options_.conn_pending_limit) {
+    c.reading = false;
+    update_events(loop_, c);
+  }
+}
+
+usize Router::client_routes(u64 conn_id) const {
+  usize n = 0;
+  for (const auto& [rid, route] : routes_) n += route.client_conn == conn_id ? 1 : 0;
+  return n;
+}
+
+void Router::start_drain() {
+  if (draining_) return;
+  draining_ = true;
+  SJ_INFO("router: draining (" << routes_.size() << " routes in flight)");
+  if (listener_.valid()) {
+    loop_.del_fd(listener_.get());
+    listener_.reset();
+  }
+  maybe_finish_drain();
+}
+
+void Router::maybe_finish_drain() {
+  if (!draining_ || !routes_.empty()) return;
+  for (const auto& [id, c] : clients_) {
+    if (!c->outq.empty()) return;
+  }
+  loop_.stop();
+}
+
+}  // namespace sj::net

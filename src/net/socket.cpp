@@ -1,0 +1,158 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace sj::net {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw_io_error("net: " + what + ": " + std::string(strerror(errno)), __FILE__,
+                 __LINE__);
+}
+
+sockaddr_in make_addr(const std::string& host, u16 port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw_io_error("net: bad IPv4 address '" + host + "'", __FILE__, __LINE__);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    io_fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::pair<Fd, u16> listen_tcp(u16 port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) io_fail("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr("127.0.0.1", port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    io_fail(strprintf("bind(127.0.0.1:%u)", static_cast<unsigned>(port)));
+  }
+  if (::listen(fd.get(), backlog) < 0) io_fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    io_fail("getsockname");
+  }
+  set_nonblocking(fd.get());
+  return {std::move(fd), ntohs(addr.sin_port)};
+}
+
+Fd connect_tcp(const std::string& host, u16 port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) io_fail("socket");
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    io_fail(strprintf("connect(%s:%u)", host.c_str(), static_cast<unsigned>(port)));
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+Fd connect_tcp_nonblocking(const std::string& host, u16 port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) io_fail("socket");
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    io_fail(strprintf("connect(%s:%u)", host.c_str(), static_cast<unsigned>(port)));
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+int connect_result(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return errno;
+  return err;
+}
+
+i64 read_some(int fd, void* buf, usize n) {
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    // A peer that vanished mid-conversation is an orderly close from the
+    // server's point of view — there is nobody left to answer anyway.
+    if (errno == ECONNRESET) return 0;
+    io_fail("read");
+  }
+}
+
+i64 write_some(int fd, const void* buf, usize n) {
+  for (;;) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
+    const ssize_t r = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    io_fail("write");
+  }
+}
+
+void write_all(int fd, const void* buf, usize n) {
+  const u8* p = static_cast<const u8*>(buf);
+  usize off = 0;
+  while (off < n) {
+    const ssize_t r = ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write_all");
+    }
+    off += static_cast<usize>(r);
+  }
+}
+
+bool read_exact(int fd, void* buf, usize n) {
+  u8* p = static_cast<u8*>(buf);
+  usize off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, p + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_fail("read_exact");
+    }
+    if (r == 0) {
+      if (off == 0) return false;  // clean EOF between frames
+      throw_io_error("net: connection closed mid-frame", __FILE__, __LINE__);
+    }
+    off += static_cast<usize>(r);
+  }
+  return true;
+}
+
+}  // namespace sj::net

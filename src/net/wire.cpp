@@ -1,0 +1,343 @@
+#include "net/wire.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sj::net {
+
+namespace {
+
+[[noreturn]] void wire_fail(const std::string& msg) {
+  throw WireError("wire: " + msg, __FILE__, __LINE__);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WireWriter / WireReader.
+// ---------------------------------------------------------------------------
+
+void WireWriter::str(const std::string& s) {
+  if (s.size() > kMaxPayload) wire_fail("string too long to encode");
+  u32v(static_cast<u32>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+void WireWriter::bytes(const void* p, usize n) {
+  const u8* b = static_cast<const u8*>(p);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+u64 WireReader::get(int n) {
+  if (remaining() < static_cast<usize>(n)) wire_fail("payload truncated");
+  u64 v = 0;
+  for (int i = 0; i < n; ++i) v |= static_cast<u64>(p_[off_ + i]) << (8 * i);
+  off_ += static_cast<usize>(n);
+  return v;
+}
+
+std::string WireReader::str() {
+  const u32 n = u32v();
+  if (remaining() < n) wire_fail("string truncated");
+  std::string s(reinterpret_cast<const char*>(p_ + off_), n);
+  off_ += n;
+  return s;
+}
+
+void WireReader::expect_done() const {
+  if (!done()) wire_fail(strprintf("%zu trailing payload bytes", remaining()));
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode / decode.
+// ---------------------------------------------------------------------------
+
+void encode_header(MsgType type, u64 request_id, u32 payload_len, u8 out[kHeaderSize]) {
+  WireWriter w;
+  w.u32v(kWireMagic);
+  w.u16v(kWireVersion);
+  w.u16v(static_cast<u16>(type));
+  w.u64v(request_id);
+  w.u32v(payload_len);
+  w.u32v(0);  // reserved
+  std::copy(w.data().begin(), w.data().end(), out);
+}
+
+std::vector<u8> encode_frame(MsgType type, u64 request_id,
+                             const std::vector<u8>& payload) {
+  SJ_REQUIRE(payload.size() <= kMaxPayload, "wire: payload exceeds kMaxPayload");
+  std::vector<u8> out(kHeaderSize + payload.size());
+  encode_header(type, request_id, static_cast<u32>(payload.size()), out.data());
+  std::copy(payload.begin(), payload.end(), out.begin() + kHeaderSize);
+  return out;
+}
+
+FrameHeader decode_header(const u8* p) {
+  WireReader r(p, kHeaderSize);
+  FrameHeader h;
+  h.magic = r.u32v();
+  h.version = r.u16v();
+  h.type = r.u16v();
+  h.request_id = r.u64v();
+  h.payload_len = r.u32v();
+  h.reserved = r.u32v();
+  if (h.magic != kWireMagic) wire_fail("bad magic (not a Shenjing frame)");
+  if (h.version != kWireVersion) {
+    wire_fail(strprintf("protocol version %u, expected %u", h.version, kWireVersion));
+  }
+  if (h.payload_len > kMaxPayload) {
+    wire_fail(strprintf("payload_len %u exceeds cap %u", h.payload_len, kMaxPayload));
+  }
+  if (h.reserved != 0) wire_fail("reserved header bits set");
+  return h;
+}
+
+void FrameReader::feed(const u8* data, usize n) {
+  // Compact the consumed prefix before it grows unbounded on a long-lived
+  // connection; amortized O(1) per byte.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameReader::next() {
+  const usize avail = buf_.size() - consumed_;
+  if (!head_.has_value()) {
+    if (avail < kHeaderSize) return std::nullopt;
+    head_ = decode_header(buf_.data() + consumed_);  // throws on garbage
+    consumed_ += kHeaderSize;
+  }
+  const usize have = buf_.size() - consumed_;
+  if (have < head_->payload_len) return std::nullopt;
+  Frame f;
+  f.header = *head_;
+  f.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(consumed_),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(consumed_ + head_->payload_len));
+  consumed_ += head_->payload_len;
+  head_.reset();
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Typed payloads.
+// ---------------------------------------------------------------------------
+
+void encode_tensor(WireWriter& w, const Tensor& t) {
+  SJ_REQUIRE(t.ndim() <= kMaxTensorDims, "wire: tensor rank too high");
+  w.u32v(static_cast<u32>(t.ndim()));
+  for (usize i = 0; i < t.ndim(); ++i) w.i32v(t.dim(i));
+  for (usize i = 0; i < t.numel(); ++i) w.f32v(t.data()[i]);
+}
+
+Tensor decode_tensor(WireReader& r) {
+  const u32 ndim = r.u32v();
+  if (ndim > kMaxTensorDims) wire_fail("tensor rank too high");
+  Shape shape(ndim);
+  u64 numel = ndim == 0 ? 0 : 1;
+  for (u32 i = 0; i < ndim; ++i) {
+    const i32 d = r.i32v();
+    if (d <= 0) wire_fail("non-positive tensor dimension");
+    shape[i] = d;
+    numel *= static_cast<u64>(d);
+    if (numel * 4 > kMaxPayload) wire_fail("tensor larger than a frame can carry");
+  }
+  std::vector<float> data(numel);
+  for (u64 i = 0; i < numel; ++i) data[i] = r.f32v();
+  return Tensor(std::move(shape), std::move(data));
+}
+
+std::vector<u8> encode_submit(u64 model_key, const Tensor& frame) {
+  WireWriter w;
+  w.u64v(model_key);
+  encode_tensor(w, frame);
+  return w.take();
+}
+
+std::vector<u8> encode_submit_batch(u64 model_key, std::span<const Tensor> frames) {
+  WireWriter w;
+  w.u64v(model_key);
+  w.u32v(static_cast<u32>(frames.size()));
+  for (const Tensor& t : frames) encode_tensor(w, t);
+  return w.take();
+}
+
+void encode_result_payload(WireWriter& w, const WireTiming& t,
+                           const sim::FrameResult& r) {
+  w.u32v(t.queue_wait_us);
+  w.u32v(t.exec_us);
+  w.i32v(r.predicted);
+  w.u32v(static_cast<u32>(r.spike_counts.size()));
+  for (const i32 v : r.spike_counts) w.i32v(v);
+  w.u32v(static_cast<u32>(r.final_potentials.size()));
+  for (const i64 v : r.final_potentials) w.i64v(v);
+}
+
+std::vector<u8> encode_result(const WireTiming& t, const sim::FrameResult& r) {
+  WireWriter w;
+  encode_result_payload(w, t, r);
+  return w.take();
+}
+
+std::vector<u8> encode_error(ErrCode code, const std::string& message) {
+  WireWriter w;
+  w.u32v(static_cast<u32>(code));
+  w.str(message);
+  return w.take();
+}
+
+std::vector<u8> encode_pong(const PongInfo& p) {
+  WireWriter w;
+  w.u8v(p.accepting ? 1 : 0);
+  w.u32v(p.pending);
+  w.u32v(p.models);
+  return w.take();
+}
+
+std::vector<u8> encode_swap(u64 model_key, u64 seed) {
+  WireWriter w;
+  w.u64v(model_key);
+  w.u64v(seed);
+  return w.take();
+}
+
+std::vector<u8> encode_status(u32 code, const std::string& message) {
+  WireWriter w;
+  w.u32v(code);
+  w.str(message);
+  return w.take();
+}
+
+std::vector<u8> encode_string(const std::string& s) {
+  WireWriter w;
+  w.str(s);
+  return w.take();
+}
+
+SubmitMsg decode_submit(const Frame& f) {
+  WireReader r(f.payload);
+  SubmitMsg m;
+  m.model_key = r.u64v();
+  m.frame = decode_tensor(r);
+  r.expect_done();
+  return m;
+}
+
+SubmitBatchMsg decode_submit_batch(const Frame& f) {
+  WireReader r(f.payload);
+  SubmitBatchMsg m;
+  m.model_key = r.u64v();
+  const u32 count = r.u32v();
+  // Each tensor needs at least its rank word; a count beyond that is a
+  // length-field lie, not a big batch.
+  if (count > r.remaining() / 4 + 1) wire_fail("batch count exceeds payload");
+  m.frames.reserve(count);
+  for (u32 i = 0; i < count; ++i) m.frames.push_back(decode_tensor(r));
+  r.expect_done();
+  return m;
+}
+
+sim::FrameResult decode_result_entry(WireReader& r) {
+  sim::FrameResult res;
+  res.predicted = r.i32v();
+  const u32 nspk = r.u32v();
+  if (nspk > r.remaining() / 4) wire_fail("spike_counts truncated");
+  res.spike_counts.resize(nspk);
+  for (u32 i = 0; i < nspk; ++i) res.spike_counts[i] = r.i32v();
+  const u32 npot = r.u32v();
+  if (npot > r.remaining() / 8) wire_fail("final_potentials truncated");
+  res.final_potentials.resize(npot);
+  for (u32 i = 0; i < npot; ++i) res.final_potentials[i] = r.i64v();
+  return res;
+}
+
+ResultMsg decode_result(const Frame& f) {
+  WireReader r(f.payload);
+  ResultMsg m;
+  m.timing.queue_wait_us = r.u32v();
+  m.timing.exec_us = r.u32v();
+  m.result = decode_result_entry(r);
+  r.expect_done();
+  return m;
+}
+
+ErrorMsg decode_error(const Frame& f) {
+  WireReader r(f.payload);
+  ErrorMsg m;
+  m.code = static_cast<ErrCode>(r.u32v());
+  m.message = r.str();
+  r.expect_done();
+  return m;
+}
+
+PongInfo decode_pong(const Frame& f) {
+  WireReader r(f.payload);
+  PongInfo p;
+  p.accepting = r.u8v() != 0;
+  p.pending = r.u32v();
+  p.models = r.u32v();
+  r.expect_done();
+  return p;
+}
+
+SwapMsg decode_swap(const Frame& f) {
+  WireReader r(f.payload);
+  SwapMsg m;
+  m.model_key = r.u64v();
+  m.seed = r.u64v();
+  r.expect_done();
+  return m;
+}
+
+StatusMsg decode_status(const Frame& f) {
+  WireReader r(f.payload);
+  StatusMsg m;
+  m.code = r.u32v();
+  m.message = r.str();
+  r.expect_done();
+  return m;
+}
+
+std::string decode_string(const Frame& f) {
+  WireReader r(f.payload);
+  std::string s = r.str();
+  r.expect_done();
+  return s;
+}
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kSubmit: return "submit";
+    case MsgType::kSubmitBatch: return "submit_batch";
+    case MsgType::kResult: return "result";
+    case MsgType::kBatchResult: return "batch_result";
+    case MsgType::kError: return "error";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kMetrics: return "metrics";
+    case MsgType::kMetricsResult: return "metrics_result";
+    case MsgType::kInfo: return "info";
+    case MsgType::kInfoResult: return "info_result";
+    case MsgType::kSwapWeights: return "swap_weights";
+    case MsgType::kSwapResult: return "swap_result";
+  }
+  return "unknown";
+}
+
+const char* err_code_name(ErrCode c) {
+  switch (c) {
+    case ErrCode::kBadFrame: return "bad_frame";
+    case ErrCode::kUnknownType: return "unknown_type";
+    case ErrCode::kUnknownModel: return "unknown_model";
+    case ErrCode::kBusy: return "busy";
+    case ErrCode::kDraining: return "draining";
+    case ErrCode::kInternal: return "internal";
+    case ErrCode::kNoBackend: return "no_backend";
+    case ErrCode::kBackendLost: return "backend_lost";
+  }
+  return "unknown";
+}
+
+}  // namespace sj::net

@@ -212,4 +212,11 @@ std::span<const i64> Registry::default_latency_bounds_us() {
   return kBounds;
 }
 
+std::span<const i64> Registry::wire_bounds_us() {
+  static const std::vector<i64> kBounds = {
+      1,    2,    5,     10,    20,    50,     100,    200,    500,
+      1000, 5000, 20000, 50000, 200000, 1000000};
+  return kBounds;
+}
+
 }  // namespace sj::obs

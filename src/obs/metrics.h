@@ -173,6 +173,11 @@ class Registry {
   /// The default latency bucket ladder, in microseconds: ~exponential from
   /// 50 us to 5 s, sized so one simulated frame (~0.5 ms) lands mid-ladder.
   static std::span<const i64> default_latency_bounds_us();
+  /// A finer ladder for wire-side micro-latencies (the net tier's
+  /// accept-to-admit histogram): ~exponential from 1 us — a decoded frame
+  /// should enter the serve queue in single-digit microseconds, far below
+  /// the first rung of the request-latency ladder above.
+  static std::span<const i64> wire_bounds_us();
 
  private:
   template <typename T>

@@ -291,6 +291,40 @@ std::future<sim::FrameResult> Server::submit(ModelKey key, Tensor frame,
   return fut;
 }
 
+std::optional<std::future<sim::FrameResult>> Server::try_submit(
+    ModelKey key, Tensor frame, RequestTrace* trace, CompletionHook done) {
+  Request req;
+  req.key = key;
+  req.frame = std::move(frame);
+  req.trace = trace;
+  req.done = std::move(done);
+  std::future<sim::FrameResult> fut = req.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    // Nonblocking admission: succeed only when we could admit WITHOUT
+    // queue-jumping — nobody waiting in the ticket line (head == tail means
+    // every issued ticket has retired) and a free slot. Overtaking a blocked
+    // batch submitter here would reintroduce exactly the starvation the
+    // ticket line exists to prevent.
+    if (max_pending_ != 0 &&
+        (ticket_head_ != ticket_tail_ || queue_.size() >= max_pending_)) {
+      return std::nullopt;
+    }
+    SJ_REQUIRE(accepting_, "serve: submit after shutdown");
+    const auto it = models_.find(key);
+    SJ_REQUIRE(it != models_.end(), "serve: submit to unknown model key");
+    req.gen = it->second.gen;
+    req.metrics = it->second.metrics;
+    req.submit_ns = obs::now_ns();
+    if (trace != nullptr) *trace = RequestTrace{.submit_ns = req.submit_ns};
+    queue_.push_back(std::move(req));
+    queue_depth_->set(static_cast<i64>(queue_.size()));
+  }
+  submitted_->inc();
+  work_cv_.notify_one();
+  return fut;
+}
+
 std::vector<std::future<sim::FrameResult>> Server::submit_batch(
     ModelKey key, std::span<const Tensor> frames) {
   std::vector<std::future<sim::FrameResult>> futures;
@@ -460,6 +494,7 @@ void Server::worker_loop() {
         req.trace->done_ns = t_done;
       }
       req.promise.set_value(std::move(res));
+      if (req.done) req.done();
     } catch (...) {
       // A throwing frame contributes nothing: discard the partial tally so
       // later frames on this context report exactly their own work. Failed
@@ -477,6 +512,7 @@ void Server::worker_loop() {
             obs::now_ns();
       }
       req.promise.set_exception(std::current_exception());
+      if (req.done) req.done();
     }
     in_flight_->add(-1);
   }
@@ -502,7 +538,16 @@ void Server::shutdown(DrainMode mode) {
   for (Request& r : cancelled) {
     r.promise.set_exception(std::make_exception_ptr(
         Cancelled("serve: request cancelled by shutdown", __FILE__, __LINE__)));
+    // The completion contract holds on the cancel path too: a network
+    // front-end must learn the future is ready (with an exception) or its
+    // client would wait forever on a response that is never coming.
+    if (r.done) r.done();
   }
+}
+
+bool Server::accepting() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return accepting_;
 }
 
 json::Value Server::metrics_json() const {

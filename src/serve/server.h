@@ -49,9 +49,11 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <unordered_map>
@@ -177,6 +179,25 @@ class Server {
   std::future<sim::FrameResult> submit(ModelKey key, Tensor frame,
                                        RequestTrace* trace = nullptr);
 
+  /// Called by the worker that finished a request, AFTER the future became
+  /// ready (value or exception) and after stats/telemetry were recorded —
+  /// and by shutdown(kCancel) for requests it cancels. Runs on a worker (or
+  /// the shutdown caller's) thread: keep it cheap and non-blocking. The
+  /// network front-end's hook posts to its event loop through an eventfd, so
+  /// engine workers never touch a socket.
+  using CompletionHook = std::function<void()>;
+
+  /// Nonblocking admission for network front-ends: like submit(), but when
+  /// the bounded queue is full (or other submitters are already blocked in
+  /// the FIFO ticket line ahead of us) it returns nullopt instead of
+  /// blocking — an event-loop thread must never sleep on queue space; it
+  /// answers the client with a "busy" error frame and relies on
+  /// connection-level backpressure to slow the socket down. Still throws on
+  /// unknown model keys and after shutdown, like submit().
+  std::optional<std::future<sim::FrameResult>> try_submit(
+      ModelKey key, Tensor frame, RequestTrace* trace = nullptr,
+      CompletionHook done = nullptr);
+
   /// Enqueues every frame of `frames` in order; futures index like the span.
   /// On a bounded server the batch is admitted *transactionally*: the call
   /// blocks until the queue has room for all of it, then enqueues it in one
@@ -197,6 +218,13 @@ class Server {
   /// serve.{queue_wait,exec,e2e}_us.<016x-key> latency histograms. Safe to
   /// snapshot from any thread while serving.
   const obs::Registry& registry() const { return registry_; }
+  /// Mutable registry access for co-located subsystems (the net front-end
+  /// registers its net.* counters/histograms here so one metrics_json dump
+  /// — and the router's load poll — sees the whole process).
+  obs::Registry& registry() { return registry_; }
+
+  /// True until shutdown() — the net tier's pong/drain signal.
+  bool accepting() const;
 
   /// One self-describing JSON document for dashboards and the
   /// SHENJING_METRICS dumper: the registry snapshot plus, per model, the
@@ -261,6 +289,7 @@ class Server {
     u64 submit_ns = 0;
     RequestTrace* trace = nullptr;  // optional caller-observed trace
     ModelMetrics metrics;           // copied from the entry at submit
+    CompletionHook done;            // fired after the future becomes ready
   };
 
   static std::shared_ptr<const Generation> make_generation(

@@ -1,0 +1,440 @@
+// Wire-level serving tier tests (ISSUE 10):
+//
+//  1. Protocol: header round-trip; garbage/truncated/oversized frames are
+//     rejected with WireError, never silently decoded; FrameReader
+//     reassembles frames fed one byte at a time; tensors round-trip
+//     bit-exactly (f32 through u32 bit_cast).
+//  2. Loopback equivalence: results through the full network path — socket,
+//     codec, epoll loop, eventfd completion handoff — are bit-identical to
+//     in-process serve::Server::submit of the same model. Same for batches.
+//  3. Behaviour under pressure: a full admission queue answers kBusy (the
+//     loop thread never blocks); drain answers everything in flight before
+//     run() returns and then refuses new connections.
+//  4. Router: spreads pipelined load over both backends, survives losing
+//     one (failover), answers kNoBackend when nobody serves the key, and
+//     hot-swaps weights over the wire consistently (swap back restores
+//     bit-exact original results).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "harness/serve_fixture.h"
+#include "net/client.h"
+#include "net/frontend.h"
+#include "net/router.h"
+#include "serve/server.h"
+
+namespace sj::net {
+namespace {
+
+// Small and fast: tier-1 ctest runs this on one core.
+harness::ServeFixture test_fixture(u64 seed = 55) {
+  return harness::make_serve_fixture(seed, /*in=*/40, /*hidden=*/16,
+                                     /*timesteps=*/4, /*frames=*/6);
+}
+
+void expect_result_eq(const sim::FrameResult& a, const sim::FrameResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.predicted, b.predicted) << what;
+  EXPECT_EQ(a.spike_counts, b.spike_counts) << what;
+  EXPECT_EQ(a.final_potentials, b.final_potentials) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol layer.
+
+TEST(WireProtocol, HeaderRoundTrip) {
+  u8 buf[kHeaderSize];
+  encode_header(MsgType::kSubmit, 0x1122334455667788ull, 4096, buf);
+  const FrameHeader h = decode_header(buf);
+  EXPECT_EQ(h.magic, kWireMagic);
+  EXPECT_EQ(h.version, kWireVersion);
+  EXPECT_EQ(h.type, static_cast<u16>(MsgType::kSubmit));
+  EXPECT_EQ(h.request_id, 0x1122334455667788ull);
+  EXPECT_EQ(h.payload_len, 4096u);
+  EXPECT_EQ(h.reserved, 0u);
+}
+
+TEST(WireProtocol, HeaderRejectsGarbage) {
+  u8 good[kHeaderSize];
+  encode_header(MsgType::kPing, 1, 0, good);
+
+  u8 bad_magic[kHeaderSize];
+  std::memcpy(bad_magic, good, kHeaderSize);
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(decode_header(bad_magic), WireError);
+
+  u8 bad_version[kHeaderSize];
+  std::memcpy(bad_version, good, kHeaderSize);
+  bad_version[4] = 0x7f;
+  EXPECT_THROW(decode_header(bad_version), WireError);
+
+  u8 oversized[kHeaderSize];
+  std::memcpy(oversized, good, kHeaderSize);
+  const u32 huge = kMaxPayload + 1;
+  std::memcpy(oversized + 16, &huge, 4);
+  EXPECT_THROW(decode_header(oversized), WireError);
+
+  u8 reserved_set[kHeaderSize];
+  std::memcpy(reserved_set, good, kHeaderSize);
+  reserved_set[20] = 1;
+  EXPECT_THROW(decode_header(reserved_set), WireError);
+
+  // All-garbage bytes through the incremental reader fail fast too.
+  FrameReader r;
+  std::vector<u8> junk(kHeaderSize, 0xee);
+  r.feed(junk.data(), junk.size());
+  EXPECT_THROW(r.next(), WireError);
+}
+
+TEST(WireProtocol, FrameReaderReassemblesByteAtATime) {
+  // Three frames of different sizes, delivered one byte at a time — the
+  // worst case for reassembly bookkeeping.
+  std::vector<std::vector<u8>> payloads = {
+      {}, {1, 2, 3}, std::vector<u8>(3000, 0xab)};
+  std::vector<u8> stream;
+  for (usize i = 0; i < payloads.size(); ++i) {
+    const std::vector<u8> f = encode_frame(MsgType::kError, 100 + i, payloads[i]);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameReader r;
+  std::vector<Frame> got;
+  for (const u8 b : stream) {
+    r.feed(&b, 1);
+    while (auto f = r.next()) got.push_back(std::move(*f));
+  }
+  ASSERT_EQ(got.size(), payloads.size());
+  for (usize i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].header.request_id, 100 + i);
+    EXPECT_EQ(got[i].payload, payloads[i]);
+  }
+  EXPECT_EQ(r.buffered(), 0u);
+}
+
+TEST(WireProtocol, TruncatedPayloadNeverDecodesSilently) {
+  const harness::ServeFixture fix = test_fixture();
+  Frame f;
+  f.header.type = static_cast<u16>(MsgType::kSubmit);
+  f.payload = encode_submit(7, fix.data.images[0]);
+  ASSERT_NO_THROW(decode_submit(f));
+  for (const usize cut : {usize{0}, usize{4}, usize{11}, f.payload.size() - 1}) {
+    Frame t = f;
+    t.payload.resize(cut);
+    t.header.payload_len = static_cast<u32>(cut);
+    EXPECT_THROW(decode_submit(t), WireError) << "cut at " << cut;
+  }
+  // Trailing junk is as fatal as missing bytes.
+  Frame long_frame = f;
+  long_frame.payload.push_back(0);
+  EXPECT_THROW(decode_submit(long_frame), WireError);
+}
+
+TEST(WireProtocol, TensorRoundTripsBitExactly) {
+  Tensor t({3, 5});
+  Rng rng(17);
+  t.fill_uniform(rng, -2.0f, 2.0f);
+  t.data()[0] = 0.0f;
+  t.data()[1] = -0.0f;
+  t.data()[2] = 1e-39f;  // denormal: survives only via bit_cast, not printf
+  WireWriter w;
+  encode_tensor(w, t);
+  WireReader r(w.data().data(), w.data().size());
+  const Tensor back = decode_tensor(r);
+  ASSERT_EQ(back.shape(), t.shape());
+  ASSERT_EQ(back.numel(), t.numel());
+  EXPECT_EQ(std::memcmp(back.data(), t.data(), t.numel() * sizeof(float)), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback: the full network path vs in-process submit.
+
+struct Loopback {
+  harness::ServeFixture fix;
+  serve::Server server;
+  serve::ModelKey key;
+  std::unique_ptr<Frontend> frontend;
+  std::thread net_thread;
+
+  explicit Loopback(serve::ServerOptions so = {.workers = 2},
+                    FrontendOptions fo = {})
+      : fix(test_fixture()), server(so) {
+    key = server.load_model(fix.mapped, fix.net);
+    if (!fo.swap_fn) {
+      fo.swap_fn = [this](serve::ModelKey k, u64 seed) {
+        const harness::ServeFixture next = test_fixture(seed);
+        server.swap_weights(k, next.mapped, next.net);
+      };
+    }
+    frontend = std::make_unique<Frontend>(server, fo);
+    frontend->register_model(key, "wire-fc", fix.data.sample_shape);
+    net_thread = std::thread([this] { frontend->run(); });
+  }
+  ~Loopback() {
+    if (net_thread.joinable()) {
+      frontend->begin_drain();
+      net_thread.join();
+    }
+    server.shutdown(serve::DrainMode::kDrain);
+  }
+};
+
+TEST(NetLoopback, WireResultsMatchInProcessSubmitBitExactly) {
+  Loopback lb;
+  Client client(lb.frontend->port());
+  for (usize i = 0; i < lb.fix.data.images.size(); ++i) {
+    const ResultMsg wire = client.submit(lb.key, lb.fix.data.images[i]);
+    const sim::FrameResult local =
+        lb.server.submit(lb.key, lb.fix.data.images[i]).get();
+    expect_result_eq(wire.result, local, "wire vs in-process");
+    // The server's timing split rides along on every result.
+    EXPECT_GT(wire.timing.exec_us, 0u);
+  }
+}
+
+TEST(NetLoopback, BatchSubmitMatchesAndAggregates) {
+  Loopback lb;
+  Client client(lb.frontend->port());
+  const std::span<const Tensor> frames(lb.fix.data.images.data(),
+                                       lb.fix.data.images.size());
+  const u64 id = client.send_frame(MsgType::kSubmitBatch,
+                                   encode_submit_batch(lb.key, frames));
+  Frame f = client.recv_frame();
+  ASSERT_EQ(f.type(), MsgType::kBatchResult);
+  ASSERT_EQ(f.header.request_id, id);
+  WireReader r(f.payload.data(), f.payload.size());
+  const u32 count = r.u32v();
+  ASSERT_EQ(count, frames.size());
+  for (u32 i = 0; i < count; ++i) {
+    ASSERT_EQ(r.u8v(), 1u) << "slot " << i << " not ok";
+    WireTiming t;
+    t.queue_wait_us = r.u32v();
+    t.exec_us = r.u32v();
+    const sim::FrameResult wire = decode_result_entry(r);
+    const sim::FrameResult local =
+        lb.server.submit(lb.key, lb.fix.data.images[i]).get();
+    expect_result_eq(wire, local, "batch slot");
+  }
+  r.expect_done();
+}
+
+TEST(NetLoopback, UnknownModelAndUnknownTypeAnswerErrors) {
+  Loopback lb;
+  Client client(lb.frontend->port());
+  try {
+    client.submit(lb.key ^ 1, lb.fix.data.images[0]);
+    FAIL() << "unknown model accepted";
+  } catch (const ServerRejected& e) {
+    EXPECT_EQ(e.code, ErrCode::kUnknownModel);
+  }
+  // An unhandled type gets kUnknownType, and the connection survives.
+  const u64 id = client.send_frame(static_cast<MsgType>(999), {});
+  const Frame f = client.recv_frame();
+  EXPECT_EQ(f.type(), MsgType::kError);
+  EXPECT_EQ(f.header.request_id, id);
+  EXPECT_EQ(decode_error(f).code, ErrCode::kUnknownType);
+  EXPECT_EQ(client.ping().accepting, true);
+}
+
+TEST(NetLoopback, FullQueueAnswersBusyWithoutBlockingTheLoop) {
+  // One worker, a queue bound of 1, and a conn limit far above it: flooding
+  // pipelined submits must produce kBusy errors (try_submit returning
+  // nullopt on the loop thread) while every request still gets exactly one
+  // answer.
+  Loopback lb({.workers = 1, .max_pending = 1},
+              FrontendOptions{.conn_pending_limit = 1024});
+  Client client(lb.frontend->port());
+  constexpr usize kFlood = 24;
+  for (usize i = 0; i < kFlood; ++i) {
+    client.send_frame(MsgType::kSubmit, encode_submit(lb.key, lb.fix.data.images[0]));
+  }
+  usize ok = 0, busy = 0;
+  for (usize i = 0; i < kFlood; ++i) {
+    const Frame f = client.recv_frame();
+    if (f.type() == MsgType::kResult) {
+      ++ok;
+    } else {
+      ASSERT_EQ(f.type(), MsgType::kError);
+      EXPECT_EQ(decode_error(f).code, ErrCode::kBusy);
+      ++busy;
+    }
+  }
+  EXPECT_EQ(ok + busy, kFlood);
+  EXPECT_GT(ok, 0u);    // some ran
+  EXPECT_GT(busy, 0u);  // and the bound actually rejected some
+}
+
+TEST(NetLoopback, DrainAnswersEverythingThenRefusesConnections) {
+  Loopback lb;
+  const u16 port = lb.frontend->port();
+  Client client(port);
+  constexpr usize kInflight = 8;
+  for (usize i = 0; i < kInflight; ++i) {
+    client.send_frame(MsgType::kSubmit,
+                      encode_submit(lb.key, lb.fix.data.images[i % 6]));
+  }
+  // Frames on one connection dispatch in order, so the pong proves all 8
+  // submits were ADMITTED (in flight or already answered) — the drain that
+  // starts after it must answer every one of them with a real result.
+  const u64 ping_id = client.send_frame(MsgType::kPing, {});
+  usize results = 0;
+  for (;;) {
+    const Frame f = client.recv_frame();
+    if (f.header.request_id == ping_id) break;
+    ASSERT_EQ(f.type(), MsgType::kResult);
+    ++results;
+  }
+  lb.frontend->begin_drain();
+  for (; results < kInflight; ++results) {
+    ASSERT_EQ(client.recv_frame().type(), MsgType::kResult);
+  }
+  lb.net_thread.join();  // run() returns once the drain completes
+  EXPECT_THROW(Client{port}, IoError);  // listener is gone
+}
+
+TEST(NetLoopback, WeightSwapOverWireChangesAndRestoresResults) {
+  Loopback lb;
+  Client client(lb.frontend->port());
+  std::vector<sim::FrameResult> before;
+  for (const Tensor& t : lb.fix.data.images) {
+    before.push_back(client.submit(lb.key, t).result);
+  }
+  client.swap_weights(lb.key, 1234);
+  bool any_diff = false;
+  for (usize i = 0; i < lb.fix.data.images.size(); ++i) {
+    const ResultMsg r = client.submit(lb.key, lb.fix.data.images[i]);
+    any_diff = any_diff || r.result.spike_counts != before[i].spike_counts ||
+               r.result.final_potentials != before[i].final_potentials;
+  }
+  EXPECT_TRUE(any_diff) << "swap to new weights changed nothing";
+  // Swapping back to the original seed restores bit-exact original results.
+  client.swap_weights(lb.key, 55);
+  for (usize i = 0; i < lb.fix.data.images.size(); ++i) {
+    const ResultMsg r = client.submit(lb.key, lb.fix.data.images[i]);
+    expect_result_eq(r.result, before[i], "after swap-back");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router.
+
+struct RouterRig {
+  std::vector<std::unique_ptr<Loopback>> backends;
+  std::unique_ptr<Router> router;
+  std::thread router_thread;
+
+  explicit RouterRig(usize n) {
+    RouterOptions ro;
+    ro.health_period_s = 0.05;
+    for (usize i = 0; i < n; ++i) {
+      backends.push_back(std::make_unique<Loopback>());
+      ro.backend_ports.push_back(backends[i]->frontend->port());
+    }
+    router = std::make_unique<Router>(ro);
+    router_thread = std::thread([this] { router->run(); });
+  }
+  ~RouterRig() {
+    if (router_thread.joinable()) {
+      router->begin_drain();
+      router_thread.join();
+    }
+  }
+  /// Waits until the router's health poll has discovered `n` backends'
+  /// model directories (pong models reflects the union).
+  void wait_discovered(Client& c, u32 min_models = 1) {
+    for (int tries = 0; tries < 200; ++tries) {
+      if (c.ping().models >= min_models) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    FAIL() << "router never discovered its backends";
+  }
+};
+
+TEST(NetRouter, SpreadsPipelinedLoadAcrossBackendsBitExactly) {
+  RouterRig rig(2);
+  Client client(rig.router->port());
+  rig.wait_discovered(client);
+
+  // Pipelined (no read between sends): the router's live in-flight counts
+  // drive the spread, since sequential submits would always pick the idlest
+  // — identical — first backend.
+  constexpr usize kN = 32;
+  const auto& fix = rig.backends[0]->fix;
+  const serve::ModelKey key = rig.backends[0]->key;
+  std::unordered_map<u64, usize> slot_of;  // responses arrive out of order
+  for (usize i = 0; i < kN; ++i) {
+    const u64 id = client.send_frame(
+        MsgType::kSubmit,
+        encode_submit(key, fix.data.images[i % fix.data.images.size()]));
+    slot_of[id] = i;
+  }
+  std::vector<sim::FrameResult> results(kN);
+  for (usize i = 0; i < kN; ++i) {
+    const Frame f = client.recv_frame();
+    ASSERT_EQ(f.type(), MsgType::kResult) << decode_error(f).message;
+    ASSERT_TRUE(slot_of.count(f.header.request_id));
+    results[slot_of[f.header.request_id]] = decode_result(f).result;
+  }
+  // Determinism makes the routing invisible: whichever backend served a
+  // frame, the result matches the in-process reference.
+  for (usize i = 0; i < kN; ++i) {
+    const sim::FrameResult local =
+        rig.backends[0]
+            ->server.submit(key, fix.data.images[i % fix.data.images.size()])
+            .get();
+    expect_result_eq(results[i], local, "routed result");
+  }
+  const i64 in0 = rig.backends[0]->server.registry().snapshot().counter_or(
+      "net.frames_in", 0);
+  const i64 in1 = rig.backends[1]->server.registry().snapshot().counter_or(
+      "net.frames_in", 0);
+  EXPECT_GT(in0, 0) << "backend 0 got no traffic";
+  EXPECT_GT(in1, 0) << "backend 1 got no traffic";
+}
+
+TEST(NetRouter, FailsOverWhenABackendDiesAndReportsNoBackendWhenAllDo) {
+  RouterRig rig(2);
+  Client client(rig.router->port());
+  rig.wait_discovered(client);
+  const serve::ModelKey key = rig.backends[0]->key;
+  const Tensor& frame = rig.backends[0]->fix.data.images[0];
+  const sim::FrameResult local = rig.backends[0]->server.submit(key, frame).get();
+
+  expect_result_eq(client.submit(key, frame).result, local, "before failover");
+
+  // Kill backend 0 outright (drain its frontend; its router-side socket
+  // closes). The router must keep serving through backend 1.
+  rig.backends[0]->frontend->begin_drain();
+  rig.backends[0]->net_thread.join();
+  bool served = false;
+  for (int tries = 0; tries < 200 && !served; ++tries) {
+    try {
+      expect_result_eq(client.submit(key, frame).result, local, "after failover");
+      served = true;
+    } catch (const ServerRejected&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(served) << "router never failed over to the surviving backend";
+
+  // Lose the last backend too: kNoBackend, not a hang.
+  rig.backends[1]->frontend->begin_drain();
+  rig.backends[1]->net_thread.join();
+  bool refused = false;
+  for (int tries = 0; tries < 200 && !refused; ++tries) {
+    try {
+      client.submit(key, frame);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    } catch (const ServerRejected& e) {
+      EXPECT_TRUE(e.code == ErrCode::kNoBackend || e.code == ErrCode::kDraining ||
+                  e.code == ErrCode::kBackendLost)
+          << "code " << static_cast<u32>(e.code);
+      refused = true;
+    }
+  }
+  EXPECT_TRUE(refused);
+}
+
+}  // namespace
+}  // namespace sj::net

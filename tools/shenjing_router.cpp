@@ -1,0 +1,91 @@
+// shenjing_router — the multi-process load balancer of the serving tier.
+// Clients speak to it exactly as to shenjing_serverd; it spreads submits
+// across N backend servers by model key + observed load (pulled from each
+// backend's metrics_json on the health timer), retries dead backends
+// forever, and drains gracefully on SIGTERM.
+//
+//   shenjing_router --backends P1,P2,...  backend serverd ports (127.0.0.1)
+//                   [--port N]            client listen port (0 = ephemeral)
+//                   [--port-file P]       write the bound port to P
+//                   [--health-period S]   poll/reconnect period (default 0.25)
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/router.h"
+
+using namespace sj;
+
+namespace {
+
+u64 arg_u64(int argc, char** argv, const char* name, u64 fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  return fallback;
+}
+
+const char* arg_str(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+double arg_f64(int argc, char** argv, const char* name, double fallback) {
+  const char* s = arg_str(argc, argv, name);
+  return s == nullptr ? fallback : std::strtod(s, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* backends = arg_str(argc, argv, "--backends");
+  if (backends == nullptr) {
+    std::fprintf(stderr, "usage: shenjing_router --backends P1,P2,... [--port N] "
+                         "[--port-file P] [--health-period S]\n");
+    return 2;
+  }
+  net::RouterOptions opts;
+  opts.port = static_cast<u16>(arg_u64(argc, argv, "--port", 0));
+  opts.health_period_s = arg_f64(argc, argv, "--health-period", 0.25);
+  for (const char* p = backends; *p != '\0';) {
+    char* end = nullptr;
+    opts.backend_ports.push_back(static_cast<u16>(std::strtoul(p, &end, 10)));
+    p = *end == ',' ? end + 1 : end;
+  }
+  const char* port_file = arg_str(argc, argv, "--port-file");
+
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  net::Router router(opts);
+  std::printf("shenjing_router: listening on 127.0.0.1:%u, %zu backends\n",
+              router.port(), opts.backend_ports.size());
+  std::fflush(stdout);
+  if (port_file != nullptr) {
+    FILE* f = std::fopen(port_file, "w");
+    SJ_REQUIRE(f != nullptr, "cannot write --port-file");
+    std::fprintf(f, "%u\n", router.port());
+    std::fclose(f);
+  }
+
+  std::thread watcher([&sigs, &router] {
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::fprintf(stderr, "shenjing_router: signal %d, draining\n", sig);
+    router.begin_drain();
+  });
+  watcher.detach();
+
+  router.run();
+  std::printf("shenjing_router: drained, exiting\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// shenjing_serverd — the standing network server of the serving tier: a
+// serve::Server wrapped in the epoll net::Frontend, speaking the SJNF wire
+// protocol on 127.0.0.1. Serves the deterministic harness::ServeFixture
+// model, so any client building the same fixture knows the model key in
+// advance and can verify results bit-exactly.
+//
+//   shenjing_serverd [--port N]        listen port (default 0 = ephemeral)
+//                    [--port-file P]   write the bound port to P (CI boot
+//                                      coordination: start with port 0, read
+//                                      the file, no race on a fixed port)
+//                    [--workers N]     serve workers (0 = hardware threads)
+//                    [--max-pending N] bounded admission queue (default 256)
+//                    [--conn-limit N]  per-connection in-flight bound (64)
+//                    [--seed N]        fixture weight seed (default 55)
+//                    [--metrics-dump P] write final metrics_json to P on exit
+//
+// Wire surface: kSubmit / kSubmitBatch / kPing / kMetrics / kInfo /
+// kSwapWeights (rebuilds the fixture at the requested seed and hot swaps —
+// the donor compile reuses the lowered program, so the swap is cheap enough
+// to run on the loop thread).
+//
+// SIGTERM/SIGINT: drain-aware graceful shutdown — stop accepting, answer
+// pings accepting=false, reject new submits with kDraining, finish and flush
+// every admitted request, then exit 0. SHENJING_METRICS=<path|stderr>
+// additionally streams periodic metrics_json dumps (obs::MetricsDumper).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "harness/serve_fixture.h"
+#include "net/frontend.h"
+#include "obs/dump.h"
+#include "serve/server.h"
+
+using namespace sj;
+
+namespace {
+
+u64 arg_u64(int argc, char** argv, const char* name, u64 fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  return fallback;
+}
+
+const char* arg_str(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u16 port = static_cast<u16>(arg_u64(argc, argv, "--port", 0));
+  const usize workers = static_cast<usize>(arg_u64(argc, argv, "--workers", 0));
+  const usize max_pending = static_cast<usize>(arg_u64(argc, argv, "--max-pending", 256));
+  const usize conn_limit = static_cast<usize>(arg_u64(argc, argv, "--conn-limit", 64));
+  const u64 seed = arg_u64(argc, argv, "--seed", 55);
+  const char* port_file = arg_str(argc, argv, "--port-file");
+  const char* metrics_dump = arg_str(argc, argv, "--metrics-dump");
+
+  // Block the shutdown signals in every thread (workers inherit the mask);
+  // a dedicated watcher thread sigwait()s and triggers the drain — no
+  // async-signal-safety contortions, begin_drain() is plainly thread-safe.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  const harness::ServeFixture fix = harness::make_serve_fixture(seed);
+  serve::Server server({.workers = workers, .max_pending = max_pending});
+  const serve::ModelKey key = server.load_model(fix.mapped, fix.net);
+
+  net::FrontendOptions opts;
+  opts.port = port;
+  opts.conn_pending_limit = conn_limit;
+  opts.swap_fn = [&server, key](serve::ModelKey k, u64 new_seed) {
+    SJ_REQUIRE(k == key, "swap for a model this server does not serve");
+    const harness::ServeFixture next = harness::make_serve_fixture(new_seed);
+    server.swap_weights(key, next.mapped, next.net);
+  };
+  net::Frontend frontend(server, opts);
+  frontend.register_model(key, "wire-fc", fix.data.sample_shape);
+
+  obs::MetricsDumper dumper(obs::MetricsDumper::env_target(),
+                            [&server] { return server.metrics_json(); });
+
+  std::printf("shenjing_serverd: serving model %016llx on 127.0.0.1:%u "
+              "(%zu workers, max_pending %zu)\n",
+              static_cast<unsigned long long>(key), frontend.port(),
+              server.num_workers(), max_pending);
+  std::fflush(stdout);
+  if (port_file != nullptr) {
+    FILE* f = std::fopen(port_file, "w");
+    SJ_REQUIRE(f != nullptr, "cannot write --port-file");
+    std::fprintf(f, "%u\n", frontend.port());
+    std::fclose(f);
+  }
+
+  std::thread watcher([&sigs, &frontend] {
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::fprintf(stderr, "shenjing_serverd: signal %d, draining\n", sig);
+    frontend.begin_drain();
+  });
+  watcher.detach();  // process exit reaps it; a second signal is ignored
+
+  frontend.run();  // returns when the drain completes
+  server.shutdown(serve::DrainMode::kDrain);
+
+  if (metrics_dump != nullptr) {
+    FILE* f = std::fopen(metrics_dump, "w");
+    SJ_REQUIRE(f != nullptr, "cannot write --metrics-dump");
+    const std::string doc = server.metrics_json().dump();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  std::printf("shenjing_serverd: drained, exiting\n");
+  return 0;
+}
